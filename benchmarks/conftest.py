@@ -1,0 +1,34 @@
+"""Benchmark configuration.
+
+Each benchmark regenerates one of the paper's tables/figures through the
+experiment harness.  The workloads and trace sizes are scaled down so the
+full suite completes in minutes; pass larger ``target_accesses`` through the
+experiment modules directly for higher-fidelity runs (see EXPERIMENTS.md).
+"""
+
+import pytest
+
+#: Trace size used by the benchmark runs (smaller than the experiments'
+#: default so pytest-benchmark completes quickly, but large enough that the
+#: scientific workloads run several solver iterations).
+BENCH_ACCESSES = 80_000
+
+#: Workload subset exercised per benchmark: one scientific, one OLTP, one web
+#: server — enough to show each figure's qualitative shape quickly.  Use the
+#: experiment modules' main() for the full seven-workload sweep.
+BENCH_WORKLOADS = ("em3d", "db2", "apache")
+
+
+@pytest.fixture(scope="session")
+def bench_workloads():
+    return BENCH_WORKLOADS
+
+
+@pytest.fixture(scope="session")
+def bench_accesses():
+    return BENCH_ACCESSES
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,79 @@
+"""Benchmarks regenerating the system-level results (Figures 11, 12, 14, Table 3)."""
+
+from repro.experiments import (
+    fig11_bandwidth,
+    fig12_comparison,
+    fig14_performance,
+    table3_timeliness,
+)
+
+from conftest import run_once
+
+
+def test_fig11_bandwidth_overhead(benchmark, bench_workloads, bench_accesses):
+    rows = run_once(
+        benchmark, fig11_bandwidth.run,
+        workloads=bench_workloads, target_accesses=bench_accesses,
+    )
+    by_workload = {r["workload"]: r for r in rows}
+    for row in rows:
+        # TSE never saturates the 128 GB/s peak bisection bandwidth.  The
+        # scaled-down traces compress execution time (especially for the
+        # scientific kernels, whose per-access compute is shrunk the most),
+        # which inflates the apparent rate relative to the paper's < 7 %.
+        assert row["fraction_of_peak"] < 1.0
+        assert row["overhead_gbps"] >= 0.0
+    # Commercial workloads keep the realistic instruction footprint, so their
+    # overhead stays a small fraction of peak, as in the paper.
+    for name in ("db2", "apache"):
+        if name in by_workload:
+            assert by_workload[name]["fraction_of_peak"] < 0.25
+    pin = {r["workload"]: r["pin_overhead"] for r in rows}
+    # CMOB recording pin-bandwidth overhead stays in the single-digit percent range.
+    assert all(value < 0.12 for value in pin.values())
+
+
+def test_fig12_prefetcher_comparison(benchmark, bench_accesses):
+    rows = run_once(
+        benchmark, fig12_comparison.run,
+        workloads=("em3d", "db2"), target_accesses=bench_accesses,
+    )
+    def coverage(workload, technique):
+        return next(
+            r["coverage"] for r in rows if r["workload"] == workload and r["technique"] == technique
+        )
+
+    # TSE wins on every workload; stride gets essentially nothing.
+    for workload in ("em3d", "db2"):
+        assert coverage(workload, "TSE") > coverage(workload, "Stride")
+        assert coverage(workload, "TSE") > coverage(workload, "G/DC")
+        assert coverage(workload, "Stride") < 0.2
+
+
+def test_table3_timeliness(benchmark, bench_accesses):
+    rows = run_once(
+        benchmark, table3_timeliness.run,
+        workloads=("em3d", "db2"), target_accesses=bench_accesses,
+    )
+    by_workload = {r["workload"]: r for r in rows}
+    # Commercial consumption MLP is near 1 (serial dependent misses);
+    # scientific MLP is higher.
+    assert by_workload["db2"]["mlp"] < 2.0
+    assert by_workload["em3d"]["mlp"] >= by_workload["db2"]["mlp"]
+    for row in rows:
+        assert 0.0 <= row["full_coverage"] + row["partial_coverage"] <= 1.0 + 1e-9
+
+
+def test_fig14_performance(benchmark, bench_accesses):
+    rows = run_once(
+        benchmark, fig14_performance.run,
+        workloads=("em3d", "db2", "apache"), target_accesses=bench_accesses,
+    )
+    speedups = {r["workload"]: r["speedup"] for r in rows}
+    # The paper's ordering: em3d benefits most; commercial workloads gain
+    # single-digit to ~20 % improvements.
+    assert speedups["em3d"] > speedups["db2"] > 1.0
+    assert speedups["apache"] > 0.98
+    for row in rows:
+        # TSE reduces coherent-read stall time relative to the base system.
+        assert row["tse_coherent"] <= row["base_coherent"] + 1e-9

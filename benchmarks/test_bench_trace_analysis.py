@@ -1,0 +1,85 @@
+"""Benchmarks regenerating the trace-analysis figures (6, 7, 8, 9, 10, 13).
+
+Each benchmark runs the corresponding experiment module once on a scaled-down
+workload set and asserts the paper's qualitative shape, so the benchmark
+suite doubles as a regression check on the reproduced results.
+"""
+
+from repro.experiments import (
+    fig06_correlation,
+    fig07_compared_streams,
+    fig08_lookahead,
+    fig09_svb,
+    fig10_cmob,
+    fig13_stream_length,
+)
+
+from conftest import run_once
+
+
+def test_fig06_correlation(benchmark, bench_workloads, bench_accesses):
+    rows = run_once(
+        benchmark, fig06_correlation.run,
+        workloads=bench_workloads, target_accesses=bench_accesses,
+    )
+    by_workload = {r["workload"]: r for r in rows}
+    # Scientific correlation dominates commercial; commercial is non-trivial.
+    assert by_workload["em3d"]["d8"] > by_workload["db2"]["d8"]
+    assert by_workload["db2"]["d8"] > 0.2
+
+
+def test_fig07_compared_streams(benchmark, bench_workloads, bench_accesses):
+    rows = run_once(
+        benchmark, fig07_compared_streams.run,
+        workloads=("db2",), stream_counts=(1, 2), target_accesses=bench_accesses,
+    )
+    one = next(r for r in rows if r["compared_streams"] == 1)
+    two = next(r for r in rows if r["compared_streams"] == 2)
+    # Comparing two streams collapses discards (the paper's key Figure 7 point).
+    assert two["discards"] < one["discards"]
+
+
+def test_fig08_lookahead(benchmark, bench_accesses):
+    rows = run_once(
+        benchmark, fig08_lookahead.run,
+        workloads=("em3d", "apache"), lookaheads=(4, 16), target_accesses=bench_accesses,
+    )
+    apache = {r["lookahead"]: r["discards"] for r in rows if r["workload"] == "apache"}
+    em3d = {r["lookahead"]: r["discards"] for r in rows if r["workload"] == "em3d"}
+    # Commercial discards grow with lookahead (allowing a little measurement
+    # noise on the small benchmark traces); scientific stay low.
+    assert apache[16] >= apache[4] * 0.8
+    assert em3d[16] < 0.5
+
+
+def test_fig09_svb_size(benchmark, bench_accesses):
+    rows = run_once(
+        benchmark, fig09_svb.run,
+        workloads=("db2",), svb_sizes=(("512B", 8), ("2k", 32), ("inf", 1 << 20)),
+        target_accesses=bench_accesses,
+    )
+    coverage = {r["svb"]: r["coverage"] for r in rows}
+    # A 2 KB SVB is close to infinite storage (Figure 9's conclusion).
+    assert coverage["inf"] - coverage["2k"] < 0.15
+    assert coverage["2k"] >= coverage["512B"] - 0.02
+
+
+def test_fig10_cmob_capacity(benchmark, bench_accesses):
+    rows = run_once(
+        benchmark, fig10_cmob.run,
+        workloads=("db2",), capacities=(128, 8192, 262144), target_accesses=bench_accesses,
+    )
+    by_capacity = {r["cmob_entries"]: r["fraction_of_peak"] for r in rows}
+    # Coverage improves with CMOB capacity and saturates at the large end.
+    assert by_capacity[262144] >= by_capacity[8192] >= by_capacity[128] - 0.05
+    assert by_capacity[262144] == 1.0
+
+
+def test_fig13_stream_length(benchmark, bench_workloads, bench_accesses):
+    rows = run_once(
+        benchmark, fig13_stream_length.run,
+        workloads=bench_workloads, target_accesses=bench_accesses,
+    )
+    by_workload = {r["workload"]: r for r in rows}
+    # Commercial coverage leans on short streams far more than scientific.
+    assert by_workload["apache"]["short_stream_share"] > by_workload["em3d"]["short_stream_share"]

@@ -1,0 +1,50 @@
+"""Design-space sweep: size the TSE for a new workload.
+
+Sweeps the three hardware knobs the paper's sensitivity studies cover —
+number of compared streams (Figure 7), stream lookahead (Figure 8), and SVB
+size (Figure 9) — for one workload, and prints the coverage/discard
+trade-off of each point.  Useful for picking a configuration when deploying
+the library on a workload outside the paper's suite.
+
+Run with:  python examples/design_space_sweep.py [workload]
+"""
+
+import sys
+
+from repro.common.config import TSEConfig
+from repro.tse.simulator import run_tse_on_trace
+from repro.workloads import get_workload
+from repro.workloads.base import WorkloadParams
+
+
+def sweep(trace, label, configs) -> None:
+    print(f"\n--- {label} ---")
+    print(f"{'configuration':<24} {'coverage':>9} {'discards':>9}")
+    for name, config in configs:
+        stats = run_tse_on_trace(trace, config, warmup_fraction=0.3)
+        print(f"{name:<24} {stats.coverage:>9.1%} {stats.discard_rate:>9.1%}")
+
+
+def main() -> None:
+    workload = sys.argv[1] if len(sys.argv) > 1 else "db2"
+    params = WorkloadParams(num_nodes=16, seed=42, target_accesses=80_000)
+    trace = get_workload(workload, params).generate()
+    print(f"TSE design-space sweep on {workload} ({len(trace)} accesses)")
+
+    sweep(trace, "compared streams (Figure 7)", [
+        (f"{n} stream(s)", TSEConfig.unconstrained(lookahead=8, compared_streams=n))
+        for n in (1, 2, 3, 4)
+    ])
+    sweep(trace, "stream lookahead (Figure 8)", [
+        (f"lookahead {la}", TSEConfig.paper_default(lookahead=la))
+        for la in (4, 8, 16, 24)
+    ])
+    sweep(trace, "SVB size (Figure 9)", [
+        (f"{entries} entries ({entries * 64} B)",
+         TSEConfig.paper_default(lookahead=8).with_(svb_entries=entries))
+        for entries in (8, 32, 128)
+    ])
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,60 @@
+"""Opportunity study: how temporally correlated are the workloads?
+
+Reproduces the Figure 6 analysis for a chosen set of workloads: the
+cumulative fraction of consumptions whose temporal correlation distance is
+within +/-d, plus the stream-length character of each workload (Figure 13).
+This is the analysis one would run on a new workload to decide whether
+temporal streaming can help it.
+
+Run with:  python examples/opportunity_study.py [workload ...]
+"""
+
+import sys
+
+from repro.analysis.correlation import temporal_correlation
+from repro.analysis.streams import fraction_of_hits_from_short_streams
+from repro.coherence.protocol import CoherenceProtocol, extract_consumptions
+from repro.common.config import PAPER_LOOKAHEAD, TSEConfig
+from repro.tse.simulator import run_tse_on_trace
+from repro.workloads import get_workload
+from repro.workloads.base import WorkloadParams
+
+TARGET_ACCESSES = 100_000
+
+
+def study(workload: str) -> None:
+    params = WorkloadParams(num_nodes=16, seed=42, target_accesses=TARGET_ACCESSES)
+    trace = get_workload(workload, params).generate()
+
+    # --- temporal correlation (Figure 6) --------------------------------
+    protocol = CoherenceProtocol(trace.num_nodes)
+    consumptions = extract_consumptions(protocol.process_trace(trace), trace.num_nodes)
+    correlation = temporal_correlation(
+        consumptions, measure_from_global_index=int(len(trace) * 0.3), workload=workload
+    )
+
+    # --- streaming behaviour (Figures 7/13) ------------------------------
+    config = TSEConfig.paper_default(lookahead=PAPER_LOOKAHEAD.get(workload, 8))
+    stats = run_tse_on_trace(trace, config, warmup_fraction=0.3)
+
+    print(f"\n=== {workload} ===")
+    print(f"consumptions analysed      : {correlation.total}")
+    print(f"perfectly correlated (d=+1): {correlation.perfectly_correlated:6.1%}")
+    for distance in (2, 4, 8, 16):
+        print(f"correlated within +/-{distance:<2}    : {correlation.cumulative_fraction(distance):6.1%}")
+    print(f"TSE coverage               : {stats.coverage:6.1%}")
+    print(f"TSE discards               : {stats.discard_rate:6.1%}")
+    print(
+        "share of hits from streams shorter than 8 blocks: "
+        f"{fraction_of_hits_from_short_streams(stats.stream_length_hist):6.1%}"
+    )
+
+
+def main() -> None:
+    workloads = sys.argv[1:] or ["em3d", "db2", "apache"]
+    for workload in workloads:
+        study(workload)
+
+
+if __name__ == "__main__":
+    main()

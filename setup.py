@@ -1,0 +1,10 @@
+"""Setuptools shim so editable installs work without the ``wheel`` package.
+
+The environment used for reproduction has setuptools 65 but no ``wheel``
+distribution, which breaks PEP 517 editable installs; keeping a ``setup.py``
+lets ``pip install -e .`` fall back to the legacy develop path.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,119 @@
+"""Directory state for the DSM coherence protocol.
+
+Each cache block has a *home node* (address-interleaved) whose directory
+tracks the block's global state: uncached, shared (with a sharer bit vector),
+or modified (with a single owner).  TSE extends each entry with a small list
+of CMOB pointers identifying where recent consumers recorded the block in
+their coherence-miss order (Section 3.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.stats import StatsRegistry
+from repro.common.types import BlockAddress, NodeId
+
+
+class DirectoryState(enum.Enum):
+    """Global state of a block as seen by its home directory."""
+
+    UNCACHED = "uncached"
+    SHARED = "shared"
+    MODIFIED = "modified"
+
+
+@dataclass
+class CMOBPointer:
+    """Directory-resident pointer into a node's CMOB.
+
+    Attributes:
+        node: The node whose CMOB holds the entry.
+        offset: Index of the entry within that CMOB (monotonic append count,
+            so staleness can be detected after wrap-around).
+    """
+
+    node: NodeId
+    offset: int
+
+
+@dataclass
+class DirectoryEntry:
+    """Directory state for one block."""
+
+    state: DirectoryState = DirectoryState.UNCACHED
+    owner: Optional[NodeId] = None
+    sharers: Set[NodeId] = field(default_factory=set)
+    #: Nodes that have written the block at least once (used to classify
+    #: cold vs. coherent misses precisely).
+    ever_written: bool = False
+    #: Most recent CMOB pointers, newest first (TSE extension).
+    cmob_pointers: List[CMOBPointer] = field(default_factory=list)
+
+    def record_cmob_pointer(self, node: NodeId, offset: int, max_pointers: int) -> None:
+        """Insert/refresh a CMOB pointer, keeping at most ``max_pointers``.
+
+        A newer pointer from the same node replaces the old one — the CMOB
+        location of the most recent append is the one that starts a useful
+        stream.
+        """
+        self.cmob_pointers = [p for p in self.cmob_pointers if p.node != node]
+        self.cmob_pointers.insert(0, CMOBPointer(node=node, offset=offset))
+        del self.cmob_pointers[max_pointers:]
+
+
+class Directory:
+    """The distributed directory, indexed by block address.
+
+    A single object models all per-node directory slices; the home node of a
+    block is derived from its address so bandwidth/latency accounting knows
+    which node the request and reply traverse.
+    """
+
+    def __init__(self, num_nodes: int, cmob_pointers_per_block: int = 2) -> None:
+        if num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        self.num_nodes = num_nodes
+        self.cmob_pointers_per_block = cmob_pointers_per_block
+        self.stats = StatsRegistry(prefix="directory")
+        self._entries: Dict[BlockAddress, DirectoryEntry] = {}
+
+    def home_of(self, address: BlockAddress) -> NodeId:
+        """Home node of a block (low-order address interleaving)."""
+        return address % self.num_nodes
+
+    def entry(self, address: BlockAddress) -> DirectoryEntry:
+        """Get (or lazily create) the directory entry for a block."""
+        entry = self._entries.get(address)
+        if entry is None:
+            entry = DirectoryEntry()
+            self._entries[address] = entry
+        return entry
+
+    def lookup(self, address: BlockAddress) -> Optional[DirectoryEntry]:
+        """Return the entry if the block has ever been referenced."""
+        return self._entries.get(address)
+
+    def num_entries(self) -> int:
+        return len(self._entries)
+
+    # -- TSE extension -------------------------------------------------------
+    def record_cmob_pointer(self, address: BlockAddress, node: NodeId, offset: int) -> None:
+        """Store a CMOB pointer for ``address`` (Section 3.1, step 4)."""
+        self.entry(address).record_cmob_pointer(node, offset, self.cmob_pointers_per_block)
+        self.stats.counter("cmob_pointer_updates").increment()
+
+    def cmob_pointers(self, address: BlockAddress) -> List[CMOBPointer]:
+        """CMOB pointers for a block, newest first (may be empty)."""
+        entry = self._entries.get(address)
+        return list(entry.cmob_pointers) if entry is not None else []
+
+    def pointer_storage_bits(self, cmob_capacity: int) -> int:
+        """Per-entry CMOB-pointer storage in bits (Section 3.2 formula)."""
+        import math
+
+        node_bits = max(1, math.ceil(math.log2(self.num_nodes)))
+        offset_bits = max(1, math.ceil(math.log2(max(cmob_capacity, 2))))
+        return self.cmob_pointers_per_block * (node_bits + offset_bits)

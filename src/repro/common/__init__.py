@@ -1,0 +1,50 @@
+"""Common infrastructure shared by every subsystem.
+
+This package provides the vocabulary types (addresses, accesses, node ids),
+configuration dataclasses encoding the paper's Table 1 / Table 2 parameters,
+deterministic random-number helpers, statistics counters and the
+discrete-event queue used by the timing simulator.
+"""
+
+from repro.common.types import (
+    AccessType,
+    Address,
+    BlockAddress,
+    MemoryAccess,
+    NodeId,
+    block_of,
+    block_to_address,
+)
+from repro.common.config import (
+    CacheConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    SystemConfig,
+    TSEConfig,
+)
+from repro.common.stats import Counter, Histogram, StatsRegistry
+from repro.common.events import Event, EventQueue
+from repro.common.rng import DeterministicRNG
+
+__all__ = [
+    "AccessType",
+    "Address",
+    "BlockAddress",
+    "MemoryAccess",
+    "NodeId",
+    "block_of",
+    "block_to_address",
+    "CacheConfig",
+    "InterconnectConfig",
+    "MemoryConfig",
+    "ProcessorConfig",
+    "SystemConfig",
+    "TSEConfig",
+    "Counter",
+    "Histogram",
+    "StatsRegistry",
+    "Event",
+    "EventQueue",
+    "DeterministicRNG",
+]

@@ -1,0 +1,282 @@
+"""Configuration dataclasses encoding the paper's system parameters.
+
+``SystemConfig.isca2005()`` reproduces Table 1 of the paper (the 16-node DSM
+used for all timing results); ``TSEConfig.paper_default()`` reproduces the TSE
+configuration selected in Section 5 (two compared streams, 32-entry SVB,
+1.5 MB CMOB for commercial workloads, per-workload lookahead from Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """Geometry and timing of one cache level.
+
+    Attributes:
+        size_bytes: Total capacity in bytes.
+        associativity: Number of ways per set.
+        block_size: Coherence unit in bytes (64 B in the paper).
+        hit_latency: Access latency in cycles.
+        mshrs: Number of outstanding-miss registers.
+    """
+
+    size_bytes: int
+    associativity: int
+    block_size: int = 64
+    hit_latency: int = 2
+    mshrs: int = 32
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("cache size must be positive")
+        if self.associativity <= 0:
+            raise ValueError("associativity must be positive")
+        if self.block_size <= 0 or self.block_size & (self.block_size - 1):
+            raise ValueError("block_size must be a positive power of two")
+        if self.size_bytes % (self.block_size * self.associativity):
+            raise ValueError(
+                "cache size must be a multiple of block_size * associativity"
+            )
+
+    @property
+    def num_blocks(self) -> int:
+        return self.size_bytes // self.block_size
+
+    @property
+    def num_sets(self) -> int:
+        return self.num_blocks // self.associativity
+
+
+@dataclass(frozen=True)
+class ProcessorConfig:
+    """Out-of-order core parameters (Table 1).
+
+    The timing model does not simulate a pipeline; it uses these parameters to
+    bound memory-level parallelism and to convert instruction counts into busy
+    cycles.
+    """
+
+    clock_ghz: float = 4.0
+    dispatch_width: int = 8
+    rob_entries: int = 256
+    lsq_entries: int = 256
+    store_buffer_entries: int = 256
+    #: Base IPC assumed for non-memory work in the timing model.
+    base_ipc: float = 2.0
+
+
+@dataclass(frozen=True)
+class MemoryConfig:
+    """Main memory parameters (Table 1)."""
+
+    access_latency_ns: float = 60.0
+    banks_per_node: int = 64
+    block_size: int = 64
+
+
+@dataclass(frozen=True)
+class InterconnectConfig:
+    """2D torus interconnect parameters (Table 1)."""
+
+    width: int = 4
+    height: int = 4
+    hop_latency_ns: float = 25.0
+    #: Peak bisection bandwidth in GB/s for the whole machine.
+    bisection_bandwidth_gbps: float = 128.0
+    #: Per-message header overhead in bytes (address + routing + CRC).
+    header_bytes: int = 16
+
+    @property
+    def num_nodes(self) -> int:
+        return self.width * self.height
+
+
+@dataclass(frozen=True)
+class TSEConfig:
+    """Temporal Streaming Engine configuration (Section 3 / Section 5).
+
+    Attributes:
+        cmob_capacity: Number of address entries in each node's CMOB.
+        cmob_entry_bytes: Size of one CMOB entry (6-byte physical address in
+            the paper's storage accounting, Section 5.4).
+        cmob_pointers_per_block: Number of recent-consumer CMOB pointers the
+            directory stores per block (paper compares 1-4, selects 2).
+        compared_streams: Number of streams fetched and compared per stream
+            head (equals cmob_pointers_per_block in the hardware).
+        stream_lookahead: Number of blocks kept in flight / resident in the
+            SVB ahead of the processor for each active stream.
+        svb_entries: Number of blocks the streamed value buffer can hold
+            (32 entries = 2 KB with 64-byte blocks).
+        stream_queues: Number of stream queues (guards against thrashing).
+        refill_threshold: When a stream queue holds fewer than this many
+            pending addresses, the engine requests more from the source CMOB
+            ("when a stream queue is half empty").
+        queue_depth: Addresses requested from the CMOB per (re)fill.
+    """
+
+    cmob_capacity: int = 262144
+    cmob_entry_bytes: int = 6
+    cmob_pointers_per_block: int = 2
+    compared_streams: int = 2
+    stream_lookahead: int = 8
+    svb_entries: int = 32
+    stream_queues: int = 8
+    refill_threshold: int = 0
+    queue_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.cmob_capacity <= 0:
+            raise ValueError("cmob_capacity must be positive")
+        if self.compared_streams <= 0:
+            raise ValueError("compared_streams must be positive")
+        if self.stream_lookahead < 0:
+            raise ValueError("stream_lookahead must be non-negative")
+        if self.svb_entries <= 0:
+            raise ValueError("svb_entries must be positive")
+        if self.stream_queues <= 0:
+            raise ValueError("stream_queues must be positive")
+        # Derive the queue depth / refill threshold from the lookahead when
+        # they are left at their "auto" value of 0.
+        if self.queue_depth == 0:
+            object.__setattr__(self, "queue_depth", max(2 * self.stream_lookahead, 4))
+        if self.refill_threshold == 0:
+            object.__setattr__(self, "refill_threshold", max(self.queue_depth // 2, 1))
+
+    @property
+    def cmob_capacity_bytes(self) -> int:
+        """CMOB storage footprint per node in bytes."""
+        return self.cmob_capacity * self.cmob_entry_bytes
+
+    @property
+    def svb_bytes(self) -> int:
+        """SVB data capacity in bytes (64-byte blocks)."""
+        return self.svb_entries * 64
+
+    @classmethod
+    def paper_default(cls, lookahead: int = 8) -> "TSEConfig":
+        """TSE configuration selected by the paper's sensitivity study.
+
+        1.5 MB CMOB (262144 x 6-byte entries), two compared streams, 32-entry
+        (2 KB) SVB.  ``lookahead`` defaults to the commercial-workload value;
+        Table 3 uses 18 (em3d), 16 (moldyn), and 24 (ocean) for the scientific
+        applications.
+        """
+        return cls(
+            cmob_capacity=262144,
+            cmob_pointers_per_block=2,
+            compared_streams=2,
+            stream_lookahead=lookahead,
+            svb_entries=32,
+        )
+
+    @classmethod
+    def unconstrained(cls, lookahead: int = 8, compared_streams: int = 2) -> "TSEConfig":
+        """No-hardware-limits configuration used for opportunity studies.
+
+        Mirrors Section 5.2: "unlimited SVB storage, unlimited number of
+        stream queues, near-infinite CMOB capacity".
+        """
+        return cls(
+            cmob_capacity=1 << 26,
+            cmob_pointers_per_block=compared_streams,
+            compared_streams=compared_streams,
+            stream_lookahead=lookahead,
+            svb_entries=1 << 22,
+            stream_queues=1 << 16,
+        )
+
+    def with_(self, **kwargs) -> "TSEConfig":
+        """Return a copy with the given fields replaced."""
+        return replace(self, **kwargs)
+
+
+#: Per-workload stream lookahead chosen in Table 3 of the paper.
+PAPER_LOOKAHEAD: Dict[str, int] = {
+    "em3d": 18,
+    "moldyn": 16,
+    "ocean": 24,
+    "apache": 8,
+    "db2": 8,
+    "oracle": 8,
+    "zeus": 8,
+}
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Full DSM system configuration (Table 1 of the paper)."""
+
+    num_nodes: int = 16
+    processor: ProcessorConfig = field(default_factory=ProcessorConfig)
+    l1: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=64 * 1024, associativity=2, hit_latency=2, mshrs=32
+        )
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig(
+            size_bytes=8 * 1024 * 1024, associativity=8, hit_latency=25, mshrs=32
+        )
+    )
+    memory: MemoryConfig = field(default_factory=MemoryConfig)
+    interconnect: InterconnectConfig = field(default_factory=InterconnectConfig)
+    #: Protocol controller occupancy per message, in ns (1 GHz microcoded
+    #: controller in the paper; a handful of microcode cycles per message).
+    protocol_controller_occupancy_ns: float = 10.0
+    block_size: int = 64
+
+    def __post_init__(self) -> None:
+        if self.num_nodes <= 0:
+            raise ValueError("num_nodes must be positive")
+        if self.interconnect.num_nodes != self.num_nodes:
+            raise ValueError(
+                f"interconnect is {self.interconnect.width}x{self.interconnect.height} "
+                f"({self.interconnect.num_nodes} nodes) but num_nodes={self.num_nodes}"
+            )
+
+    @property
+    def clock_ghz(self) -> float:
+        return self.processor.clock_ghz
+
+    def ns_to_cycles(self, ns: float) -> float:
+        """Convert nanoseconds to processor clock cycles."""
+        return ns * self.clock_ghz
+
+    def cycles_to_ns(self, cycles: float) -> float:
+        """Convert processor clock cycles to nanoseconds."""
+        return cycles / self.clock_ghz
+
+    @property
+    def memory_latency_cycles(self) -> float:
+        return self.ns_to_cycles(self.memory.access_latency_ns)
+
+    @property
+    def hop_latency_cycles(self) -> float:
+        return self.ns_to_cycles(self.interconnect.hop_latency_ns)
+
+    @classmethod
+    def isca2005(cls) -> "SystemConfig":
+        """The exact Table 1 configuration: 16 nodes, 4x4 torus, 4 GHz cores."""
+        return cls()
+
+    @classmethod
+    def small(cls, num_nodes: int = 4) -> "SystemConfig":
+        """A scaled-down configuration for tests and quick examples."""
+        import math
+
+        width = int(math.isqrt(num_nodes))
+        while num_nodes % width:
+            width -= 1
+        height = num_nodes // width
+        return cls(
+            num_nodes=num_nodes,
+            l1=CacheConfig(size_bytes=16 * 1024, associativity=2, hit_latency=2, mshrs=16),
+            l2=CacheConfig(
+                size_bytes=256 * 1024, associativity=8, hit_latency=25, mshrs=16
+            ),
+            interconnect=InterconnectConfig(width=width, height=height),
+        )

@@ -1,0 +1,116 @@
+"""A minimal discrete-event simulation kernel.
+
+The timing simulator (``repro.system.timing``) is event driven: coherence
+messages, memory responses and stream arrivals are events scheduled at future
+timestamps.  The kernel is deliberately small — a binary heap keyed on
+(time, sequence) with callbacks — because the heavy lifting happens in the
+component models.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Tuple
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback.
+
+    Events compare on (time, sequence) so simultaneous events fire in
+    scheduling order, which keeps runs deterministic.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[[], None] = field(compare=False)
+    label: str = field(default="", compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the queue skips it when popped."""
+        self.cancelled = True
+
+
+class EventQueue:
+    """Priority queue of events with a current simulation time."""
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self._now: float = 0.0
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time (ns in the timing model)."""
+        return self._now
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def __len__(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` to run ``delay`` time units from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule an event in the past (delay={delay})")
+        event = Event(self._now + delay, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise ValueError(f"cannot schedule at {time} < now={self._now}")
+        event = Event(time, next(self._counter), callback, label)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def step(self) -> bool:
+        """Execute the next pending event.  Returns False when the queue is empty."""
+        while self._heap:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            return True
+        return False
+
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, the time horizon, or an event budget.
+
+        Returns the number of events executed by this call.
+        """
+        executed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            if max_events is not None and executed >= max_events:
+                break
+            heapq.heappop(self._heap)
+            self._now = event.time
+            event.callback()
+            self._processed += 1
+            executed += 1
+        if until is not None and (not self._heap or self._now < until):
+            # Advance time to the horizon even if no event lands exactly on it.
+            self._now = max(self._now, until)
+        return executed
+
+    def advance_to(self, time: float) -> None:
+        """Move the clock forward without executing events (idle time)."""
+        if time < self._now:
+            raise ValueError("cannot move time backwards")
+        self._now = time

@@ -1,0 +1,109 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component (workload generators, replacement tie-breaking)
+draws from a :class:`DeterministicRNG` seeded explicitly, so experiment
+results are reproducible bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+class DeterministicRNG:
+    """Thin wrapper around :class:`random.Random` with convenience helpers.
+
+    A wrapper (rather than ``random.Random`` directly) gives one place to add
+    distributions the workload generators need (Zipf, bounded Pareto) without
+    pulling in numpy's global state.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    def fork(self, salt: int) -> "DeterministicRNG":
+        """Derive an independent child generator; children with distinct salts
+        produce uncorrelated sequences regardless of draw order in the parent."""
+        return DeterministicRNG((self.seed * 1_000_003 + salt) & 0xFFFFFFFF)
+
+    # -- thin passthroughs -------------------------------------------------
+    def random(self) -> float:
+        return self._rng.random()
+
+    def randint(self, low: int, high: int) -> int:
+        """Uniform integer in [low, high] inclusive."""
+        return self._rng.randint(low, high)
+
+    def randrange(self, stop: int) -> int:
+        return self._rng.randrange(stop)
+
+    def uniform(self, low: float, high: float) -> float:
+        return self._rng.uniform(low, high)
+
+    def choice(self, seq: Sequence[T]) -> T:
+        return self._rng.choice(seq)
+
+    def sample(self, seq: Sequence[T], k: int) -> List[T]:
+        return self._rng.sample(seq, k)
+
+    def shuffle(self, seq: list) -> None:
+        self._rng.shuffle(seq)
+
+    def expovariate(self, rate: float) -> float:
+        return self._rng.expovariate(rate)
+
+    def gauss(self, mu: float, sigma: float) -> float:
+        return self._rng.gauss(mu, sigma)
+
+    # -- distributions used by workload generators --------------------------
+    def zipf(self, n: int, alpha: float = 0.99) -> int:
+        """Draw an index in [0, n) from a Zipf-like distribution.
+
+        OLTP and web-server workloads exhibit highly skewed access frequency
+        to warehouses / pages / files; a truncated Zipf captures that skew.
+        Uses inverse-CDF over the harmonic weights, computed lazily and cached
+        per (n, alpha).
+        """
+        if n <= 0:
+            raise ValueError("n must be positive")
+        key = (n, alpha)
+        cdf = self._zipf_cache.get(key) if hasattr(self, "_zipf_cache") else None
+        if cdf is None:
+            if not hasattr(self, "_zipf_cache"):
+                self._zipf_cache = {}
+            weights = [1.0 / ((i + 1) ** alpha) for i in range(n)]
+            total = sum(weights)
+            cumulative = 0.0
+            cdf = []
+            for w in weights:
+                cumulative += w / total
+                cdf.append(cumulative)
+            self._zipf_cache[key] = cdf
+        u = self._rng.random()
+        lo, hi = 0, n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def geometric(self, p: float) -> int:
+        """Number of Bernoulli(p) failures before the first success (>= 0)."""
+        if not 0.0 < p <= 1.0:
+            raise ValueError("p must be in (0, 1]")
+        count = 0
+        while self._rng.random() > p:
+            count += 1
+            if count > 1_000_000:  # pathological p guard
+                break
+        return count
+
+    def bernoulli(self, p: float) -> bool:
+        """True with probability p."""
+        return self._rng.random() < p

@@ -1,0 +1,169 @@
+"""Statistics primitives: counters, histograms and a named registry.
+
+Every simulator component records its activity through these primitives so
+experiments can harvest a uniform dictionary of results.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str, value: int = 0) -> None:
+        self.name = name
+        self.value = value
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("Counter can only increase; use a plain attribute otherwise")
+        self.value += amount
+
+    def reset(self) -> None:
+        self.value = 0
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """A sparse integer-keyed histogram with summary statistics."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._buckets: Dict[int, int] = defaultdict(int)
+        self._count = 0
+        self._total = 0
+
+    def record(self, value: int, weight: int = 1) -> None:
+        if weight <= 0:
+            raise ValueError("weight must be positive")
+        self._buckets[value] += weight
+        self._count += weight
+        self._total += value * weight
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def total(self) -> int:
+        return self._total
+
+    @property
+    def mean(self) -> float:
+        return self._total / self._count if self._count else 0.0
+
+    @property
+    def max(self) -> int:
+        return max(self._buckets) if self._buckets else 0
+
+    @property
+    def min(self) -> int:
+        return min(self._buckets) if self._buckets else 0
+
+    def buckets(self) -> Dict[int, int]:
+        """Return a copy of the raw bucket counts."""
+        return dict(self._buckets)
+
+    def percentile(self, fraction: float) -> int:
+        """Return the smallest value v such that P(X <= v) >= fraction."""
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        if not self._count:
+            return 0
+        threshold = fraction * self._count
+        cumulative = 0
+        for value in sorted(self._buckets):
+            cumulative += self._buckets[value]
+            if cumulative >= threshold:
+                return value
+        return max(self._buckets)
+
+    def cumulative_fraction(self, upper: int) -> float:
+        """Fraction of recorded samples with value <= upper."""
+        if not self._count:
+            return 0.0
+        covered = sum(c for v, c in self._buckets.items() if v <= upper)
+        return covered / self._count
+
+    def cdf(self, points: Iterable[int]) -> List[Tuple[int, float]]:
+        """Evaluate the cumulative distribution at the given points."""
+        return [(p, self.cumulative_fraction(p)) for p in points]
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name}, n={self._count}, mean={self.mean:.2f})"
+
+
+@dataclass
+class StatsRegistry:
+    """Named collection of counters/histograms owned by a component.
+
+    Components create their statistics through the registry so that the
+    experiment harness can collect every value with :meth:`snapshot`.
+    """
+
+    prefix: str = ""
+    counters: Dict[str, Counter] = field(default_factory=dict)
+    histograms: Dict[str, Histogram] = field(default_factory=dict)
+    scalars: Dict[str, float] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        """Get or create a counter."""
+        if name not in self.counters:
+            self.counters[name] = Counter(self._qualify(name))
+        return self.counters[name]
+
+    def histogram(self, name: str) -> Histogram:
+        """Get or create a histogram."""
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(self._qualify(name))
+        return self.histograms[name]
+
+    def set_scalar(self, name: str, value: float) -> None:
+        """Record an arbitrary scalar result (ratios, latencies, ...)."""
+        self.scalars[name] = value
+
+    def _qualify(self, name: str) -> str:
+        return f"{self.prefix}.{name}" if self.prefix else name
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flatten every statistic into a plain dictionary."""
+        out: Dict[str, float] = {}
+        for name, counter in self.counters.items():
+            out[self._qualify(name)] = counter.value
+        for name, hist in self.histograms.items():
+            out[f"{self._qualify(name)}.count"] = hist.count
+            out[f"{self._qualify(name)}.mean"] = hist.mean
+        for name, value in self.scalars.items():
+            out[self._qualify(name)] = value
+        return out
+
+    def merge_from(self, other: "StatsRegistry") -> None:
+        """Accumulate counters from another registry (e.g. per-node stats)."""
+        for name, counter in other.counters.items():
+            self.counter(name).increment(counter.value)
+        for name, hist in other.histograms.items():
+            mine = self.histogram(name)
+            for value, count in hist.buckets().items():
+                mine.record(value, count)
+
+    def reset(self) -> None:
+        for counter in self.counters.values():
+            counter.reset()
+        self.histograms.clear()
+        self.scalars.clear()
+
+
+def ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """Safe division used all over the analysis code."""
+    return numerator / denominator if denominator else default

@@ -1,0 +1,200 @@
+"""Core vocabulary types used throughout the reproduction.
+
+The simulators operate on *block addresses*: byte addresses shifted right by
+``log2(block_size)``.  Using plain integers keeps the hot loops fast while the
+light wrapper types document intent at module boundaries.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional
+
+#: A full byte address in the simulated physical address space.
+Address = int
+
+#: A cache-block-granular address (byte address >> log2(block size)).
+BlockAddress = int
+
+#: Index of a DSM node (0 .. num_nodes - 1).
+NodeId = int
+
+#: Default coherence unit used throughout the paper (Table 1).
+DEFAULT_BLOCK_SIZE = 64
+
+
+class AccessType(enum.Enum):
+    """Kind of memory access issued by a processor."""
+
+    READ = "read"
+    WRITE = "write"
+    #: Read that is part of a spin loop on a contended synchronisation
+    #: variable.  The paper explicitly excludes these from consumptions
+    #: ("there is no performance advantage to predicting or streaming them").
+    SPIN_READ = "spin_read"
+    #: Atomic read-modify-write (lock acquire/release, barrier arrival).
+    ATOMIC = "atomic"
+
+    @property
+    def is_read(self) -> bool:
+        """True for any access that only observes data."""
+        return self in (AccessType.READ, AccessType.SPIN_READ)
+
+    @property
+    def is_write(self) -> bool:
+        """True for accesses that modify the block (writes and atomics)."""
+        return self in (AccessType.WRITE, AccessType.ATOMIC)
+
+    @property
+    def is_spin(self) -> bool:
+        """True for spin reads, which never count as consumptions."""
+        return self is AccessType.SPIN_READ
+
+
+def block_of(address: Address, block_size: int = DEFAULT_BLOCK_SIZE) -> BlockAddress:
+    """Return the block address containing ``address``.
+
+    >>> block_of(0x1000, 64)
+    64
+    >>> block_of(0x103f, 64)
+    64
+    >>> block_of(0x1040, 64)
+    65
+    """
+    if block_size <= 0 or block_size & (block_size - 1):
+        raise ValueError(f"block_size must be a positive power of two, got {block_size}")
+    return address // block_size
+
+
+def block_to_address(block: BlockAddress, block_size: int = DEFAULT_BLOCK_SIZE) -> Address:
+    """Return the first byte address of ``block``."""
+    if block_size <= 0 or block_size & (block_size - 1):
+        raise ValueError(f"block_size must be a positive power of two, got {block_size}")
+    return block * block_size
+
+
+@dataclass(frozen=True)
+class MemoryAccess:
+    """A single shared-memory access issued by one node.
+
+    Workload generators emit sequences of these; the coherence simulator
+    classifies each read as a hit, cold miss, or coherent read miss
+    (a *consumption* in the paper's terminology).
+
+    Attributes:
+        node: Node issuing the access.
+        address: Block-granular address being accessed.
+        access_type: Read / write / spin-read / atomic.
+        pc: Optional program-counter tag (used only by PC-indexed baselines).
+        timestamp: Logical per-node instruction count at which the access
+            retires; used by the timing model to reconstruct inter-access
+            compute gaps.
+        dependent: True when the access's address depends on the value
+            returned by the node's previous shared read (pointer chasing).
+            The timing model serialises dependent accesses, which is what
+            keeps consumption MLP near 1 in the commercial workloads.
+    """
+
+    node: NodeId
+    address: BlockAddress
+    access_type: AccessType
+    pc: int = 0
+    timestamp: int = 0
+    dependent: bool = False
+
+    @property
+    def is_read(self) -> bool:
+        return self.access_type.is_read
+
+    @property
+    def is_write(self) -> bool:
+        return self.access_type.is_write
+
+    @property
+    def is_spin(self) -> bool:
+        return self.access_type.is_spin
+
+
+class MissClass(enum.Enum):
+    """Classification of a read access by the coherence substrate."""
+
+    HIT = "hit"
+    COLD_MISS = "cold"
+    CAPACITY_MISS = "capacity"
+    #: Coherent read miss: another node produced the block since this node
+    #: last held it.  These are the "consumptions" that TSE targets.
+    COHERENT_READ_MISS = "coherent_read"
+    #: Coherence miss that is part of a spin; excluded from consumptions.
+    SPIN_COHERENT_MISS = "spin_coherent"
+    #: Upgrade / write misses (handled by relaxed consistency in the paper).
+    WRITE_MISS = "write"
+
+
+@dataclass
+class Consumption:
+    """A coherent read miss that TSE may target.
+
+    Attributes:
+        node: Consuming node.
+        address: Block address missed on.
+        index: Position of this consumption in the node's consumption order
+            (i.e., its CMOB slot if recorded).
+        global_index: Position in the system-wide interleaved access trace,
+            used to reason about inter-node recency.
+        timestamp: Per-node logical time of the access.
+        producer: Node that last wrote the block (the "owner" the data comes
+            from), when known.
+    """
+
+    node: NodeId
+    address: BlockAddress
+    index: int
+    global_index: int
+    timestamp: int = 0
+    producer: Optional[NodeId] = None
+
+
+@dataclass
+class AccessTrace:
+    """An ordered, interleaved multi-node trace of shared-memory accesses.
+
+    The trace preserves the global interleaving produced by the workload
+    generator (round-robin quanta by default) which the coherence simulator
+    uses to determine produce/consume relationships between nodes.
+    """
+
+    accesses: List[MemoryAccess] = field(default_factory=list)
+    num_nodes: int = 1
+    name: str = "trace"
+
+    def append(self, access: MemoryAccess) -> None:
+        if access.node < 0 or access.node >= self.num_nodes:
+            raise ValueError(
+                f"access node {access.node} outside [0, {self.num_nodes})"
+            )
+        self.accesses.append(access)
+
+    def extend(self, accesses: Iterable[MemoryAccess]) -> None:
+        for access in accesses:
+            self.append(access)
+
+    def __len__(self) -> int:
+        return len(self.accesses)
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        return iter(self.accesses)
+
+    def __getitem__(self, idx: int) -> MemoryAccess:
+        return self.accesses[idx]
+
+    def per_node(self) -> List[List[MemoryAccess]]:
+        """Split the interleaved trace into per-node access sequences."""
+        buckets: List[List[MemoryAccess]] = [[] for _ in range(self.num_nodes)]
+        for access in self.accesses:
+            buckets[access.node].append(access)
+        return buckets
+
+    def footprint(self) -> int:
+        """Number of distinct block addresses touched by the trace."""
+        return len({a.address for a in self.accesses})

@@ -1,0 +1,70 @@
+"""Figure 11 and Section 5.4: TSE bandwidth overheads.
+
+Per workload: the interconnect bisection bandwidth consumed by TSE overhead
+traffic (GB/s), the ratio of overhead traffic to baseline traffic (the
+annotation above each bar), the fraction of the machine's peak bisection
+bandwidth, and the processor pin-bandwidth overhead of recording the CMOB.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.analysis.bandwidth import bandwidth_overhead
+from repro.common.config import SystemConfig, PAPER_LOOKAHEAD, TSEConfig
+from repro.experiments.runner import (
+    DEFAULT_TARGET_ACCESSES,
+    DEFAULT_WARMUP_FRACTION,
+    WORKLOADS,
+    format_table,
+    trace_for,
+)
+from repro.tse.simulator import TSESimulator
+
+
+def run(
+    workloads: Sequence[str] = WORKLOADS,
+    target_accesses: int = DEFAULT_TARGET_ACCESSES,
+    seed: int = 42,
+) -> List[Dict[str, object]]:
+    """One row per workload with the Figure 11 bar and annotations."""
+    system = SystemConfig.isca2005()
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        trace = trace_for(workload, target_accesses, seed)
+        lookahead = PAPER_LOOKAHEAD.get(workload, 8)
+        config = TSEConfig.paper_default(lookahead=lookahead)
+        simulator = TSESimulator(
+            trace.num_nodes,
+            tse_config=config,
+            account_traffic=True,
+            interconnect_config=system.interconnect,
+        )
+        stats = simulator.run(trace, warmup_fraction=DEFAULT_WARMUP_FRACTION)
+        result = bandwidth_overhead(stats, trace, system)
+        rows.append(
+            {
+                "workload": workload,
+                "overhead_gbps": result.overhead_bandwidth_gbps,
+                "overhead_ratio": result.overhead_ratio,
+                "fraction_of_peak": result.fraction_of_peak,
+                "pin_overhead": result.pin_overhead_ratio,
+                "coverage": stats.coverage,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Figure 11: interconnect bisection bandwidth overhead (plus Section 5.4 pin overhead)")
+    print(
+        format_table(
+            rows,
+            ["workload", "overhead_gbps", "overhead_ratio", "fraction_of_peak", "pin_overhead"],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

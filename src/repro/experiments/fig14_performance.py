@@ -1,0 +1,72 @@
+"""Figure 14: performance improvement from TSE.
+
+Left panel: execution-time breakdown (busy / other stalls / coherent-read
+stalls) for the base system and for TSE, both normalized to the base
+system's time.  Right panel: TSE speedup over the base system.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from repro.common.config import PAPER_LOOKAHEAD, SystemConfig, TSEConfig
+from repro.experiments.runner import (
+    DEFAULT_TARGET_ACCESSES,
+    WORKLOADS,
+    format_table,
+    trace_for,
+)
+from repro.system.timing import TimingSimulator
+
+
+def run(
+    workloads: Sequence[str] = WORKLOADS,
+    target_accesses: int = DEFAULT_TARGET_ACCESSES,
+    seed: int = 42,
+) -> List[Dict[str, object]]:
+    """One row per workload: normalized breakdowns for base and TSE + speedup."""
+    system = SystemConfig.isca2005()
+    rows: List[Dict[str, object]] = []
+    for workload in workloads:
+        trace = trace_for(workload, target_accesses, seed)
+        lookahead = PAPER_LOOKAHEAD.get(workload, 8)
+        config = TSEConfig.paper_default(lookahead=lookahead)
+        comparison = TimingSimulator(system, config).compare(trace)
+        breakdowns = comparison.normalized_breakdowns()
+        rows.append(
+            {
+                "workload": workload,
+                "base_busy": breakdowns["base"]["busy"],
+                "base_other": breakdowns["base"]["other_stalls"],
+                "base_coherent": breakdowns["base"]["coherent_read_stalls"],
+                "tse_busy": breakdowns["tse"]["busy"],
+                "tse_other": breakdowns["tse"]["other_stalls"],
+                "tse_coherent": breakdowns["tse"]["coherent_read_stalls"],
+                "speedup": comparison.speedup,
+            }
+        )
+    return rows
+
+
+def main() -> None:
+    rows = run()
+    print("Figure 14: execution-time breakdown and TSE speedup")
+    print(
+        format_table(
+            rows,
+            [
+                "workload",
+                "base_busy",
+                "base_other",
+                "base_coherent",
+                "tse_busy",
+                "tse_other",
+                "tse_coherent",
+                "speedup",
+            ],
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Shared experiment plumbing: trace generation/caching and table printing."""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Dict, Iterable, List, Sequence
+
+from repro.common.types import AccessTrace
+from repro.workloads import ALL_WORKLOADS, get_workload
+from repro.workloads.base import WorkloadParams
+
+#: The paper's seven workloads, in paper order.
+WORKLOADS: Sequence[str] = ALL_WORKLOADS
+
+#: Default per-workload trace size for experiments.  Large enough that the
+#: warm-up transient is a small fraction of the measurement; scale up for
+#: higher-fidelity runs.
+DEFAULT_TARGET_ACCESSES = 150_000
+
+#: Fraction of each trace treated as warm-up (caches, CMOBs, directory
+#: pointers), mirroring the paper's warming methodology.
+DEFAULT_WARMUP_FRACTION = 0.3
+
+
+@lru_cache(maxsize=32)
+def trace_for(
+    workload: str,
+    target_accesses: int = DEFAULT_TARGET_ACCESSES,
+    seed: int = 42,
+    num_nodes: int = 16,
+) -> AccessTrace:
+    """Generate (and cache) the trace for one workload.
+
+    Traces are deterministic in (workload, target_accesses, seed, num_nodes),
+    so caching them lets one experiment sweep many TSE configurations without
+    regenerating the workload each time.
+    """
+    params = WorkloadParams(
+        num_nodes=num_nodes, seed=seed, target_accesses=target_accesses
+    )
+    return get_workload(workload, params).generate()
+
+
+def format_table(rows: Iterable[Dict[str, object]], columns: Sequence[str]) -> str:
+    """Render result rows as an aligned text table (the experiments' output)."""
+    rows = list(rows)
+    widths = {col: len(col) for col in columns}
+    rendered: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                text = f"{value:.3f}"
+            else:
+                text = str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        rendered.append(cells)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    separator = "  ".join("-" * widths[col] for col in columns)
+    lines = [header, separator]
+    for cells in rendered:
+        lines.append("  ".join(cell.ljust(widths[col]) for cell, col in zip(cells, columns)))
+    return "\n".join(lines)

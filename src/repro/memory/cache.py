@@ -1,0 +1,234 @@
+"""Set-associative cache model.
+
+The cache is a *tag store only*: block contents are never simulated because
+the reproduction reasons about addresses, hits and misses.  Lines carry a
+MESI-like state so the coherence substrate can track ownership, and the cache
+reports evictions so inclusive hierarchies and directory state stay in sync.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.common.config import CacheConfig
+from repro.common.stats import StatsRegistry
+from repro.common.types import BlockAddress
+from repro.memory.replacement import LRUPolicy, ReplacementPolicy
+
+
+class LineState(enum.Enum):
+    """MESI line states (the directory protocol maps onto these)."""
+
+    INVALID = "I"
+    SHARED = "S"
+    EXCLUSIVE = "E"
+    MODIFIED = "M"
+
+    @property
+    def is_valid(self) -> bool:
+        return self is not LineState.INVALID
+
+    @property
+    def can_write(self) -> bool:
+        return self in (LineState.EXCLUSIVE, LineState.MODIFIED)
+
+
+@dataclass
+class CacheLine:
+    """One tag-store entry."""
+
+    address: BlockAddress
+    state: LineState = LineState.INVALID
+    dirty: bool = False
+
+    @property
+    def valid(self) -> bool:
+        return self.state.is_valid
+
+
+@dataclass
+class Eviction:
+    """Describes a block displaced by a fill."""
+
+    address: BlockAddress
+    state: LineState
+    dirty: bool
+
+
+class Cache:
+    """A set-associative, write-back, allocate-on-miss cache.
+
+    The cache exposes a small functional API:
+
+    * :meth:`lookup` — probe without side effects.
+    * :meth:`access` — probe and update recency; returns hit/miss.
+    * :meth:`fill` — insert a block, possibly evicting another.
+    * :meth:`invalidate` / :meth:`downgrade` — coherence actions.
+    """
+
+    def __init__(
+        self,
+        config: CacheConfig,
+        name: str = "cache",
+        policy: Optional[ReplacementPolicy] = None,
+    ) -> None:
+        self.config = config
+        self.name = name
+        self.policy = policy if policy is not None else LRUPolicy()
+        self.stats = StatsRegistry(prefix=name)
+        self._num_sets = config.num_sets
+        self._ways = config.associativity
+        # sets[set_index][way] -> CacheLine or None
+        self._sets: List[List[Optional[CacheLine]]] = [
+            [None] * self._ways for _ in range(self._num_sets)
+        ]
+        # address -> (set_index, way) for O(1) probes
+        self._index: Dict[BlockAddress, Tuple[int, int]] = {}
+
+    # -- geometry -----------------------------------------------------------
+    def set_index_of(self, address: BlockAddress) -> int:
+        """Map a block address to its set."""
+        return address % self._num_sets
+
+    @property
+    def capacity_blocks(self) -> int:
+        return self.config.num_blocks
+
+    def occupancy(self) -> int:
+        """Number of valid lines currently resident."""
+        return len(self._index)
+
+    # -- probes ---------------------------------------------------------------
+    def lookup(self, address: BlockAddress) -> Optional[CacheLine]:
+        """Return the resident line for ``address`` without updating recency."""
+        loc = self._index.get(address)
+        if loc is None:
+            return None
+        set_index, way = loc
+        line = self._sets[set_index][way]
+        if line is None or not line.valid:
+            return None
+        return line
+
+    def contains(self, address: BlockAddress) -> bool:
+        return self.lookup(address) is not None
+
+    def access(self, address: BlockAddress, write: bool = False) -> bool:
+        """Probe for ``address``; update recency and dirty bit on a hit.
+
+        Returns True on hit.  A write hit on a non-writable (SHARED) line
+        still returns True here; the coherence layer is responsible for
+        issuing the upgrade — the cache only tracks residency.
+        """
+        loc = self._index.get(address)
+        if loc is None:
+            self.stats.counter("misses").increment()
+            return False
+        set_index, way = loc
+        line = self._sets[set_index][way]
+        if line is None or not line.valid:
+            self.stats.counter("misses").increment()
+            return False
+        self.policy.on_access(set_index, way)
+        if write:
+            line.dirty = True
+            if line.state is LineState.EXCLUSIVE:
+                line.state = LineState.MODIFIED
+        self.stats.counter("hits").increment()
+        return True
+
+    # -- fills and evictions --------------------------------------------------
+    def fill(self, address: BlockAddress, state: LineState = LineState.SHARED) -> Optional[Eviction]:
+        """Insert ``address``; return the eviction it caused, if any."""
+        if not state.is_valid:
+            raise ValueError("cannot fill a line in INVALID state")
+        existing = self._index.get(address)
+        if existing is not None:
+            set_index, way = existing
+            line = self._sets[set_index][way]
+            assert line is not None
+            line.state = state
+            self.policy.on_access(set_index, way)
+            return None
+
+        set_index = self.set_index_of(address)
+        ways = self._sets[set_index]
+        victim_eviction: Optional[Eviction] = None
+
+        # Prefer an empty / invalid way.
+        way = next(
+            (i for i, line in enumerate(ways) if line is None or not line.valid), None
+        )
+        if way is None:
+            occupied = list(range(self._ways))
+            way = self.policy.victim(set_index, occupied)
+            victim_line = ways[way]
+            assert victim_line is not None
+            victim_eviction = Eviction(
+                address=victim_line.address,
+                state=victim_line.state,
+                dirty=victim_line.dirty,
+            )
+            del self._index[victim_line.address]
+            self.stats.counter("evictions").increment()
+            if victim_line.dirty:
+                self.stats.counter("writebacks").increment()
+
+        ways[way] = CacheLine(address=address, state=state, dirty=state is LineState.MODIFIED)
+        self._index[address] = (set_index, way)
+        self.policy.on_fill(set_index, way)
+        self.stats.counter("fills").increment()
+        return victim_eviction
+
+    # -- coherence actions ------------------------------------------------------
+    def invalidate(self, address: BlockAddress) -> bool:
+        """Remove ``address`` from the cache; returns True if it was present."""
+        loc = self._index.get(address)
+        if loc is None:
+            return False
+        set_index, way = loc
+        line = self._sets[set_index][way]
+        assert line is not None
+        line.state = LineState.INVALID
+        line.dirty = False
+        del self._index[address]
+        self.policy.on_invalidate(set_index, way)
+        self.stats.counter("invalidations").increment()
+        return True
+
+    def downgrade(self, address: BlockAddress) -> bool:
+        """Transition a writable line to SHARED (on a remote read)."""
+        line = self.lookup(address)
+        if line is None:
+            return False
+        if line.state.can_write:
+            line.state = LineState.SHARED
+            line.dirty = False
+            self.stats.counter("downgrades").increment()
+        return True
+
+    def upgrade(self, address: BlockAddress) -> bool:
+        """Transition a SHARED line to MODIFIED (local write after upgrade)."""
+        line = self.lookup(address)
+        if line is None:
+            return False
+        line.state = LineState.MODIFIED
+        line.dirty = True
+        return True
+
+    # -- iteration ----------------------------------------------------------------
+    def resident_blocks(self) -> Iterator[BlockAddress]:
+        """Iterate over every valid block address currently resident."""
+        return iter(list(self._index.keys()))
+
+    def state_of(self, address: BlockAddress) -> LineState:
+        line = self.lookup(address)
+        return line.state if line is not None else LineState.INVALID
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.name}, {self.config.size_bytes // 1024}KB, "
+            f"{self._ways}-way, {self.occupancy()}/{self.capacity_blocks} blocks)"
+        )

@@ -1,0 +1,57 @@
+"""Main-memory model: banked DRAM with a fixed access latency.
+
+The paper's memory is 60 ns with 64 banks per node (Table 1).  The timing
+model charges the access latency plus a simple bank-conflict penalty when
+too many concurrent accesses map to the same bank.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.common.config import MemoryConfig
+from repro.common.stats import StatsRegistry
+from repro.common.types import BlockAddress
+
+
+class MainMemory:
+    """Per-node main memory with bank-level occupancy tracking.
+
+    The model is intentionally simple: each bank can start one access per
+    ``access_latency_ns`` window; an access that finds its bank busy waits for
+    the bank's previous access to complete.  This captures the first-order
+    effect that bursty access patterns (e.g. ocean's communication bursts)
+    see queueing at the memory, without a full DRAM timing model.
+    """
+
+    def __init__(self, config: MemoryConfig, node_id: int = 0) -> None:
+        self.config = config
+        self.node_id = node_id
+        self.stats = StatsRegistry(prefix=f"memory{node_id}")
+        #: Next time each bank becomes free, in ns.
+        self._bank_free_at: Dict[int, float] = {}
+
+    def bank_of(self, address: BlockAddress) -> int:
+        """Map a block address to a bank (low-order interleaving)."""
+        return address % self.config.banks_per_node
+
+    def access_latency(self, address: BlockAddress, now_ns: float) -> float:
+        """Latency (ns) for an access to ``address`` starting at ``now_ns``.
+
+        Includes queueing delay if the target bank is busy, and marks the bank
+        busy for the duration of the access.
+        """
+        bank = self.bank_of(address)
+        free_at = self._bank_free_at.get(bank, 0.0)
+        start = max(now_ns, free_at)
+        queue_delay = start - now_ns
+        finish = start + self.config.access_latency_ns
+        self._bank_free_at[bank] = finish
+        self.stats.counter("accesses").increment()
+        if queue_delay > 0:
+            self.stats.counter("bank_conflicts").increment()
+        self.stats.histogram("queue_delay_ns").record(int(queue_delay))
+        return finish - now_ns
+
+    def reset(self) -> None:
+        self._bank_free_at.clear()

@@ -1,0 +1,90 @@
+"""Cache replacement policies.
+
+The paper's caches are LRU; a random policy is provided for ablations.
+Policies operate on per-set way indices so the cache stays policy-agnostic.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Optional
+
+from repro.common.rng import DeterministicRNG
+
+
+class ReplacementPolicy(abc.ABC):
+    """Interface for per-set replacement decisions."""
+
+    @abc.abstractmethod
+    def on_access(self, set_index: int, way: int) -> None:
+        """Record that ``way`` in ``set_index`` was accessed (hit or fill)."""
+
+    @abc.abstractmethod
+    def on_fill(self, set_index: int, way: int) -> None:
+        """Record that ``way`` in ``set_index`` was filled with a new block."""
+
+    @abc.abstractmethod
+    def victim(self, set_index: int, occupied_ways: List[int]) -> int:
+        """Choose the way to evict among ``occupied_ways`` (all ways full)."""
+
+    @abc.abstractmethod
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        """Record that ``way`` was invalidated (becomes preferred victim)."""
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used replacement.
+
+    Maintains a per-set recency list; the head is most-recently used.
+    """
+
+    def __init__(self) -> None:
+        self._recency: Dict[int, List[int]] = {}
+
+    def _stack(self, set_index: int) -> List[int]:
+        return self._recency.setdefault(set_index, [])
+
+    def on_access(self, set_index: int, way: int) -> None:
+        stack = self._stack(set_index)
+        if way in stack:
+            stack.remove(way)
+        stack.insert(0, way)
+
+    def on_fill(self, set_index: int, way: int) -> None:
+        self.on_access(set_index, way)
+
+    def on_invalidate(self, set_index: int, way: int) -> None:
+        stack = self._stack(set_index)
+        if way in stack:
+            stack.remove(way)
+            stack.append(way)  # invalidated ways become LRU
+
+    def victim(self, set_index: int, occupied_ways: List[int]) -> int:
+        stack = self._stack(set_index)
+        # Ways never touched are preferred victims, then the LRU tail.
+        untouched = [w for w in occupied_ways if w not in stack]
+        if untouched:
+            return untouched[0]
+        for way in reversed(stack):
+            if way in occupied_ways:
+                return way
+        return occupied_ways[0]
+
+
+class RandomPolicy(ReplacementPolicy):
+    """Random replacement, for ablation against LRU."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self._rng = DeterministicRNG(seed)
+
+    def on_access(self, set_index: int, way: int) -> None:  # noqa: D102 - stateless
+        pass
+
+    def on_fill(self, set_index: int, way: int) -> None:  # noqa: D102 - stateless
+        pass
+
+    def on_invalidate(self, set_index: int, way: int) -> None:  # noqa: D102 - stateless
+        pass
+
+    def victim(self, set_index: int, occupied_ways: List[int]) -> int:
+        return self._rng.choice(occupied_ways)

@@ -1,0 +1,29 @@
+"""Baseline prefetchers used in the paper's competitive comparison (Figure 12).
+
+* :mod:`repro.prefetch.stride` — an adaptive stride stream-buffer prefetcher
+  (the kind shipped in commercial processors of the era).
+* :mod:`repro.prefetch.ghb` — the Global History Buffer prefetcher of Nesbit
+  and Smith, in its global/distance-correlating (G/DC) and global/address-
+  correlating (G/AC) variants.
+* :mod:`repro.prefetch.harness` — a trace-driven evaluation harness that runs
+  any of the baselines (or TSE, through its own simulator) over the same
+  consumption streams and reports coverage and discards.
+
+Per the paper's methodology, the baselines train and predict only on
+consumptions (coherent read misses), and prefetched blocks are stored in a
+small buffer identical in size to TSE's SVB.
+"""
+
+from repro.prefetch.base import Prefetcher, PrefetchBuffer
+from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.ghb import GHBPrefetcher
+from repro.prefetch.harness import PrefetcherStats, evaluate_prefetcher
+
+__all__ = [
+    "Prefetcher",
+    "PrefetchBuffer",
+    "StridePrefetcher",
+    "GHBPrefetcher",
+    "PrefetcherStats",
+    "evaluate_prefetcher",
+]

@@ -1,0 +1,6 @@
+"""System-level simulators: the DSM facade and the timing model."""
+
+from repro.system.timing import TimingResult, TimingSimulator
+from repro.system.dsm import DSMSystem, SystemComparison
+
+__all__ = ["TimingSimulator", "TimingResult", "DSMSystem", "SystemComparison"]

@@ -1,0 +1,39 @@
+"""The Temporal Streaming Engine (TSE) — the paper's core contribution.
+
+Components (Section 3 of the paper):
+
+* :mod:`repro.tse.cmob` — the Coherence Miss Order Buffer, a large circular
+  buffer in each node's main memory recording the node's coherent-read-miss
+  order.
+* :mod:`repro.tse.svb` — the Streamed Value Buffer, a small fully-associative
+  buffer holding streamed blocks until the processor consumes them.
+* :mod:`repro.tse.stream_queue` — a group of FIFOs holding candidate streams
+  with a common head, compared element-by-element to gauge accuracy.
+* :mod:`repro.tse.stream_engine` — per-node engine that manages stream
+  queues, fetches blocks with bounded lookahead, and reacts to SVB hits,
+  misses and invalidations.
+* :mod:`repro.tse.engine` — the per-node TSE controller plus the system-level
+  glue (directory CMOB pointers, stream request/forward protocol).
+* :mod:`repro.tse.simulator` — functional trace-driven simulation of a whole
+  DSM with TSE, producing coverage / discard / traffic statistics.
+"""
+
+from repro.tse.cmob import CMOB
+from repro.tse.svb import StreamedValueBuffer, SVBEntry
+from repro.tse.stream_queue import StreamQueue, QueueState
+from repro.tse.stream_engine import StreamEngine
+from repro.tse.engine import NodeTSE, TemporalStreamingSystem
+from repro.tse.simulator import TSESimulator, TSEStats
+
+__all__ = [
+    "CMOB",
+    "StreamedValueBuffer",
+    "SVBEntry",
+    "StreamQueue",
+    "QueueState",
+    "StreamEngine",
+    "NodeTSE",
+    "TemporalStreamingSystem",
+    "TSESimulator",
+    "TSEStats",
+]

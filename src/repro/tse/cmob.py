@@ -1,0 +1,113 @@
+"""Coherence Miss Order Buffer (CMOB).
+
+Each node appends the addresses of its coherent read misses (and of useful
+streamed blocks, which replace misses one-for-one) to a large circular buffer
+held in a private region of main memory (Section 3.1).  The directory stores,
+for each block, pointers into the CMOBs of its most recent consumers; on a
+subsequent miss those pointers let TSE read the sub-sequence that followed
+the block last time — the candidate stream.
+
+Offsets handed out by :meth:`CMOB.append` are *monotonic append counts*, not
+physical slot indices, so stale pointers (overwritten after wrap-around) are
+detected rather than silently returning unrelated addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.common.stats import StatsRegistry
+from repro.common.types import BlockAddress, NodeId
+
+
+class CMOB:
+    """A fixed-capacity circular buffer of block addresses with monotonic offsets."""
+
+    def __init__(self, capacity: int, node_id: NodeId = 0, entry_bytes: int = 6) -> None:
+        if capacity <= 0:
+            raise ValueError("CMOB capacity must be positive")
+        self.capacity = capacity
+        self.node_id = node_id
+        self.entry_bytes = entry_bytes
+        self.stats = StatsRegistry(prefix=f"cmob.n{node_id}")
+        self._slots: List[Optional[BlockAddress]] = [None] * capacity
+        #: Total number of appends ever performed; the next append gets this offset.
+        self._appended = 0
+
+    # ------------------------------------------------------------------ append
+    def append(self, address: BlockAddress) -> int:
+        """Append a miss address; return its monotonic offset.
+
+        The offset is what the node sends to the directory as the CMOB
+        pointer for this block (Section 3.1 step 4).
+        """
+        offset = self._appended
+        self._slots[offset % self.capacity] = address
+        self._appended += 1
+        self.stats.counter("appends").increment()
+        return offset
+
+    @property
+    def appended(self) -> int:
+        """Total number of entries ever appended."""
+        return self._appended
+
+    @property
+    def oldest_valid_offset(self) -> int:
+        """Smallest monotonic offset still resident (not yet overwritten)."""
+        return max(0, self._appended - self.capacity)
+
+    def __len__(self) -> int:
+        """Number of entries currently resident."""
+        return min(self._appended, self.capacity)
+
+    # -------------------------------------------------------------------- reads
+    def is_valid_offset(self, offset: int) -> bool:
+        """Is the entry at ``offset`` still resident (not overwritten, not future)?"""
+        return self.oldest_valid_offset <= offset < self._appended
+
+    def read(self, offset: int) -> Optional[BlockAddress]:
+        """Read the entry at a monotonic offset; None if stale or out of range."""
+        if not self.is_valid_offset(offset):
+            return None
+        return self._slots[offset % self.capacity]
+
+    def read_stream(self, start_offset: int, count: int) -> List[BlockAddress]:
+        """Read up to ``count`` addresses starting at ``start_offset``.
+
+        This models the protocol controller reading a stream of subsequent
+        addresses from the CMOB (Section 3.2 step 3).  The returned list may
+        be shorter than ``count`` when the order ends or the start is stale.
+        """
+        if count <= 0:
+            return []
+        self.stats.counter("stream_reads").increment()
+        addresses: List[BlockAddress] = []
+        offset = start_offset
+        end = self._appended
+        while offset < end and len(addresses) < count:
+            if not self.is_valid_offset(offset):
+                break
+            value = self._slots[offset % self.capacity]
+            if value is not None:
+                addresses.append(value)
+            offset += 1
+        self.stats.counter("addresses_streamed").increment(len(addresses))
+        return addresses
+
+    # ---------------------------------------------------------------- reporting
+    @property
+    def storage_bytes(self) -> int:
+        """Physical storage footprint of the CMOB in bytes."""
+        return self.capacity * self.entry_bytes
+
+    def utilization(self) -> float:
+        """Fraction of the CMOB currently holding live entries."""
+        return len(self) / self.capacity
+
+    def __repr__(self) -> str:
+        return (
+            f"CMOB(node={self.node_id}, capacity={self.capacity}, "
+            f"appended={self._appended})"
+        )

@@ -1,0 +1,270 @@
+"""TSE system glue: per-node controllers plus the record / locate / forward protocol.
+
+``NodeTSE`` bundles the per-node hardware the paper adds (CMOB + stream
+engine + SVB).  ``TemporalStreamingSystem`` implements the three system-level
+capabilities of Section 2:
+
+1. *Recording the order* — consumptions (and useful streamed blocks) are
+   appended to the consuming node's CMOB and the new CMOB pointer is sent to
+   the block's home directory (Figure 3).
+2. *Finding and forwarding streams* — on a consumption, the directory's CMOB
+   pointers identify recent consumers; each source node reads the subsequent
+   addresses from its CMOB and forwards the address stream to the requester
+   (Figure 4).
+3. *Streaming data* — the requesting node's stream engine compares the
+   candidate streams and retrieves blocks into its SVB with bounded
+   lookahead, matching the consumption rate (Section 3.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.common.config import TSEConfig
+from repro.common.stats import StatsRegistry
+from repro.common.types import BlockAddress, NodeId
+from repro.coherence.directory import Directory
+from repro.coherence.messages import CoherenceMessage, MessageType
+from repro.tse.cmob import CMOB
+from repro.tse.stream_engine import FetchRequest, StreamEngine
+from repro.tse.stream_queue import RefillRequest, StreamSource
+
+
+@dataclass
+class StreamDelivery:
+    """Everything that happened in response to one consumption."""
+
+    queue_id: int
+    fetches: List[FetchRequest] = field(default_factory=list)
+    messages: List[CoherenceMessage] = field(default_factory=list)
+
+
+class NodeTSE:
+    """Per-node TSE hardware: the CMOB and the stream engine (with its SVB)."""
+
+    def __init__(self, config: TSEConfig, node_id: NodeId) -> None:
+        self.config = config
+        self.node_id = node_id
+        self.cmob = CMOB(config.cmob_capacity, node_id=node_id,
+                         entry_bytes=config.cmob_entry_bytes)
+        self.engine = StreamEngine(config, node_id=node_id)
+
+    def record_order(self, address: BlockAddress) -> int:
+        """Append a consumption (or useful streamed hit) to the CMOB."""
+        return self.cmob.append(address)
+
+    def read_stream(self, start_offset: int, count: int) -> List[BlockAddress]:
+        """Serve a stream request against this node's CMOB."""
+        return self.cmob.read_stream(start_offset, count)
+
+
+class TemporalStreamingSystem:
+    """System-wide TSE: all node controllers plus the directory extension.
+
+    The class is *functional*: it decides which blocks get streamed where and
+    emits the corresponding messages, but charges no latency — the timing
+    model layers latency on top, and the trace-driven simulator uses it
+    directly for coverage/discard studies.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        config: TSEConfig,
+        directory: Directory,
+        message_sink: Optional[Callable[[CoherenceMessage], None]] = None,
+    ) -> None:
+        if directory.cmob_pointers_per_block < config.compared_streams:
+            # The directory must retain at least as many pointers as the
+            # engine wants to compare.
+            directory.cmob_pointers_per_block = config.compared_streams
+        self.num_nodes = num_nodes
+        self.config = config
+        self.directory = directory
+        self.nodes = [NodeTSE(config, node_id=i) for i in range(num_nodes)]
+        self.stats = StatsRegistry(prefix="tse")
+        self._message_sink = message_sink
+
+    # ------------------------------------------------------------------ helpers
+    def _emit(self, message: CoherenceMessage) -> None:
+        if self._message_sink is not None:
+            self._message_sink(message)
+
+    def node(self, node_id: NodeId) -> NodeTSE:
+        return self.nodes[node_id]
+
+    def svb_probe(self, node_id: NodeId, address: BlockAddress) -> bool:
+        """Does the node's SVB currently hold the block? (no side effects)"""
+        return self.nodes[node_id].engine.lookup(address) is not None
+
+    # --------------------------------------------------------------- recording
+    def _record_and_update_pointer(self, node_id: NodeId, address: BlockAddress) -> int:
+        """Record the order and push the CMOB pointer to the home directory."""
+        offset = self.nodes[node_id].record_order(address)
+        self.directory.record_cmob_pointer(address, node_id, offset)
+        home = self.directory.home_of(address)
+        self._emit(
+            CoherenceMessage(MessageType.CMOB_POINTER_UPDATE, node_id, home, address)
+        )
+        self.stats.counter("cmob_appends").increment()
+        return offset
+
+    # ------------------------------------------------------------ consumptions
+    def on_consumption(self, node_id: NodeId, address: BlockAddress) -> StreamDelivery:
+        """A coherent read miss (consumption) occurred at ``node_id``.
+
+        Performs, in order: stall resolution against the miss address,
+        stream location through the directory's CMOB pointers, stream
+        forwarding from the source CMOBs, stream-queue allocation and the
+        initial block fetches, and finally the CMOB append + pointer update
+        for the miss itself.
+        """
+        engine = self.nodes[node_id].engine
+        delivery = StreamDelivery(queue_id=-1)
+
+        # (0) The miss may confirm a stalled stream or realign an active one.
+        delivery.fetches.extend(engine.on_offchip_miss(address))
+
+        # (1) Locate candidate streams via the directory (Figure 4, step 2).
+        pointers = self.directory.cmob_pointers(address)[: self.config.compared_streams]
+        home = self.directory.home_of(address)
+        streams: List[Tuple[StreamSource, List[BlockAddress]]] = []
+        for pointer in pointers:
+            source_node = self.nodes[pointer.node]
+            # The stream starts *after* the head (its data already came via
+            # the baseline coherence reply).
+            start = pointer.offset + 1
+            addresses = source_node.read_stream(start, self.config.queue_depth)
+            self._emit(
+                CoherenceMessage(MessageType.STREAM_REQUEST, home, pointer.node, address)
+            )
+            if not addresses:
+                continue
+            self._emit(
+                CoherenceMessage(
+                    MessageType.ADDRESS_STREAM,
+                    pointer.node,
+                    node_id,
+                    address,
+                    num_addresses=len(addresses),
+                )
+            )
+            streams.append(
+                (StreamSource(node=pointer.node, next_offset=start + len(addresses)), addresses)
+            )
+            self.stats.counter("streams_forwarded").increment()
+
+        # (2) Hand the streams to the consumer's engine (Figure 4, step 4).
+        if streams:
+            queue_id, fetches = engine.accept_streams(address, streams)
+            delivery.queue_id = queue_id
+            delivery.fetches.extend(fetches)
+        else:
+            self.stats.counter("no_stream_found").increment()
+
+        # (3) Record the miss in the consumer's CMOB (Figure 3, steps 3-4).
+        self._record_and_update_pointer(node_id, address)
+
+        # (4) Service any refills that the new fetches made necessary.
+        delivery.fetches.extend(self._service_refills(node_id))
+        return delivery
+
+    # ----------------------------------------------------------------- SVB hits
+    def on_svb_hit(self, node_id: NodeId, address: BlockAddress):
+        """The processor's access hit in the SVB.
+
+        The entry moves to the L1 (the caller updates cache/protocol state),
+        the stream engine retrieves a subsequent block from the same queue,
+        and the hit is recorded in the CMOB because it replaces the coherent
+        read miss that would have occurred without TSE (Section 3.1).
+
+        Returns ``(entry, follow_on_fetches)``.
+        """
+        engine = self.nodes[node_id].engine
+        entry, fetches = engine.on_svb_hit(address)
+        if entry is None:
+            return None, []
+        self.stats.counter("svb_hits").increment()
+        self._record_and_update_pointer(node_id, address)
+        fetches.extend(self._service_refills(node_id))
+        return entry, fetches
+
+    # ------------------------------------------------------------------ writes
+    def on_write(self, writer: NodeId, address: BlockAddress) -> int:
+        """A write by any node invalidates matching SVB entries system-wide.
+
+        Returns the number of entries invalidated (each is a discard).
+        """
+        invalidated = 0
+        for node in self.nodes:
+            entry = node.engine.on_invalidate(address)
+            if entry is not None:
+                invalidated += 1
+        if invalidated:
+            self.stats.counter("svb_invalidations").increment(invalidated)
+        return invalidated
+
+    # ----------------------------------------------------------------- refills
+    def _service_refills(self, node_id: NodeId) -> List[FetchRequest]:
+        """Serve pending CMOB refill requests for a node's stream queues."""
+        engine = self.nodes[node_id].engine
+        fetches: List[FetchRequest] = []
+        for refill in engine.pending_refills():
+            source = self.nodes[refill.source.node]
+            addresses = source.read_stream(refill.source.next_offset, refill.count)
+            self._emit(
+                CoherenceMessage(
+                    MessageType.STREAM_REQUEST, node_id, refill.source.node, 0
+                )
+            )
+            if addresses:
+                self._emit(
+                    CoherenceMessage(
+                        MessageType.ADDRESS_STREAM,
+                        refill.source.node,
+                        node_id,
+                        0,
+                        num_addresses=len(addresses),
+                    )
+                )
+            new_next = refill.source.next_offset + len(addresses)
+            fetches.extend(engine.apply_refill(refill, addresses, new_next))
+            self.stats.counter("refills_serviced").increment()
+        return fetches
+
+    # ----------------------------------------------------------- data streaming
+    def deliver_block(
+        self,
+        node_id: NodeId,
+        fetch: FetchRequest,
+        producer: Optional[NodeId] = None,
+        fill_time: float = 0.0,
+        version: int = 0,
+    ) -> Optional[object]:
+        """Stream one data block into the consumer's SVB.
+
+        Emits the streamed-data request/reply messages and returns the SVB
+        entry displaced by the fill (if any) so the caller can count the
+        discard.
+        """
+        home = self.directory.home_of(fetch.address)
+        source = producer if producer is not None else home
+        self._emit(
+            CoherenceMessage(MessageType.STREAMED_DATA_REQUEST, node_id, home, fetch.address)
+        )
+        self._emit(
+            CoherenceMessage(MessageType.STREAMED_DATA_REPLY, source, node_id, fetch.address)
+        )
+        self.stats.counter("blocks_streamed").increment()
+        return self.nodes[node_id].engine.install_block(
+            fetch.address, fetch.queue_id, fill_time=fill_time, version=version
+        )
+
+    # -------------------------------------------------------------- end of run
+    def drain(self) -> Dict[NodeId, int]:
+        """Flush every SVB; returns per-node counts of unconsumed (discarded) blocks."""
+        leftovers: Dict[NodeId, int] = {}
+        for node in self.nodes:
+            leftovers[node.node_id] = len(node.engine.drain())
+        return leftovers

@@ -1,0 +1,292 @@
+"""Trace-driven functional simulation of a DSM with the Temporal Streaming Engine.
+
+The :class:`TSESimulator` replays a globally interleaved access trace through
+the coherence protocol and the TSE, and reports the metrics the paper's
+sensitivity studies use:
+
+* **coverage** — fraction of consumptions eliminated by SVB hits;
+* **discards** — erroneously streamed blocks (fetched but never used),
+  expressed as a fraction of consumptions;
+* the stream-length distribution of hits (Figure 13);
+* optional interconnect traffic accounting (Figure 11).
+
+Latency is not modelled here — that is the job of
+:mod:`repro.system.timing` — which mirrors the paper's own split between
+trace-based analysis (Figures 6–13) and cycle-accurate simulation
+(Figure 14, Table 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import enum
+
+from repro.common.config import InterconnectConfig, TSEConfig
+from repro.common.stats import Histogram, ratio
+from repro.common.types import AccessTrace, MemoryAccess, MissClass
+from repro.coherence.protocol import CoherenceProtocol
+from repro.interconnect.network import TrafficAccountant
+from repro.tse.engine import TemporalStreamingSystem
+
+
+class Outcome(enum.IntEnum):
+    """Per-access outcome codes recorded for the timing model."""
+
+    OTHER = 0
+    CONSUMPTION = 1
+    SVB_HIT = 2
+    SPIN = 3
+    COLD_MISS = 4
+    CAPACITY_MISS = 5
+    WRITE = 6
+
+
+@dataclass
+class TSEStats:
+    """Results of one trace-driven TSE run."""
+
+    workload: str = ""
+    #: Consumptions that hit in the SVB (eliminated coherent read misses).
+    svb_hits: int = 0
+    #: Consumptions that still missed (streams absent, late, or wrong).
+    remaining_consumptions: int = 0
+    #: Spin coherent misses (excluded from consumptions, reported for context).
+    spin_misses: int = 0
+    #: Blocks streamed into SVBs.
+    blocks_fetched: int = 0
+    #: Streamed blocks that left an SVB without being used.
+    discarded_blocks: int = 0
+    #: Reads, writes, and total accesses processed.
+    reads: int = 0
+    writes: int = 0
+    accesses: int = 0
+    #: Cold / capacity misses (not targeted by TSE).
+    cold_misses: int = 0
+    capacity_misses: int = 0
+    #: Histogram of realized stream lengths weighted by hits (Figure 13).
+    stream_length_hist: Histogram = field(default_factory=lambda: Histogram("stream_length"))
+    #: Traffic accounting, present when the simulator was asked to track it.
+    traffic: Optional[Dict[str, float]] = None
+
+    @property
+    def total_consumptions(self) -> int:
+        """Consumptions of the equivalent base system (hits replace misses 1:1)."""
+        return self.svb_hits + self.remaining_consumptions
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of consumptions eliminated (the paper's Coverage)."""
+        return ratio(self.svb_hits, self.total_consumptions)
+
+    @property
+    def discard_rate(self) -> float:
+        """Discarded blocks as a fraction of consumptions (the paper's Discards)."""
+        return ratio(self.discarded_blocks, self.total_consumptions)
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of streamed blocks that were useful."""
+        return ratio(self.svb_hits, self.blocks_fetched)
+
+    def as_dict(self) -> Dict[str, float]:
+        out = {
+            "workload": self.workload,
+            "svb_hits": self.svb_hits,
+            "remaining_consumptions": self.remaining_consumptions,
+            "total_consumptions": self.total_consumptions,
+            "coverage": self.coverage,
+            "discards": self.discarded_blocks,
+            "discard_rate": self.discard_rate,
+            "blocks_fetched": self.blocks_fetched,
+            "accuracy": self.accuracy,
+            "spin_misses": self.spin_misses,
+            "cold_misses": self.cold_misses,
+            "reads": self.reads,
+            "writes": self.writes,
+            "accesses": self.accesses,
+        }
+        if self.traffic is not None:
+            out.update({f"traffic.{k}": v for k, v in self.traffic.items()})
+        return out
+
+
+class TSESimulator:
+    """Replays a trace through the coherence protocol with TSE attached."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        tse_config: Optional[TSEConfig] = None,
+        cache_model: str = "infinite",
+        l2_config=None,
+        account_traffic: bool = False,
+        interconnect_config: Optional[InterconnectConfig] = None,
+        record_outcomes: bool = False,
+    ) -> None:
+        self.num_nodes = num_nodes
+        #: When enabled, one (Outcome, lead) pair per access is appended here
+        #: for the timing model; lead is meaningful only for SVB hits and
+        #: counts the node-local accesses between the block's fetch being
+        #: issued and its use (the timing model converts that to wall clock).
+        self.record_outcomes = record_outcomes
+        self.outcomes: List[tuple] = []
+        self._node_access_counts = [0] * num_nodes
+        self.tse_config = tse_config if tse_config is not None else TSEConfig.paper_default()
+        self.protocol = CoherenceProtocol(
+            num_nodes,
+            cache_model=cache_model,
+            l2_config=l2_config,
+            emit_messages=account_traffic,
+            cmob_pointers_per_block=self.tse_config.cmob_pointers_per_block,
+        )
+        self.traffic: Optional[TrafficAccountant] = None
+        sink = None
+        if account_traffic:
+            icfg = interconnect_config if interconnect_config is not None else (
+                self._default_interconnect(num_nodes)
+            )
+            self.traffic = TrafficAccountant(icfg)
+            sink = self.traffic.record
+        self.tse = TemporalStreamingSystem(
+            num_nodes, self.tse_config, self.protocol.directory, message_sink=sink
+        )
+        self.stats = TSEStats()
+
+    @staticmethod
+    def _default_interconnect(num_nodes: int) -> InterconnectConfig:
+        import math
+
+        width = int(math.isqrt(num_nodes))
+        while width > 1 and num_nodes % width:
+            width -= 1
+        return InterconnectConfig(width=max(width, 1), height=num_nodes // max(width, 1))
+
+    # ---------------------------------------------------------------- delivery
+    def _deliver_fetches(self, node: int, fetches, fill_time: float = 0.0) -> None:
+        for fetch in fetches:
+            producer = self.protocol.last_writer_of(fetch.address)
+            version = self.protocol.version_of(fetch.address)
+            victim = self.tse.deliver_block(
+                node, fetch, producer=producer, version=version, fill_time=fill_time
+            )
+            self.stats.blocks_fetched += 1
+            if victim is not None:
+                self.stats.discarded_blocks += 1
+
+    # --------------------------------------------------------------------- run
+    def run(self, trace: AccessTrace, warmup_fraction: float = 0.0) -> TSEStats:
+        """Replay the whole trace and return the accumulated statistics.
+
+        Args:
+            trace: The interleaved multi-node access trace.
+            warmup_fraction: Fraction of the trace processed before statistics
+                are reset — mirroring the paper's methodology of warming
+                caches, CMOBs and directory state before measurement
+                (Section 4).  State (CMOB contents, SVB, directory pointers)
+                carries over; only the counters restart.
+        """
+        if not 0.0 <= warmup_fraction < 1.0:
+            raise ValueError("warmup_fraction must be in [0, 1)")
+        self.stats.workload = trace.name
+        warmup_count = int(len(trace) * warmup_fraction)
+        for index, access in enumerate(trace):
+            if index == warmup_count and warmup_count > 0:
+                self.reset_stats(trace.name)
+            self.step(access)
+        return self.finalize()
+
+    def reset_stats(self, workload: str = "") -> None:
+        """Restart measurement (end of warm-up) without touching simulator state."""
+        self.stats = TSEStats(workload=workload or self.stats.workload)
+
+    def _record(self, outcome: Outcome, lead: int = 0) -> None:
+        if self.record_outcomes:
+            self.outcomes.append((outcome, lead))
+
+    def step(self, access: MemoryAccess) -> None:
+        """Process a single access."""
+        self.stats.accesses += 1
+        node = access.node
+        self._node_access_counts[node] += 1
+        node_access_index = self._node_access_counts[node]
+        if access.is_write:
+            self.stats.writes += 1
+            # Writes invalidate matching SVB entries everywhere; invalidated
+            # streamed blocks were never consumed, so they are discards.
+            self.stats.discarded_blocks += self.tse.on_write(node, access.address)
+            result = self.protocol.process(access)
+            if self.traffic is not None:
+                self.traffic.record_all(result.messages)
+            self._record(Outcome.WRITE)
+            return
+
+        self.stats.reads += 1
+        engine = self.tse.nodes[node].engine
+
+        # Spin reads never count as consumptions and are not streamed.
+        if not access.is_spin and engine.lookup(access.address) is not None:
+            entry, fetches = self.tse.on_svb_hit(node, access.address)
+            if entry is not None:
+                self.stats.svb_hits += 1
+                self.protocol.install_copy(node, access.address)
+                self._deliver_fetches(node, fetches, fill_time=node_access_index)
+                lead = max(0, int(node_access_index - entry.fill_time))
+                self._record(Outcome.SVB_HIT, lead)
+                return
+            # Entry vanished between probe and consume (should not happen in
+            # the functional model); fall through to the normal path.
+
+        result = self.protocol.process(access)
+        if self.traffic is not None:
+            self.traffic.record_all(result.messages)
+        if result.miss_class is MissClass.COHERENT_READ_MISS:
+            self.stats.remaining_consumptions += 1
+            delivery = self.tse.on_consumption(node, access.address)
+            self._deliver_fetches(node, delivery.fetches, fill_time=node_access_index)
+            self._record(Outcome.CONSUMPTION)
+        elif result.miss_class is MissClass.SPIN_COHERENT_MISS:
+            self.stats.spin_misses += 1
+            self._record(Outcome.SPIN)
+        elif result.miss_class is MissClass.COLD_MISS:
+            self.stats.cold_misses += 1
+            fetches = engine.on_offchip_miss(access.address)
+            self._deliver_fetches(node, fetches, fill_time=node_access_index)
+            self._record(Outcome.COLD_MISS)
+        elif result.miss_class is MissClass.CAPACITY_MISS:
+            self.stats.capacity_misses += 1
+            fetches = engine.on_offchip_miss(access.address)
+            self._deliver_fetches(node, fetches, fill_time=node_access_index)
+            self._record(Outcome.CAPACITY_MISS)
+        else:
+            self._record(Outcome.OTHER)
+
+    def finalize(self) -> TSEStats:
+        """Account for end-of-run leftovers and collect distributions."""
+        leftovers = self.tse.drain()
+        self.stats.discarded_blocks += sum(leftovers.values())
+        for node in self.tse.nodes:
+            for length in node.engine.stream_length_samples():
+                if length > 0:
+                    self.stats.stream_length_hist.record(length, weight=length)
+        if self.traffic is not None:
+            self.stats.traffic = self.traffic.snapshot()
+        return self.stats
+
+
+def run_tse_on_trace(
+    trace: AccessTrace,
+    tse_config: Optional[TSEConfig] = None,
+    account_traffic: bool = False,
+    interconnect_config: Optional[InterconnectConfig] = None,
+    warmup_fraction: float = 0.0,
+) -> TSEStats:
+    """Convenience wrapper: build a simulator for the trace and run it."""
+    simulator = TSESimulator(
+        trace.num_nodes,
+        tse_config=tse_config,
+        account_traffic=account_traffic,
+        interconnect_config=interconnect_config,
+    )
+    return simulator.run(trace, warmup_fraction=warmup_fraction)

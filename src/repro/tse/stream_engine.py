@@ -1,0 +1,224 @@
+"""Per-node stream engine.
+
+The stream engine owns the node's stream queues and SVB.  It reacts to four
+events (Section 3.3):
+
+* an address stream arriving for a recent consumption (allocate a queue,
+  start fetching while the FIFO heads agree);
+* an SVB hit (retrieve the next block of the corresponding stream);
+* an off-chip miss (check stalled queues for a matching FIFO head and resume
+  the matching stream);
+* a write by any node (invalidate the corresponding SVB entry).
+
+The engine itself is policy only: the system layer (``repro.tse.engine``)
+performs the actual block "transfers" and accounts for traffic and latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.config import TSEConfig
+from repro.common.stats import StatsRegistry
+from repro.common.types import BlockAddress, NodeId
+from repro.tse.stream_queue import QueueState, RefillRequest, StreamQueue, StreamSource
+from repro.tse.svb import StreamedValueBuffer, SVBEntry
+
+
+@dataclass
+class FetchRequest:
+    """A block the engine wants streamed into the SVB."""
+
+    address: BlockAddress
+    queue_id: int
+
+
+class StreamEngine:
+    """Manages stream queues and decides which blocks to fetch."""
+
+    def __init__(self, config: TSEConfig, node_id: NodeId = 0) -> None:
+        self.config = config
+        self.node_id = node_id
+        self.stats = StatsRegistry(prefix=f"stream_engine.n{node_id}")
+        self.svb = StreamedValueBuffer(config.svb_entries, node_id=node_id)
+        self._queues: Dict[int, StreamQueue] = {}
+        self._next_queue_id = 0
+        self._activity_clock = 0
+        #: Hit counts of queues that have been reclaimed, kept so the
+        #: stream-length distribution (Figure 13) covers the whole run.
+        self.retired_queue_hits: List[int] = []
+
+    # ----------------------------------------------------------------- queues
+    def _allocate_queue(self, head: BlockAddress) -> StreamQueue:
+        """Allocate a stream queue, reclaiming the least-recently-active one
+        when all queues are busy (thrashing protection, Section 5.3)."""
+        if len(self._queues) >= self.config.stream_queues:
+            victim_id = min(self._queues, key=lambda q: self._queues[q].last_active)
+            self.retired_queue_hits.append(self._queues[victim_id].total_hits)
+            del self._queues[victim_id]
+            self.stats.counter("queue_reclaims").increment()
+        queue = StreamQueue(self._next_queue_id, head, self.config.stream_lookahead)
+        queue.last_active = self._activity_clock
+        self._queues[queue.queue_id] = queue
+        self._next_queue_id += 1
+        self.stats.counter("queue_allocations").increment()
+        return queue
+
+    def queue(self, queue_id: int) -> Optional[StreamQueue]:
+        return self._queues.get(queue_id)
+
+    def active_queues(self) -> List[StreamQueue]:
+        return [q for q in self._queues.values() if q.state is QueueState.ACTIVE]
+
+    def stalled_queues(self) -> List[StreamQueue]:
+        return [q for q in self._queues.values() if q.state is QueueState.STALLED]
+
+    def _tick(self) -> None:
+        self._activity_clock += 1
+
+    # ----------------------------------------------------------------- streams
+    def accept_streams(
+        self,
+        head: BlockAddress,
+        streams: List[Tuple[StreamSource, List[BlockAddress]]],
+    ) -> Tuple[int, List[FetchRequest]]:
+        """A set of candidate streams (one per recent consumer) has arrived.
+
+        Args:
+            head: The consumption address the streams follow.
+            streams: ``(source, addresses)`` pairs read from remote CMOBs.
+
+        Returns:
+            The new queue's id and the initial fetch requests (empty when the
+            streams disagree immediately or are empty).
+        """
+        self._tick()
+        if not streams:
+            return -1, []
+        queue = self._allocate_queue(head)
+        for source, addresses in streams:
+            queue.add_stream(list(addresses), source)
+        self.stats.counter("streams_accepted").increment(len(streams))
+        return queue.queue_id, self._fetch_from(queue)
+
+    def _fetch_from(self, queue: StreamQueue) -> List[FetchRequest]:
+        """Fetch blocks for a queue while its heads agree and lookahead allows."""
+        requests: List[FetchRequest] = []
+        while queue.can_fetch():
+            address = queue.pop_next()
+            if address is None:
+                break
+            # Skip blocks already waiting in the SVB (another queue fetched
+            # them); refetching would double-count traffic for no benefit.
+            if self.svb.probe(address) is not None:
+                queue.on_block_lost()
+                continue
+            requests.append(FetchRequest(address=address, queue_id=queue.queue_id))
+        if requests:
+            self.stats.counter("fetch_requests").increment(len(requests))
+        return requests
+
+    # --------------------------------------------------------------------- SVB
+    def install_block(self, address: BlockAddress, queue_id: int,
+                      fill_time: float = 0.0, version: int = 0) -> Optional[SVBEntry]:
+        """A streamed block has arrived; place it in the SVB.
+
+        Returns the SVB entry displaced by the fill (a discard), if any.
+        """
+        victim = self.svb.insert(
+            SVBEntry(address=address, queue_id=queue_id, fill_time=fill_time, version=version)
+        )
+        if victim is not None:
+            owner = self._queues.get(victim.queue_id)
+            if owner is not None:
+                owner.on_block_lost()
+        return victim
+
+    def lookup(self, address: BlockAddress) -> Optional[SVBEntry]:
+        """Probe the SVB (no side effects); used by the timing model's L1-miss path."""
+        return self.svb.probe(address)
+
+    def on_svb_hit(self, address: BlockAddress) -> Tuple[Optional[SVBEntry], List[FetchRequest]]:
+        """The processor hit in the SVB: consume the entry, extend the stream.
+
+        Returns the consumed entry and any follow-on fetch requests for the
+        corresponding stream queue.
+        """
+        self._tick()
+        entry = self.svb.consume(address)
+        if entry is None:
+            return None, []
+        self.stats.counter("svb_hits").increment()
+        queue = self._queues.get(entry.queue_id)
+        if queue is None:
+            return entry, []
+        queue.on_hit()
+        queue.last_active = self._activity_clock
+        return entry, self._fetch_from(queue)
+
+    # ------------------------------------------------------------------ misses
+    def on_offchip_miss(self, address: BlockAddress) -> List[FetchRequest]:
+        """An off-chip read missed (no SVB hit).
+
+        Stalled queues check the miss address against their FIFO heads; a
+        match selects that stream and resumes fetching (Section 3.3).  Active
+        queues check whether the miss address sits slightly ahead in their
+        pending FIFO entries and drop it to stay aligned.
+        """
+        self._tick()
+        requests: List[FetchRequest] = []
+        for queue in list(self._queues.values()):
+            if queue.state is QueueState.STALLED:
+                if queue.try_resolve_stall(address):
+                    self.stats.counter("stalls_resolved").increment()
+                    queue.last_active = self._activity_clock
+                    requests.extend(self._fetch_from(queue))
+            elif queue.state is QueueState.ACTIVE:
+                if queue.skip_address(address):
+                    queue.last_active = self._activity_clock
+                    requests.extend(self._fetch_from(queue))
+        return requests
+
+    # ------------------------------------------------------------- invalidation
+    def on_invalidate(self, address: BlockAddress) -> Optional[SVBEntry]:
+        """A write (by any node) invalidates the matching SVB entry."""
+        entry = self.svb.invalidate(address)
+        if entry is not None:
+            queue = self._queues.get(entry.queue_id)
+            if queue is not None:
+                queue.on_block_lost()
+        return entry
+
+    # ---------------------------------------------------------------- refills
+    def pending_refills(self) -> List[RefillRequest]:
+        """Collect refill requests from live queues running low on addresses."""
+        requests: List[RefillRequest] = []
+        for queue in self._queues.values():
+            if queue.state is QueueState.DRAINED:
+                continue
+            requests.extend(
+                queue.refill_requests(self.config.refill_threshold, self.config.queue_depth)
+            )
+        if requests:
+            self.stats.counter("refill_requests").increment(len(requests))
+        return requests
+
+    def apply_refill(self, refill: RefillRequest, addresses: List[BlockAddress],
+                     new_next_offset: int) -> List[FetchRequest]:
+        """Deliver refill addresses to the requesting FIFO and resume fetching."""
+        queue = self._queues.get(refill.queue_id)
+        if queue is None:
+            return []
+        queue.extend_stream(refill.fifo_index, addresses, new_next_offset)
+        return self._fetch_from(queue)
+
+    # ---------------------------------------------------------------- cleanup
+    def drain(self) -> List[SVBEntry]:
+        """End of simulation: every unconsumed SVB entry is a discard."""
+        return self.svb.drain()
+
+    def stream_length_samples(self) -> List[int]:
+        """Realized stream lengths (hits per queue), retired and live queues."""
+        live = [q.total_hits for q in self._queues.values()]
+        return self.retired_queue_hits + live

@@ -1,0 +1,241 @@
+"""Stream queues: groups of FIFOs holding candidate streams with a common head.
+
+The stream engine fetches one stream per recent consumer of the stream head
+(up to the configured number of compared streams) and stores them in the
+FIFOs of one stream queue.  While the FIFO heads agree, the engine fetches
+blocks; when they disagree, the queue stalls until a subsequent off-chip miss
+matches one of the heads, at which point the other FIFOs are discarded and
+streaming resumes with the selected stream (Section 3.3).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.common.types import BlockAddress, NodeId
+
+
+class QueueState(enum.Enum):
+    """Lifecycle of a stream queue."""
+
+    #: FIFO heads agree (or only one stream present): blocks may be fetched.
+    ACTIVE = "active"
+    #: FIFO heads disagree: fetching paused, waiting for a confirming miss.
+    STALLED = "stalled"
+    #: All FIFOs exhausted: the queue can be reclaimed.
+    DRAINED = "drained"
+
+
+@dataclass
+class StreamSource:
+    """Identity of the CMOB a FIFO's addresses came from, for refills."""
+
+    node: NodeId
+    #: Monotonic CMOB offset of the *next* address to request on refill.
+    next_offset: int
+
+
+@dataclass
+class RefillRequest:
+    """Ask ``source.node`` for ``count`` more addresses starting at the offset."""
+
+    queue_id: int
+    fifo_index: int
+    source: StreamSource
+    count: int
+
+
+class StreamQueue:
+    """One stream queue: up to N FIFOs sharing a stream head.
+
+    Attributes:
+        queue_id: Identity used to tag SVB entries fetched by this queue.
+        head: The consumption address that triggered the queue's allocation.
+        lookahead: Maximum number of fetched-but-unconsumed blocks allowed.
+    """
+
+    def __init__(self, queue_id: int, head: BlockAddress, lookahead: int) -> None:
+        self.queue_id = queue_id
+        self.head = head
+        self.lookahead = lookahead
+        self._fifos: List[Deque[BlockAddress]] = []
+        self._sources: List[Optional[StreamSource]] = []
+        #: Index of the FIFO selected after a stall resolution; None while
+        #: all FIFOs are still being compared.
+        self._selected: Optional[int] = None
+        #: Number of blocks fetched into the SVB and not yet consumed.
+        self.in_flight = 0
+        #: Total blocks fetched through this queue (for statistics).
+        self.total_fetched = 0
+        #: Total SVB hits credited to this queue.
+        self.total_hits = 0
+        #: True once a refill request has been issued and not yet satisfied.
+        self._refill_pending: List[bool] = []
+        #: Last consumption order index at which this queue saw activity
+        #: (hit or allocation); used for LRU reclamation by the engine.
+        self.last_active = 0
+
+    # -------------------------------------------------------------- population
+    def add_stream(
+        self,
+        addresses: List[BlockAddress],
+        source: Optional[StreamSource] = None,
+    ) -> int:
+        """Add one candidate stream (a FIFO); returns its index."""
+        self._fifos.append(deque(addresses))
+        self._sources.append(source)
+        self._refill_pending.append(False)
+        return len(self._fifos) - 1
+
+    def extend_stream(self, fifo_index: int, addresses: List[BlockAddress],
+                      new_next_offset: Optional[int] = None) -> None:
+        """Append refill addresses to an existing FIFO."""
+        if not 0 <= fifo_index < len(self._fifos):
+            raise IndexError(f"no FIFO {fifo_index} in queue {self.queue_id}")
+        self._fifos[fifo_index].extend(addresses)
+        self._refill_pending[fifo_index] = False
+        source = self._sources[fifo_index]
+        if source is not None and new_next_offset is not None:
+            source.next_offset = new_next_offset
+
+    @property
+    def num_streams(self) -> int:
+        return len(self._fifos)
+
+    # -------------------------------------------------------------- inspection
+    def _live_fifos(self) -> List[int]:
+        """Indices of FIFOs still being followed (all, or just the selected one)."""
+        if self._selected is not None:
+            return [self._selected]
+        return list(range(len(self._fifos)))
+
+    def pending(self, fifo_index: Optional[int] = None) -> int:
+        """Number of addresses still queued in a FIFO (or the selected/first)."""
+        live = self._live_fifos()
+        if not live:
+            return 0
+        idx = fifo_index if fifo_index is not None else live[0]
+        return len(self._fifos[idx])
+
+    @property
+    def state(self) -> QueueState:
+        live = self._live_fifos()
+        non_empty = [i for i in live if self._fifos[i]]
+        if not non_empty:
+            return QueueState.DRAINED
+        if len(non_empty) == 1 or self._selected is not None:
+            return QueueState.ACTIVE
+        heads = {self._fifos[i][0] for i in non_empty}
+        return QueueState.ACTIVE if len(heads) == 1 else QueueState.STALLED
+
+    def heads(self) -> List[BlockAddress]:
+        """Current FIFO heads of all live, non-empty FIFOs."""
+        return [self._fifos[i][0] for i in self._live_fifos() if self._fifos[i]]
+
+    # ------------------------------------------------------------------- fetch
+    def next_agreed(self) -> Optional[BlockAddress]:
+        """Return the agreed next address if the queue is ACTIVE, else None."""
+        if self.state is not QueueState.ACTIVE:
+            return None
+        heads = self.heads()
+        return heads[0] if heads else None
+
+    def can_fetch(self) -> bool:
+        """May the engine fetch another block for this queue right now?"""
+        return self.in_flight < self.lookahead and self.next_agreed() is not None
+
+    def pop_next(self) -> Optional[BlockAddress]:
+        """Pop the agreed next address from every live FIFO and mark it in flight."""
+        address = self.next_agreed()
+        if address is None:
+            return None
+        for i in self._live_fifos():
+            fifo = self._fifos[i]
+            if fifo and fifo[0] == address:
+                fifo.popleft()
+            elif fifo:
+                # An already-selected queue only follows one FIFO, and an
+                # ACTIVE comparing queue has matching heads, so this branch is
+                # only reachable for exhausted FIFOs.
+                pass
+        self.in_flight += 1
+        self.total_fetched += 1
+        return address
+
+    # --------------------------------------------------------------------- hits
+    def on_hit(self) -> None:
+        """The processor consumed one of this queue's streamed blocks."""
+        if self.in_flight > 0:
+            self.in_flight -= 1
+        self.total_hits += 1
+
+    def on_block_lost(self) -> None:
+        """A fetched block left the SVB without being used (evict/invalidate)."""
+        if self.in_flight > 0:
+            self.in_flight -= 1
+
+    # ----------------------------------------------------------- stall handling
+    def try_resolve_stall(self, miss_address: BlockAddress) -> bool:
+        """A consumption missed on ``miss_address`` while this queue is stalled.
+
+        If the address matches one FIFO head, that FIFO is selected, the
+        other FIFOs are discarded, and the matched address is dropped (the
+        processor already missed on it, so streaming it would be wasted).
+        Returns True when the stall was resolved.
+        """
+        if self.state is not QueueState.STALLED:
+            return False
+        for i in self._live_fifos():
+            fifo = self._fifos[i]
+            if fifo and fifo[0] == miss_address:
+                self._selected = i
+                fifo.popleft()  # the processor already has this block
+                return True
+        return False
+
+    def skip_address(self, address: BlockAddress) -> bool:
+        """Drop ``address`` from the front region of the live FIFOs.
+
+        Used when the processor misses on an address that is queued (but not
+        yet fetched) slightly ahead of the agreed position — the stream
+        engine realigns rather than streaming a block the processor already
+        obtained.  Only a small window (the lookahead) is searched, mirroring
+        the SVB's tolerance of small reorderings.  Returns True if found.
+        """
+        found = False
+        for i in self._live_fifos():
+            fifo = self._fifos[i]
+            window = min(len(fifo), max(self.lookahead, 1))
+            for position in range(window):
+                if fifo[position] == address:
+                    del fifo[position]
+                    found = True
+                    break
+        return found
+
+    # ---------------------------------------------------------------- refills
+    def refill_requests(self, threshold: int, count: int) -> List[RefillRequest]:
+        """Refill requests for live FIFOs running low (Section 3.3: half empty)."""
+        requests: List[RefillRequest] = []
+        for i in self._live_fifos():
+            if self._refill_pending[i]:
+                continue
+            source = self._sources[i]
+            if source is None:
+                continue
+            if len(self._fifos[i]) <= threshold:
+                self._refill_pending[i] = True
+                requests.append(
+                    RefillRequest(self.queue_id, i, source, count)
+                )
+        return requests
+
+    def __repr__(self) -> str:
+        return (
+            f"StreamQueue(id={self.queue_id}, head={self.head:#x}, "
+            f"state={self.state.value}, streams={self.num_streams}, "
+            f"in_flight={self.in_flight})"
+        )

@@ -1,0 +1,132 @@
+"""Streamed Value Buffer (SVB).
+
+A small, fully-associative buffer that holds streamed cache blocks until the
+processor consumes them (Section 3.3).  Each entry carries a valid bit, the
+block address, the id of the stream queue that fetched it, and an LRU
+position.  Entries hold only clean data and are invalidated when any node
+(including the local one) writes the block.
+
+The SVB is deliberately separate from the cache hierarchy: it avoids
+polluting the caches with mispredicted blocks and provides a small window
+that tolerates slight reordering between the stream and the processor's
+actual access sequence.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.common.stats import StatsRegistry
+from repro.common.types import BlockAddress
+
+
+@dataclass
+class SVBEntry:
+    """One streamed block resident in the SVB."""
+
+    address: BlockAddress
+    queue_id: int
+    #: Simulation time (or trace index) at which the block was streamed in;
+    #: used by the timing model to decide whether the block arrived early
+    #: enough (full coverage) or was still in flight (partial coverage).
+    fill_time: float = 0.0
+    #: Version of the block when fetched (invalidation safety-net for tests).
+    version: int = 0
+
+
+class StreamedValueBuffer:
+    """Fully-associative, LRU-replaced buffer of streamed blocks.
+
+    ``capacity_entries`` of 2**22 or more behaves as the "infinite SVB" used
+    in the paper's sensitivity study.
+    """
+
+    def __init__(self, capacity_entries: int, node_id: int = 0, block_size: int = 64) -> None:
+        if capacity_entries <= 0:
+            raise ValueError("SVB capacity must be positive")
+        self.capacity = capacity_entries
+        self.node_id = node_id
+        self.block_size = block_size
+        self.stats = StatsRegistry(prefix=f"svb.n{node_id}")
+        # OrderedDict as an LRU: most-recently-used at the end.
+        self._entries: "OrderedDict[BlockAddress, SVBEntry]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, address: BlockAddress) -> bool:
+        return address in self._entries
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity * self.block_size
+
+    # ------------------------------------------------------------------ insert
+    def insert(self, entry: SVBEntry) -> Optional[SVBEntry]:
+        """Insert a streamed block; return the LRU victim evicted, if any.
+
+        An evicted entry is an unused streamed block — the caller records it
+        as a discard.  Re-inserting an address refreshes its LRU position and
+        queue binding without producing a victim.
+        """
+        if entry.address in self._entries:
+            self._entries.move_to_end(entry.address)
+            self._entries[entry.address] = entry
+            return None
+        victim: Optional[SVBEntry] = None
+        if len(self._entries) >= self.capacity:
+            _, victim = self._entries.popitem(last=False)
+            self.stats.counter("evictions").increment()
+        self._entries[entry.address] = entry
+        self.stats.counter("fills").increment()
+        return victim
+
+    # ------------------------------------------------------------------- probe
+    def probe(self, address: BlockAddress) -> Optional[SVBEntry]:
+        """Look up a block without consuming it (no LRU update)."""
+        return self._entries.get(address)
+
+    def consume(self, address: BlockAddress) -> Optional[SVBEntry]:
+        """Hit: remove the entry (it moves to the L1 cache) and return it.
+
+        Returns None on a miss.  The stream engine uses the returned entry's
+        ``queue_id`` to retrieve the next block of that stream.
+        """
+        entry = self._entries.pop(address, None)
+        if entry is None:
+            self.stats.counter("misses").increment()
+            return None
+        self.stats.counter("hits").increment()
+        return entry
+
+    # -------------------------------------------------------------- invalidate
+    def invalidate(self, address: BlockAddress) -> Optional[SVBEntry]:
+        """Invalidate a block on a write by any processor; return the entry."""
+        entry = self._entries.pop(address, None)
+        if entry is not None:
+            self.stats.counter("invalidations").increment()
+        return entry
+
+    def invalidate_queue(self, queue_id: int) -> List[SVBEntry]:
+        """Drop every entry fetched by a given stream queue (queue reclaimed)."""
+        doomed = [a for a, e in self._entries.items() if e.queue_id == queue_id]
+        removed = []
+        for address in doomed:
+            removed.append(self._entries.pop(address))
+        if removed:
+            self.stats.counter("queue_flushes").increment(len(removed))
+        return removed
+
+    def drain(self) -> List[SVBEntry]:
+        """Remove and return every entry (end-of-simulation discard accounting)."""
+        remaining = list(self._entries.values())
+        self._entries.clear()
+        return remaining
+
+    def resident_addresses(self) -> List[BlockAddress]:
+        return list(self._entries.keys())
+
+    def __repr__(self) -> str:
+        return f"SVB(node={self.node_id}, {len(self)}/{self.capacity} entries)"

@@ -1,0 +1,53 @@
+"""Workload generators.
+
+The paper evaluates three scientific applications (em3d, moldyn, ocean) and
+four commercial server workloads (TPC-C on DB2 and Oracle, SPECweb99 on
+Apache and Zeus).  The real software stacks cannot be run here, so each
+workload is replaced by a generator that executes the same *sharing
+structure* — the data-structure traversals that produce coherent read misses
+— and emits a globally interleaved multi-node access trace.
+
+The generators are calibrated (see ``tests/test_workload_properties.py`` and
+EXPERIMENTS.md) so that the temporal-correlation and stream-length behaviour
+of the traces matches the paper's characterisation:
+
+* scientific workloads repeat essentially identical consumption sequences
+  every iteration (near-100 % correlation, very long streams);
+* commercial workloads mix migratory transaction templates (correlated) with
+  irregular shared-structure churn (uncorrelated), giving ~40–65 %
+  correlated consumptions and many short streams.
+"""
+
+from repro.workloads.base import (
+    Workload,
+    WorkloadParams,
+    available_workloads,
+    get_workload,
+    COMMERCIAL_WORKLOADS,
+    SCIENTIFIC_WORKLOADS,
+    ALL_WORKLOADS,
+)
+from repro.workloads.em3d import Em3dWorkload
+from repro.workloads.moldyn import MoldynWorkload
+from repro.workloads.ocean import OceanWorkload
+from repro.workloads.oltp import DB2Workload, OLTPWorkload, OracleWorkload
+from repro.workloads.web import ApacheWorkload, WebServerWorkload, ZeusWorkload
+
+__all__ = [
+    "Workload",
+    "WorkloadParams",
+    "available_workloads",
+    "get_workload",
+    "SCIENTIFIC_WORKLOADS",
+    "COMMERCIAL_WORKLOADS",
+    "ALL_WORKLOADS",
+    "Em3dWorkload",
+    "MoldynWorkload",
+    "OceanWorkload",
+    "OLTPWorkload",
+    "DB2Workload",
+    "OracleWorkload",
+    "WebServerWorkload",
+    "ApacheWorkload",
+    "ZeusWorkload",
+]

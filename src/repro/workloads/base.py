@@ -1,0 +1,201 @@
+"""Workload base classes, address-space layout helpers and the registry."""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Type
+
+from repro.common.rng import DeterministicRNG
+from repro.common.types import AccessTrace, AccessType, BlockAddress, MemoryAccess, NodeId
+
+
+@dataclass(frozen=True)
+class WorkloadParams:
+    """Parameters shared by every workload generator.
+
+    Attributes:
+        num_nodes: Number of DSM nodes generating accesses (16 in the paper).
+        seed: RNG seed; identical parameters + seed give identical traces.
+        scale: Relative problem-size multiplier.  1.0 is the repository's
+            default scaled-down configuration; larger values grow data-set
+            sizes / iteration counts toward the paper's (much larger) inputs.
+        target_accesses: Approximate number of accesses to generate; the
+            generators stop at the end of the iteration/transaction during
+            which the target is crossed.
+        quantum: Number of consecutive accesses one node contributes before
+            the interleaver switches to the next node (scientific workloads).
+    """
+
+    num_nodes: int = 16
+    seed: int = 42
+    scale: float = 1.0
+    target_accesses: int = 200_000
+    quantum: int = 8
+
+    def scaled(self, value: int, minimum: int = 1) -> int:
+        """Scale an integral size parameter by ``scale``."""
+        return max(minimum, int(round(value * self.scale)))
+
+    def with_(self, **kwargs) -> "WorkloadParams":
+        return replace(self, **kwargs)
+
+
+class AddressSpace:
+    """Allocates disjoint block-address regions to named data structures.
+
+    Keeping every structure in its own region makes generated traces easy to
+    reason about in tests (e.g. "lock blocks never appear as consumptions").
+    Region 0 starts at block 1 so that address 0 never appears (it reads as
+    "uninitialised" in debugging output).
+    """
+
+    def __init__(self) -> None:
+        self._next_block: BlockAddress = 1
+        self._regions: Dict[str, range] = {}
+
+    def allocate(self, name: str, num_blocks: int) -> range:
+        """Allocate ``num_blocks`` contiguous blocks for structure ``name``."""
+        if num_blocks <= 0:
+            raise ValueError("num_blocks must be positive")
+        if name in self._regions:
+            raise ValueError(f"region {name!r} already allocated")
+        region = range(self._next_block, self._next_block + num_blocks)
+        self._regions[name] = region
+        self._next_block += num_blocks
+        return region
+
+    def region(self, name: str) -> range:
+        return self._regions[name]
+
+    @property
+    def total_blocks(self) -> int:
+        return self._next_block - 1
+
+    def owner_of(self, region_name: str, block: BlockAddress) -> int:
+        """Relative index of a block within its region (for partitioning)."""
+        region = self._regions[region_name]
+        if block not in region:
+            raise ValueError(f"block {block} not in region {region_name!r}")
+        return block - region.start
+
+
+class Workload(abc.ABC):
+    """Base class for every workload generator."""
+
+    #: Registry name, e.g. ``"em3d"``; set by subclasses.
+    name: str = "workload"
+    #: ``"scientific"`` or ``"commercial"``.
+    category: str = "scientific"
+
+    def __init__(self, params: Optional[WorkloadParams] = None) -> None:
+        self.params = params if params is not None else WorkloadParams()
+        self.rng = DeterministicRNG(self.params.seed)
+        self.space = AddressSpace()
+        #: Per-node retired-instruction counters used for access timestamps.
+        self._node_time: List[int] = [0] * self.params.num_nodes
+
+    # ------------------------------------------------------------------- API
+    @abc.abstractmethod
+    def generate(self) -> AccessTrace:
+        """Produce the globally interleaved access trace."""
+
+    # -------------------------------------------------------------- utilities
+    def _access(
+        self,
+        node: NodeId,
+        address: BlockAddress,
+        access_type: AccessType,
+        pc: int = 0,
+        work: int = 1,
+    ) -> MemoryAccess:
+        """Create one access, advancing the node's logical clock by ``work``
+        instructions (memory access + surrounding compute)."""
+        self._node_time[node] += work
+        return MemoryAccess(
+            node=node,
+            address=address,
+            access_type=access_type,
+            pc=pc,
+            timestamp=self._node_time[node],
+        )
+
+    def read(self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1) -> MemoryAccess:
+        return self._access(node, address, AccessType.READ, pc, work)
+
+    def write(self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1) -> MemoryAccess:
+        return self._access(node, address, AccessType.WRITE, pc, work)
+
+    def spin_read(self, node: NodeId, address: BlockAddress, pc: int = 0) -> MemoryAccess:
+        return self._access(node, address, AccessType.SPIN_READ, pc, work=1)
+
+    def atomic(self, node: NodeId, address: BlockAddress, pc: int = 0) -> MemoryAccess:
+        return self._access(node, address, AccessType.ATOMIC, pc, work=2)
+
+    def interleave_round(
+        self, per_node: Sequence[List[MemoryAccess]], trace: AccessTrace
+    ) -> None:
+        """Interleave one barrier-delimited round of per-node access lists.
+
+        Nodes contribute ``quantum`` accesses at a time in round-robin order,
+        which approximates the concurrent execution of one iteration across
+        the machine (all nodes progress together, none races a full iteration
+        ahead).  The round ends when every node's list is drained — an
+        implicit barrier.
+        """
+        quantum = max(1, self.params.quantum)
+        cursors = [0] * len(per_node)
+        remaining = sum(len(lst) for lst in per_node)
+        while remaining > 0:
+            for node_index, accesses in enumerate(per_node):
+                cursor = cursors[node_index]
+                chunk = accesses[cursor : cursor + quantum]
+                if not chunk:
+                    continue
+                trace.extend(chunk)
+                cursors[node_index] += len(chunk)
+                remaining -= len(chunk)
+
+    def _new_trace(self) -> AccessTrace:
+        return AccessTrace(num_nodes=self.params.num_nodes, name=self.name)
+
+
+# --------------------------------------------------------------------- registry
+_REGISTRY: Dict[str, Callable[[Optional[WorkloadParams]], Workload]] = {}
+
+SCIENTIFIC_WORKLOADS = ("em3d", "moldyn", "ocean")
+COMMERCIAL_WORKLOADS = ("apache", "db2", "oracle", "zeus")
+ALL_WORKLOADS = SCIENTIFIC_WORKLOADS + COMMERCIAL_WORKLOADS
+
+
+def register_workload(name: str):
+    """Class decorator registering a workload under ``name``."""
+
+    def decorator(cls: Type[Workload]) -> Type[Workload]:
+        cls.name = name
+        _REGISTRY[name] = cls
+        return cls
+
+    return decorator
+
+
+def available_workloads() -> List[str]:
+    """Names of every registered workload, paper order."""
+    ordered = [n for n in ALL_WORKLOADS if n in _REGISTRY]
+    extras = sorted(set(_REGISTRY) - set(ordered))
+    return ordered + extras
+
+
+def get_workload(name: str, params: Optional[WorkloadParams] = None) -> Workload:
+    """Instantiate a workload generator by name."""
+    # Import lazily so the registry is populated even when callers import
+    # only this module.
+    from repro import workloads as _  # noqa: F401
+
+    try:
+        cls = _REGISTRY[name]
+    except KeyError as exc:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {available_workloads()}"
+        ) from exc
+    return cls(params)

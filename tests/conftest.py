@@ -1,0 +1,43 @@
+"""Shared fixtures: small deterministic traces and configurations."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.common.config import SystemConfig, TSEConfig
+from repro.workloads import get_workload
+from repro.workloads.base import WorkloadParams
+
+
+@pytest.fixture(scope="session")
+def small_params() -> WorkloadParams:
+    """Small 4-node workload parameters used across trace-level tests."""
+    # scale=0.25 shrinks each workload's data set so that several iterations /
+    # transaction batches fit in a small trace (coherence misses need history).
+    return WorkloadParams(num_nodes=4, seed=7, target_accesses=8_000, scale=0.25)
+
+
+@pytest.fixture(scope="session")
+def small_traces(small_params):
+    """One small trace per workload, generated once per test session."""
+    return {
+        name: get_workload(name, small_params).generate()
+        for name in ("em3d", "moldyn", "ocean", "db2", "oracle", "apache", "zeus")
+    }
+
+
+@pytest.fixture(scope="session")
+def medium_trace():
+    """A 16-node em3d trace big enough for end-to-end coverage checks."""
+    params = WorkloadParams(num_nodes=16, seed=11, target_accesses=60_000)
+    return get_workload("em3d", params).generate()
+
+
+@pytest.fixture()
+def paper_system() -> SystemConfig:
+    return SystemConfig.isca2005()
+
+
+@pytest.fixture()
+def paper_tse() -> TSEConfig:
+    return TSEConfig.paper_default()

@@ -1,0 +1,118 @@
+"""Tests for the analysis modules (correlation, stream lengths, bandwidth)."""
+
+import pytest
+
+from repro.analysis.bandwidth import bandwidth_overhead, estimate_elapsed_ns
+from repro.analysis.correlation import cumulative_correlation, temporal_correlation
+from repro.analysis.streams import fraction_of_hits_from_short_streams, stream_length_cdf
+from repro.coherence.protocol import CoherenceProtocol, extract_consumptions
+from repro.common.config import SystemConfig, TSEConfig
+from repro.common.stats import Histogram
+from repro.common.types import AccessTrace, AccessType, Consumption, MemoryAccess
+from repro.tse.simulator import TSESimulator
+
+
+def consumption_sequences(sequences):
+    """Build per-node Consumption lists from address lists, interleaved round-robin."""
+    per_node = [[] for _ in sequences]
+    global_index = 0
+    cursors = [0] * len(sequences)
+    remaining = sum(len(s) for s in sequences)
+    while remaining:
+        for node, sequence in enumerate(sequences):
+            if cursors[node] >= len(sequence):
+                continue
+            address = sequence[cursors[node]]
+            per_node[node].append(
+                Consumption(node=node, address=address, index=cursors[node],
+                            global_index=global_index)
+            )
+            cursors[node] += 1
+            global_index += 1
+            remaining -= 1
+    return per_node
+
+
+class TestTemporalCorrelation:
+    def test_identical_orders_are_perfectly_correlated(self):
+        # Node 1 repeats exactly the sequence node 0 follows, shifted by one
+        # round; every pair scores distance +1.
+        sequences = [[1, 2, 3, 4, 5, 6] * 4, [1, 2, 3, 4, 5, 6] * 4]
+        result = temporal_correlation(consumption_sequences(sequences))
+        assert result.perfectly_correlated > 0.5
+        assert result.cumulative_fraction(1) >= result.perfectly_correlated
+
+    def test_unrelated_orders_are_uncorrelated(self):
+        sequences = [list(range(100, 160)), list(range(500, 560))]
+        result = temporal_correlation(consumption_sequences(sequences))
+        assert result.perfectly_correlated == 0.0
+
+    def test_cumulative_is_monotonic(self):
+        sequences = [[1, 2, 3, 4, 5, 6, 7, 8] * 3, [1, 3, 2, 4, 6, 5, 7, 8] * 3]
+        result = temporal_correlation(consumption_sequences(sequences))
+        series = cumulative_correlation(result, range(1, 17))
+        fractions = [f for _, f in series]
+        assert fractions == sorted(fractions)
+        assert all(0.0 <= f <= 1.0 for f in fractions)
+
+    def test_measure_from_skips_warmup(self):
+        sequences = [[1, 2, 3, 4] * 5, [1, 2, 3, 4] * 5]
+        full = temporal_correlation(consumption_sequences(sequences))
+        warmed = temporal_correlation(
+            consumption_sequences(sequences), measure_from_global_index=10
+        )
+        assert warmed.total < full.total
+        assert warmed.perfectly_correlated >= full.perfectly_correlated
+
+    def test_empty_input(self):
+        result = temporal_correlation([[], []])
+        assert result.total == 0
+        assert result.cumulative_fraction(8) == 0.0
+
+
+class TestStreamLengths:
+    def test_cdf_reaches_one(self):
+        hist = Histogram("lengths")
+        for length in (2, 2, 50, 50):
+            hist.record(length, weight=length)
+        cdf = stream_length_cdf(hist, buckets=(1, 2, 4, 64))
+        assert cdf[-1][1] == pytest.approx(1.0)
+        assert cdf[0][1] == 0.0
+
+    def test_short_stream_share(self):
+        hist = Histogram("lengths")
+        hist.record(4, weight=4)    # short stream: 4 hits
+        hist.record(100, weight=100)  # long stream: 100 hits
+        assert fraction_of_hits_from_short_streams(hist, threshold=8) == pytest.approx(4 / 104)
+
+
+class TestBandwidth:
+    def _traffic_stats(self, trace):
+        simulator = TSESimulator(
+            trace.num_nodes, TSEConfig.paper_default(), account_traffic=True
+        )
+        return simulator.run(trace)
+
+    def test_requires_traffic_accounting(self, small_traces):
+        stats = TSESimulator(4, TSEConfig.paper_default()).run(small_traces["db2"])
+        with pytest.raises(ValueError):
+            bandwidth_overhead(stats, small_traces["db2"], SystemConfig.small(4))
+
+    def test_overhead_result_fields_sane(self, small_traces):
+        trace = small_traces["db2"]
+        stats = self._traffic_stats(trace)
+        result = bandwidth_overhead(stats, trace, SystemConfig.small(4))
+        assert result.elapsed_ns > 0
+        assert result.overhead_bandwidth_gbps >= 0
+        assert 0 <= result.pin_overhead_ratio < 0.5
+        assert result.overhead_ratio >= 0
+
+    def test_elapsed_time_scales_with_trace_length(self):
+        system = SystemConfig.small(4)
+        short = AccessTrace(num_nodes=4)
+        long = AccessTrace(num_nodes=4)
+        for i in range(10):
+            short.append(MemoryAccess(0, i, AccessType.READ, timestamp=i * 10))
+        for i in range(100):
+            long.append(MemoryAccess(0, i, AccessType.READ, timestamp=i * 10))
+        assert estimate_elapsed_ns(long, system) > estimate_elapsed_ns(short, system)

@@ -1,0 +1,148 @@
+"""Unit tests for stats, events and RNG infrastructure."""
+
+import pytest
+
+from repro.common.events import EventQueue
+from repro.common.rng import DeterministicRNG
+from repro.common.stats import Counter, Histogram, StatsRegistry, ratio
+
+
+class TestCounter:
+    def test_increment(self):
+        counter = Counter("c")
+        counter.increment()
+        counter.increment(5)
+        assert counter.value == 6
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError):
+            Counter("c").increment(-1)
+
+
+class TestHistogram:
+    def test_mean_and_count(self):
+        hist = Histogram("h")
+        for value in (1, 2, 3, 4):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.mean == pytest.approx(2.5)
+
+    def test_weighted_record(self):
+        hist = Histogram("h")
+        hist.record(10, weight=3)
+        assert hist.count == 3
+        assert hist.total == 30
+
+    def test_cumulative_fraction(self):
+        hist = Histogram("h")
+        for value in (1, 2, 4, 8):
+            hist.record(value)
+        assert hist.cumulative_fraction(2) == pytest.approx(0.5)
+        assert hist.cumulative_fraction(8) == pytest.approx(1.0)
+        assert hist.cumulative_fraction(0) == 0.0
+
+    def test_percentile(self):
+        hist = Histogram("h")
+        for value in range(1, 11):
+            hist.record(value)
+        assert hist.percentile(0.5) == 5
+        assert hist.percentile(1.0) == 10
+
+    def test_percentile_bounds_checked(self):
+        with pytest.raises(ValueError):
+            Histogram("h").percentile(1.5)
+
+
+class TestStatsRegistry:
+    def test_counter_reuse_and_snapshot(self):
+        stats = StatsRegistry(prefix="x")
+        stats.counter("hits").increment(2)
+        stats.counter("hits").increment(1)
+        stats.set_scalar("rate", 0.5)
+        snap = stats.snapshot()
+        assert snap["x.hits"] == 3
+        assert snap["x.rate"] == 0.5
+
+    def test_merge_from(self):
+        a, b = StatsRegistry(), StatsRegistry()
+        a.counter("n").increment(1)
+        b.counter("n").increment(2)
+        a.merge_from(b)
+        assert a.counter("n").value == 3
+
+    def test_ratio_safe_division(self):
+        assert ratio(1, 2) == 0.5
+        assert ratio(1, 0) == 0.0
+        assert ratio(1, 0, default=1.0) == 1.0
+
+
+class TestEventQueue:
+    def test_events_fire_in_time_order(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(10, lambda: fired.append("b"))
+        queue.schedule(5, lambda: fired.append("a"))
+        queue.schedule(15, lambda: fired.append("c"))
+        queue.run()
+        assert fired == ["a", "b", "c"]
+        assert queue.now == 15
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        queue = EventQueue()
+        fired = []
+        for label in ("first", "second", "third"):
+            queue.schedule(5, lambda l=label: fired.append(l))
+        queue.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_cancelled_event_does_not_fire(self):
+        queue = EventQueue()
+        fired = []
+        event = queue.schedule(1, lambda: fired.append("x"))
+        event.cancel()
+        queue.run()
+        assert fired == []
+
+    def test_run_until_horizon(self):
+        queue = EventQueue()
+        fired = []
+        queue.schedule(1, lambda: fired.append(1))
+        queue.schedule(100, lambda: fired.append(2))
+        queue.run(until=10)
+        assert fired == [1]
+        assert queue.now == 10
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventQueue().schedule(-1, lambda: None)
+
+
+class TestDeterministicRNG:
+    def test_same_seed_same_sequence(self):
+        a, b = DeterministicRNG(3), DeterministicRNG(3)
+        assert [a.randint(0, 100) for _ in range(10)] == [b.randint(0, 100) for _ in range(10)]
+
+    def test_fork_is_independent_of_parent_draws(self):
+        a = DeterministicRNG(3)
+        a_child = a.fork(1)
+        b = DeterministicRNG(3)
+        b.random()  # extra draw in the parent must not change the child
+        b_child = b.fork(1)
+        assert [a_child.randint(0, 9) for _ in range(5)] == [b_child.randint(0, 9) for _ in range(5)]
+
+    def test_zipf_within_range_and_skewed(self):
+        rng = DeterministicRNG(5)
+        draws = [rng.zipf(100, alpha=1.0) for _ in range(2000)]
+        assert all(0 <= d < 100 for d in draws)
+        # The most popular item should be drawn noticeably more often than a
+        # uniform distribution would produce.
+        assert draws.count(0) > 2000 / 100 * 2
+
+    def test_bernoulli_extremes(self):
+        rng = DeterministicRNG(1)
+        assert not any(rng.bernoulli(0.0) for _ in range(100))
+        assert all(rng.bernoulli(1.0) for _ in range(100))
+
+    def test_geometric_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            DeterministicRNG(1).geometric(0.0)

@@ -1,0 +1,114 @@
+"""Unit tests for the torus topology and traffic accounting."""
+
+import pytest
+
+from repro.coherence.messages import CoherenceMessage, MessageType
+from repro.common.config import InterconnectConfig
+from repro.interconnect import Network, TorusTopology, TrafficAccountant
+
+
+class TestTorusTopology:
+    def test_hop_count_zero_for_same_node(self):
+        torus = TorusTopology(4, 4)
+        assert torus.hop_count(5, 5) == 0
+
+    def test_hop_count_uses_wraparound(self):
+        torus = TorusTopology(4, 4)
+        # Nodes 0 and 3 are adjacent through the wrap link.
+        assert torus.hop_count(0, 3) == 1
+        assert torus.hop_count(0, 2) == 2
+
+    def test_hop_count_is_symmetric(self):
+        torus = TorusTopology(4, 4)
+        for src in range(16):
+            for dst in range(16):
+                assert torus.hop_count(src, dst) == torus.hop_count(dst, src)
+
+    def test_route_endpoints_and_length(self):
+        torus = TorusTopology(4, 4)
+        route = torus.route(0, 10)
+        assert route[0] == 0 and route[-1] == 10
+        assert len(route) == torus.hop_count(0, 10) + 1
+
+    def test_route_steps_are_adjacent(self):
+        torus = TorusTopology(4, 4)
+        route = torus.route(1, 14)
+        for a, b in zip(route, route[1:]):
+            assert b in set(torus.neighbors(a))
+
+    def test_max_hop_count_in_4x4_is_4(self):
+        torus = TorusTopology(4, 4)
+        assert max(torus.hop_count(s, d) for s in range(16) for d in range(16)) == 4
+
+    def test_every_node_has_four_neighbors(self):
+        torus = TorusTopology(4, 4)
+        for node in range(16):
+            assert len(set(torus.neighbors(node))) == 4
+
+    def test_coordinate_round_trip(self):
+        torus = TorusTopology(4, 4)
+        for node in range(16):
+            assert torus.node_at(torus.coordinate_of(node)) == node
+
+    def test_bisection_detection(self):
+        torus = TorusTopology(4, 4)
+        assert torus.crosses_bisection(0, 2)      # x=0 -> x=2 crosses the cut
+        assert not torus.crosses_bisection(0, 1)  # both in the left half
+
+    def test_invalid_node_rejected(self):
+        with pytest.raises(ValueError):
+            TorusTopology(2, 2).coordinate_of(9)
+
+
+class TestNetwork:
+    def test_local_message_is_free(self):
+        network = Network(InterconnectConfig())
+        message = CoherenceMessage(MessageType.READ_REQUEST, 3, 3, 0)
+        assert network.message_latency_ns(message) == 0.0
+
+    def test_latency_scales_with_hops(self):
+        network = Network(InterconnectConfig())
+        one_hop = CoherenceMessage(MessageType.READ_REQUEST, 0, 1, 0)
+        two_hop = CoherenceMessage(MessageType.READ_REQUEST, 0, 2, 0)
+        assert network.message_latency_ns(two_hop) > network.message_latency_ns(one_hop)
+
+    def test_round_trip_includes_both_directions(self):
+        network = Network(InterconnectConfig())
+        assert network.round_trip_ns(0, 5) > 2 * 25.0
+
+
+class TestTrafficAccountant:
+    def _msg(self, msg_type, src=0, dst=2, n=0):
+        return CoherenceMessage(msg_type, src, dst, 100, num_addresses=n)
+
+    def test_baseline_vs_overhead_split(self):
+        accountant = TrafficAccountant(InterconnectConfig())
+        accountant.record(self._msg(MessageType.DATA_REPLY))
+        accountant.record(self._msg(MessageType.ADDRESS_STREAM, n=8))
+        assert accountant.baseline.total_bytes > 0
+        assert accountant.overhead.total_bytes > 0
+        assert accountant.overhead_ratio() > 0
+
+    def test_local_messages_ignored(self):
+        accountant = TrafficAccountant(InterconnectConfig())
+        accountant.record(CoherenceMessage(MessageType.DATA_REPLY, 1, 1, 0))
+        assert accountant.baseline.total_bytes == 0
+
+    def test_bisection_bytes_only_for_crossing_routes(self):
+        accountant = TrafficAccountant(InterconnectConfig())
+        accountant.record(CoherenceMessage(MessageType.DATA_REPLY, 0, 1, 0))  # same half
+        assert accountant.baseline.bisection_bytes == 0
+        accountant.record(CoherenceMessage(MessageType.DATA_REPLY, 0, 2, 0))  # crosses
+        assert accountant.baseline.bisection_bytes > 0
+
+    def test_bandwidth_conversion(self):
+        accountant = TrafficAccountant(InterconnectConfig())
+        accountant.record(CoherenceMessage(MessageType.STREAMED_DATA_REPLY, 0, 2, 0))
+        gbps = accountant.bisection_bandwidth_gbps(elapsed_ns=100.0)
+        assert gbps == pytest.approx(accountant.overhead.bisection_bytes / 100.0)
+
+    def test_override_classification(self):
+        accountant = TrafficAccountant(InterconnectConfig())
+        accountant.record(self._msg(MessageType.STREAMED_DATA_REPLY), overhead=False)
+        assert accountant.overhead.total_bytes == 0
+        assert accountant.baseline.total_bytes > 0

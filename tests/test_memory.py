@@ -1,0 +1,143 @@
+"""Unit tests for the cache hierarchy substrate (caches, MSHRs, memory)."""
+
+import pytest
+
+from repro.common.config import CacheConfig, MemoryConfig
+from repro.memory import Cache, LineState, LRUPolicy, MainMemory, MSHRFile, RandomPolicy
+
+
+def small_cache(ways: int = 2, sets: int = 4) -> Cache:
+    config = CacheConfig(size_bytes=64 * ways * sets, associativity=ways, block_size=64)
+    return Cache(config, name="test")
+
+
+class TestCacheBasics:
+    def test_miss_then_fill_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(10)
+        cache.fill(10)
+        assert cache.access(10)
+        assert cache.contains(10)
+
+    def test_write_hit_dirties_line(self):
+        cache = small_cache()
+        cache.fill(10, LineState.EXCLUSIVE)
+        cache.access(10, write=True)
+        line = cache.lookup(10)
+        assert line.dirty
+        assert line.state is LineState.MODIFIED
+
+    def test_fill_in_invalid_state_rejected(self):
+        with pytest.raises(ValueError):
+            small_cache().fill(1, LineState.INVALID)
+
+    def test_invalidate_removes_block(self):
+        cache = small_cache()
+        cache.fill(10)
+        assert cache.invalidate(10)
+        assert not cache.contains(10)
+        assert not cache.invalidate(10)
+
+    def test_downgrade_makes_line_shared(self):
+        cache = small_cache()
+        cache.fill(10, LineState.MODIFIED)
+        cache.downgrade(10)
+        assert cache.state_of(10) is LineState.SHARED
+
+    def test_state_of_absent_block_is_invalid(self):
+        assert small_cache().state_of(99) is LineState.INVALID
+
+
+class TestCacheReplacement:
+    def test_lru_victim_is_least_recently_used(self):
+        cache = small_cache(ways=2, sets=1)
+        cache.fill(0)
+        cache.fill(1)
+        cache.access(0)  # 1 becomes LRU
+        eviction = cache.fill(2)
+        assert eviction is not None and eviction.address == 1
+        assert cache.contains(0) and cache.contains(2)
+
+    def test_conflicting_blocks_evict_within_set_only(self):
+        cache = small_cache(ways=2, sets=4)
+        # Blocks 0, 4, 8 map to the same set (mod 4); block 1 maps elsewhere.
+        cache.fill(0)
+        cache.fill(1)
+        cache.fill(4)
+        eviction = cache.fill(8)
+        assert eviction is not None and eviction.address in (0, 4)
+        assert cache.contains(1)
+
+    def test_occupancy_never_exceeds_capacity(self):
+        cache = small_cache(ways=2, sets=2)
+        for block in range(20):
+            cache.fill(block)
+        assert cache.occupancy() <= cache.capacity_blocks
+
+    def test_dirty_eviction_counts_writeback(self):
+        cache = small_cache(ways=1, sets=1)
+        cache.fill(0, LineState.MODIFIED)
+        cache.fill(1)
+        assert cache.stats.counters["writebacks"].value == 1
+
+    def test_random_policy_picks_valid_way(self):
+        policy = RandomPolicy(seed=1)
+        assert policy.victim(0, [0, 1, 2, 3]) in (0, 1, 2, 3)
+
+    def test_lru_prefers_untouched_ways(self):
+        policy = LRUPolicy()
+        policy.on_access(0, 1)
+        assert policy.victim(0, [0, 1]) == 0
+
+
+class TestMSHRFile:
+    def test_allocate_until_full(self):
+        mshrs = MSHRFile(capacity=2)
+        assert mshrs.allocate(1) is not None
+        assert mshrs.allocate(2) is not None
+        assert mshrs.full
+        assert mshrs.allocate(3) is None
+
+    def test_coalescing_does_not_consume_entry(self):
+        mshrs = MSHRFile(capacity=1)
+        first = mshrs.allocate(1)
+        second = mshrs.allocate(1)
+        assert first is second
+        assert second.waiters == 2
+
+    def test_release_frees_slot(self):
+        mshrs = MSHRFile(capacity=1)
+        mshrs.allocate(1)
+        mshrs.release(1)
+        assert mshrs.allocate(2) is not None
+
+    def test_release_unknown_raises(self):
+        with pytest.raises(KeyError):
+            MSHRFile(capacity=1).release(5)
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            MSHRFile(capacity=0)
+
+
+class TestMainMemory:
+    def test_unloaded_access_costs_base_latency(self):
+        memory = MainMemory(MemoryConfig(access_latency_ns=60.0, banks_per_node=4))
+        assert memory.access_latency(0, now_ns=0.0) == pytest.approx(60.0)
+
+    def test_same_bank_conflict_queues(self):
+        memory = MainMemory(MemoryConfig(access_latency_ns=60.0, banks_per_node=4))
+        memory.access_latency(0, now_ns=0.0)
+        # Block 4 maps to the same bank (4 % 4 == 0) and must wait.
+        assert memory.access_latency(4, now_ns=0.0) == pytest.approx(120.0)
+
+    def test_different_banks_do_not_conflict(self):
+        memory = MainMemory(MemoryConfig(access_latency_ns=60.0, banks_per_node=4))
+        memory.access_latency(0, now_ns=0.0)
+        assert memory.access_latency(1, now_ns=0.0) == pytest.approx(60.0)
+
+    def test_reset_clears_bank_state(self):
+        memory = MainMemory(MemoryConfig(access_latency_ns=60.0, banks_per_node=2))
+        memory.access_latency(0, now_ns=0.0)
+        memory.reset()
+        assert memory.access_latency(0, now_ns=0.0) == pytest.approx(60.0)

@@ -1,0 +1,143 @@
+"""Tests for the latency model, processor interval model and timing simulator."""
+
+import pytest
+
+from repro.common.config import SystemConfig, TSEConfig
+from repro.common.types import AccessType, MemoryAccess
+from repro.node.latency import LatencyModel
+from repro.node.processor import ProcessorModel
+from repro.system.timing import TimingSimulator
+from repro.tse.simulator import Outcome
+
+
+@pytest.fixture()
+def latency():
+    return LatencyModel(SystemConfig.isca2005())
+
+
+class TestLatencyModel:
+    def test_latencies_ordered_by_distance(self, latency):
+        assert latency.l2_hit_cycles < latency.local_memory_cycles
+        assert latency.local_memory_cycles < latency.remote_memory_cycles
+        assert latency.coherent_read_cycles > latency.l2_hit_cycles
+
+    def test_stream_fetch_matches_coherent_read(self, latency):
+        # Section 5.6: stream retrieval latency ~= consumption miss latency.
+        assert latency.stream_fetch_cycles == pytest.approx(latency.coherent_read_cycles)
+
+    def test_coherent_read_is_hundreds_of_cycles(self, latency):
+        assert 300 < latency.coherent_read_cycles < 2000
+
+
+def _accesses(specs, node=0):
+    """Build (access, outcome) pairs from (gap, outcome, dependent, lead) tuples."""
+    accesses, outcomes = [], []
+    timestamp = 0
+    for gap, outcome, dependent, lead in specs:
+        timestamp += gap
+        accesses.append(
+            MemoryAccess(node=node, address=len(accesses) + 1, access_type=AccessType.READ,
+                         timestamp=timestamp, dependent=dependent)
+        )
+        outcomes.append((outcome, lead))
+    return accesses, outcomes
+
+
+class TestProcessorModel:
+    def _model(self):
+        return ProcessorModel(SystemConfig.isca2005())
+
+    def test_pure_hits_are_all_busy_time(self):
+        model = self._model()
+        accesses, outcomes = _accesses([(100, Outcome.OTHER, False, 0)] * 10)
+        result = model.run_node(0, accesses, outcomes)
+        assert result.coherent_read_stall_cycles == 0
+        assert result.other_stall_cycles == 0
+        assert result.busy_cycles == pytest.approx(1000 / 2.0)
+
+    def test_dependent_consumptions_serialize(self):
+        model = self._model()
+        specs = [(10, Outcome.CONSUMPTION, True, 0)] * 5
+        accesses, outcomes = _accesses(specs)
+        result = model.run_node(0, accesses, outcomes)
+        latency = LatencyModel(SystemConfig.isca2005()).coherent_read_cycles
+        assert result.coherent_read_stall_cycles == pytest.approx(5 * latency, rel=0.05)
+        assert result.consumption_mlp == pytest.approx(1.0, abs=0.05)
+
+    def test_independent_consumptions_overlap(self):
+        model = self._model()
+        specs = [(10, Outcome.CONSUMPTION, False, 0)] * 8
+        accesses, outcomes = _accesses(specs)
+        result = model.run_node(0, accesses, outcomes)
+        latency = LatencyModel(SystemConfig.isca2005()).coherent_read_cycles
+        assert result.coherent_read_stall_cycles < 8 * latency * 0.5
+        assert result.consumption_mlp > 2.0
+
+    def test_svb_hit_with_large_lead_is_fully_covered(self):
+        model = self._model()
+        specs = [(2000, Outcome.OTHER, False, 0)] * 5 + [(2000, Outcome.SVB_HIT, False, 5)]
+        accesses, outcomes = _accesses(specs)
+        result = model.run_node(0, accesses, outcomes)
+        assert result.fully_covered == 1
+        assert result.partially_covered == 0
+        assert result.coherent_read_stall_cycles == 0
+
+    def test_svb_hit_with_no_lead_is_partial(self):
+        model = self._model()
+        specs = [(10, Outcome.SVB_HIT, True, 0)]
+        accesses, outcomes = _accesses(specs)
+        result = model.run_node(0, accesses, outcomes)
+        assert result.partially_covered == 1
+        assert result.coherent_read_stall_cycles > 0
+
+    def test_mismatched_lengths_rejected(self):
+        model = self._model()
+        accesses, outcomes = _accesses([(10, Outcome.OTHER, False, 0)] * 3)
+        with pytest.raises(ValueError):
+            model.run_node(0, accesses, outcomes[:-1])
+
+    def test_writes_and_spins_do_not_add_coherent_stalls(self):
+        model = self._model()
+        specs = [(50, Outcome.WRITE, False, 0), (50, Outcome.SPIN, False, 0)] * 4
+        accesses, outcomes = _accesses(specs)
+        result = model.run_node(0, accesses, outcomes)
+        assert result.coherent_read_stall_cycles == 0
+        assert result.other_stall_cycles > 0  # spins charge synchronisation time
+
+
+class TestTimingSimulator:
+    @pytest.fixture(scope="class")
+    def comparison(self, medium_trace):
+        simulator = TimingSimulator(SystemConfig.isca2005(), TSEConfig.paper_default(lookahead=18))
+        return simulator.compare(medium_trace)
+
+    def test_tse_is_faster_on_em3d(self, comparison):
+        assert comparison.speedup > 1.2
+
+    def test_breakdown_fractions_sum_to_one(self, comparison):
+        for result in (comparison.base, comparison.tse):
+            breakdown = result.breakdown()
+            assert sum(breakdown.values()) == pytest.approx(1.0)
+
+    def test_tse_reduces_coherent_stalls(self, comparison):
+        assert (
+            comparison.tse.coherent_read_stall_cycles
+            < comparison.base.coherent_read_stall_cycles
+        )
+
+    def test_busy_time_unchanged_by_tse(self, comparison):
+        assert comparison.tse.busy_cycles == pytest.approx(comparison.base.busy_cycles, rel=0.01)
+
+    def test_base_mlp_in_reasonable_range(self, comparison):
+        assert 1.0 <= comparison.base.consumption_mlp < 16.0
+
+    def test_coverage_split_consistent(self, comparison):
+        timing = comparison.tse
+        assert timing.total_consumptions > 0
+        assert timing.full_coverage + timing.partial_coverage <= 1.0 + 1e-9
+
+    def test_table3_row_fields(self, comparison):
+        row = comparison.table3_row(trace_coverage=0.9, lookahead=18)
+        assert row["lookahead"] == 18.0
+        assert row["trace_coverage"] == 0.9
+        assert 0.0 <= row["full_coverage"] <= 1.0

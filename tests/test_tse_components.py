@@ -1,0 +1,240 @@
+"""Unit tests for the TSE building blocks: CMOB, SVB, stream queues, engine."""
+
+import pytest
+
+from repro.common.config import TSEConfig
+from repro.tse.cmob import CMOB
+from repro.tse.stream_engine import StreamEngine
+from repro.tse.stream_queue import QueueState, StreamQueue, StreamSource
+from repro.tse.svb import StreamedValueBuffer, SVBEntry
+
+
+class TestCMOB:
+    def test_append_returns_monotonic_offsets(self):
+        cmob = CMOB(capacity=8)
+        assert [cmob.append(a) for a in (10, 11, 12)] == [0, 1, 2]
+        assert cmob.appended == 3
+
+    def test_read_stream_follows_order(self):
+        cmob = CMOB(capacity=16)
+        for address in range(100, 110):
+            cmob.append(address)
+        assert cmob.read_stream(3, 4) == [103, 104, 105, 106]
+
+    def test_read_stream_truncates_at_end(self):
+        cmob = CMOB(capacity=16)
+        for address in range(100, 105):
+            cmob.append(address)
+        assert cmob.read_stream(3, 10) == [103, 104]
+
+    def test_wraparound_invalidates_stale_offsets(self):
+        cmob = CMOB(capacity=4)
+        for address in range(10):
+            cmob.append(address)
+        assert not cmob.is_valid_offset(2)
+        assert cmob.read(2) is None
+        assert cmob.read_stream(2, 4) == []
+        assert cmob.read_stream(7, 4) == [7, 8, 9]
+
+    def test_len_caps_at_capacity(self):
+        cmob = CMOB(capacity=4)
+        for address in range(10):
+            cmob.append(address)
+        assert len(cmob) == 4
+        assert cmob.utilization() == 1.0
+
+    def test_storage_bytes(self):
+        assert CMOB(capacity=1000, entry_bytes=6).storage_bytes == 6000
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            CMOB(capacity=0)
+
+
+class TestSVB:
+    def test_insert_probe_consume(self):
+        svb = StreamedValueBuffer(capacity_entries=4)
+        svb.insert(SVBEntry(address=10, queue_id=1))
+        assert svb.probe(10) is not None
+        entry = svb.consume(10)
+        assert entry.queue_id == 1
+        assert svb.probe(10) is None
+
+    def test_lru_eviction_returns_victim(self):
+        svb = StreamedValueBuffer(capacity_entries=2)
+        svb.insert(SVBEntry(address=1, queue_id=0))
+        svb.insert(SVBEntry(address=2, queue_id=0))
+        victim = svb.insert(SVBEntry(address=3, queue_id=0))
+        assert victim is not None and victim.address == 1
+        assert len(svb) == 2
+
+    def test_reinsert_refreshes_without_victim(self):
+        svb = StreamedValueBuffer(capacity_entries=2)
+        svb.insert(SVBEntry(address=1, queue_id=0))
+        svb.insert(SVBEntry(address=2, queue_id=0))
+        assert svb.insert(SVBEntry(address=1, queue_id=5)) is None
+        victim = svb.insert(SVBEntry(address=3, queue_id=0))
+        assert victim.address == 2  # 1 was refreshed, so 2 is now LRU
+
+    def test_invalidate_on_write(self):
+        svb = StreamedValueBuffer(capacity_entries=4)
+        svb.insert(SVBEntry(address=7, queue_id=0))
+        assert svb.invalidate(7) is not None
+        assert svb.invalidate(7) is None
+
+    def test_invalidate_queue_flushes_only_that_queue(self):
+        svb = StreamedValueBuffer(capacity_entries=8)
+        svb.insert(SVBEntry(address=1, queue_id=0))
+        svb.insert(SVBEntry(address=2, queue_id=1))
+        removed = svb.invalidate_queue(0)
+        assert [e.address for e in removed] == [1]
+        assert 2 in svb
+
+    def test_drain_returns_all_unconsumed(self):
+        svb = StreamedValueBuffer(capacity_entries=8)
+        for address in range(5):
+            svb.insert(SVBEntry(address=address, queue_id=0))
+        assert len(svb.drain()) == 5
+        assert len(svb) == 0
+
+
+class TestStreamQueue:
+    def _queue_with_streams(self, *streams, lookahead=4):
+        queue = StreamQueue(queue_id=0, head=99, lookahead=lookahead)
+        for i, stream in enumerate(streams):
+            queue.add_stream(list(stream), StreamSource(node=i, next_offset=len(stream)))
+        return queue
+
+    def test_single_stream_is_active(self):
+        queue = self._queue_with_streams([1, 2, 3])
+        assert queue.state is QueueState.ACTIVE
+        assert queue.next_agreed() == 1
+
+    def test_agreeing_streams_active_disagreeing_stalled(self):
+        agreeing = self._queue_with_streams([1, 2, 3], [1, 2, 4])
+        assert agreeing.state is QueueState.ACTIVE
+        disagreeing = self._queue_with_streams([1, 2, 3], [5, 6, 7])
+        assert disagreeing.state is QueueState.STALLED
+
+    def test_pop_next_consumes_from_all_fifos(self):
+        queue = self._queue_with_streams([1, 2, 3], [1, 2, 4])
+        assert queue.pop_next() == 1
+        assert queue.pop_next() == 2
+        # Heads now disagree (3 vs 4): the queue stalls.
+        assert queue.state is QueueState.STALLED
+        assert queue.pop_next() is None
+
+    def test_lookahead_bounds_in_flight(self):
+        queue = self._queue_with_streams(list(range(1, 10)), lookahead=2)
+        assert queue.pop_next() is not None
+        assert queue.pop_next() is not None
+        assert not queue.can_fetch()
+        queue.on_hit()
+        assert queue.can_fetch()
+
+    def test_stall_resolution_selects_matching_stream(self):
+        queue = self._queue_with_streams([1, 2, 3], [5, 6, 7])
+        assert queue.try_resolve_stall(5)
+        assert queue.state is QueueState.ACTIVE
+        # The matched address was dropped; the stream resumes after it.
+        assert queue.next_agreed() == 6
+
+    def test_stall_resolution_ignores_non_matching_miss(self):
+        queue = self._queue_with_streams([1, 2, 3], [5, 6, 7])
+        assert not queue.try_resolve_stall(99)
+        assert queue.state is QueueState.STALLED
+
+    def test_skip_address_realigns_within_window(self):
+        queue = self._queue_with_streams([1, 2, 3, 4], lookahead=4)
+        assert queue.skip_address(2)
+        assert queue.pop_next() == 1
+        assert queue.pop_next() == 3
+
+    def test_drained_after_exhausting_fifos(self):
+        queue = self._queue_with_streams([1], lookahead=4)
+        queue.pop_next()
+        assert queue.state is QueueState.DRAINED
+
+    def test_refill_requests_when_low(self):
+        queue = self._queue_with_streams([1, 2], lookahead=4)
+        requests = queue.refill_requests(threshold=4, count=8)
+        assert len(requests) == 1
+        assert requests[0].count == 8
+        # A second call while the refill is pending asks for nothing.
+        assert queue.refill_requests(threshold=4, count=8) == []
+
+    def test_extend_stream_applies_refill(self):
+        queue = self._queue_with_streams([1], lookahead=4)
+        queue.extend_stream(0, [2, 3], new_next_offset=10)
+        assert queue.pending(0) == 3
+
+
+class TestStreamEngine:
+    def _engine(self, **overrides):
+        config = TSEConfig(
+            cmob_capacity=1024, svb_entries=8, stream_queues=2,
+            stream_lookahead=4, compared_streams=2, **overrides
+        )
+        return StreamEngine(config, node_id=0)
+
+    def test_accept_streams_fetches_up_to_lookahead(self):
+        engine = self._engine()
+        source = StreamSource(node=1, next_offset=10)
+        queue_id, fetches = engine.accept_streams(99, [(source, [1, 2, 3, 4, 5, 6])])
+        assert queue_id >= 0
+        assert [f.address for f in fetches] == [1, 2, 3, 4]
+
+    def test_disagreeing_streams_fetch_nothing(self):
+        engine = self._engine()
+        streams = [
+            (StreamSource(node=1, next_offset=0), [1, 2, 3]),
+            (StreamSource(node=2, next_offset=0), [7, 8, 9]),
+        ]
+        _, fetches = engine.accept_streams(99, streams)
+        assert fetches == []
+        assert len(engine.stalled_queues()) == 1
+
+    def test_svb_hit_extends_stream(self):
+        engine = self._engine()
+        source = StreamSource(node=1, next_offset=0)
+        _, fetches = engine.accept_streams(99, [(source, [1, 2, 3, 4, 5, 6])])
+        for fetch in fetches:
+            engine.install_block(fetch.address, fetch.queue_id)
+        _, more = engine.on_svb_hit(1)
+        assert [f.address for f in more] == [5]
+
+    def test_offchip_miss_resolves_stall(self):
+        engine = self._engine()
+        streams = [
+            (StreamSource(node=1, next_offset=0), [1, 2, 3]),
+            (StreamSource(node=2, next_offset=0), [7, 8, 9]),
+        ]
+        engine.accept_streams(99, streams)
+        fetches = engine.on_offchip_miss(7)
+        assert [f.address for f in fetches] == [8, 9]
+
+    def test_queue_reclaim_records_retired_hits(self):
+        engine = self._engine()
+        source = StreamSource(node=1, next_offset=0)
+        for head in range(3):  # 3 allocations with only 2 queues
+            engine.accept_streams(head, [(source, [head * 10 + 1, head * 10 + 2])])
+        assert len(engine.retired_queue_hits) == 1
+
+    def test_install_block_evicts_and_notifies_owner(self):
+        engine = self._engine()
+        source = StreamSource(node=1, next_offset=0)
+        # Three queues, four fetches each: twelve fills overflow the 8-entry SVB.
+        victims = []
+        for base in (1, 100, 200):
+            _, fetches = engine.accept_streams(base, [(source, list(range(base + 1, base + 20)))])
+            victims.extend(engine.install_block(f.address, f.queue_id) for f in fetches)
+        assert any(v is not None for v in victims)
+
+    def test_invalidate_removes_block_and_frees_slot(self):
+        engine = self._engine()
+        source = StreamSource(node=1, next_offset=0)
+        _, fetches = engine.accept_streams(99, [(source, [1, 2, 3, 4, 5])])
+        for fetch in fetches:
+            engine.install_block(fetch.address, fetch.queue_id)
+        assert engine.on_invalidate(1) is not None
+        assert engine.lookup(1) is None

@@ -1,0 +1,119 @@
+"""Workload generator tests: determinism, structure, and sharing behaviour."""
+
+import pytest
+
+from repro.coherence.protocol import CoherenceProtocol, extract_consumptions
+from repro.common.types import AccessType
+from repro.workloads import (
+    ALL_WORKLOADS,
+    COMMERCIAL_WORKLOADS,
+    SCIENTIFIC_WORKLOADS,
+    available_workloads,
+    get_workload,
+)
+from repro.workloads.base import AddressSpace, WorkloadParams
+
+
+class TestRegistry:
+    def test_all_seven_paper_workloads_registered(self):
+        names = available_workloads()
+        for name in ("em3d", "moldyn", "ocean", "apache", "db2", "oracle", "zeus"):
+            assert name in names
+
+    def test_unknown_workload_raises(self):
+        with pytest.raises(KeyError):
+            get_workload("notarealworkload")
+
+    def test_categories(self):
+        for name in SCIENTIFIC_WORKLOADS:
+            assert get_workload(name, WorkloadParams(num_nodes=4, target_accesses=10)).category == "scientific"
+        for name in COMMERCIAL_WORKLOADS:
+            assert get_workload(name, WorkloadParams(num_nodes=4, target_accesses=10)).category == "commercial"
+
+
+class TestAddressSpace:
+    def test_regions_are_disjoint(self):
+        space = AddressSpace()
+        a = space.allocate("a", 100)
+        b = space.allocate("b", 50)
+        assert set(a).isdisjoint(set(b))
+        assert space.total_blocks == 150
+
+    def test_duplicate_region_rejected(self):
+        space = AddressSpace()
+        space.allocate("a", 10)
+        with pytest.raises(ValueError):
+            space.allocate("a", 10)
+
+    def test_zero_size_region_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace().allocate("a", 0)
+
+
+@pytest.mark.parametrize("name", ALL_WORKLOADS)
+class TestEveryWorkload:
+    def test_trace_reaches_target_and_stays_in_bounds(self, name, small_traces):
+        trace = small_traces[name]
+        assert len(trace) >= 8_000
+        assert all(0 <= a.node < trace.num_nodes for a in trace.accesses[:2000])
+
+    def test_deterministic_for_same_seed(self, name):
+        params = WorkloadParams(num_nodes=4, seed=3, target_accesses=3000)
+        first = get_workload(name, params).generate()
+        second = get_workload(name, params).generate()
+        assert [(a.node, a.address, a.access_type) for a in first] == [
+            (a.node, a.address, a.access_type) for a in second
+        ]
+
+    def test_different_seeds_differ(self, name):
+        a = get_workload(name, WorkloadParams(num_nodes=4, seed=1, target_accesses=3000)).generate()
+        b = get_workload(name, WorkloadParams(num_nodes=4, seed=2, target_accesses=3000)).generate()
+        assert [(x.node, x.address) for x in a] != [(x.node, x.address) for x in b]
+
+    def test_timestamps_monotonic_per_node(self, name, small_traces):
+        trace = small_traces[name]
+        last = {}
+        for access in trace:
+            assert access.timestamp >= last.get(access.node, 0)
+            last[access.node] = access.timestamp
+
+    def test_produces_consumptions(self, name, small_traces):
+        trace = small_traces[name]
+        protocol = CoherenceProtocol(trace.num_nodes)
+        results = protocol.process_trace(trace)
+        consumptions = extract_consumptions(results, trace.num_nodes)
+        assert sum(len(c) for c in consumptions) > 50
+
+    def test_every_node_participates(self, name, small_traces):
+        trace = small_traces[name]
+        nodes_seen = {a.node for a in trace}
+        assert nodes_seen == set(range(trace.num_nodes))
+
+
+class TestSharingCharacter:
+    def test_scientific_reads_not_dependent(self, small_traces):
+        trace = small_traces["em3d"]
+        assert not any(a.dependent for a in trace.accesses[:2000])
+
+    def test_commercial_has_dependent_chains(self, small_traces):
+        trace = small_traces["db2"]
+        assert any(a.dependent for a in trace.accesses if a.is_read)
+
+    def test_commercial_has_spin_and_atomic_accesses(self, small_traces):
+        trace = small_traces["oracle"]
+        kinds = {a.access_type for a in trace}
+        assert AccessType.ATOMIC in kinds
+
+    def test_ocean_boundary_reads_are_bursty(self, small_traces):
+        """Consecutive boundary reads carry small instruction gaps (bursts)."""
+        trace = small_traces["ocean"]
+        per_node = trace.per_node()[0]
+        reads = [a for a in per_node if a.is_read]
+        gaps = [b.timestamp - a.timestamp for a, b in zip(reads, reads[1:])]
+        assert min(gaps) <= 30
+
+    def test_oltp_transactions_are_contiguous_per_node(self, small_traces):
+        """OLTP dispatches whole transactions to one node at a time."""
+        trace = small_traces["db2"]
+        switches = sum(1 for a, b in zip(trace.accesses, trace.accesses[1:]) if a.node != b.node)
+        assert switches < len(trace) / 5
