@@ -6,44 +6,83 @@ size (Figure 9) — for one workload, and prints the coverage/discard
 trade-off of each point.  Useful for picking a configuration when deploying
 the library on a workload outside the paper's suite.
 
+All sweep points run through the experiment harness's shared result cache
+and :func:`repro.experiments.runner.run_parallel`, so duplicate points cost
+nothing and multi-core machines evaluate the grid concurrently.
+
 Run with:  python examples/design_space_sweep.py [workload]
 """
 
 import sys
+from typing import Dict, Tuple
 
 from repro.common.config import TSEConfig
-from repro.tse.simulator import run_tse_on_trace
-from repro.workloads import get_workload
-from repro.workloads.base import WorkloadParams
+from repro.experiments.cache import cached_tse_run
+from repro.experiments.runner import run_parallel, trace_for
+
+TARGET_ACCESSES = 80_000
+SEED = 42
 
 
-def sweep(trace, label, configs) -> None:
-    print(f"\n--- {label} ---")
-    print(f"{'configuration':<24} {'coverage':>9} {'discards':>9}")
-    for name, config in configs:
-        stats = run_tse_on_trace(trace, config, warmup_fraction=0.3)
-        print(f"{name:<24} {stats.coverage:>9.1%} {stats.discard_rate:>9.1%}")
+def _point(
+    workload: str,
+    named_config: Tuple[str, str, TSEConfig],
+    *,
+    target_accesses: int,
+    seed: int,
+) -> Dict[str, object]:
+    """Evaluate one (sweep section, configuration) point."""
+    section, name, config = named_config
+    stats = cached_tse_run(
+        workload, config, target_accesses=target_accesses, seed=seed,
+        warmup_fraction=0.3,
+    )
+    return {
+        "section": section,
+        "name": name,
+        "coverage": stats.coverage,
+        "discards": stats.discard_rate,
+    }
+
+
+def sweep_points(workload: str):
+    """The full (section, label, config) grid, in display order."""
+    points = []
+    for n in (1, 2, 3, 4):
+        points.append((
+            "compared streams (Figure 7)", f"{n} stream(s)",
+            TSEConfig.unconstrained(lookahead=8, compared_streams=n),
+        ))
+    for la in (4, 8, 16, 24):
+        points.append((
+            "stream lookahead (Figure 8)", f"lookahead {la}",
+            TSEConfig.paper_default(lookahead=la),
+        ))
+    for entries in (8, 32, 128):
+        points.append((
+            "SVB size (Figure 9)", f"{entries} entries ({entries * 64} B)",
+            TSEConfig.paper_default(lookahead=8).with_(svb_entries=entries),
+        ))
+    return points
 
 
 def main() -> None:
     workload = sys.argv[1] if len(sys.argv) > 1 else "db2"
-    params = WorkloadParams(num_nodes=16, seed=42, target_accesses=80_000)
-    trace = get_workload(workload, params).generate()
+    trace = trace_for(workload, TARGET_ACCESSES, SEED)
     print(f"TSE design-space sweep on {workload} ({len(trace)} accesses)")
 
-    sweep(trace, "compared streams (Figure 7)", [
-        (f"{n} stream(s)", TSEConfig.unconstrained(lookahead=8, compared_streams=n))
-        for n in (1, 2, 3, 4)
-    ])
-    sweep(trace, "stream lookahead (Figure 8)", [
-        (f"lookahead {la}", TSEConfig.paper_default(lookahead=la))
-        for la in (4, 8, 16, 24)
-    ])
-    sweep(trace, "SVB size (Figure 9)", [
-        (f"{entries} entries ({entries * 64} B)",
-         TSEConfig.paper_default(lookahead=8).with_(svb_entries=entries))
-        for entries in (8, 32, 128)
-    ])
+    rows = run_parallel(
+        _point, (workload,), tuple(sweep_points(workload)),
+        target_accesses=TARGET_ACCESSES, seed=SEED,
+    )
+
+    section = None
+    for row in rows:
+        if row["section"] != section:
+            section = row["section"]
+            print(f"\n--- {section} ---")
+            print(f"{'configuration':<24} {'coverage':>9} {'discards':>9}")
+        print(f"{row['name']:<24} {row['coverage']:>9.1%} {row['discards']:>9.1%}")
 
 
 if __name__ == "__main__":

@@ -15,6 +15,7 @@ uncorrelated (they never enter the cumulative curve).
 
 from __future__ import annotations
 
+from bisect import bisect_left
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -150,17 +151,22 @@ def _nearest_occurrence(
     if not positions:
         return None
     best: Optional[int] = None
+    best_abs = max_distance + 1
     # positions is sorted (append order); binary search the neighbourhood.
-    import bisect
-
-    insert_at = bisect.bisect_left(positions, reference_position)
-    for candidate_index in (insert_at - 1, insert_at, insert_at + 1):
-        if 0 <= candidate_index < len(positions):
-            distance = positions[candidate_index] - reference_position
-            if distance == 0:
-                continue
-            if abs(distance) <= max_distance and (best is None or abs(distance) < abs(best)):
-                best = distance
+    # Only the insertion point's immediate neighbours can be nearest, so the
+    # candidate scan is a fixed three-slot window around it.
+    insert_at = bisect_left(positions, reference_position)
+    num_positions = len(positions)
+    lo = insert_at - 1 if insert_at > 0 else 0
+    hi = insert_at + 2 if insert_at + 2 < num_positions else num_positions
+    for candidate_index in range(lo, hi):
+        distance = positions[candidate_index] - reference_position
+        if distance == 0:
+            continue
+        distance_abs = distance if distance > 0 else -distance
+        if distance_abs <= max_distance and distance_abs < best_abs:
+            best = distance
+            best_abs = distance_abs
     return best
 
 

@@ -13,7 +13,7 @@ import enum
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.common.stats import StatsRegistry
+from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
 
 
@@ -25,7 +25,7 @@ class DirectoryState(enum.Enum):
     MODIFIED = "modified"
 
 
-@dataclass
+@dataclass(slots=True)
 class CMOBPointer:
     """Directory-resident pointer into a node's CMOB.
 
@@ -39,7 +39,7 @@ class CMOBPointer:
     offset: int
 
 
-@dataclass
+@dataclass(slots=True)
 class DirectoryEntry:
     """Directory state for one block."""
 
@@ -59,9 +59,13 @@ class DirectoryEntry:
         location of the most recent append is the one that starts a useful
         stream.
         """
-        self.cmob_pointers = [p for p in self.cmob_pointers if p.node != node]
-        self.cmob_pointers.insert(0, CMOBPointer(node=node, offset=offset))
-        del self.cmob_pointers[max_pointers:]
+        pointers = self.cmob_pointers
+        for i, pointer in enumerate(pointers):
+            if pointer.node == node:
+                del pointers[i]
+                break
+        pointers.insert(0, CMOBPointer(node=node, offset=offset))
+        del pointers[max_pointers:]
 
 
 class Directory:
@@ -77,8 +81,16 @@ class Directory:
             raise ValueError("num_nodes must be positive")
         self.num_nodes = num_nodes
         self.cmob_pointers_per_block = cmob_pointers_per_block
-        self.stats = StatsRegistry(prefix="directory")
+        self._stats = StatsRegistry(prefix="directory")
+        self._n_cmob_pointer_updates = 0
         self._entries: Dict[BlockAddress, DirectoryEntry] = {}
+
+    @property
+    def stats(self) -> StatsRegistry:
+        """Statistics registry, synchronized with the plain-int counters on read."""
+        return publish_counters(
+            self._stats, {"cmob_pointer_updates": self._n_cmob_pointer_updates}
+        )
 
     def home_of(self, address: BlockAddress) -> NodeId:
         """Home node of a block (low-order address interleaving)."""
@@ -103,7 +115,7 @@ class Directory:
     def record_cmob_pointer(self, address: BlockAddress, node: NodeId, offset: int) -> None:
         """Store a CMOB pointer for ``address`` (Section 3.1, step 4)."""
         self.entry(address).record_cmob_pointer(node, offset, self.cmob_pointers_per_block)
-        self.stats.counter("cmob_pointer_updates").increment()
+        self._n_cmob_pointer_updates += 1
 
     def cmob_pointers(self, address: BlockAddress) -> List[CMOBPointer]:
         """CMOB pointers for a block, newest first (may be empty)."""

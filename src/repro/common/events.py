@@ -28,20 +28,35 @@ class Event:
     callback: Callable[[], None] = field(compare=False)
     label: str = field(default="", compare=False)
     cancelled: bool = field(default=False, compare=False)
+    #: Queue owning the event, so cancellation can keep the queue's live
+    #: count accurate without an O(n) scan (set by the queue on schedule).
+    _queue: Optional["EventQueue"] = field(default=None, compare=False, repr=False)
 
     def cancel(self) -> None:
         """Mark the event so the queue skips it when popped."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._queue is not None:
+                self._queue._on_cancel()
 
 
 class EventQueue:
-    """Priority queue of events with a current simulation time."""
+    """Priority queue of events with a current simulation time.
+
+    ``len(queue)`` is the number of *live* (non-cancelled) pending events,
+    maintained incrementally on schedule/cancel/pop instead of scanning the
+    heap.
+    """
 
     def __init__(self) -> None:
         self._heap: List[Event] = []
         self._counter = itertools.count()
         self._now: float = 0.0
         self._processed = 0
+        self._live = 0
+
+    def _on_cancel(self) -> None:
+        self._live -= 1
 
     @property
     def now(self) -> float:
@@ -54,22 +69,24 @@ class EventQueue:
         return self._processed
 
     def __len__(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     def schedule(self, delay: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` to run ``delay`` time units from now."""
         if delay < 0:
             raise ValueError(f"cannot schedule an event in the past (delay={delay})")
-        event = Event(self._now + delay, next(self._counter), callback, label)
+        event = Event(self._now + delay, next(self._counter), callback, label, _queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def schedule_at(self, time: float, callback: Callable[[], None], label: str = "") -> Event:
         """Schedule ``callback`` at an absolute simulation time."""
         if time < self._now:
             raise ValueError(f"cannot schedule at {time} < now={self._now}")
-        event = Event(time, next(self._counter), callback, label)
+        event = Event(time, next(self._counter), callback, label, _queue=self)
         heapq.heappush(self._heap, event)
+        self._live += 1
         return event
 
     def step(self) -> bool:
@@ -78,6 +95,8 @@ class EventQueue:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
+            self._live -= 1
+            event._queue = None  # cancelling an executed event must not recount
             self._now = event.time
             event.callback()
             self._processed += 1
@@ -100,6 +119,8 @@ class EventQueue:
             if max_events is not None and executed >= max_events:
                 break
             heapq.heappop(self._heap)
+            self._live -= 1
+            event._queue = None  # cancelling an executed event must not recount
             self._now = event.time
             event.callback()
             self._processed += 1

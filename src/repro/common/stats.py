@@ -167,3 +167,15 @@ class StatsRegistry:
 def ratio(numerator: float, denominator: float, default: float = 0.0) -> float:
     """Safe division used all over the analysis code."""
     return numerator / denominator if denominator else default
+
+
+def publish_counters(registry: StatsRegistry, values: Mapping[str, int]) -> StatsRegistry:
+    """Publish plain-int hot-path counters into a registry and return it.
+
+    Hot-path components accumulate activity in plain integer attributes and
+    expose a ``stats`` property that calls this helper, so the registry is
+    only touched when somebody actually reads the statistics.
+    """
+    for name, value in values.items():
+        registry.counter(name).value = value
+    return registry

@@ -39,12 +39,12 @@ class AccessType(enum.Enum):
     @property
     def is_read(self) -> bool:
         """True for any access that only observes data."""
-        return self in (AccessType.READ, AccessType.SPIN_READ)
+        return self is AccessType.READ or self is AccessType.SPIN_READ
 
     @property
     def is_write(self) -> bool:
         """True for accesses that modify the block (writes and atomics)."""
-        return self in (AccessType.WRITE, AccessType.ATOMIC)
+        return self is AccessType.WRITE or self is AccessType.ATOMIC
 
     @property
     def is_spin(self) -> bool:
@@ -74,7 +74,7 @@ def block_to_address(block: BlockAddress, block_size: int = DEFAULT_BLOCK_SIZE) 
     return block * block_size
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class MemoryAccess:
     """A single shared-memory access issued by one node.
 
@@ -131,7 +131,7 @@ class MissClass(enum.Enum):
     WRITE_MISS = "write"
 
 
-@dataclass
+@dataclass(slots=True)
 class Consumption:
     """A coherent read miss that TSE may target.
 

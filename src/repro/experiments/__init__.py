@@ -7,11 +7,22 @@ table.  The benchmark suite under ``benchmarks/`` regenerates each result
 through these entry points.
 """
 
+from repro.experiments.cache import cache_info, cached_tse_run, clear_cache
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     WORKLOADS,
     format_table,
+    run_parallel,
     trace_for,
 )
 
-__all__ = ["WORKLOADS", "DEFAULT_TARGET_ACCESSES", "trace_for", "format_table"]
+__all__ = [
+    "WORKLOADS",
+    "DEFAULT_TARGET_ACCESSES",
+    "trace_for",
+    "format_table",
+    "run_parallel",
+    "cached_tse_run",
+    "cache_info",
+    "clear_cache",
+]

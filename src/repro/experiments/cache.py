@@ -1,0 +1,122 @@
+"""Shared simulation result cache.
+
+Every figure in the paper is a sensitivity sweep: the same deterministic
+trace is replayed under many TSE configurations, and several experiments
+revisit the *same* (workload, configuration) point — e.g. the paper-default
+configuration appears in Figures 9, 12, 13 and Table 3.  This module
+memoizes functional simulation results so each distinct point is simulated
+exactly once per process.
+
+The cache key is the full determinism domain of a run:
+
+    (workload, target_accesses, seed, num_nodes, tse_config,
+     warmup_fraction, account_traffic, interconnect_config)
+
+Traces are deterministic in the first four components (see
+:func:`repro.experiments.runner.trace_for`) and the simulator is
+deterministic given a trace and a configuration, so a cache hit is
+bit-identical to a fresh run — the determinism regression test in
+``tests/test_perf_infra.py`` locks this in.
+
+Cached :class:`~repro.tse.simulator.TSEStats` objects are shared between
+callers and must be treated as read-only.  Call :func:`clear_cache` to
+invalidate everything (for example after mutating simulator code in a
+long-lived interpreter session).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Dict, Optional, Tuple
+
+from repro.common.config import InterconnectConfig, TSEConfig
+from repro.experiments.runner import trace_for
+from repro.tse.simulator import TSEStats, run_tse_on_trace
+
+
+class ResultCache:
+    """A small LRU cache for simulation results keyed on run parameters."""
+
+    def __init__(self, maxsize: int = 512) -> None:
+        if maxsize <= 0:
+            raise ValueError("maxsize must be positive")
+        self.maxsize = maxsize
+        self.hits = 0
+        self.misses = 0
+        self._store: "OrderedDict[Tuple, TSEStats]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def get(self, key: Tuple) -> Optional[TSEStats]:
+        value = self._store.get(key)
+        if value is None:
+            self.misses += 1
+            return None
+        self._store.move_to_end(key)
+        self.hits += 1
+        return value
+
+    def put(self, key: Tuple, value: TSEStats) -> None:
+        self._store[key] = value
+        self._store.move_to_end(key)
+        while len(self._store) > self.maxsize:
+            self._store.popitem(last=False)
+
+    def clear(self) -> None:
+        self._store.clear()
+        self.hits = 0
+        self.misses = 0
+
+    def info(self) -> Dict[str, int]:
+        return {"size": len(self._store), "maxsize": self.maxsize,
+                "hits": self.hits, "misses": self.misses}
+
+
+#: Process-wide cache shared by every experiment module.
+_CACHE = ResultCache()
+
+
+def cached_tse_run(
+    workload: str,
+    tse_config: Optional[TSEConfig] = None,
+    *,
+    target_accesses: int,
+    seed: int = 42,
+    num_nodes: int = 16,
+    warmup_fraction: float = 0.0,
+    account_traffic: bool = False,
+    interconnect_config: Optional[InterconnectConfig] = None,
+) -> TSEStats:
+    """Run (or reuse) the functional TSE simulation for one sweep point.
+
+    Returns the same :class:`TSEStats` the uncached
+    :func:`~repro.tse.simulator.run_tse_on_trace` would produce for these
+    parameters.  The result object is shared — treat it as read-only.
+    """
+    config = tse_config if tse_config is not None else TSEConfig.paper_default()
+    key = (workload, target_accesses, seed, num_nodes, config,
+           warmup_fraction, account_traffic, interconnect_config)
+    stats = _CACHE.get(key)
+    if stats is None:
+        trace = trace_for(workload, target_accesses, seed, num_nodes)
+        stats = run_tse_on_trace(
+            trace,
+            config,
+            account_traffic=account_traffic,
+            interconnect_config=interconnect_config,
+            warmup_fraction=warmup_fraction,
+        )
+        _CACHE.put(key, stats)
+    return stats
+
+
+def clear_cache() -> None:
+    """Invalidate every cached result (and the shared trace cache)."""
+    _CACHE.clear()
+    trace_for.cache_clear()
+
+
+def cache_info() -> Dict[str, int]:
+    """Hit/miss statistics of the shared result cache."""
+    return _CACHE.info()

@@ -16,10 +16,38 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     WORKLOADS,
     format_table,
+    run_parallel,
     trace_for,
 )
 
 DISTANCES: Sequence[int] = tuple(range(1, 17))
+
+
+def _point(
+    workload: str,
+    _config: object,
+    *,
+    target_accesses: int,
+    seed: int,
+    distances: Sequence[int],
+) -> Dict[str, object]:
+    """Correlation analysis for one workload (one sweep point)."""
+    trace = trace_for(workload, target_accesses, seed)
+    protocol = CoherenceProtocol(trace.num_nodes)
+    results = protocol.process_trace(trace)
+    consumptions = extract_consumptions(results, trace.num_nodes)
+    correlation = temporal_correlation(
+        consumptions,
+        max_distance=max(distances),
+        workload=workload,
+        # Warm the history on the first 30 % of the trace, as the paper
+        # warms caches/CMOBs before measuring.
+        measure_from_global_index=int(len(trace) * 0.3),
+    )
+    row: Dict[str, object] = {"workload": workload}
+    for distance, fraction in cumulative_correlation(correlation, distances):
+        row[f"d{distance}"] = fraction
+    return row
 
 
 def run(
@@ -29,25 +57,10 @@ def run(
     distances: Sequence[int] = DISTANCES,
 ) -> List[Dict[str, object]]:
     """One row per workload: cumulative correlation at each distance."""
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        protocol = CoherenceProtocol(trace.num_nodes)
-        results = protocol.process_trace(trace)
-        consumptions = extract_consumptions(results, trace.num_nodes)
-        correlation = temporal_correlation(
-            consumptions,
-            max_distance=max(distances),
-            workload=workload,
-            # Warm the history on the first 30 % of the trace, as the paper
-            # warms caches/CMOBs before measuring.
-            measure_from_global_index=int(len(trace) * 0.3),
-        )
-        row: Dict[str, object] = {"workload": workload}
-        for distance, fraction in cumulative_correlation(correlation, distances):
-            row[f"d{distance}"] = fraction
-        rows.append(row)
-    return rows
+    return run_parallel(
+        _point, workloads,
+        target_accesses=target_accesses, seed=seed, distances=tuple(distances),
+    )
 
 
 def main() -> None:

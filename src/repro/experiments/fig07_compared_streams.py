@@ -12,16 +12,38 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.common.config import TSEConfig
+from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
     format_table,
-    trace_for,
+    run_parallel,
 )
-from repro.tse.simulator import run_tse_on_trace
 
 STREAM_COUNTS: Sequence[int] = (1, 2, 3, 4)
+
+
+def _point(
+    workload: str,
+    streams: int,
+    *,
+    target_accesses: int,
+    seed: int,
+    lookahead: int,
+) -> Dict[str, object]:
+    """Coverage/discards for one (workload, compared-streams) point."""
+    config = TSEConfig.unconstrained(lookahead=lookahead, compared_streams=streams)
+    stats = cached_tse_run(
+        workload, config, target_accesses=target_accesses, seed=seed,
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
+    )
+    return {
+        "workload": workload,
+        "compared_streams": streams,
+        "coverage": stats.coverage,
+        "discards": stats.discard_rate,
+    }
 
 
 def run(
@@ -32,21 +54,10 @@ def run(
     lookahead: int = 8,
 ) -> List[Dict[str, object]]:
     """One row per (workload, compared streams): coverage and discards."""
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        for streams in stream_counts:
-            config = TSEConfig.unconstrained(lookahead=lookahead, compared_streams=streams)
-            stats = run_tse_on_trace(trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION)
-            rows.append(
-                {
-                    "workload": workload,
-                    "compared_streams": streams,
-                    "coverage": stats.coverage,
-                    "discards": stats.discard_rate,
-                }
-            )
-    return rows
+    return run_parallel(
+        _point, workloads, tuple(stream_counts),
+        target_accesses=target_accesses, seed=seed, lookahead=lookahead,
+    )
 
 
 def main() -> None:

@@ -10,16 +10,37 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.common.config import TSEConfig
+from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
     format_table,
-    trace_for,
+    run_parallel,
 )
-from repro.tse.simulator import run_tse_on_trace
 
 LOOKAHEADS: Sequence[int] = (2, 4, 8, 12, 16, 20, 24)
+
+
+def _point(
+    workload: str,
+    lookahead: int,
+    *,
+    target_accesses: int,
+    seed: int,
+) -> Dict[str, object]:
+    """Discards/coverage for one (workload, lookahead) point."""
+    config = TSEConfig.unconstrained(lookahead=lookahead, compared_streams=2)
+    stats = cached_tse_run(
+        workload, config, target_accesses=target_accesses, seed=seed,
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
+    )
+    return {
+        "workload": workload,
+        "lookahead": lookahead,
+        "discards": stats.discard_rate,
+        "coverage": stats.coverage,
+    }
 
 
 def run(
@@ -29,21 +50,10 @@ def run(
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per (workload, lookahead): discards and coverage."""
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        for lookahead in lookaheads:
-            config = TSEConfig.unconstrained(lookahead=lookahead, compared_streams=2)
-            stats = run_tse_on_trace(trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION)
-            rows.append(
-                {
-                    "workload": workload,
-                    "lookahead": lookahead,
-                    "discards": stats.discard_rate,
-                    "coverage": stats.coverage,
-                }
-            )
-    return rows
+    return run_parallel(
+        _point, workloads, tuple(lookaheads),
+        target_accesses=target_accesses, seed=seed,
+    )
 
 
 def main() -> None:

@@ -11,14 +11,14 @@ from __future__ import annotations
 from typing import Dict, List, Sequence, Tuple
 
 from repro.common.config import TSEConfig
+from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
     format_table,
-    trace_for,
+    run_parallel,
 )
-from repro.tse.simulator import run_tse_on_trace
 
 #: (label, entries) — 64-byte blocks, so 8 entries = 512 B ... 1M entries = "inf".
 SVB_SIZES: Sequence[Tuple[str, int]] = (
@@ -29,6 +29,29 @@ SVB_SIZES: Sequence[Tuple[str, int]] = (
 )
 
 
+def _point(
+    workload: str,
+    svb_size: Tuple[str, int],
+    *,
+    target_accesses: int,
+    seed: int,
+    lookahead: int,
+) -> Dict[str, object]:
+    """Coverage/discards for one (workload, SVB size) point."""
+    label, entries = svb_size
+    config = TSEConfig.paper_default(lookahead=lookahead).with_(svb_entries=entries)
+    stats = cached_tse_run(
+        workload, config, target_accesses=target_accesses, seed=seed,
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
+    )
+    return {
+        "workload": workload,
+        "svb": label,
+        "coverage": stats.coverage,
+        "discards": stats.discard_rate,
+    }
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     svb_sizes: Sequence[Tuple[str, int]] = SVB_SIZES,
@@ -37,21 +60,10 @@ def run(
     lookahead: int = 8,
 ) -> List[Dict[str, object]]:
     """One row per (workload, SVB size): coverage and discards."""
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        for label, entries in svb_sizes:
-            config = TSEConfig.paper_default(lookahead=lookahead).with_(svb_entries=entries)
-            stats = run_tse_on_trace(trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION)
-            rows.append(
-                {
-                    "workload": workload,
-                    "svb": label,
-                    "coverage": stats.coverage,
-                    "discards": stats.discard_rate,
-                }
-            )
-    return rows
+    return run_parallel(
+        _point, workloads, tuple(svb_sizes),
+        target_accesses=target_accesses, seed=seed, lookahead=lookahead,
+    )
 
 
 def main() -> None:

@@ -11,17 +11,39 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.common.config import TSEConfig
+from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
     format_table,
-    trace_for,
+    run_parallel,
 )
-from repro.tse.simulator import run_tse_on_trace
 
 #: Per-node CMOB capacities in entries (x 6 bytes each for the byte size).
 CMOB_CAPACITIES: Sequence[int] = (32, 128, 512, 2048, 8192, 32768, 131072, 524288)
+
+
+def _point(
+    workload: str,
+    capacity: int,
+    *,
+    target_accesses: int,
+    seed: int,
+    lookahead: int,
+) -> Dict[str, object]:
+    """Coverage for one (workload, CMOB capacity) point."""
+    config = TSEConfig.paper_default(lookahead=lookahead).with_(cmob_capacity=capacity)
+    stats = cached_tse_run(
+        workload, config, target_accesses=target_accesses, seed=seed,
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
+    )
+    return {
+        "workload": workload,
+        "cmob_entries": capacity,
+        "cmob_bytes": capacity * 6,
+        "coverage": stats.coverage,
+    }
 
 
 def run(
@@ -32,25 +54,22 @@ def run(
     lookahead: int = 8,
 ) -> List[Dict[str, object]]:
     """One row per (workload, capacity): coverage and fraction of peak coverage."""
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        coverages: List[float] = []
-        for capacity in capacities:
-            config = TSEConfig.paper_default(lookahead=lookahead).with_(cmob_capacity=capacity)
-            stats = run_tse_on_trace(trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION)
-            coverages.append(stats.coverage)
-        peak = max(coverages) if coverages else 0.0
-        for capacity, coverage in zip(capacities, coverages):
-            rows.append(
-                {
-                    "workload": workload,
-                    "cmob_entries": capacity,
-                    "cmob_bytes": capacity * 6,
-                    "coverage": coverage,
-                    "fraction_of_peak": coverage / peak if peak else 0.0,
-                }
-            )
+    rows = run_parallel(
+        _point, workloads, tuple(capacities),
+        target_accesses=target_accesses, seed=seed, lookahead=lookahead,
+    )
+    # Fraction-of-peak needs every capacity of a workload: rows arrive in
+    # deterministic workload-major order, so group and annotate in place.
+    peak: Dict[str, float] = {}
+    for row in rows:
+        coverage = float(row["coverage"])  # type: ignore[arg-type]
+        workload = str(row["workload"])
+        if coverage > peak.get(workload, 0.0):
+            peak[workload] = coverage
+    for row in rows:
+        workload_peak = peak.get(str(row["workload"]), 0.0)
+        coverage = float(row["coverage"])  # type: ignore[arg-type]
+        row["fraction_of_peak"] = coverage / workload_peak if workload_peak else 0.0
     return rows
 
 

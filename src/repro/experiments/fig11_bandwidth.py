@@ -12,14 +12,43 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.bandwidth import bandwidth_overhead
 from repro.common.config import SystemConfig, PAPER_LOOKAHEAD, TSEConfig
+from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
     format_table,
+    run_parallel,
     trace_for,
 )
-from repro.tse.simulator import TSESimulator
+
+
+def _point(
+    workload: str,
+    _config: object,
+    *,
+    target_accesses: int,
+    seed: int,
+) -> Dict[str, object]:
+    """Traffic-accounted run + bandwidth analysis for one workload."""
+    system = SystemConfig.isca2005()
+    trace = trace_for(workload, target_accesses, seed)
+    lookahead = PAPER_LOOKAHEAD.get(workload, 8)
+    config = TSEConfig.paper_default(lookahead=lookahead)
+    stats = cached_tse_run(
+        workload, config, target_accesses=target_accesses, seed=seed,
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
+        account_traffic=True, interconnect_config=system.interconnect,
+    )
+    result = bandwidth_overhead(stats, trace, system)
+    return {
+        "workload": workload,
+        "overhead_gbps": result.overhead_bandwidth_gbps,
+        "overhead_ratio": result.overhead_ratio,
+        "fraction_of_peak": result.fraction_of_peak,
+        "pin_overhead": result.pin_overhead_ratio,
+        "coverage": stats.coverage,
+    }
 
 
 def run(
@@ -28,31 +57,9 @@ def run(
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per workload with the Figure 11 bar and annotations."""
-    system = SystemConfig.isca2005()
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        lookahead = PAPER_LOOKAHEAD.get(workload, 8)
-        config = TSEConfig.paper_default(lookahead=lookahead)
-        simulator = TSESimulator(
-            trace.num_nodes,
-            tse_config=config,
-            account_traffic=True,
-            interconnect_config=system.interconnect,
-        )
-        stats = simulator.run(trace, warmup_fraction=DEFAULT_WARMUP_FRACTION)
-        result = bandwidth_overhead(stats, trace, system)
-        rows.append(
-            {
-                "workload": workload,
-                "overhead_gbps": result.overhead_bandwidth_gbps,
-                "overhead_ratio": result.overhead_ratio,
-                "fraction_of_peak": result.fraction_of_peak,
-                "pin_overhead": result.pin_overhead_ratio,
-                "coverage": stats.coverage,
-            }
-        )
-    return rows
+    return run_parallel(
+        _point, workloads, target_accesses=target_accesses, seed=seed,
+    )
 
 
 def main() -> None:

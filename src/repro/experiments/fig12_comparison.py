@@ -10,15 +10,16 @@ from __future__ import annotations
 from typing import Callable, Dict, List, Sequence
 
 from repro.common.config import TSEConfig
+from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
     format_table,
+    run_parallel,
     trace_for,
 )
 from repro.prefetch import GHBPrefetcher, StridePrefetcher, evaluate_prefetcher
-from repro.tse.simulator import run_tse_on_trace
 
 #: Baseline techniques in the paper's order.
 TECHNIQUES: Sequence[str] = ("Stride", "G/DC", "G/AC", "TSE")
@@ -34,6 +35,38 @@ def _baseline_factory(technique: str) -> Callable[[], object]:
     raise ValueError(f"unknown baseline {technique!r}")
 
 
+def _point(
+    workload: str,
+    technique: str,
+    *,
+    target_accesses: int,
+    seed: int,
+) -> Dict[str, object]:
+    """Coverage/discards for one (workload, technique) point."""
+    if technique == "TSE":
+        stats = cached_tse_run(
+            workload, TSEConfig.paper_default(lookahead=8),
+            target_accesses=target_accesses, seed=seed,
+            warmup_fraction=DEFAULT_WARMUP_FRACTION,
+        )
+        coverage, discards = stats.coverage, stats.discard_rate
+    else:
+        trace = trace_for(workload, target_accesses, seed)
+        result = evaluate_prefetcher(
+            trace,
+            _baseline_factory(technique),
+            buffer_entries=32,
+            warmup_fraction=DEFAULT_WARMUP_FRACTION,
+        )
+        coverage, discards = result.coverage, result.discard_rate
+    return {
+        "workload": workload,
+        "technique": technique,
+        "coverage": coverage,
+        "discards": discards,
+    }
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     techniques: Sequence[str] = TECHNIQUES,
@@ -41,34 +74,10 @@ def run(
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per (workload, technique): coverage and discards."""
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        for technique in techniques:
-            if technique == "TSE":
-                stats = run_tse_on_trace(
-                    trace,
-                    TSEConfig.paper_default(lookahead=8),
-                    warmup_fraction=DEFAULT_WARMUP_FRACTION,
-                )
-                coverage, discards = stats.coverage, stats.discard_rate
-            else:
-                result = evaluate_prefetcher(
-                    trace,
-                    _baseline_factory(technique),
-                    buffer_entries=32,
-                    warmup_fraction=DEFAULT_WARMUP_FRACTION,
-                )
-                coverage, discards = result.coverage, result.discard_rate
-            rows.append(
-                {
-                    "workload": workload,
-                    "technique": technique,
-                    "coverage": coverage,
-                    "discards": discards,
-                }
-            )
-    return rows
+    return run_parallel(
+        _point, workloads, tuple(techniques),
+        target_accesses=target_accesses, seed=seed,
+    )
 
 
 def main() -> None:

@@ -12,18 +12,41 @@ from typing import Dict, List, Sequence
 
 from repro.analysis.streams import fraction_of_hits_from_short_streams, stream_length_cdf
 from repro.common.config import PAPER_LOOKAHEAD, TSEConfig
+from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
     format_table,
-    trace_for,
+    run_parallel,
 )
-from repro.tse.simulator import run_tse_on_trace
 
 #: Length buckets reported in the printed table (the CDF helper covers the
 #: paper's full axis).
 REPORT_BUCKETS: Sequence[int] = (1, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096)
+
+
+def _point(
+    workload: str,
+    _config: object,
+    *,
+    target_accesses: int,
+    seed: int,
+) -> Dict[str, object]:
+    """Stream-length CDF for one workload."""
+    lookahead = PAPER_LOOKAHEAD.get(workload, 8)
+    stats = cached_tse_run(
+        workload, TSEConfig.paper_default(lookahead=lookahead),
+        target_accesses=target_accesses, seed=seed,
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
+    )
+    row: Dict[str, object] = {"workload": workload}
+    for bucket, fraction in stream_length_cdf(stats.stream_length_hist, REPORT_BUCKETS):
+        row[f"len<={bucket}"] = fraction
+    row["short_stream_share"] = fraction_of_hits_from_short_streams(
+        stats.stream_length_hist, threshold=8
+    )
+    return row
 
 
 def run(
@@ -32,23 +55,9 @@ def run(
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per workload: CDF of hits vs. stream length."""
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        lookahead = PAPER_LOOKAHEAD.get(workload, 8)
-        stats = run_tse_on_trace(
-            trace,
-            TSEConfig.paper_default(lookahead=lookahead),
-            warmup_fraction=DEFAULT_WARMUP_FRACTION,
-        )
-        row: Dict[str, object] = {"workload": workload}
-        for bucket, fraction in stream_length_cdf(stats.stream_length_hist, REPORT_BUCKETS):
-            row[f"len<={bucket}"] = fraction
-        row["short_stream_share"] = fraction_of_hits_from_short_streams(
-            stats.stream_length_hist, threshold=8
-        )
-        rows.append(row)
-    return rows
+    return run_parallel(
+        _point, workloads, target_accesses=target_accesses, seed=seed,
+    )
 
 
 def main() -> None:

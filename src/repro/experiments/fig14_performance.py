@@ -14,9 +14,36 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     WORKLOADS,
     format_table,
+    run_parallel,
     trace_for,
 )
 from repro.system.timing import TimingSimulator
+
+
+def _point(
+    workload: str,
+    _config: object,
+    *,
+    target_accesses: int,
+    seed: int,
+) -> Dict[str, object]:
+    """Base-vs-TSE timing comparison for one workload."""
+    system = SystemConfig.isca2005()
+    trace = trace_for(workload, target_accesses, seed)
+    lookahead = PAPER_LOOKAHEAD.get(workload, 8)
+    config = TSEConfig.paper_default(lookahead=lookahead)
+    comparison = TimingSimulator(system, config).compare(trace)
+    breakdowns = comparison.normalized_breakdowns()
+    return {
+        "workload": workload,
+        "base_busy": breakdowns["base"]["busy"],
+        "base_other": breakdowns["base"]["other_stalls"],
+        "base_coherent": breakdowns["base"]["coherent_read_stalls"],
+        "tse_busy": breakdowns["tse"]["busy"],
+        "tse_other": breakdowns["tse"]["other_stalls"],
+        "tse_coherent": breakdowns["tse"]["coherent_read_stalls"],
+        "speedup": comparison.speedup,
+    }
 
 
 def run(
@@ -25,27 +52,9 @@ def run(
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per workload: normalized breakdowns for base and TSE + speedup."""
-    system = SystemConfig.isca2005()
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        lookahead = PAPER_LOOKAHEAD.get(workload, 8)
-        config = TSEConfig.paper_default(lookahead=lookahead)
-        comparison = TimingSimulator(system, config).compare(trace)
-        breakdowns = comparison.normalized_breakdowns()
-        rows.append(
-            {
-                "workload": workload,
-                "base_busy": breakdowns["base"]["busy"],
-                "base_other": breakdowns["base"]["other_stalls"],
-                "base_coherent": breakdowns["base"]["coherent_read_stalls"],
-                "tse_busy": breakdowns["tse"]["busy"],
-                "tse_other": breakdowns["tse"]["other_stalls"],
-                "tse_coherent": breakdowns["tse"]["coherent_read_stalls"],
-                "speedup": comparison.speedup,
-            }
-        )
-    return rows
+    return run_parallel(
+        _point, workloads, target_accesses=target_accesses, seed=seed,
+    )
 
 
 def main() -> None:

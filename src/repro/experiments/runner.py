@@ -1,9 +1,20 @@
-"""Shared experiment plumbing: trace generation/caching and table printing."""
+"""Shared experiment plumbing: traces, parallel sweeps, and table printing.
+
+Besides trace generation/caching, this module provides the experiment
+harness's :func:`run_parallel`: every fig06–fig14 module expresses its sweep
+as a module-level *point function* evaluated over ``workloads x configs``,
+and ``run_parallel`` executes the points either serially or on a process
+pool.  Results are always merged in job-submission order, so the parallel
+path is row-for-row identical to the serial one (locked in by the
+determinism test in ``tests/test_perf_infra.py``).
+"""
 
 from __future__ import annotations
 
+import os
+
 from functools import lru_cache
-from typing import Dict, Iterable, List, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.common.types import AccessTrace
 from repro.workloads import ALL_WORKLOADS, get_workload
@@ -39,6 +50,93 @@ def trace_for(
         num_nodes=num_nodes, seed=seed, target_accesses=target_accesses
     )
     return get_workload(workload, params).generate()
+
+
+def default_parallel_workers() -> int:
+    """Worker count for :func:`run_parallel`.
+
+    Controlled by the ``REPRO_PARALLEL_WORKERS`` environment variable;
+    defaults to the machine's CPU count.  A value of 1 (e.g. on a
+    single-core container) selects the serial path with zero overhead.
+    """
+    env = os.environ.get("REPRO_PARALLEL_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return os.cpu_count() or 1
+
+
+def run_parallel(
+    point: Callable[..., Any],
+    workloads: Sequence[str],
+    configs: Sequence[Any] = (None,),
+    *,
+    max_workers: Optional[int] = None,
+    **shared: Any,
+) -> List[Dict[str, object]]:
+    """Evaluate ``point(workload, config, **shared)`` over a sweep grid.
+
+    Args:
+        point: A **module-level** function (it must be picklable for the
+            process pool) computing one sweep point.  It may return one row
+            dict or a list of row dicts.
+        workloads: Workload names (outer sweep dimension).
+        configs: Per-workload configuration values (inner dimension).  The
+            default single ``None`` entry yields one point per workload.
+        max_workers: Process count; ``None`` uses
+            :func:`default_parallel_workers`.  ``1`` runs serially in-process
+            (sharing the result cache), which is also the fallback when no
+            process pool can be created.
+        shared: Extra keyword arguments forwarded to every point (must be
+            picklable when the pool is used).
+
+    Returns:
+        The flattened rows in deterministic job order — ``workloads`` major,
+        ``configs`` minor — regardless of worker scheduling, so parallel and
+        serial runs produce identical tables.
+    """
+    jobs = [(workload, config) for workload in workloads for config in configs]
+    workers = max_workers if max_workers is not None else default_parallel_workers()
+    workers = min(workers, len(jobs)) if jobs else 1
+
+    def run_serial() -> List[Any]:
+        return [point(workload, config, **shared) for workload, config in jobs]
+
+    results: List[Any]
+    if workers <= 1:
+        results = run_serial()
+    else:
+        pool = None
+        try:
+            from concurrent.futures import ProcessPoolExecutor
+            from concurrent.futures.process import BrokenProcessPool
+
+            pool = ProcessPoolExecutor(max_workers=workers)
+        except (ImportError, OSError, PermissionError):
+            # No usable process pool on this platform: fall back to serial.
+            results = run_serial()
+        else:
+            try:
+                with pool:
+                    futures = [
+                        pool.submit(point, workload, config, **shared)
+                        for workload, config in jobs
+                    ]
+                    # Exceptions raised by a point propagate to the caller;
+                    # only an environmentally killed pool falls back.
+                    results = [future.result() for future in futures]
+            except BrokenProcessPool:
+                results = run_serial()
+
+    rows: List[Dict[str, object]] = []
+    for result in results:
+        if isinstance(result, list):
+            rows.extend(result)
+        else:
+            rows.append(result)
+    return rows
 
 
 def format_table(rows: Iterable[Dict[str, object]], columns: Sequence[str]) -> str:

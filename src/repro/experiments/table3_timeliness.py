@@ -10,15 +10,43 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.common.config import PAPER_LOOKAHEAD, SystemConfig, TSEConfig
+from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
     format_table,
+    run_parallel,
     trace_for,
 )
 from repro.system.timing import TimingSimulator
-from repro.tse.simulator import run_tse_on_trace
+
+
+def _point(
+    workload: str,
+    _config: object,
+    *,
+    target_accesses: int,
+    seed: int,
+) -> Dict[str, object]:
+    """One Table 3 row: trace coverage plus timing-model timeliness."""
+    system = SystemConfig.isca2005()
+    trace = trace_for(workload, target_accesses, seed)
+    lookahead = PAPER_LOOKAHEAD.get(workload, 8)
+    config = TSEConfig.paper_default(lookahead=lookahead)
+    trace_stats = cached_tse_run(
+        workload, config, target_accesses=target_accesses, seed=seed,
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
+    )
+    comparison = TimingSimulator(system, config).compare(trace)
+    return {
+        "workload": workload,
+        "trace_coverage": trace_stats.coverage,
+        "mlp": comparison.base.consumption_mlp,
+        "lookahead": lookahead,
+        "full_coverage": comparison.tse.full_coverage,
+        "partial_coverage": comparison.tse.partial_coverage,
+    }
 
 
 def run(
@@ -27,25 +55,9 @@ def run(
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One Table 3 row per workload."""
-    system = SystemConfig.isca2005()
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        trace = trace_for(workload, target_accesses, seed)
-        lookahead = PAPER_LOOKAHEAD.get(workload, 8)
-        config = TSEConfig.paper_default(lookahead=lookahead)
-        trace_stats = run_tse_on_trace(trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION)
-        comparison = TimingSimulator(system, config).compare(trace)
-        rows.append(
-            {
-                "workload": workload,
-                "trace_coverage": trace_stats.coverage,
-                "mlp": comparison.base.consumption_mlp,
-                "lookahead": lookahead,
-                "full_coverage": comparison.tse.full_coverage,
-                "partial_coverage": comparison.tse.partial_coverage,
-            }
-        )
-    return rows
+    return run_parallel(
+        _point, workloads, target_accesses=target_accesses, seed=seed,
+    )
 
 
 def main() -> None:

@@ -144,29 +144,42 @@ class ProcessorModel:
         # used to reconstruct when a streamed block's fetch was issued.
         wallclock_history: List[float] = []
 
+        # Outcome codes compared as plain ints: the labels arrive as raw
+        # array values and constructing an enum member per access dominates
+        # the walk otherwise.
+        other_code = int(Outcome.OTHER)
+        write_code = int(Outcome.WRITE)
+        spin_code = int(Outcome.SPIN)
+        svb_hit_code = int(Outcome.SVB_HIT)
+        consumption_code = int(Outcome.CONSUMPTION)
+        ipc = self._ipc
+
         for access, (outcome_code, lead) in zip(accesses, outcomes):
-            outcome = Outcome(outcome_code)
+            outcome = int(outcome_code)
             # Busy time for the instructions since the previous access.
-            gap_instructions = max(0, access.timestamp - previous_timestamp)
-            busy = gap_instructions / self._ipc
+            gap_instructions = access.timestamp - previous_timestamp
+            if gap_instructions < 0:
+                gap_instructions = 0
+            busy = gap_instructions / ipc
             clock += busy
             result.busy_cycles += busy
             previous_timestamp = access.timestamp
             wallclock_history.append(clock)
-            self._drain_completed(outstanding, clock)
+            if outstanding:
+                self._drain_completed(outstanding, clock)
 
-            if outcome in (Outcome.OTHER, Outcome.WRITE):
+            if outcome == other_code or outcome == write_code:
                 # Cache hits retire at full speed; write latency is hidden by
                 # the relaxed consistency implementation (Section 4).
                 continue
 
-            if outcome is Outcome.SPIN:
+            if outcome == spin_code:
                 result.other_stall_cycles += (
                     self.latency.coherent_read_cycles * self.SPIN_STALL_FRACTION
                 )
                 continue
 
-            if outcome is Outcome.SVB_HIT:
+            if outcome == svb_hit_code:
                 # The block's fetch was issued `lead` node-local accesses ago;
                 # its arrival is that point's wall clock plus the stream fetch
                 # latency.  If it has already arrived the consumption is fully
@@ -203,7 +216,7 @@ class ProcessorModel:
                 continue
 
             # --- true off-chip misses ----------------------------------------
-            is_consumption = outcome is Outcome.CONSUMPTION
+            is_consumption = outcome == consumption_code
             latency = (
                 self.latency.coherent_read_cycles
                 if is_consumption

@@ -118,8 +118,16 @@ class TimingSimulator:
     # ---------------------------------------------------------------- plumbing
     def _label_trace(
         self, trace: AccessTrace, tse_enabled: bool, warmup_fraction: float
-    ) -> Tuple[TSEStats, List[Tuple[int, int]]]:
-        """Run the functional simulator to label each access with its outcome."""
+    ) -> Tuple[TSEStats, Sequence[int], Sequence[int]]:
+        """Run the functional simulator to label each access with its outcome.
+
+        Label runs are memoized on the trace object, keyed by the exact
+        TSE configuration used.  The base-system labeling uses a degenerate
+        configuration whose behaviour is independent of the interesting TSE
+        knobs (lookahead, SVB size, ...), so every configuration sweep over
+        the same trace shares a single base run — and repeated ``compare()``
+        calls (Figure 14 + Table 3) reuse both label runs outright.
+        """
         if tse_enabled:
             config = self.tse_config
         else:
@@ -132,25 +140,37 @@ class TimingSimulator:
                 queue_depth=1,
                 refill_threshold=1,
             )
-        simulator = TSESimulator(
-            trace.num_nodes, tse_config=config, record_outcomes=True
-        )
-        stats = simulator.run(trace, warmup_fraction=0.0)
         del warmup_fraction  # the timing walk measures the whole trace
-        return stats, simulator.outcomes
+        cache: Dict = getattr(trace, "_label_cache", None)
+        if cache is None:
+            cache = {}
+            trace._label_cache = cache  # type: ignore[attr-defined]
+        # The trace length guards against AccessTrace.append/extend after a
+        # cached label run: a grown trace gets a fresh labeling.
+        key = (config, len(trace))
+        cached = cache.get(key)
+        if cached is None:
+            simulator = TSESimulator(
+                trace.num_nodes, tse_config=config, record_outcomes=True
+            )
+            stats = simulator.run(trace, warmup_fraction=0.0)
+            cached = (stats, simulator.outcome_codes, simulator.outcome_leads)
+            cache[key] = cached
+        return cached
 
     def _run_timing(
         self,
         trace: AccessTrace,
-        outcomes: Sequence[Tuple[int, int]],
+        codes: Sequence[int],
+        leads: Sequence[int],
         tse_enabled: bool,
         label: str,
     ) -> TimingResult:
         per_node_accesses: List[List] = [[] for _ in range(trace.num_nodes)]
         per_node_outcomes: List[List[Tuple[int, int]]] = [[] for _ in range(trace.num_nodes)]
-        for access, outcome in zip(trace.accesses, outcomes):
+        for access, code, lead in zip(trace.accesses, codes, leads):
             per_node_accesses[access.node].append(access)
-            per_node_outcomes[access.node].append(outcome)
+            per_node_outcomes[access.node].append((code, lead))
         result = TimingResult(label=label, workload=trace.name)
         for node in range(trace.num_nodes):
             result.per_node.append(
@@ -163,13 +183,13 @@ class TimingSimulator:
     # --------------------------------------------------------------------- API
     def run_base(self, trace: AccessTrace) -> TimingResult:
         """Time the baseline system (no TSE) on a trace."""
-        _, outcomes = self._label_trace(trace, tse_enabled=False, warmup_fraction=0.0)
-        return self._run_timing(trace, outcomes, tse_enabled=False, label="base")
+        _, codes, leads = self._label_trace(trace, tse_enabled=False, warmup_fraction=0.0)
+        return self._run_timing(trace, codes, leads, tse_enabled=False, label="base")
 
     def run_tse(self, trace: AccessTrace) -> Tuple[TimingResult, TSEStats]:
         """Time the TSE-equipped system; also returns the functional stats."""
-        stats, outcomes = self._label_trace(trace, tse_enabled=True, warmup_fraction=0.0)
-        timing = self._run_timing(trace, outcomes, tse_enabled=True, label="tse")
+        stats, codes, leads = self._label_trace(trace, tse_enabled=True, warmup_fraction=0.0)
+        timing = self._run_timing(trace, codes, leads, tse_enabled=True, label="tse")
         return timing, stats
 
     def compare(self, trace: AccessTrace) -> "TimingComparison":

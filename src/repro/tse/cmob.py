@@ -10,19 +10,33 @@ the block last time — the candidate stream.
 Offsets handed out by :meth:`CMOB.append` are *monotonic append counts*, not
 physical slot indices, so stale pointers (overwritten after wrap-around) are
 detected rather than silently returning unrelated addresses.
+
+Appends and stream reads sit on the simulator's hot path, so activity is
+accumulated in plain integer attributes and published into the
+:class:`~repro.common.stats.StatsRegistry` lazily, when ``stats`` is read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
-from repro.common.stats import StatsRegistry
+from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
 
 
 class CMOB:
     """A fixed-capacity circular buffer of block addresses with monotonic offsets."""
+
+    __slots__ = (
+        "capacity",
+        "node_id",
+        "entry_bytes",
+        "_stats",
+        "_slots",
+        "_appended",
+        "_n_stream_reads",
+        "_n_addresses_streamed",
+    )
 
     def __init__(self, capacity: int, node_id: NodeId = 0, entry_bytes: int = 6) -> None:
         if capacity <= 0:
@@ -30,10 +44,25 @@ class CMOB:
         self.capacity = capacity
         self.node_id = node_id
         self.entry_bytes = entry_bytes
-        self.stats = StatsRegistry(prefix=f"cmob.n{node_id}")
-        self._slots: List[Optional[BlockAddress]] = [None] * capacity
+        self._stats = StatsRegistry(prefix=f"cmob.n{node_id}")
+        #: Physical storage, grown lazily up to ``capacity`` entries: slot
+        #: ``offset % capacity`` is appended exactly when the buffer first
+        #: reaches it, so ``len(_slots) == min(appended, capacity)`` always
+        #: holds and huge "near-infinite" CMOBs cost only what they use.
+        self._slots: List[BlockAddress] = []
         #: Total number of appends ever performed; the next append gets this offset.
         self._appended = 0
+        self._n_stream_reads = 0
+        self._n_addresses_streamed = 0
+
+    @property
+    def stats(self) -> StatsRegistry:
+        """Statistics registry, synchronized with the plain-int counters on read."""
+        return publish_counters(self._stats, {
+            "appends": self._appended,
+            "stream_reads": self._n_stream_reads,
+            "addresses_streamed": self._n_addresses_streamed,
+        })
 
     # ------------------------------------------------------------------ append
     def append(self, address: BlockAddress) -> int:
@@ -43,9 +72,13 @@ class CMOB:
         pointer for this block (Section 3.1 step 4).
         """
         offset = self._appended
-        self._slots[offset % self.capacity] = address
-        self._appended += 1
-        self.stats.counter("appends").increment()
+        slots = self._slots
+        slot = offset % self.capacity
+        if slot == len(slots):
+            slots.append(address)
+        else:
+            slots[slot] = address
+        self._appended = offset + 1
         return offset
 
     @property
@@ -82,18 +115,27 @@ class CMOB:
         """
         if count <= 0:
             return []
-        self.stats.counter("stream_reads").increment()
-        addresses: List[BlockAddress] = []
-        offset = start_offset
+        self._n_stream_reads += 1
         end = self._appended
-        while offset < end and len(addresses) < count:
-            if not self.is_valid_offset(offset):
-                break
-            value = self._slots[offset % self.capacity]
-            if value is not None:
-                addresses.append(value)
-            offset += 1
-        self.stats.counter("addresses_streamed").increment(len(addresses))
+        capacity = self.capacity
+        oldest = end - capacity
+        if oldest < 0:
+            oldest = 0
+        # A stale (overwritten) or future start yields nothing; otherwise
+        # every offset in [start, min(start + count, end)) is resident and
+        # non-None, so the window can be copied with at most two slices.
+        if start_offset < oldest or start_offset >= end:
+            return []
+        stop = start_offset + count
+        if stop > end:
+            stop = end
+        lo = start_offset % capacity
+        hi = lo + (stop - start_offset)
+        if hi <= capacity:
+            addresses = self._slots[lo:hi]
+        else:
+            addresses = self._slots[lo:] + self._slots[: hi - capacity]
+        self._n_addresses_streamed += len(addresses)
         return addresses
 
     # ---------------------------------------------------------------- reporting

@@ -14,6 +14,10 @@ capabilities of Section 2:
 3. *Streaming data* — the requesting node's stream engine compares the
    candidate streams and retrieves blocks into its SVB with bounded
    lookahead, matching the consumption rate (Section 3.3).
+
+Message objects are only constructed when a message sink is attached
+(traffic accounting); the common no-sink path pays nothing for them.
+Counters are plain ints published into the ``StatsRegistry`` lazily.
 """
 
 from __future__ import annotations
@@ -22,7 +26,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.config import TSEConfig
-from repro.common.stats import StatsRegistry
+from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
 from repro.coherence.directory import Directory
 from repro.coherence.messages import CoherenceMessage, MessageType
@@ -42,6 +46,8 @@ class StreamDelivery:
 
 class NodeTSE:
     """Per-node TSE hardware: the CMOB and the stream engine (with its SVB)."""
+
+    __slots__ = ("config", "node_id", "cmob", "engine")
 
     def __init__(self, config: TSEConfig, node_id: NodeId) -> None:
         self.config = config
@@ -83,13 +89,43 @@ class TemporalStreamingSystem:
         self.config = config
         self.directory = directory
         self.nodes = [NodeTSE(config, node_id=i) for i in range(num_nodes)]
-        self.stats = StatsRegistry(prefix="tse")
+        self._stats = StatsRegistry(prefix="tse")
         self._message_sink = message_sink
+        #: System-wide count of SVB entries per block address, maintained by
+        #: the system-level entry points (deliver_block / on_svb_hit /
+        #: on_write / drain) so writes to blocks no SVB holds — the vast
+        #: majority — skip the per-node invalidate loop entirely.
+        self._svb_residency: Dict[BlockAddress, int] = {}
+        # Hot-path activity counters, published lazily via ``stats``.
+        self._n_cmob_appends = 0
+        self._n_streams_forwarded = 0
+        self._n_no_stream_found = 0
+        self._n_svb_hits = 0
+        self._n_svb_invalidations = 0
+        self._n_refills_serviced = 0
+        self._n_blocks_streamed = 0
+
+    @property
+    def stats(self) -> StatsRegistry:
+        """Statistics registry, synchronized with the plain-int counters on read."""
+        return publish_counters(self._stats, {
+            "cmob_appends": self._n_cmob_appends,
+            "streams_forwarded": self._n_streams_forwarded,
+            "no_stream_found": self._n_no_stream_found,
+            "svb_hits": self._n_svb_hits,
+            "svb_invalidations": self._n_svb_invalidations,
+            "refills_serviced": self._n_refills_serviced,
+            "blocks_streamed": self._n_blocks_streamed,
+        })
 
     # ------------------------------------------------------------------ helpers
-    def _emit(self, message: CoherenceMessage) -> None:
-        if self._message_sink is not None:
-            self._message_sink(message)
+    def _residency_drop(self, address: BlockAddress) -> None:
+        residency = self._svb_residency
+        count = residency.get(address, 0)
+        if count <= 1:
+            residency.pop(address, None)
+        else:
+            residency[address] = count - 1
 
     def node(self, node_id: NodeId) -> NodeTSE:
         return self.nodes[node_id]
@@ -103,11 +139,12 @@ class TemporalStreamingSystem:
         """Record the order and push the CMOB pointer to the home directory."""
         offset = self.nodes[node_id].record_order(address)
         self.directory.record_cmob_pointer(address, node_id, offset)
-        home = self.directory.home_of(address)
-        self._emit(
-            CoherenceMessage(MessageType.CMOB_POINTER_UPDATE, node_id, home, address)
-        )
-        self.stats.counter("cmob_appends").increment()
+        if self._message_sink is not None:
+            home = self.directory.home_of(address)
+            self._message_sink(
+                CoherenceMessage(MessageType.CMOB_POINTER_UPDATE, node_id, home, address)
+            )
+        self._n_cmob_appends += 1
         return offset
 
     # ------------------------------------------------------------ consumptions
@@ -122,38 +159,46 @@ class TemporalStreamingSystem:
         """
         engine = self.nodes[node_id].engine
         delivery = StreamDelivery(queue_id=-1)
+        sink = self._message_sink
 
         # (0) The miss may confirm a stalled stream or realign an active one.
         delivery.fetches.extend(engine.on_offchip_miss(address))
 
         # (1) Locate candidate streams via the directory (Figure 4, step 2).
         pointers = self.directory.cmob_pointers(address)[: self.config.compared_streams]
-        home = self.directory.home_of(address)
         streams: List[Tuple[StreamSource, List[BlockAddress]]] = []
-        for pointer in pointers:
-            source_node = self.nodes[pointer.node]
-            # The stream starts *after* the head (its data already came via
-            # the baseline coherence reply).
-            start = pointer.offset + 1
-            addresses = source_node.read_stream(start, self.config.queue_depth)
-            self._emit(
-                CoherenceMessage(MessageType.STREAM_REQUEST, home, pointer.node, address)
-            )
-            if not addresses:
-                continue
-            self._emit(
-                CoherenceMessage(
-                    MessageType.ADDRESS_STREAM,
-                    pointer.node,
-                    node_id,
-                    address,
-                    num_addresses=len(addresses),
+        if pointers:
+            home = self.directory.home_of(address) if sink is not None else -1
+            queue_depth = self.config.queue_depth
+            for pointer in pointers:
+                source_node = self.nodes[pointer.node]
+                # The stream starts *after* the head (its data already came via
+                # the baseline coherence reply).
+                start = pointer.offset + 1
+                addresses = source_node.read_stream(start, queue_depth)
+                if sink is not None:
+                    sink(
+                        CoherenceMessage(
+                            MessageType.STREAM_REQUEST, home, pointer.node, address
+                        )
+                    )
+                if not addresses:
+                    continue
+                if sink is not None:
+                    sink(
+                        CoherenceMessage(
+                            MessageType.ADDRESS_STREAM,
+                            pointer.node,
+                            node_id,
+                            address,
+                            num_addresses=len(addresses),
+                        )
+                    )
+                streams.append(
+                    (StreamSource(node=pointer.node, next_offset=start + len(addresses)),
+                     addresses)
                 )
-            )
-            streams.append(
-                (StreamSource(node=pointer.node, next_offset=start + len(addresses)), addresses)
-            )
-            self.stats.counter("streams_forwarded").increment()
+                self._n_streams_forwarded += 1
 
         # (2) Hand the streams to the consumer's engine (Figure 4, step 4).
         if streams:
@@ -161,7 +206,7 @@ class TemporalStreamingSystem:
             delivery.queue_id = queue_id
             delivery.fetches.extend(fetches)
         else:
-            self.stats.counter("no_stream_found").increment()
+            self._n_no_stream_found += 1
 
         # (3) Record the miss in the consumer's CMOB (Figure 3, steps 3-4).
         self._record_and_update_pointer(node_id, address)
@@ -185,7 +230,8 @@ class TemporalStreamingSystem:
         entry, fetches = engine.on_svb_hit(address)
         if entry is None:
             return None, []
-        self.stats.counter("svb_hits").increment()
+        self._residency_drop(address)
+        self._n_svb_hits += 1
         self._record_and_update_pointer(node_id, address)
         fetches.extend(self._service_refills(node_id))
         return entry, fetches
@@ -196,41 +242,52 @@ class TemporalStreamingSystem:
 
         Returns the number of entries invalidated (each is a discard).
         """
+        if address not in self._svb_residency:
+            return 0
         invalidated = 0
         for node in self.nodes:
-            entry = node.engine.on_invalidate(address)
-            if entry is not None:
-                invalidated += 1
+            engine = node.engine
+            # Cheap membership probe before the full invalidate path.
+            if address in engine.svb:
+                if engine.on_invalidate(address) is not None:
+                    invalidated += 1
+                    self._residency_drop(address)
         if invalidated:
-            self.stats.counter("svb_invalidations").increment(invalidated)
+            self._n_svb_invalidations += invalidated
         return invalidated
 
     # ----------------------------------------------------------------- refills
     def _service_refills(self, node_id: NodeId) -> List[FetchRequest]:
         """Serve pending CMOB refill requests for a node's stream queues."""
         engine = self.nodes[node_id].engine
+        refills = engine.pending_refills()
+        if not refills:
+            return []
         fetches: List[FetchRequest] = []
-        for refill in engine.pending_refills():
-            source = self.nodes[refill.source.node]
+        sink = self._message_sink
+        nodes = self.nodes
+        for refill in refills:
+            source = nodes[refill.source.node]
             addresses = source.read_stream(refill.source.next_offset, refill.count)
-            self._emit(
-                CoherenceMessage(
-                    MessageType.STREAM_REQUEST, node_id, refill.source.node, 0
-                )
-            )
-            if addresses:
-                self._emit(
+            if sink is not None:
+                sink(
                     CoherenceMessage(
-                        MessageType.ADDRESS_STREAM,
-                        refill.source.node,
-                        node_id,
-                        0,
-                        num_addresses=len(addresses),
+                        MessageType.STREAM_REQUEST, node_id, refill.source.node, 0
                     )
                 )
+                if addresses:
+                    sink(
+                        CoherenceMessage(
+                            MessageType.ADDRESS_STREAM,
+                            refill.source.node,
+                            node_id,
+                            0,
+                            num_addresses=len(addresses),
+                        )
+                    )
             new_next = refill.source.next_offset + len(addresses)
             fetches.extend(engine.apply_refill(refill, addresses, new_next))
-            self.stats.counter("refills_serviced").increment()
+            self._n_refills_serviced += 1
         return fetches
 
     # ----------------------------------------------------------- data streaming
@@ -248,18 +305,32 @@ class TemporalStreamingSystem:
         entry displaced by the fill (if any) so the caller can count the
         discard.
         """
-        home = self.directory.home_of(fetch.address)
-        source = producer if producer is not None else home
-        self._emit(
-            CoherenceMessage(MessageType.STREAMED_DATA_REQUEST, node_id, home, fetch.address)
+        sink = self._message_sink
+        if sink is not None:
+            home = self.directory.home_of(fetch.address)
+            source = producer if producer is not None else home
+            sink(
+                CoherenceMessage(
+                    MessageType.STREAMED_DATA_REQUEST, node_id, home, fetch.address
+                )
+            )
+            sink(
+                CoherenceMessage(
+                    MessageType.STREAMED_DATA_REPLY, source, node_id, fetch.address
+                )
+            )
+        self._n_blocks_streamed += 1
+        engine = self.nodes[node_id].engine
+        address = fetch.address
+        refreshed = address in engine.svb
+        victim = engine.install_block(
+            address, fetch.queue_id, fill_time=fill_time, version=version
         )
-        self._emit(
-            CoherenceMessage(MessageType.STREAMED_DATA_REPLY, source, node_id, fetch.address)
-        )
-        self.stats.counter("blocks_streamed").increment()
-        return self.nodes[node_id].engine.install_block(
-            fetch.address, fetch.queue_id, fill_time=fill_time, version=version
-        )
+        if not refreshed:
+            self._svb_residency[address] = self._svb_residency.get(address, 0) + 1
+        if victim is not None:
+            self._residency_drop(victim.address)
+        return victim
 
     # -------------------------------------------------------------- end of run
     def drain(self) -> Dict[NodeId, int]:
@@ -267,4 +338,5 @@ class TemporalStreamingSystem:
         leftovers: Dict[NodeId, int] = {}
         for node in self.nodes:
             leftovers[node.node_id] = len(node.engine.drain())
+        self._svb_residency.clear()
         return leftovers

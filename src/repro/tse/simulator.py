@@ -14,12 +14,20 @@ Latency is not modelled here — that is the job of
 :mod:`repro.system.timing` — which mirrors the paper's own split between
 trace-based analysis (Figures 6–13) and cycle-accurate simulation
 (Figure 14, Table 3).
+
+The replay loop is the hottest code in the repository: every experiment point
+replays hundreds of thousands of accesses through it.  ``_replay`` therefore
+binds every per-access callable and container to a local once per segment,
+accumulates the counters in plain local ints (synced into :class:`TSEStats`
+only when the segment ends), and records per-access outcomes into two
+parallel ``array`` buffers instead of a list of tuples.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import enum
 
@@ -43,7 +51,7 @@ class Outcome(enum.IntEnum):
     WRITE = 6
 
 
-@dataclass
+@dataclass(slots=True)
 class TSEStats:
     """Results of one trace-driven TSE run."""
 
@@ -126,12 +134,14 @@ class TSESimulator:
         record_outcomes: bool = False,
     ) -> None:
         self.num_nodes = num_nodes
-        #: When enabled, one (Outcome, lead) pair per access is appended here
-        #: for the timing model; lead is meaningful only for SVB hits and
-        #: counts the node-local accesses between the block's fetch being
-        #: issued and its use (the timing model converts that to wall clock).
+        #: When enabled, one (Outcome, lead) pair per access is recorded into
+        #: the parallel ``outcome_codes`` / ``outcome_leads`` arrays for the
+        #: timing model; lead is meaningful only for SVB hits and counts the
+        #: node-local accesses between the block's fetch being issued and its
+        #: use (the timing model converts that to wall clock).
         self.record_outcomes = record_outcomes
-        self.outcomes: List[tuple] = []
+        self.outcome_codes = array("B")
+        self.outcome_leads = array("q")
         self._node_access_counts = [0] * num_nodes
         self.tse_config = tse_config if tse_config is not None else TSEConfig.paper_default()
         self.protocol = CoherenceProtocol(
@@ -154,6 +164,11 @@ class TSESimulator:
         )
         self.stats = TSEStats()
 
+    @property
+    def outcomes(self) -> List[Tuple[int, int]]:
+        """Recorded (outcome code, lead) pairs, one per processed access."""
+        return list(zip(self.outcome_codes, self.outcome_leads))
+
     @staticmethod
     def _default_interconnect(num_nodes: int) -> InterconnectConfig:
         import math
@@ -165,15 +180,20 @@ class TSESimulator:
 
     # ---------------------------------------------------------------- delivery
     def _deliver_fetches(self, node: int, fetches, fill_time: float = 0.0) -> None:
+        protocol = self.protocol
+        deliver = self.tse.deliver_block
+        fetched = 0
+        discarded = 0
         for fetch in fetches:
-            producer = self.protocol.last_writer_of(fetch.address)
-            version = self.protocol.version_of(fetch.address)
-            victim = self.tse.deliver_block(
+            producer, version = protocol.block_info(fetch.address)
+            victim = deliver(
                 node, fetch, producer=producer, version=version, fill_time=fill_time
             )
-            self.stats.blocks_fetched += 1
+            fetched += 1
             if victim is not None:
-                self.stats.discarded_blocks += 1
+                discarded += 1
+        self.stats.blocks_fetched += fetched
+        self.stats.discarded_blocks += discarded
 
     # --------------------------------------------------------------------- run
     def run(self, trace: AccessTrace, warmup_fraction: float = 0.0) -> TSEStats:
@@ -190,77 +210,167 @@ class TSESimulator:
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
         self.stats.workload = trace.name
+        accesses = trace.accesses
         warmup_count = int(len(trace) * warmup_fraction)
-        for index, access in enumerate(trace):
-            if index == warmup_count and warmup_count > 0:
-                self.reset_stats(trace.name)
-            self.step(access)
+        if warmup_count > 0:
+            self._replay(accesses[:warmup_count])
+            self.reset_stats(trace.name)
+            self._replay(accesses[warmup_count:])
+        else:
+            self._replay(accesses)
         return self.finalize()
 
     def reset_stats(self, workload: str = "") -> None:
         """Restart measurement (end of warm-up) without touching simulator state."""
         self.stats = TSEStats(workload=workload or self.stats.workload)
 
-    def _record(self, outcome: Outcome, lead: int = 0) -> None:
-        if self.record_outcomes:
-            self.outcomes.append((outcome, lead))
-
     def step(self, access: MemoryAccess) -> None:
-        """Process a single access."""
-        self.stats.accesses += 1
-        node = access.node
-        self._node_access_counts[node] += 1
-        node_access_index = self._node_access_counts[node]
-        if access.is_write:
-            self.stats.writes += 1
-            # Writes invalidate matching SVB entries everywhere; invalidated
-            # streamed blocks were never consumed, so they are discards.
-            self.stats.discarded_blocks += self.tse.on_write(node, access.address)
-            result = self.protocol.process(access)
-            if self.traffic is not None:
-                self.traffic.record_all(result.messages)
-            self._record(Outcome.WRITE)
-            return
+        """Process a single access.
 
-        self.stats.reads += 1
-        engine = self.tse.nodes[node].engine
+        Shares ``_replay`` with :meth:`run` so both paths stay identical;
+        the per-segment local binding makes this convenience entry point
+        slower per access than batched replay — drive whole traces through
+        :meth:`run` when throughput matters.
+        """
+        self._replay((access,))
 
-        # Spin reads never count as consumptions and are not streamed.
-        if not access.is_spin and engine.lookup(access.address) is not None:
-            entry, fetches = self.tse.on_svb_hit(node, access.address)
-            if entry is not None:
-                self.stats.svb_hits += 1
-                self.protocol.install_copy(node, access.address)
-                self._deliver_fetches(node, fetches, fill_time=node_access_index)
-                lead = max(0, int(node_access_index - entry.fill_time))
-                self._record(Outcome.SVB_HIT, lead)
-                return
-            # Entry vanished between probe and consume (should not happen in
-            # the functional model); fall through to the normal path.
+    def _replay(self, accesses: Sequence[MemoryAccess]) -> None:
+        """Replay a trace segment; the hot loop of the whole repository.
 
-        result = self.protocol.process(access)
-        if self.traffic is not None:
-            self.traffic.record_all(result.messages)
-        if result.miss_class is MissClass.COHERENT_READ_MISS:
-            self.stats.remaining_consumptions += 1
-            delivery = self.tse.on_consumption(node, access.address)
-            self._deliver_fetches(node, delivery.fetches, fill_time=node_access_index)
-            self._record(Outcome.CONSUMPTION)
-        elif result.miss_class is MissClass.SPIN_COHERENT_MISS:
-            self.stats.spin_misses += 1
-            self._record(Outcome.SPIN)
-        elif result.miss_class is MissClass.COLD_MISS:
-            self.stats.cold_misses += 1
-            fetches = engine.on_offchip_miss(access.address)
-            self._deliver_fetches(node, fetches, fill_time=node_access_index)
-            self._record(Outcome.COLD_MISS)
-        elif result.miss_class is MissClass.CAPACITY_MISS:
-            self.stats.capacity_misses += 1
-            fetches = engine.on_offchip_miss(access.address)
-            self._deliver_fetches(node, fetches, fill_time=node_access_index)
-            self._record(Outcome.CAPACITY_MISS)
-        else:
-            self._record(Outcome.OTHER)
+        Counters are accumulated in local ints and synced into ``self.stats``
+        once at the end of the segment; outcome recording appends to the
+        preallocated parallel arrays.
+        """
+        # ---- bind everything the loop touches to locals ----
+        from repro.common.types import AccessType
+
+        write_type = AccessType.WRITE
+        atomic_type = AccessType.ATOMIC
+        spin_type = AccessType.SPIN_READ
+        tse = self.tse
+        protocol_read = self.protocol._process_read
+        protocol_write = self.protocol._process_write
+        tse_on_write = tse.on_write
+        tse_on_svb_hit = tse.on_svb_hit
+        tse_on_consumption = tse.on_consumption
+        deliver_fetches = self._deliver_fetches
+        node_counts = self._node_access_counts
+        engines = [node.engine for node in tse.nodes]
+        svb_maps = [engine.svb._entries for engine in engines]
+        traffic = self.traffic
+        record_traffic = traffic.record_all if traffic is not None else None
+        record = self.record_outcomes
+        codes_append = self.outcome_codes.append
+        leads_append = self.outcome_leads.append
+
+        coherent_read_miss = MissClass.COHERENT_READ_MISS
+        spin_coherent_miss = MissClass.SPIN_COHERENT_MISS
+        cold_miss = MissClass.COLD_MISS
+        capacity_miss = MissClass.CAPACITY_MISS
+
+        outcome_write = int(Outcome.WRITE)
+        outcome_svb_hit = int(Outcome.SVB_HIT)
+        outcome_consumption = int(Outcome.CONSUMPTION)
+        outcome_spin = int(Outcome.SPIN)
+        outcome_cold = int(Outcome.COLD_MISS)
+        outcome_capacity = int(Outcome.CAPACITY_MISS)
+        outcome_other = int(Outcome.OTHER)
+
+        # ---- local counters, synced into TSEStats at the end ----
+        n_accesses = 0
+        n_reads = 0
+        n_writes = 0
+        n_svb_hits = 0
+        n_consumptions = 0
+        n_spin = 0
+        n_cold = 0
+        n_capacity = 0
+        n_discards = 0
+
+        for access in accesses:
+            n_accesses += 1
+            node = access.node
+            address = access.address
+            access_type = access.access_type
+            node_access_index = node_counts[node] + 1
+            node_counts[node] = node_access_index
+            if access_type is write_type or access_type is atomic_type:
+                n_writes += 1
+                # Writes invalidate matching SVB entries everywhere;
+                # invalidated streamed blocks were never consumed, so they
+                # are discards.
+                n_discards += tse_on_write(node, address)
+                result = protocol_write(access)
+                if record_traffic is not None:
+                    record_traffic(result.messages)
+                if record:
+                    codes_append(outcome_write)
+                    leads_append(0)
+                continue
+
+            n_reads += 1
+
+            # Spin reads never count as consumptions and are not streamed.
+            if access_type is not spin_type and address in svb_maps[node]:
+                entry, fetches = tse_on_svb_hit(node, address)
+                if entry is not None:
+                    n_svb_hits += 1
+                    self.protocol.install_copy(node, address)
+                    deliver_fetches(node, fetches, fill_time=node_access_index)
+                    if record:
+                        lead = int(node_access_index - entry.fill_time)
+                        codes_append(outcome_svb_hit)
+                        leads_append(lead if lead > 0 else 0)
+                    continue
+                # Entry vanished between probe and consume (should not happen
+                # in the functional model); fall through to the normal path.
+
+            result = protocol_read(access)
+            if record_traffic is not None:
+                record_traffic(result.messages)
+            miss_class = result.miss_class
+            if miss_class is coherent_read_miss:
+                n_consumptions += 1
+                delivery = tse_on_consumption(node, address)
+                deliver_fetches(node, delivery.fetches, fill_time=node_access_index)
+                if record:
+                    codes_append(outcome_consumption)
+                    leads_append(0)
+            elif miss_class is spin_coherent_miss:
+                n_spin += 1
+                if record:
+                    codes_append(outcome_spin)
+                    leads_append(0)
+            elif miss_class is cold_miss:
+                n_cold += 1
+                fetches = engines[node].on_offchip_miss(address)
+                deliver_fetches(node, fetches, fill_time=node_access_index)
+                if record:
+                    codes_append(outcome_cold)
+                    leads_append(0)
+            elif miss_class is capacity_miss:
+                n_capacity += 1
+                fetches = engines[node].on_offchip_miss(address)
+                deliver_fetches(node, fetches, fill_time=node_access_index)
+                if record:
+                    codes_append(outcome_capacity)
+                    leads_append(0)
+            else:
+                if record:
+                    codes_append(outcome_other)
+                    leads_append(0)
+
+        # ---- sync ----
+        stats = self.stats
+        stats.accesses += n_accesses
+        stats.reads += n_reads
+        stats.writes += n_writes
+        stats.svb_hits += n_svb_hits
+        stats.remaining_consumptions += n_consumptions
+        stats.spin_misses += n_spin
+        stats.cold_misses += n_cold
+        stats.capacity_misses += n_capacity
+        stats.discarded_blocks += n_discards
 
     def finalize(self) -> TSEStats:
         """Account for end-of-run leftovers and collect distributions."""

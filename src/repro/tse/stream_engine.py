@@ -12,21 +12,33 @@ events (Section 3.3):
 
 The engine itself is policy only: the system layer (``repro.tse.engine``)
 performs the actual block "transfers" and accounts for traffic and latency.
+
+Performance notes: every off-chip miss and refill pass scans the queues, so
+the engine keeps a *scan set* holding only queues that can still react —
+drained queues with no refill outstanding are zombies (they can never leave
+``DRAINED``) and are pruned from the scan set the first time a pass visits
+them.  The full ``_queues`` map keeps zombies for LRU reclamation and the
+stream-length census.  Activity counters are plain ints, published into the
+``StatsRegistry`` lazily when ``stats`` is read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import TSEConfig
-from repro.common.stats import StatsRegistry
+from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
 from repro.tse.stream_queue import QueueState, RefillRequest, StreamQueue, StreamSource
 from repro.tse.svb import StreamedValueBuffer, SVBEntry
 
+_ACTIVE = QueueState.ACTIVE
+_STALLED = QueueState.STALLED
+_DRAINED = QueueState.DRAINED
 
-@dataclass
+
+@dataclass(slots=True)
 class FetchRequest:
     """A block the engine wants streamed into the SVB."""
 
@@ -40,39 +52,78 @@ class StreamEngine:
     def __init__(self, config: TSEConfig, node_id: NodeId = 0) -> None:
         self.config = config
         self.node_id = node_id
-        self.stats = StatsRegistry(prefix=f"stream_engine.n{node_id}")
+        self._stats = StatsRegistry(prefix=f"stream_engine.n{node_id}")
         self.svb = StreamedValueBuffer(config.svb_entries, node_id=node_id)
         self._queues: Dict[int, StreamQueue] = {}
+        #: Queues that may still react to misses/refills, in allocation order.
+        #: Strict subset of ``_queues``: zombies (drained, no refill pending)
+        #: are dropped here but stay in ``_queues`` until reclaimed.
+        self._scan_queues: Dict[int, StreamQueue] = {}
+        #: Per-queue count of issued-but-unserviced refill requests; a drained
+        #: queue with none outstanding can never be revived.
+        self._refills_outstanding: Dict[int, int] = {}
+        #: Queues whose FIFOs changed since the last refill scan.  Only these
+        #: can produce new refill requests: an unchanged queue was already
+        #: scanned right after the event that made it eligible.
+        self._refill_dirty: set = set()
         self._next_queue_id = 0
         self._activity_clock = 0
         #: Hit counts of queues that have been reclaimed, kept so the
         #: stream-length distribution (Figure 13) covers the whole run.
         self.retired_queue_hits: List[int] = []
+        # Hot-path activity counters (see module docstring).
+        self._n_queue_reclaims = 0
+        self._n_queue_allocations = 0
+        self._n_streams_accepted = 0
+        self._n_fetch_requests = 0
+        self._n_svb_hits = 0
+        self._n_stalls_resolved = 0
+        self._n_refill_requests = 0
+
+    @property
+    def stats(self) -> StatsRegistry:
+        """Statistics registry, synchronized with the plain-int counters on read."""
+        return publish_counters(self._stats, {
+            "queue_reclaims": self._n_queue_reclaims,
+            "queue_allocations": self._n_queue_allocations,
+            "streams_accepted": self._n_streams_accepted,
+            "fetch_requests": self._n_fetch_requests,
+            "svb_hits": self._n_svb_hits,
+            "stalls_resolved": self._n_stalls_resolved,
+            "refill_requests": self._n_refill_requests,
+        })
 
     # ----------------------------------------------------------------- queues
     def _allocate_queue(self, head: BlockAddress) -> StreamQueue:
         """Allocate a stream queue, reclaiming the least-recently-active one
         when all queues are busy (thrashing protection, Section 5.3)."""
-        if len(self._queues) >= self.config.stream_queues:
-            victim_id = min(self._queues, key=lambda q: self._queues[q].last_active)
-            self.retired_queue_hits.append(self._queues[victim_id].total_hits)
-            del self._queues[victim_id]
-            self.stats.counter("queue_reclaims").increment()
+        queues = self._queues
+        if len(queues) >= self.config.stream_queues:
+            victim_id = min(queues, key=lambda q: queues[q].last_active)
+            self.retired_queue_hits.append(queues[victim_id].total_hits)
+            del queues[victim_id]
+            self._scan_queues.pop(victim_id, None)
+            self._refills_outstanding.pop(victim_id, None)
+            self._refill_dirty.discard(victim_id)
+            self._n_queue_reclaims += 1
         queue = StreamQueue(self._next_queue_id, head, self.config.stream_lookahead)
         queue.last_active = self._activity_clock
-        self._queues[queue.queue_id] = queue
+        queues[queue.queue_id] = queue
+        self._scan_queues[queue.queue_id] = queue
+        self._refills_outstanding[queue.queue_id] = 0
+        self._refill_dirty.add(queue.queue_id)
         self._next_queue_id += 1
-        self.stats.counter("queue_allocations").increment()
+        self._n_queue_allocations += 1
         return queue
 
     def queue(self, queue_id: int) -> Optional[StreamQueue]:
         return self._queues.get(queue_id)
 
     def active_queues(self) -> List[StreamQueue]:
-        return [q for q in self._queues.values() if q.state is QueueState.ACTIVE]
+        return [q for q in self._queues.values() if q.state is _ACTIVE]
 
     def stalled_queues(self) -> List[StreamQueue]:
-        return [q for q in self._queues.values() if q.state is QueueState.STALLED]
+        return [q for q in self._queues.values() if q.state is _STALLED]
 
     def _tick(self) -> None:
         self._activity_clock += 1
@@ -99,24 +150,30 @@ class StreamEngine:
         queue = self._allocate_queue(head)
         for source, addresses in streams:
             queue.add_stream(list(addresses), source)
-        self.stats.counter("streams_accepted").increment(len(streams))
+        self._n_streams_accepted += len(streams)
         return queue.queue_id, self._fetch_from(queue)
 
     def _fetch_from(self, queue: StreamQueue) -> List[FetchRequest]:
         """Fetch blocks for a queue while its heads agree and lookahead allows."""
         requests: List[FetchRequest] = []
+        svb_probe = self.svb.probe
+        queue_id = queue.queue_id
+        popped = False
         while queue.can_fetch():
             address = queue.pop_next()
             if address is None:
                 break
+            popped = True
             # Skip blocks already waiting in the SVB (another queue fetched
             # them); refetching would double-count traffic for no benefit.
-            if self.svb.probe(address) is not None:
+            if svb_probe(address) is not None:
                 queue.on_block_lost()
                 continue
-            requests.append(FetchRequest(address=address, queue_id=queue.queue_id))
+            requests.append(FetchRequest(address=address, queue_id=queue_id))
+        if popped:
+            self._refill_dirty.add(queue_id)
         if requests:
-            self.stats.counter("fetch_requests").increment(len(requests))
+            self._n_fetch_requests += len(requests)
         return requests
 
     # --------------------------------------------------------------------- SVB
@@ -149,7 +206,7 @@ class StreamEngine:
         entry = self.svb.consume(address)
         if entry is None:
             return None, []
-        self.stats.counter("svb_hits").increment()
+        self._n_svb_hits += 1
         queue = self._queues.get(entry.queue_id)
         if queue is None:
             return entry, []
@@ -168,16 +225,33 @@ class StreamEngine:
         """
         self._tick()
         requests: List[FetchRequest] = []
-        for queue in list(self._queues.values()):
-            if queue.state is QueueState.STALLED:
-                if queue.try_resolve_stall(address):
-                    self.stats.counter("stalls_resolved").increment()
+        scan = self._scan_queues
+        zombies: Optional[List[StreamQueue]] = None
+        for queue in scan.values():
+            state = queue.state
+            if state is _STALLED:
+                if queue._resolve_stall(address):
+                    self._n_stalls_resolved += 1
                     queue.last_active = self._activity_clock
+                    self._refill_dirty.add(queue.queue_id)
                     requests.extend(self._fetch_from(queue))
-            elif queue.state is QueueState.ACTIVE:
+            elif state is _ACTIVE:
                 if queue.skip_address(address):
                     queue.last_active = self._activity_clock
+                    self._refill_dirty.add(queue.queue_id)
                     requests.extend(self._fetch_from(queue))
+            elif not self._refills_outstanding.get(queue.queue_id):
+                # Drained with no refill in flight: can never react again.
+                if zombies is None:
+                    zombies = [queue]
+                else:
+                    zombies.append(queue)
+        if zombies is not None:
+            for queue in zombies:
+                # Re-check: a resolved stall above may have revived fetching,
+                # but a queue observed DRAINED in this pass cannot have been
+                # refilled meanwhile, so dropping it is safe.
+                scan.pop(queue.queue_id, None)
         return requests
 
     # ------------------------------------------------------------- invalidation
@@ -192,16 +266,35 @@ class StreamEngine:
 
     # ---------------------------------------------------------------- refills
     def pending_refills(self) -> List[RefillRequest]:
-        """Collect refill requests from live queues running low on addresses."""
+        """Collect refill requests from live queues running low on addresses.
+
+        Only queues marked dirty since the last scan are visited: any queue
+        whose FIFOs have not changed was already scanned right after the
+        event that last made it eligible, so it cannot produce new requests.
+        Dirty queues are visited in allocation (queue-id) order, matching a
+        full scan's iteration order.
+        """
+        dirty = self._refill_dirty
+        if not dirty:
+            return []
         requests: List[RefillRequest] = []
-        for queue in self._queues.values():
-            if queue.state is QueueState.DRAINED:
+        threshold = self.config.refill_threshold
+        depth = self.config.queue_depth
+        refills_outstanding = self._refills_outstanding
+        queues = self._queues
+        for queue_id in sorted(dirty):
+            queue = queues.get(queue_id)
+            if queue is None or queue.state is _DRAINED:
                 continue
-            requests.extend(
-                queue.refill_requests(self.config.refill_threshold, self.config.queue_depth)
-            )
+            new_requests = queue.refill_requests(threshold, depth)
+            if new_requests:
+                refills_outstanding[queue_id] = (
+                    refills_outstanding.get(queue_id, 0) + len(new_requests)
+                )
+                requests.extend(new_requests)
+        dirty.clear()
         if requests:
-            self.stats.counter("refill_requests").increment(len(requests))
+            self._n_refill_requests += len(requests)
         return requests
 
     def apply_refill(self, refill: RefillRequest, addresses: List[BlockAddress],
@@ -210,7 +303,11 @@ class StreamEngine:
         queue = self._queues.get(refill.queue_id)
         if queue is None:
             return []
+        outstanding = self._refills_outstanding.get(refill.queue_id, 0)
+        if outstanding > 0:
+            self._refills_outstanding[refill.queue_id] = outstanding - 1
         queue.extend_stream(refill.fifo_index, addresses, new_next_offset)
+        self._refill_dirty.add(refill.queue_id)
         return self._fetch_from(queue)
 
     # ---------------------------------------------------------------- cleanup

@@ -6,13 +6,17 @@ FIFOs of one stream queue.  While the FIFO heads agree, the engine fetches
 blocks; when they disagree, the queue stalls until a subsequent off-chip miss
 matches one of the heads, at which point the other FIFOs are discarded and
 streaming resumes with the selected stream (Section 3.3).
+
+The queue sits on the simulator's innermost loop (every consumption, SVB hit
+and off-chip miss consults it), so the state/fetch predicates are written
+allocation-free: no intermediate lists, a single pass over the FIFOs.
 """
 
 from __future__ import annotations
 
 import enum
 from collections import deque
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Deque, List, Optional, Tuple
 
 from repro.common.types import BlockAddress, NodeId
@@ -29,7 +33,7 @@ class QueueState(enum.Enum):
     DRAINED = "drained"
 
 
-@dataclass
+@dataclass(slots=True)
 class StreamSource:
     """Identity of the CMOB a FIFO's addresses came from, for refills."""
 
@@ -38,7 +42,7 @@ class StreamSource:
     next_offset: int
 
 
-@dataclass
+@dataclass(slots=True)
 class RefillRequest:
     """Ask ``source.node`` for ``count`` more addresses starting at the offset."""
 
@@ -56,6 +60,20 @@ class StreamQueue:
         head: The consumption address that triggered the queue's allocation.
         lookahead: Maximum number of fetched-but-unconsumed blocks allowed.
     """
+
+    __slots__ = (
+        "queue_id",
+        "head",
+        "lookahead",
+        "_fifos",
+        "_sources",
+        "_selected",
+        "in_flight",
+        "total_fetched",
+        "total_hits",
+        "_refill_pending",
+        "last_active",
+    )
 
     def __init__(self, queue_id: int, head: BlockAddress, lookahead: int) -> None:
         self.queue_id = queue_id
@@ -114,34 +132,61 @@ class StreamQueue:
 
     def pending(self, fifo_index: Optional[int] = None) -> int:
         """Number of addresses still queued in a FIFO (or the selected/first)."""
-        live = self._live_fifos()
-        if not live:
+        if not self._fifos:
             return 0
-        idx = fifo_index if fifo_index is not None else live[0]
-        return len(self._fifos[idx])
+        if fifo_index is not None:
+            return len(self._fifos[fifo_index])
+        if self._selected is not None:
+            return len(self._fifos[self._selected])
+        return len(self._fifos[0])
 
     @property
     def state(self) -> QueueState:
-        live = self._live_fifos()
-        non_empty = [i for i in live if self._fifos[i]]
-        if not non_empty:
+        selected = self._selected
+        if selected is not None:
+            return QueueState.ACTIVE if self._fifos[selected] else QueueState.DRAINED
+        # Single pass: count non-empty FIFOs and compare their heads.
+        non_empty = 0
+        first_head: BlockAddress = 0
+        for fifo in self._fifos:
+            if fifo:
+                head = fifo[0]
+                if non_empty == 0:
+                    first_head = head
+                elif head != first_head:
+                    # At least two live FIFOs disagree at the front.
+                    return QueueState.STALLED
+                non_empty += 1
+        if non_empty == 0:
             return QueueState.DRAINED
-        if len(non_empty) == 1 or self._selected is not None:
-            return QueueState.ACTIVE
-        heads = {self._fifos[i][0] for i in non_empty}
-        return QueueState.ACTIVE if len(heads) == 1 else QueueState.STALLED
+        return QueueState.ACTIVE
 
     def heads(self) -> List[BlockAddress]:
         """Current FIFO heads of all live, non-empty FIFOs."""
-        return [self._fifos[i][0] for i in self._live_fifos() if self._fifos[i]]
+        selected = self._selected
+        if selected is not None:
+            fifo = self._fifos[selected]
+            return [fifo[0]] if fifo else []
+        return [fifo[0] for fifo in self._fifos if fifo]
 
     # ------------------------------------------------------------------- fetch
     def next_agreed(self) -> Optional[BlockAddress]:
         """Return the agreed next address if the queue is ACTIVE, else None."""
-        if self.state is not QueueState.ACTIVE:
-            return None
-        heads = self.heads()
-        return heads[0] if heads else None
+        selected = self._selected
+        if selected is not None:
+            fifo = self._fifos[selected]
+            return fifo[0] if fifo else None
+        agreed: Optional[BlockAddress] = None
+        seen = False
+        for fifo in self._fifos:
+            if fifo:
+                head = fifo[0]
+                if not seen:
+                    agreed = head
+                    seen = True
+                elif head != agreed:
+                    return None
+        return agreed
 
     def can_fetch(self) -> bool:
         """May the engine fetch another block for this queue right now?"""
@@ -152,15 +197,15 @@ class StreamQueue:
         address = self.next_agreed()
         if address is None:
             return None
-        for i in self._live_fifos():
-            fifo = self._fifos[i]
-            if fifo and fifo[0] == address:
-                fifo.popleft()
-            elif fifo:
-                # An already-selected queue only follows one FIFO, and an
-                # ACTIVE comparing queue has matching heads, so this branch is
-                # only reachable for exhausted FIFOs.
-                pass
+        selected = self._selected
+        if selected is not None:
+            self._fifos[selected].popleft()
+        else:
+            for fifo in self._fifos:
+                # An ACTIVE comparing queue has matching heads on every
+                # non-empty FIFO; exhausted FIFOs are simply skipped.
+                if fifo and fifo[0] == address:
+                    fifo.popleft()
         self.in_flight += 1
         self.total_fetched += 1
         return address
@@ -188,8 +233,12 @@ class StreamQueue:
         """
         if self.state is not QueueState.STALLED:
             return False
-        for i in self._live_fifos():
-            fifo = self._fifos[i]
+        return self._resolve_stall(miss_address)
+
+    def _resolve_stall(self, miss_address: BlockAddress) -> bool:
+        """Stall resolution body; caller has already verified STALLED state."""
+        # STALLED implies no FIFO is selected yet: scan all of them.
+        for i, fifo in enumerate(self._fifos):
             if fifo and fifo[0] == miss_address:
                 self._selected = i
                 fifo.popleft()  # the processor already has this block
@@ -206,9 +255,15 @@ class StreamQueue:
         the SVB's tolerance of small reorderings.  Returns True if found.
         """
         found = False
-        for i in self._live_fifos():
-            fifo = self._fifos[i]
-            window = min(len(fifo), max(self.lookahead, 1))
+        selected = self._selected
+        window_limit = self.lookahead if self.lookahead > 1 else 1
+        if selected is not None:
+            fifos: Tuple[Deque[BlockAddress], ...] = (self._fifos[selected],)
+        else:
+            fifos = tuple(self._fifos)
+        for fifo in fifos:
+            fifo_len = len(fifo)
+            window = fifo_len if fifo_len < window_limit else window_limit
             for position in range(window):
                 if fifo[position] == address:
                     del fifo[position]
@@ -216,18 +271,26 @@ class StreamQueue:
                     break
         return found
 
-    # ---------------------------------------------------------------- refills
+    # ------------------------------------------------------------------ refills
     def refill_requests(self, threshold: int, count: int) -> List[RefillRequest]:
         """Refill requests for live FIFOs running low (Section 3.3: half empty)."""
         requests: List[RefillRequest] = []
-        for i in self._live_fifos():
-            if self._refill_pending[i]:
+        selected = self._selected
+        if selected is not None:
+            indices = (selected,)
+        else:
+            indices = tuple(range(len(self._fifos)))
+        pending = self._refill_pending
+        sources = self._sources
+        fifos = self._fifos
+        for i in indices:
+            if pending[i]:
                 continue
-            source = self._sources[i]
+            source = sources[i]
             if source is None:
                 continue
-            if len(self._fifos[i]) <= threshold:
-                self._refill_pending[i] = True
+            if len(fifos[i]) <= threshold:
+                pending[i] = True
                 requests.append(
                     RefillRequest(self.queue_id, i, source, count)
                 )

@@ -18,11 +18,11 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.common.stats import StatsRegistry
+from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress
 
 
-@dataclass
+@dataclass(slots=True)
 class SVBEntry:
     """One streamed block resident in the SVB."""
 
@@ -43,15 +43,48 @@ class StreamedValueBuffer:
     in the paper's sensitivity study.
     """
 
+    __slots__ = (
+        "capacity",
+        "node_id",
+        "block_size",
+        "_stats",
+        "_entries",
+        "_n_fills",
+        "_n_evictions",
+        "_n_hits",
+        "_n_misses",
+        "_n_invalidations",
+        "_n_queue_flushes",
+    )
+
     def __init__(self, capacity_entries: int, node_id: int = 0, block_size: int = 64) -> None:
         if capacity_entries <= 0:
             raise ValueError("SVB capacity must be positive")
         self.capacity = capacity_entries
         self.node_id = node_id
         self.block_size = block_size
-        self.stats = StatsRegistry(prefix=f"svb.n{node_id}")
+        self._stats = StatsRegistry(prefix=f"svb.n{node_id}")
         # OrderedDict as an LRU: most-recently-used at the end.
         self._entries: "OrderedDict[BlockAddress, SVBEntry]" = OrderedDict()
+        # Hot-path activity counters, published into the registry lazily.
+        self._n_fills = 0
+        self._n_evictions = 0
+        self._n_hits = 0
+        self._n_misses = 0
+        self._n_invalidations = 0
+        self._n_queue_flushes = 0
+
+    @property
+    def stats(self) -> StatsRegistry:
+        """Statistics registry, synchronized with the plain-int counters on read."""
+        return publish_counters(self._stats, {
+            "fills": self._n_fills,
+            "evictions": self._n_evictions,
+            "hits": self._n_hits,
+            "misses": self._n_misses,
+            "invalidations": self._n_invalidations,
+            "queue_flushes": self._n_queue_flushes,
+        })
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -78,9 +111,9 @@ class StreamedValueBuffer:
         victim: Optional[SVBEntry] = None
         if len(self._entries) >= self.capacity:
             _, victim = self._entries.popitem(last=False)
-            self.stats.counter("evictions").increment()
+            self._n_evictions += 1
         self._entries[entry.address] = entry
-        self.stats.counter("fills").increment()
+        self._n_fills += 1
         return victim
 
     # ------------------------------------------------------------------- probe
@@ -96,9 +129,9 @@ class StreamedValueBuffer:
         """
         entry = self._entries.pop(address, None)
         if entry is None:
-            self.stats.counter("misses").increment()
+            self._n_misses += 1
             return None
-        self.stats.counter("hits").increment()
+        self._n_hits += 1
         return entry
 
     # -------------------------------------------------------------- invalidate
@@ -106,7 +139,7 @@ class StreamedValueBuffer:
         """Invalidate a block on a write by any processor; return the entry."""
         entry = self._entries.pop(address, None)
         if entry is not None:
-            self.stats.counter("invalidations").increment()
+            self._n_invalidations += 1
         return entry
 
     def invalidate_queue(self, queue_id: int) -> List[SVBEntry]:
@@ -116,7 +149,7 @@ class StreamedValueBuffer:
         for address in doomed:
             removed.append(self._entries.pop(address))
         if removed:
-            self.stats.counter("queue_flushes").increment(len(removed))
+            self._n_queue_flushes += len(removed)
         return removed
 
     def drain(self) -> List[SVBEntry]:

@@ -1,0 +1,154 @@
+"""Determinism regression tests for the performance subsystem (PR 1).
+
+The fast paths added for the sensitivity sweeps — the shared result cache,
+the parallel experiment runner, and the timing-label cache — must be
+invisible in the results: parallel == serial, cached == uncached, bit for
+bit.  These tests lock that in on small traces.
+"""
+
+import pytest
+
+from repro.common.config import SystemConfig, TSEConfig
+from repro.common.events import EventQueue
+from repro.experiments import fig07_compared_streams, fig08_lookahead
+from repro.experiments.cache import cache_info, cached_tse_run, clear_cache
+from repro.experiments.runner import run_parallel, trace_for
+from repro.system.timing import TimingSimulator
+from repro.tse.simulator import run_tse_on_trace
+from repro.workloads import get_workload
+from repro.workloads.base import WorkloadParams
+
+#: Small but non-trivial trace size: large enough for real streams to form.
+ACCESSES = 6_000
+
+
+class TestParallelRunnerDeterminism:
+    def test_parallel_rows_identical_to_serial(self):
+        """run_parallel over >=2 workloads and >=3 configs == the serial path."""
+        workloads = ("db2", "em3d")
+        configs = (1, 2, 3)  # compared streams, the Figure 7 sweep axis
+        serial = fig07_compared_streams.run(
+            workloads=workloads, stream_counts=configs,
+            target_accesses=ACCESSES, seed=42,
+        )
+        parallel = run_parallel(
+            fig07_compared_streams._point, workloads, configs,
+            max_workers=2, target_accesses=ACCESSES, seed=42, lookahead=8,
+        )
+        assert parallel == serial
+        assert len(parallel) == len(workloads) * len(configs)
+
+    def test_parallel_merge_order_is_job_order(self):
+        rows = run_parallel(
+            fig08_lookahead._point, ("db2", "em3d"), (2, 4),
+            max_workers=2, target_accesses=ACCESSES, seed=42,
+        )
+        assert [(r["workload"], r["lookahead"]) for r in rows] == [
+            ("db2", 2), ("db2", 4), ("em3d", 2), ("em3d", 4),
+        ]
+
+    def test_serial_fallback_with_single_worker(self):
+        rows = run_parallel(
+            fig08_lookahead._point, ("db2",), (4,),
+            max_workers=1, target_accesses=ACCESSES, seed=42,
+        )
+        assert len(rows) == 1 and rows[0]["workload"] == "db2"
+
+
+class TestResultCacheDeterminism:
+    def test_cached_run_equals_direct_run(self):
+        config = TSEConfig.paper_default(lookahead=8)
+        direct = run_tse_on_trace(
+            trace_for("db2", ACCESSES, 42), config, warmup_fraction=0.3
+        )
+        cached_cold = cached_tse_run(
+            "db2", config, target_accesses=ACCESSES, seed=42, warmup_fraction=0.3
+        )
+        cached_warm = cached_tse_run(
+            "db2", config, target_accesses=ACCESSES, seed=42, warmup_fraction=0.3
+        )
+        assert cached_warm is cached_cold  # second call is a cache hit
+        assert cached_cold.as_dict() == direct.as_dict()
+        assert (
+            cached_cold.stream_length_hist.buckets()
+            == direct.stream_length_hist.buckets()
+        )
+
+    def test_cache_hit_counters_move(self):
+        clear_cache()
+        config = TSEConfig.paper_default(lookahead=8)
+        cached_tse_run("db2", config, target_accesses=ACCESSES, seed=42)
+        before = cache_info()
+        cached_tse_run("db2", config, target_accesses=ACCESSES, seed=42)
+        after = cache_info()
+        assert after["hits"] == before["hits"] + 1
+        assert after["misses"] == before["misses"]
+
+    def test_distinct_configs_not_conflated(self):
+        a = cached_tse_run(
+            "db2", TSEConfig.paper_default(lookahead=4),
+            target_accesses=ACCESSES, seed=42, warmup_fraction=0.3,
+        )
+        b = cached_tse_run(
+            "db2", TSEConfig.paper_default(lookahead=16),
+            target_accesses=ACCESSES, seed=42, warmup_fraction=0.3,
+        )
+        assert a is not b
+
+
+class TestTimingLabelCacheDeterminism:
+    def test_cached_compare_equals_uncached_compare(self):
+        """compare() on a label-cached trace == compare() on a fresh trace."""
+        config = TSEConfig.paper_default(lookahead=8)
+        system = SystemConfig.isca2005()
+
+        cached_trace = trace_for("db2", ACCESSES, 42)
+        first = TimingSimulator(system, config).compare(cached_trace)
+        second = TimingSimulator(system, config).compare(cached_trace)  # cache hit
+
+        params = WorkloadParams(num_nodes=16, seed=42, target_accesses=ACCESSES)
+        fresh_trace = get_workload("db2", params).generate()  # no label cache
+        assert not hasattr(fresh_trace, "_label_cache")
+        uncached = TimingSimulator(system, config).compare(fresh_trace)
+
+        for comparison in (second, uncached):
+            assert comparison.speedup == first.speedup
+            assert comparison.base.total_cycles == first.base.total_cycles
+            assert comparison.tse.total_cycles == first.tse.total_cycles
+            assert comparison.functional.as_dict() == first.functional.as_dict()
+            assert comparison.tse.full_coverage == first.tse.full_coverage
+            assert comparison.tse.partial_coverage == first.tse.partial_coverage
+
+    def test_base_label_shared_across_tse_configs(self):
+        """The base run is TSE-config independent, so sweeps share one."""
+        trace = trace_for("em3d", ACCESSES, 42)
+        system = SystemConfig.isca2005()
+        base_a = TimingSimulator(system, TSEConfig.paper_default(lookahead=4)).run_base(trace)
+        cache_size = len(trace._label_cache)
+        base_b = TimingSimulator(system, TSEConfig.paper_default(lookahead=24)).run_base(trace)
+        assert len(trace._label_cache) == cache_size  # no new label run
+        assert base_b.total_cycles == base_a.total_cycles
+
+
+class TestEventQueueLiveLen:
+    def test_len_tracks_schedule_cancel_pop(self):
+        queue = EventQueue()
+        events = [queue.schedule(i + 1.0, lambda: None) for i in range(5)]
+        assert len(queue) == 5
+        events[2].cancel()
+        assert len(queue) == 4
+        events[2].cancel()  # double-cancel must not double-count
+        assert len(queue) == 4
+        assert queue.step()  # executes event 0
+        assert len(queue) == 3
+        queue.run()
+        assert len(queue) == 0
+
+    def test_cancel_after_execution_does_not_recount(self):
+        queue = EventQueue()
+        event = queue.schedule(1.0, lambda: None)
+        queue.schedule(2.0, lambda: None)
+        queue.step()
+        assert len(queue) == 1
+        event.cancel()  # already executed: must not affect the live count
+        assert len(queue) == 1
