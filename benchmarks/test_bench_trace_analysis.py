@@ -83,3 +83,10 @@ def test_fig13_stream_length(benchmark, bench_workloads, bench_accesses):
     by_workload = {r["workload"]: r for r in rows}
     # Commercial coverage leans on short streams far more than scientific.
     assert by_workload["apache"]["short_stream_share"] > by_workload["em3d"]["short_stream_share"]
+    # Commercial workloads draw 30-45 % of their coverage from streams
+    # shorter than eight blocks (the paper's Figure 13 band).
+    for name in ("apache", "db2"):
+        assert 0.30 <= by_workload[name]["short_stream_share"] <= 0.45
+    # Scientific workloads are dominated by hundred-plus-block streams.
+    assert by_workload["em3d"]["short_stream_share"] < 0.05
+    assert by_workload["em3d"]["median_stream_length"] > 100

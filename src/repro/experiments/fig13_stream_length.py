@@ -10,7 +10,11 @@ from __future__ import annotations
 
 from typing import Dict, List, Sequence
 
-from repro.analysis.streams import fraction_of_hits_from_short_streams, stream_length_cdf
+from repro.analysis.streams import (
+    fraction_of_hits_from_short_streams,
+    median_stream_length,
+    stream_length_cdf,
+)
 from repro.common.config import PAPER_LOOKAHEAD, TSEConfig
 from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
@@ -46,6 +50,7 @@ def _point(
     row["short_stream_share"] = fraction_of_hits_from_short_streams(
         stats.stream_length_hist, threshold=8
     )
+    row["median_stream_length"] = median_stream_length(stats.stream_length_hist)
     return row
 
 
@@ -62,7 +67,11 @@ def run(
 
 def main() -> None:
     rows = run()
-    columns = ["workload"] + [f"len<={b}" for b in (1, 4, 8, 32, 128, 1024)] + ["short_stream_share"]
+    columns = (
+        ["workload"]
+        + [f"len<={b}" for b in (1, 4, 8, 32, 128, 1024)]
+        + ["short_stream_share", "median_stream_length"]
+    )
     print("Figure 13: cumulative % of hits vs. stream length")
     print(format_table(rows, columns))
 

@@ -27,7 +27,8 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from itertools import islice
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import enum
 
@@ -196,19 +197,35 @@ class TSESimulator:
         self.stats.discarded_blocks += discarded
 
     # --------------------------------------------------------------------- run
-    def run(self, trace: AccessTrace, warmup_fraction: float = 0.0) -> TSEStats:
-        """Replay the whole trace and return the accumulated statistics.
+    def run(
+        self,
+        trace: Union[AccessTrace, Iterable[MemoryAccess]],
+        warmup_fraction: float = 0.0,
+    ) -> TSEStats:
+        """Replay a whole trace (or access stream) and return the statistics.
 
         Args:
-            trace: The interleaved multi-node access trace.
+            trace: The interleaved multi-node access trace, either a
+                materialized :class:`AccessTrace` or any iterable of
+                :class:`MemoryAccess` (e.g. ``workload.stream()``), which is
+                consumed in bounded-size chunks without materializing it.
             warmup_fraction: Fraction of the trace processed before statistics
                 are reset — mirroring the paper's methodology of warming
                 caches, CMOBs and directory state before measurement
                 (Section 4).  State (CMOB contents, SVB, directory pointers)
-                carries over; only the counters restart.
+                carries over; only the counters restart.  A fraction needs a
+                known length, so it requires a materialized trace; for
+                streams use :meth:`run_stream` with ``warmup_accesses``.
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if not isinstance(trace, AccessTrace):
+            if warmup_fraction:
+                raise ValueError(
+                    "warmup_fraction needs a materialized AccessTrace; "
+                    "use run_stream(..., warmup_accesses=N) for streams"
+                )
+            return self.run_stream(trace)
         self.stats.workload = trace.name
         accesses = trace.accesses
         warmup_count = int(len(trace) * warmup_fraction)
@@ -218,6 +235,50 @@ class TSESimulator:
             self._replay(accesses[warmup_count:])
         else:
             self._replay(accesses)
+        return self.finalize()
+
+    #: Accesses replayed per chunk when ingesting a stream; bounds memory
+    #: while amortizing ``_replay``'s per-segment local binding.
+    STREAM_CHUNK = 16384
+
+    def run_stream(
+        self,
+        accesses: Iterable[MemoryAccess],
+        name: str = "stream",
+        warmup_accesses: int = 0,
+    ) -> TSEStats:
+        """Replay an access stream without materializing it.
+
+        Equivalent to :meth:`run` on the materialized trace, bit for bit
+        (the replay loop is shared), but holds at most ``STREAM_CHUNK``
+        accesses at a time — workload generators emit traces lazily via
+        ``workload.stream()``, so arbitrarily long runs fit in memory.
+
+        Args:
+            accesses: The interleaved access stream.
+            name: Workload label recorded in the statistics.
+            warmup_accesses: Number of leading accesses replayed before the
+                statistics are reset (the stream-length analogue of ``run``'s
+                ``warmup_fraction``).
+        """
+        if warmup_accesses < 0:
+            raise ValueError("warmup_accesses must be non-negative")
+        self.stats.workload = name
+        iterator = iter(accesses)
+        remaining_warmup = warmup_accesses
+        while remaining_warmup > 0:
+            chunk = list(islice(iterator, min(self.STREAM_CHUNK, remaining_warmup)))
+            if not chunk:
+                break
+            self._replay(chunk)
+            remaining_warmup -= len(chunk)
+        if warmup_accesses > 0:
+            self.reset_stats(name)
+        while True:
+            chunk = list(islice(iterator, self.STREAM_CHUNK))
+            if not chunk:
+                break
+            self._replay(chunk)
         return self.finalize()
 
     def reset_stats(self, workload: str = "") -> None:

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Type
+from dataclasses import dataclass, replace
+from typing import Callable, Dict, Iterator, List, Optional, Type
 
 from repro.common.rng import DeterministicRNG
 from repro.common.types import AccessTrace, AccessType, BlockAddress, MemoryAccess, NodeId
@@ -80,6 +80,29 @@ class AddressSpace:
         return block - region.start
 
 
+def interleave(
+    per_node: List[List[MemoryAccess]], quantum: int
+) -> Iterator[MemoryAccess]:
+    """Round-robin interleave per-node access lists, ``quantum`` at a time.
+
+    Approximates the concurrent execution of one phase across the machine:
+    all nodes progress together, none races a full phase ahead, and the
+    phase ends with an implicit barrier (every list drained).
+    """
+    quantum = max(1, quantum)
+    cursors = [0] * len(per_node)
+    remaining = sum(len(accesses) for accesses in per_node)
+    while remaining > 0:
+        for node_index, accesses in enumerate(per_node):
+            cursor = cursors[node_index]
+            chunk = accesses[cursor : cursor + quantum]
+            if not chunk:
+                continue
+            yield from chunk
+            cursors[node_index] += len(chunk)
+            remaining -= len(chunk)
+
+
 class Workload(abc.ABC):
     """Base class for every workload generator."""
 
@@ -108,6 +131,7 @@ class Workload(abc.ABC):
         access_type: AccessType,
         pc: int = 0,
         work: int = 1,
+        dependent: bool = False,
     ) -> MemoryAccess:
         """Create one access, advancing the node's logical clock by ``work``
         instructions (memory access + surrounding compute)."""
@@ -118,10 +142,19 @@ class Workload(abc.ABC):
             access_type=access_type,
             pc=pc,
             timestamp=self._node_time[node],
+            dependent=dependent,
         )
 
     def read(self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1) -> MemoryAccess:
         return self._access(node, address, AccessType.READ, pc, work)
+
+    def dependent_read(
+        self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1
+    ) -> MemoryAccess:
+        """A read whose address depends on the previous read's data (pointer
+        chase); the timing model serialises these, keeping consumption MLP
+        near 1 for the commercial workloads."""
+        return self._access(node, address, AccessType.READ, pc, work, dependent=True)
 
     def write(self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1) -> MemoryAccess:
         return self._access(node, address, AccessType.WRITE, pc, work)
@@ -132,30 +165,6 @@ class Workload(abc.ABC):
     def atomic(self, node: NodeId, address: BlockAddress, pc: int = 0) -> MemoryAccess:
         return self._access(node, address, AccessType.ATOMIC, pc, work=2)
 
-    def interleave_round(
-        self, per_node: Sequence[List[MemoryAccess]], trace: AccessTrace
-    ) -> None:
-        """Interleave one barrier-delimited round of per-node access lists.
-
-        Nodes contribute ``quantum`` accesses at a time in round-robin order,
-        which approximates the concurrent execution of one iteration across
-        the machine (all nodes progress together, none races a full iteration
-        ahead).  The round ends when every node's list is drained — an
-        implicit barrier.
-        """
-        quantum = max(1, self.params.quantum)
-        cursors = [0] * len(per_node)
-        remaining = sum(len(lst) for lst in per_node)
-        while remaining > 0:
-            for node_index, accesses in enumerate(per_node):
-                cursor = cursors[node_index]
-                chunk = accesses[cursor : cursor + quantum]
-                if not chunk:
-                    continue
-                trace.extend(chunk)
-                cursors[node_index] += len(chunk)
-                remaining -= len(chunk)
-
     def _new_trace(self) -> AccessTrace:
         return AccessTrace(num_nodes=self.params.num_nodes, name=self.name)
 
@@ -163,8 +172,12 @@ class Workload(abc.ABC):
 # --------------------------------------------------------------------- registry
 _REGISTRY: Dict[str, Callable[[Optional[WorkloadParams]], Workload]] = {}
 
-SCIENTIFIC_WORKLOADS = ("em3d", "moldyn", "ocean")
-COMMERCIAL_WORKLOADS = ("apache", "db2", "oracle", "zeus")
+#: The paper's three scientific applications plus this repository's
+#: sparse-solver extension.
+SCIENTIFIC_WORKLOADS = ("em3d", "moldyn", "ocean", "sparse")
+#: The paper's four commercial server workloads plus the SPECjbb-like
+#: middleware tier extension.
+COMMERCIAL_WORKLOADS = ("apache", "db2", "oracle", "zeus", "jbb")
 ALL_WORKLOADS = SCIENTIFIC_WORKLOADS + COMMERCIAL_WORKLOADS
 
 

@@ -1,0 +1,138 @@
+"""Workload Engine v2 combinators: mixtures of primitives with streaming emission.
+
+A workload is either *request-driven* (commercial: transactions / HTTP
+requests dispatched to rotating nodes) or *phase-driven* (scientific:
+barrier-delimited iterations where every node progresses together).  The two
+combinators here own the dispatch / interleaving / stopping logic so that a
+concrete workload only has to
+
+* build its primitives (:meth:`MixtureWorkload.build`), and
+* express one unit of work — a request (:meth:`RequestWorkload.request`) or
+  one iteration's phases (:meth:`PhasedWorkload.iteration`).
+
+Traces are emitted as a **stream of batches**: one request, or one
+interleaved phase, at a time.  ``stream()`` yields individual accesses and
+stops at the first batch boundary after the access target is crossed (the
+same "finish the transaction you are in" semantics the v1 generators had),
+so traces never need to be fully materialized — the TSE simulator ingests
+the iterator directly via :meth:`repro.tse.simulator.TSESimulator.run`.
+``generate()`` materializes the same stream into an
+:class:`~repro.common.types.AccessTrace` for the timing model and the
+experiment caches; both paths consume identical RNG draws, so they are
+bit-identical.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Iterator, List, Optional
+
+from repro.common.types import AccessTrace, MemoryAccess
+from repro.workloads.base import Workload, WorkloadParams, interleave
+
+__all__ = [
+    "MixtureWorkload",
+    "PhasedWorkload",
+    "RequestWorkload",
+    "interleave",
+]
+
+
+class MixtureWorkload(Workload):
+    """Base for every Workload Engine v2 workload.
+
+    Subclasses allocate primitives in :meth:`build` and produce work in
+    :meth:`batches`; this class provides the streaming / materializing trace
+    API on top.
+    """
+
+    def __init__(self, params: Optional[WorkloadParams] = None) -> None:
+        super().__init__(params)
+        self.build()
+
+    # ------------------------------------------------------------------- hooks
+    @abc.abstractmethod
+    def build(self) -> None:
+        """Allocate primitives and any derived state (called once at init)."""
+
+    @abc.abstractmethod
+    def batches(self) -> Iterator[List[MemoryAccess]]:
+        """Endless stream of work units (one request / one interleaved phase)."""
+
+    # ----------------------------------------------------------------- emission
+    def stream(self, target_accesses: Optional[int] = None) -> Iterator[MemoryAccess]:
+        """Yield accesses until the target is crossed at a batch boundary.
+
+        The generator holds at most one batch in memory, so arbitrarily long
+        traces can be replayed through the TSE simulator without
+        materializing an :class:`AccessTrace`.
+        """
+        target = target_accesses if target_accesses is not None else self.params.target_accesses
+        emitted = 0
+        for batch in self.batches():
+            yield from batch
+            emitted += len(batch)
+            if emitted >= target:
+                return
+
+    def generate(self) -> AccessTrace:
+        """Materialize the stream into an interleaved :class:`AccessTrace`."""
+        trace = self._new_trace()
+        trace.extend(self.stream())
+        return trace
+
+
+class RequestWorkload(MixtureWorkload):
+    """Request-driven (commercial) combinator.
+
+    Requests are dispatched round-robin with jitter, so consecutive requests
+    touching a hot object land on different nodes (migratory sharing), and
+    each request's accesses stay contiguous per node — the structure that
+    keeps commercial consumption MLP near 1 in the timing model.
+    """
+
+    category = "commercial"
+
+    #: Dispatcher skips ahead 1..DISPATCH_JITTER nodes between requests.
+    DISPATCH_JITTER = 3
+    #: RNG fork salt for the dispatch/request stream.
+    RNG_SALT = 21
+
+    @abc.abstractmethod
+    def request(self, node: int, rng) -> List[MemoryAccess]:
+        """Emit one complete request / transaction executed by ``node``."""
+
+    def batches(self) -> Iterator[List[MemoryAccess]]:
+        rng = self.rng.fork(self.RNG_SALT)
+        num_nodes = self.params.num_nodes
+        node = 0
+        while True:
+            node = (node + 1 + rng.randrange(self.DISPATCH_JITTER)) % num_nodes
+            yield self.request(node, rng)
+
+
+class PhasedWorkload(MixtureWorkload):
+    """Phase-driven (scientific) combinator.
+
+    Each iteration contributes one or more barrier-delimited phases; every
+    phase is a set of per-node access lists interleaved ``quantum`` accesses
+    at a time.
+    """
+
+    category = "scientific"
+
+    #: RNG fork salt for the iteration stream.
+    RNG_SALT = 23
+
+    @abc.abstractmethod
+    def iteration(self, index: int, rng) -> Iterator[List[List[MemoryAccess]]]:
+        """Yield this iteration's phases (per-node access lists, in order)."""
+
+    def batches(self) -> Iterator[List[MemoryAccess]]:
+        rng = self.rng.fork(self.RNG_SALT)
+        quantum = self.params.quantum
+        index = 0
+        while True:
+            for per_node in self.iteration(index, rng):
+                yield list(interleave(per_node, quantum))
+            index += 1

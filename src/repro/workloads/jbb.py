@@ -1,0 +1,167 @@
+"""jbb: a SPECjbb-like middleware tier (repository extension, not in the paper).
+
+SPECjbb models the business logic of a three-tier system: warehouses of
+order/customer/item objects manipulated by worker threads, with the database
+replaced by in-memory object trees.  As a shared-memory workload it sits
+between the web servers and the databases: coherent read misses come from
+
+* **order-object templates** — short per-order block sequences (order header,
+  customer row, a couple of order lines) that migrate between worker
+  threads; the short-stream mass of Figure 13's commercial band;
+* **object-graph walks** — pointer chases through the warehouse's B-tree-like
+  object graph (:class:`PointerChase`): dependent reads along a fixed
+  successor order, realizing mid-length streams and MLP ~ 1;
+* **allocator/GC metadata churn** — uncorrelated reads of recently-written
+  free-list and card-table blocks (:class:`ZipfChurnPool`);
+
+plus coherence-quiet busy work (class/code metadata reads, thread-local
+allocation buffers) and per-warehouse locks.
+
+Calibrated like the paper's commercial workloads: short-stream share of TSE
+coverage in the 30-45 % band, trace coverage in the 40-60 % range (see
+EXPERIMENTS.md).  Registered through the standard ``register_workload`` path
+so every fig06-fig14 experiment picks it up via ``ALL_WORKLOADS``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.common.types import MemoryAccess
+from repro.workloads.base import register_workload
+from repro.workloads.engine import RequestWorkload
+from repro.workloads.primitives import (
+    LockSite,
+    PointerChase,
+    PrivateScratch,
+    ReadOnlyRegion,
+    TemplatePool,
+    ZipfChurnPool,
+)
+
+
+@dataclass(frozen=True)
+class JBBProfile:
+    """Tuning knobs for the middleware tier."""
+
+    warehouses: int = 24
+    #: Short migratory order-object templates.
+    order_templates: int = 768
+    order_min: int = 3
+    order_max: int = 7
+    order_write_fraction: float = 0.85
+    order_zipf_alpha: float = 0.5
+    #: Object-graph pointer chases (mid-length dependent streams).
+    graph_blocks: int = 1024
+    walk_min: int = 12
+    walk_max: int = 24
+    walk_segment: int = 18
+    walk_fraction: float = 0.55
+    walk_write_fraction: float = 0.55
+    #: Allocator / GC metadata churn (uncorrelated).
+    gc_region_blocks: int = 2048
+    gc_pool_depth: int = 384
+    gc_reads_min: int = 4
+    gc_reads_max: int = 10
+    gc_writes: int = 2
+    #: Busy work.
+    class_metadata_blocks: int = 8192
+    class_reads: int = 6
+    private_accesses: int = 10
+    lock_contention: float = 0.06
+
+
+JBB_PROFILE = JBBProfile()
+
+
+@register_workload("jbb")
+class JBBWorkload(RequestWorkload):
+    """SPECjbb-like middleware transaction generator."""
+
+    category = "commercial"
+    profile: JBBProfile = JBB_PROFILE
+
+    def build(self) -> None:
+        profile = self.profile
+        self._orders = TemplatePool(
+            "orders",
+            self.space,
+            self.rng.fork(30),
+            count=profile.order_templates,
+            length_min=profile.order_min,
+            length_max=profile.order_max,
+            write_fraction=profile.order_write_fraction,
+            zipf_alpha=profile.order_zipf_alpha,
+            read_work=1700,
+            write_work=700,
+            pc_base=31,
+        )
+        self._graph = PointerChase(
+            "object_graph",
+            self.space,
+            self.rng.fork(31),
+            blocks=profile.graph_blocks,
+            hops_min=profile.walk_min,
+            hops_max=profile.walk_max,
+            segment=profile.walk_segment,
+            root_zipf_alpha=0.5,
+            write_fraction=profile.walk_write_fraction,
+            read_work=1600,
+            write_work=700,
+            pc_base=33,
+        )
+        self._gc = ZipfChurnPool(
+            "gc_metadata",
+            self.space,
+            self.rng.fork(32),
+            region_blocks=profile.gc_region_blocks,
+            pool_depth=profile.gc_pool_depth,
+            reads_min=profile.gc_reads_min,
+            reads_max=profile.gc_reads_max,
+            writes=profile.gc_writes,
+            read_work=2100,
+            write_work=700,
+            pc_base=35,
+        )
+        self._classes = ReadOnlyRegion(
+            "class_metadata",
+            self.space,
+            self.rng.fork(33),
+            blocks=profile.class_metadata_blocks,
+            zipf_alpha=0.9,
+            read_work=1100,
+            pc_base=37,
+        )
+        self._locks = LockSite(
+            "warehouse_locks",
+            self.space,
+            self.rng.fork(34),
+            count=profile.warehouses,
+            contention=profile.lock_contention,
+            pc_base=29,
+        )
+        self._scratch = PrivateScratch(
+            "tlab",
+            self.space,
+            self.rng.fork(35),
+            num_nodes=self.params.num_nodes,
+            blocks_per_node=384,
+            accesses=profile.private_accesses,
+            work=950,
+            pc_base=39,
+        )
+
+    def request(self, node: int, rng) -> List[MemoryAccess]:
+        profile = self.profile
+        out: List[MemoryAccess] = []
+        warehouse = rng.zipf(profile.warehouses, alpha=0.4)
+        self._classes.lookup(self, node, rng, out, levels=profile.class_reads)
+        self._locks.acquire(self, node, rng, out, index=warehouse)
+        self._orders.walk(self, node, rng, out)
+        if rng.bernoulli(profile.walk_fraction):
+            self._graph.walk(self, node, rng, out)
+        self._gc.churn(self, node, rng, out)
+        self._scratch.work_on(self, node, rng, out)
+        self._locks.release(self, node, out, index=warehouse)
+        return out

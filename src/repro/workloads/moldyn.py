@@ -1,139 +1,74 @@
 """moldyn: molecular dynamics with neighbour interaction lists.
 
 The CHAOS moldyn kernel ([23] in the paper) computes pairwise forces between
-molecules that are within a cutoff radius.  The interaction (neighbour) list
-is rebuilt only every several timesteps, so between rebuilds every iteration
+molecules within a cutoff radius.  The interaction (neighbour) list is
+rebuilt only every several timesteps, so between rebuilds every iteration
 reads the same remote molecule positions in the same order — near-perfect
 temporal correlation, slightly below em3d's because the lists drift when
 rebuilt (the paper measures 98 % trace coverage versus em3d's 100 %).
+
+Workload Engine v2 expresses this as one :class:`PartitionedSweep` over the
+position array (two remote readers per partition — molecules near a
+partition boundary interact with both neighbouring CPUs' molecules), with
+:meth:`PartitionedSweep.drift` applied every ``REBUILD_INTERVAL`` iterations
+to model the list rebuilds.  Each drift point breaks the agreement between
+the two compared streams exactly where the order changed, trimming a few
+hits off the streams without shortening them qualitatively.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+from typing import Iterator, List
 
-from repro.common.types import AccessTrace, MemoryAccess
-from repro.workloads.base import Workload, WorkloadParams, register_workload
-
-
-@dataclass
-class _Molecule:
-    """A molecule: one position block, one force block, and its neighbours."""
-
-    position_block: int
-    force_block: int
-    owner: int
-    neighbors: List[int]
+from repro.common.types import MemoryAccess
+from repro.workloads.base import register_workload
+from repro.workloads.engine import PhasedWorkload
+from repro.workloads.primitives import PartitionedSweep
 
 
 @register_workload("moldyn")
-class MoldynWorkload(Workload):
+class MoldynWorkload(PhasedWorkload):
     """Scaled-down moldyn trace generator.
 
     Table 2 simulates 19 652 molecules with up to 2.56 M interactions; the
-    default here is 2 048 molecules with 8 neighbours each (scaled by
-    ``params.scale``).
+    default here keeps a few hundred position blocks per CPU (scaled by
+    ``params.scale``), which preserves the rebuild-drift structure while
+    keeping pure-Python runs fast.
     """
 
     category = "scientific"
 
-    BASE_MOLECULES = 2048
-    NEIGHBORS_PER_MOLECULE = 8
-    #: Neighbours are drawn from molecules within this index distance —
-    #: molecules are laid out along a space-filling order, so spatial
-    #: proximity maps to index proximity and remote neighbours occur only
-    #: near partition boundaries (as in the real kernel's spatial
-    #: decomposition).
-    NEIGHBOR_WINDOW = 48
+    #: Position blocks owned by each CPU at scale = 1.0.
+    BASE_BLOCKS_PER_NODE = 288
+    #: Fraction of each partition read by neighbouring CPUs every iteration.
+    REMOTE_FRACTION = 0.7
     #: Neighbour lists are rebuilt every this many iterations.
-    REBUILD_INTERVAL = 20
-    #: Fraction of each molecule's neighbour list replaced at a rebuild.
-    REBUILD_CHURN = 0.15
+    REBUILD_INTERVAL = 8
+    #: Fraction of each CPU's read order re-permuted at a rebuild.
+    REBUILD_CHURN = 0.12
     WORK_PER_READ = 35
 
-    def __init__(self, params: Optional[WorkloadParams] = None) -> None:
-        super().__init__(params)
-        self._molecules: List[_Molecule] = []
-        self._build_molecules()
+    def build(self) -> None:
+        self._positions = PartitionedSweep(
+            "positions",
+            self.space,
+            self.rng.fork(1),
+            num_nodes=self.params.num_nodes,
+            blocks_per_node=self.params.scaled(self.BASE_BLOCKS_PER_NODE, minimum=32),
+            # Boundary molecules interact with both neighbouring partitions.
+            reader_offsets=(1, -1),
+            remote_fraction=self.REMOTE_FRACTION,
+            read_work=self.WORK_PER_READ,
+            write_work=20,
+            local_reads_per_remote=1,
+            local_read_work=20,
+        )
+        self._drift_rng = self.rng.fork(2)
 
-    # --------------------------------------------------------------- building
-    def _build_molecules(self) -> None:
-        num_cpus = self.params.num_nodes
-        total = self.params.scaled(self.BASE_MOLECULES, minimum=num_cpus * 8)
-        total -= total % num_cpus
-        per_cpu = total // num_cpus
-        positions = self.space.allocate("positions", total)
-        forces = self.space.allocate("forces", total)
-        rng = self.rng.fork(2)
-
-        for index in range(total):
-            owner = index // per_cpu
-            neighbors = [
-                self._pick_neighbor(rng, index, total)
-                for _ in range(self.NEIGHBORS_PER_MOLECULE)
-            ]
-            self._molecules.append(
-                _Molecule(
-                    position_block=positions.start + index,
-                    force_block=forces.start + index,
-                    owner=owner,
-                    neighbors=neighbors,
-                )
-            )
-        self._positions_region = positions
-        self._per_cpu = per_cpu
-        self._total_molecules = total
-
-    def _pick_neighbor(self, rng, index: int, total: int) -> int:
-        """Pick a spatially nearby neighbour (within the cutoff window)."""
-        offset = 0
-        while offset == 0:
-            offset = rng.randint(-self.NEIGHBOR_WINDOW, self.NEIGHBOR_WINDOW)
-        return (index + offset) % total
-
-    def _rebuild_lists(self, rng) -> None:
-        """Replace a fraction of every molecule's neighbours (list drift)."""
-        for index, molecule in enumerate(self._molecules):
-            for slot in range(len(molecule.neighbors)):
-                if rng.bernoulli(self.REBUILD_CHURN):
-                    molecule.neighbors[slot] = self._pick_neighbor(
-                        rng, index, self._total_molecules
-                    )
-
-    # -------------------------------------------------------------- generation
-    def _iteration(self) -> List[List[MemoryAccess]]:
-        """One force-computation sweep by every CPU over its molecules."""
-        per_node: List[List[MemoryAccess]] = [[] for _ in range(self.params.num_nodes)]
-        for molecule in self._molecules:
-            cpu = molecule.owner
-            accesses = per_node[cpu]
-            accesses.append(self.read(cpu, molecule.position_block, work=20))
-            for neighbor_index in molecule.neighbors:
-                neighbor = self._molecules[neighbor_index]
-                accesses.append(
-                    self.read(cpu, neighbor.position_block, work=self.WORK_PER_READ)
-                )
-            accesses.append(self.write(cpu, molecule.force_block, work=20))
-        return per_node
-
-    def _position_update(self) -> List[List[MemoryAccess]]:
-        """Each CPU integrates and writes its own molecules' positions."""
-        per_node: List[List[MemoryAccess]] = [[] for _ in range(self.params.num_nodes)]
-        for molecule in self._molecules:
-            cpu = molecule.owner
-            per_node[cpu].append(self.read(cpu, molecule.force_block, work=20))
-            per_node[cpu].append(self.write(cpu, molecule.position_block, work=20))
-        return per_node
-
-    def generate(self) -> AccessTrace:
-        trace = self._new_trace()
-        rng = self.rng.fork(3)
-        iteration = 0
-        while len(trace) < self.params.target_accesses:
-            if iteration > 0 and iteration % self.REBUILD_INTERVAL == 0:
-                self._rebuild_lists(rng)
-            self.interleave_round(self._iteration(), trace)
-            self.interleave_round(self._position_update(), trace)
-            iteration += 1
-        return trace
+    def iteration(self, index: int, rng) -> Iterator[List[List[MemoryAccess]]]:
+        if index > 0 and index % self.REBUILD_INTERVAL == 0:
+            self._positions.drift(self._drift_rng, self.REBUILD_CHURN)
+        # Force sweep: read remote neighbour positions (+ local positions).
+        yield self._positions.read_phase(self)
+        # Position update: each CPU integrates and rewrites its own molecules.
+        yield self._positions.write_phase(self)

@@ -2,125 +2,97 @@
 
 Ocean partitions a square grid over the CPUs by rows.  Each relaxation step
 reads the boundary rows of the neighbouring partitions — a *burst* of
-coherent read misses issued back to back (ocean blocks its computation, which
-groups consumptions into bursts; Table 3 measures an MLP of 6.6) — then
-sweeps the interior, and finally writes the partition's own boundary rows
-that its neighbours will read next step.
+coherent read misses issued back to back (ocean blocks its computation,
+which groups consumptions into bursts; Table 3 measures an MLP of 6.6) —
+then sweeps the interior, and finally rewrites the partition's own boundary
+rows that its neighbours will read next step.
 
-The boundary rows are re-read in the same order every step, so temporal
-correlation is near perfect; what limits TSE for ocean in the paper is
-*timeliness* (the bursts are bandwidth-bound), which the timing model
-reproduces.
+Workload Engine v2 expresses each work grid as a :class:`PartitionedSweep`
+whose shared sub-partition is the two boundary rows, read by the two
+neighbouring CPUs (``reader_offsets=(1, -1)``).  Because the solver
+alternates between its work arrays, a stream that reaches the end of one
+grid's boundary sequence continues seamlessly into the other grid's — the
+blocks it prefetches across the step boundary were produced at the end of
+the *previous* step and stay valid — so ocean realizes the longest streams
+of the suite (thousands of blocks), matching its Figure 13 curve.  What
+limits TSE for ocean in the paper is *timeliness* (the bursts are
+bandwidth-bound), which the timing model reproduces.
+
+SPLASH-2 stores the grid as 4-D arrays, so a neighbour's boundary row is not
+a unit-stride run of blocks; the sweep's fixed permutation models that
+layout, which keeps stride prefetchers from covering ocean (Figure 12).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Iterator, List
 
-from repro.common.types import AccessTrace, MemoryAccess
-from repro.workloads.base import Workload, WorkloadParams, register_workload
+from repro.common.types import MemoryAccess
+from repro.workloads.base import register_workload
+from repro.workloads.engine import PhasedWorkload
+from repro.workloads.primitives import PartitionedSweep
 
 
 @register_workload("ocean")
-class OceanWorkload(Workload):
+class OceanWorkload(PhasedWorkload):
     """Scaled-down ocean trace generator.
 
-    Table 2 uses a 514x514 grid; the default here is a 258x258-equivalent
-    partitioning (scaled by ``params.scale``) expressed directly in blocks:
-    each CPU owns ``rows_per_cpu`` rows of ``blocks_per_row`` blocks.
+    Table 2 uses a 514x514 grid; the default here is expressed directly in
+    blocks: each CPU owns ``rows_per_cpu`` rows of ``blocks_per_row`` blocks
+    (scaled by ``params.scale``).  The shared boundary is modelled as a
+    two-row band at the start of each partition, split between the two
+    neighbouring CPUs (``reader_offsets=(1, -1)``) — which boundary blocks
+    sit where in the partition does not matter to the sharing structure,
+    only that each CPU exchanges one row's worth with each neighbour.
     """
 
     category = "scientific"
 
     BASE_BLOCKS_PER_ROW = 64
-    BASE_ROWS_PER_CPU = 16
-    #: Number of grids the solver sweeps per step (ocean uses several work
-    #: arrays; two capture the alternation without exploding the footprint).
+    BASE_ROWS_PER_CPU = 10
+    #: Number of work grids the solver alternates between (ocean uses
+    #: several work arrays; two capture the alternation without exploding
+    #: the footprint).
     NUM_GRIDS = 2
-    #: Interior work is mostly local; only this fraction of interior rows is
-    #: touched per step to keep trace volume proportional to sharing.
-    INTERIOR_SAMPLING = 0.25
     #: Boundary reads are issued back to back (tight copy loop).
     BOUNDARY_WORK = 24
     INTERIOR_WORK = 30
 
-    def __init__(self, params: Optional[WorkloadParams] = None) -> None:
-        super().__init__(params)
+    def build(self) -> None:
         self.blocks_per_row = self.params.scaled(self.BASE_BLOCKS_PER_ROW, minimum=8)
         self.rows_per_cpu = self.params.scaled(self.BASE_ROWS_PER_CPU, minimum=4)
-        num_cpus = self.params.num_nodes
-        total_rows = self.rows_per_cpu * num_cpus
+        blocks_per_node = self.blocks_per_row * self.rows_per_cpu
+        # The shared sub-partition is the two boundary rows of each CPU,
+        # read by the partitions directly above and below.
+        boundary_fraction = 2.0 * self.blocks_per_row / blocks_per_node
         self._grids = [
-            self.space.allocate(f"grid{g}", total_rows * self.blocks_per_row)
+            PartitionedSweep(
+                f"grid{g}",
+                self.space,
+                self.rng.fork(10 + g),
+                num_nodes=self.params.num_nodes,
+                blocks_per_node=blocks_per_node,
+                reader_offsets=(1, -1),
+                remote_fraction=boundary_fraction,
+                read_work=self.BOUNDARY_WORK,
+                write_work=self.BOUNDARY_WORK,
+                # The interior sweep between boundary reads (reads of the
+                # CPU's own rows; local after the first step).
+                local_reads_per_remote=2,
+                local_read_work=self.INTERIOR_WORK,
+                # Only a sample of interior rows is rewritten per step, which
+                # keeps trace volume proportional to sharing (the interior is
+                # coherence-quiet anyway).
+                interior_rewrite_stride=4,
+            )
             for g in range(self.NUM_GRIDS)
         ]
 
-    # ---------------------------------------------------------------- geometry
-    def _row_blocks(self, grid: range, row: int) -> List[int]:
-        """Blocks of one grid row, in traversal order.
-
-        SPLASH-2 ocean stores the grid as 4-D arrays so each partition is
-        contiguous; a neighbour's boundary row is therefore *not* a
-        unit-stride run of blocks.  The fixed interleaved permutation below
-        models that layout, which is what keeps stride prefetchers from
-        covering ocean (Figure 12) while TSE's address streams are unaffected.
-        """
-        start = grid.start + row * self.blocks_per_row
-        contiguous = list(range(start, start + self.blocks_per_row))
-        stride = self._permutation_stride(self.blocks_per_row)
-        return [contiguous[(i * stride) % self.blocks_per_row] for i in range(self.blocks_per_row)]
-
-    @staticmethod
-    def _permutation_stride(length: int) -> int:
-        """Smallest stride >= 5 coprime with ``length`` (full permutation)."""
-        import math
-
-        for candidate in range(5, length):
-            if math.gcd(candidate, length) == 1:
-                return candidate
-        return 1
-
-    def _first_row_of(self, cpu: int) -> int:
-        return cpu * self.rows_per_cpu
-
-    def _last_row_of(self, cpu: int) -> int:
-        return (cpu + 1) * self.rows_per_cpu - 1
-
-    # -------------------------------------------------------------- generation
-    def _relaxation_step(self, grid: range, rng) -> List[List[MemoryAccess]]:
-        per_node: List[List[MemoryAccess]] = [[] for _ in range(self.params.num_nodes)]
-        num_cpus = self.params.num_nodes
-        for cpu in range(num_cpus):
-            accesses = per_node[cpu]
-            # (1) Boundary exchange: read the neighbouring partitions'
-            # adjacent rows in a tight burst.
-            neighbors = []
-            if cpu > 0:
-                neighbors.append(self._last_row_of(cpu - 1))
-            if cpu < num_cpus - 1:
-                neighbors.append(self._first_row_of(cpu + 1))
-            for row in neighbors:
-                for block in self._row_blocks(grid, row):
-                    accesses.append(self.read(cpu, block, work=self.BOUNDARY_WORK))
-            # (2) Interior sweep: sample local rows (reads + writes, local only).
-            for row in range(self._first_row_of(cpu), self._last_row_of(cpu) + 1):
-                if not rng.bernoulli(self.INTERIOR_SAMPLING):
-                    continue
-                for block in self._row_blocks(grid, row):
-                    accesses.append(self.read(cpu, block, work=self.INTERIOR_WORK))
-                    accesses.append(self.write(cpu, block, work=self.INTERIOR_WORK))
-            # (3) Rewrite the partition's own boundary rows for the next step.
-            for row in (self._first_row_of(cpu), self._last_row_of(cpu)):
-                for block in self._row_blocks(grid, row):
-                    accesses.append(self.write(cpu, block, work=self.BOUNDARY_WORK))
-        return per_node
-
-    def generate(self) -> AccessTrace:
-        trace = self._new_trace()
-        rng = self.rng.fork(4)
-        grid_index = 0
-        while len(trace) < self.params.target_accesses:
-            grid = self._grids[grid_index % self.NUM_GRIDS]
-            self.interleave_round(self._relaxation_step(grid, rng), trace)
-            grid_index += 1
-        return trace
+    def iteration(self, index: int, rng) -> Iterator[List[List[MemoryAccess]]]:
+        # One relaxation step per grid, alternating: boundary exchange +
+        # interior sweep (reads), then rewrite the own partition for the
+        # next step (writes).
+        for grid in self._grids:
+            reads = grid.read_phase(self)
+            writes = grid.write_phase(self)
+            yield [r + w for r, w in zip(reads, writes)]

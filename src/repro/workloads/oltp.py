@@ -2,40 +2,46 @@
 
 The commercial workloads' coherent read misses come from *migratory* shared
 data: a transaction running on one node reads and updates a set of related
-database structures (a district's rows, stock entries, order queues), and the
-next transaction touching that data runs on a different node.  Because the
-data structures are stable, the per-district access *template* repeats, which
-is exactly the temporal address correlation TSE exploits — but unlike the
-scientific codes, a sizeable fraction of misses comes from irregular
-structures (buffer-pool metadata, latches, free lists) whose access order
-does not repeat.
+database structures (a district's rows, stock entries, order queues), and
+the next transaction touching that data runs on a different node.  Because
+the data structures are stable, the per-district access *template* repeats —
+exactly the temporal address correlation TSE exploits — but a sizeable
+fraction of misses comes from irregular structures (buffer-pool metadata,
+latches, free lists) whose access order does not repeat.
 
-The generator mixes four access classes per transaction:
+Workload Engine v2 composition (see EXPERIMENTS.md for calibration targets):
 
-* **index walk** — root/branch/leaf reads of a B-tree; read-only after
-  warm-up so they produce no consumptions (they model the busy work between
-  misses).
-* **district template** — the migratory read-modify-write sequence over the
-  district's row blocks; produces *correlated* consumptions.
-* **hot-structure churn** — reads and writes of randomly chosen blocks in a
-  shared region (buffer-pool headers, latch words); produces *uncorrelated*
-  consumptions.
-* **synchronisation** — lock acquire/release with occasional spin reads,
-  excluded from consumptions by the spin filter.
-
-The DB2 and Oracle presets differ in template length, hot-churn intensity
-and client concurrency, tuned so the measured correlated fraction and trace
-coverage land near the paper's Figure 6 / Table 3 values (DB2 ≈ 60 %,
-Oracle ≈ 53 %).
+* ``rows_short`` / ``rows_long`` — two :class:`TemplatePool` instances for
+  district row templates.  The bimodal length split is what calibrates
+  Figure 13: short-template walks (new-order style, a handful of rows)
+  realize streams under eight blocks, long-template walks (payment/stock
+  scans over 2-4 related tables) the 10-30-block mid-range.  Reads are
+  ``dependent`` (rows are reached through pointer chains, Section 5.7),
+  which keeps consumption MLP near 1.
+* ``scan`` — a :class:`StridedSweep` over order lines: rare delivery-style
+  transactions scanning a long run (the commercial CDF's upper tail).
+* ``hot`` — a :class:`ZipfChurnPool` of buffer-pool headers / latch words
+  (uncorrelated consumptions).
+* ``index`` — a :class:`ReadOnlyRegion` B-tree (busy work), ``locks`` — a
+  per-district :class:`LockSite`, plus :class:`PrivateScratch` sort heaps.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List
 
-from repro.common.types import AccessTrace, AccessType, MemoryAccess
-from repro.workloads.base import Workload, WorkloadParams, register_workload
+from repro.common.types import MemoryAccess
+from repro.workloads.base import register_workload
+from repro.workloads.engine import RequestWorkload
+from repro.workloads.primitives import (
+    LockSite,
+    PrivateScratch,
+    ReadOnlyRegion,
+    StridedSweep,
+    TemplatePool,
+    ZipfChurnPool,
+)
 
 
 @dataclass(frozen=True)
@@ -44,242 +50,170 @@ class OLTPProfile:
 
     #: Number of warehouses; each warehouse has 10 districts (TPC-C).
     warehouses: int = 8
-    #: Blocks per district template (rows touched by a transaction).
-    template_min: int = 8
-    template_max: int = 24
-    #: Probability that a template block is written (made migratory).
-    template_write_fraction: float = 0.85
-    #: Probability that a template access is skipped / reordered locally
-    #: (models control-flow variation between transactions).
-    template_noise: float = 0.04
-    #: Uncorrelated hot-structure reads per transaction.
-    hot_reads_min: int = 2
-    hot_reads_max: int = 8
-    #: Uncorrelated hot-structure writes per transaction.
+    #: Short (new-order-style) row templates.
+    short_min: int = 4
+    short_max: int = 8
+    #: Long (payment/stock-level-style) row templates.
+    long_min: int = 14
+    long_max: int = 30
+    #: Fraction of transactions walking a short template.
+    short_fraction: float = 0.62
+    template_write_fraction: float = 0.9
+    #: Zipf skew of district selection.
+    district_zipf_alpha: float = 0.6
+    #: Uncorrelated hot-structure churn per transaction.
+    hot_reads_min: int = 6
+    hot_reads_max: int = 14
     hot_writes: int = 2
-    #: Size of the hot shared-structure region in blocks.
     hot_region_blocks: int = 4096
-    #: Depth of the recently-written pool that uncorrelated reads sample from.
     hot_pool_depth: int = 256
     #: Index levels read per transaction (read-only busy work).
     index_levels: int = 3
     #: Local (per-node) private work blocks touched per transaction.
     private_accesses: int = 12
-    #: Zipf skew of district selection.
-    district_zipf_alpha: float = 0.6
     #: Probability a lock acquire finds the lock contended (adds spin reads).
     lock_contention: float = 0.08
-    #: Long "delivery-style" transactions scanning many rows, as a fraction
-    #: of all transactions (produces the long-stream tail of Figure 13).
+    #: Long "delivery-style" transactions scanning many order lines, as a
+    #: fraction of all transactions (the long-stream tail of Figure 13).
     long_txn_fraction: float = 0.03
     long_txn_scan_blocks: int = 160
 
 
 # The two engine presets are calibrated so trace coverage at the paper's TSE
 # configuration (two compared streams, lookahead 8) lands near Table 3's
-# values: DB2 ~0.60, Oracle ~0.53 (see EXPERIMENTS.md for measured numbers).
+# values (DB2 ~0.60, Oracle ~0.53) and the short-stream share of coverage in
+# Figure 13's 30-45 % band (see EXPERIMENTS.md for measured numbers).
 DB2_PROFILE = OLTPProfile(
-    template_min=10,
-    template_max=28,
-    template_write_fraction=0.9,
-    template_noise=0.06,
-    hot_reads_min=11,
-    hot_reads_max=20,
+    short_fraction=0.68,
+    long_min=16,
+    long_max=26,
+    hot_reads_min=6,
+    hot_reads_max=12,
     hot_writes=2,
-    long_txn_fraction=0.04,
+    long_txn_fraction=0.02,
 )
 
 ORACLE_PROFILE = OLTPProfile(
-    template_min=8,
-    template_max=22,
-    template_write_fraction=0.85,
-    template_noise=0.07,
-    hot_reads_min=12,
-    hot_reads_max=20,
+    short_fraction=0.70,
+    long_min=14,
+    long_max=26,
+    hot_reads_min=8,
+    hot_reads_max=14,
     hot_writes=3,
-    long_txn_fraction=0.03,
+    long_txn_fraction=0.025,
 )
 
 
-class OLTPWorkload(Workload):
+class OLTPWorkload(RequestWorkload):
     """Generic TPC-C-like generator parameterised by an :class:`OLTPProfile`."""
 
     category = "commercial"
     profile: OLTPProfile = OLTPProfile()
 
-    def __init__(self, params: Optional[WorkloadParams] = None) -> None:
-        super().__init__(params)
-        self._build_database()
-
-    # --------------------------------------------------------------- building
-    def _build_database(self) -> None:
+    def build(self) -> None:
         profile = self.profile
-        rng = self.rng.fork(10)
         num_districts = profile.warehouses * 10
-        self._district_templates: List[List[int]] = []
-        self._district_locks: List[int] = []
-
-        # Row blocks: one contiguous template region per district.
-        total_template_blocks = 0
-        template_lengths = []
-        for _ in range(num_districts):
-            length = rng.randint(profile.template_min, profile.template_max)
-            template_lengths.append(length)
-            total_template_blocks += length
         # Rows of one district are *not* contiguous in physical memory (heap
-        # pages interleave rows of many districts), so template addresses are
-        # drawn from a shuffled pool — this is what defeats stride prefetchers
-        # on OLTP (Figure 12) while leaving temporal correlation intact.
-        rows = self.space.allocate("rows", total_template_blocks)
-        shuffled_blocks = list(rows)
-        rng.shuffle(shuffled_blocks)
-        cursor = 0
-        for length in template_lengths:
-            self._district_templates.append(shuffled_blocks[cursor : cursor + length])
-            cursor += length
-
-        locks = self.space.allocate("locks", num_districts)
-        self._district_locks = list(locks)
-
-        self._hot_region = self.space.allocate("hot", profile.hot_region_blocks)
-        # B-tree index: root + branches + leaves, read-only after warm-up.
-        self._index_region = self.space.allocate("index", 1 + 64 + 1024)
-        # Order lines scanned by long transactions (append-mostly).
-        self._scan_region = self.space.allocate("scan", profile.long_txn_scan_blocks * 8)
-        # Private per-node working storage (sort heaps, session state).
-        self._private_regions = [
-            self.space.allocate(f"private{n}", 512) for n in range(self.params.num_nodes)
-        ]
+        # pages interleave rows of many districts): TemplatePool draws every
+        # template from a shuffled pool, which is what defeats stride
+        # prefetchers on OLTP (Figure 12) while leaving temporal correlation
+        # intact.
+        self._rows_short = TemplatePool(
+            "rows_short",
+            self.space,
+            self.rng.fork(10),
+            count=num_districts,
+            length_min=profile.short_min,
+            length_max=profile.short_max,
+            write_fraction=profile.template_write_fraction,
+            zipf_alpha=profile.district_zipf_alpha,
+            read_work=1500,
+            write_work=600,
+            pc_base=5,
+        )
+        self._rows_long = TemplatePool(
+            "rows_long",
+            self.space,
+            self.rng.fork(14),
+            count=num_districts,
+            length_min=profile.long_min,
+            length_max=profile.long_max,
+            write_fraction=profile.template_write_fraction,
+            zipf_alpha=profile.district_zipf_alpha,
+            read_work=1500,
+            write_work=600,
+            pc_base=12,
+        )
+        self._hot = ZipfChurnPool(
+            "hot",
+            self.space,
+            self.rng.fork(11),
+            region_blocks=profile.hot_region_blocks,
+            pool_depth=profile.hot_pool_depth,
+            reads_min=profile.hot_reads_min,
+            reads_max=profile.hot_reads_max,
+            writes=profile.hot_writes,
+            read_work=1800,
+            write_work=600,
+            pc_base=7,
+        )
+        self._index = ReadOnlyRegion(
+            "index",
+            self.space,
+            self.rng.fork(12),
+            blocks=1 + 64 + 1024,
+            read_work=1200,
+            pc_base=1,
+        )
+        self._scan = StridedSweep(
+            "scan",
+            self.space,
+            self.rng.fork(15),
+            blocks=profile.long_txn_scan_blocks * 8,
+            scan_blocks=profile.long_txn_scan_blocks,
+            write_fraction=0.5,
+            read_work=450,
+            write_work=450,
+            pc_base=10,
+        )
+        self._locks = LockSite(
+            "locks",
+            self.space,
+            self.rng.fork(13),
+            count=2 * num_districts,
+            contention=profile.lock_contention,
+            pc_base=3,
+        )
+        self._scratch = PrivateScratch(
+            "private",
+            self.space,
+            self.rng.fork(16),
+            num_nodes=self.params.num_nodes,
+            blocks_per_node=512,
+            accesses=profile.private_accesses,
+            work=900,
+            pc_base=9,
+        )
         self._num_districts = num_districts
-        #: Recently written hot blocks; uncorrelated reads sample from here.
-        self._recent_hot_writes: List[int] = []
 
-    # ----------------------------------------------------------- access pieces
-    def _index_walk(self, node: int, rng, out: List[MemoryAccess]) -> None:
-        """Read-only B-tree descent (no consumptions after warm-up)."""
-        region = self._index_region
-        out.append(self.read(node, region.start, work=1200))  # root
-        branch = region.start + 1 + rng.randrange(64)
-        out.append(self.read(node, branch, pc=1, work=1200))
-        leaf = region.start + 1 + 64 + rng.randrange(1024)
-        out.append(self.read(node, leaf, pc=2, work=1200))
-
-    def _acquire_lock(self, node: int, district: int, rng, out: List[MemoryAccess]) -> None:
-        lock_block = self._district_locks[district]
-        if rng.bernoulli(self.profile.lock_contention):
-            for _ in range(rng.randint(1, 4)):
-                out.append(self.spin_read(node, lock_block))
-        out.append(self.atomic(node, lock_block, pc=3))
-
-    def _release_lock(self, node: int, district: int, out: List[MemoryAccess]) -> None:
-        out.append(self.atomic(node, self._district_locks[district], pc=4))
-
-    def _district_work(self, node: int, district: int, rng, out: List[MemoryAccess]) -> None:
-        """The migratory template: read (and mostly write) the district's rows.
-
-        Reads are marked ``dependent`` because database row accesses form
-        long pointer chains (Section 5.7 / [27]): the next row address comes
-        from the previous row's contents, which keeps consumption MLP low.
-        """
+    def request(self, node: int, rng) -> List[MemoryAccess]:
         profile = self.profile
-        template = self._district_templates[district]
-        for block in template:
-            if rng.bernoulli(profile.template_noise):
-                continue  # occasional skipped row (control-flow variation)
-            out.append(
-                MemoryAccess(
-                    node=node,
-                    address=block,
-                    access_type=AccessType.READ,
-                    pc=5,
-                    timestamp=self._bump(node, 1500),
-                    dependent=True,
-                )
-            )
-            if rng.bernoulli(profile.template_write_fraction):
-                out.append(self.write(node, block, pc=6, work=600))
-
-    def _hot_churn(self, node: int, rng, out: List[MemoryAccess]) -> None:
-        """Irregular shared-structure accesses (uncorrelated consumptions).
-
-        Reads sample from the pool of *recently written* hot blocks (buffer
-        pool headers, latch words, free-list heads), so they almost always
-        incur coherent read misses, but in an order unrelated to any prior
-        consumer's order — the uncorrelated tail of Figure 6.
-        """
-        profile = self.profile
-        reads = rng.randint(profile.hot_reads_min, profile.hot_reads_max)
-        for _ in range(reads):
-            if self._recent_hot_writes:
-                block = self._recent_hot_writes[rng.randrange(len(self._recent_hot_writes))]
-            else:
-                block = self._hot_region.start + rng.randrange(len(self._hot_region))
-            out.append(
-                MemoryAccess(
-                    node=node,
-                    address=block,
-                    access_type=AccessType.READ,
-                    pc=7,
-                    timestamp=self._bump(node, 1800),
-                    dependent=True,
-                )
-            )
-        for _ in range(profile.hot_writes):
-            block = self._hot_region.start + rng.randrange(len(self._hot_region))
-            out.append(self.write(node, block, pc=8, work=600))
-            self._recent_hot_writes.append(block)
-            if len(self._recent_hot_writes) > profile.hot_pool_depth:
-                self._recent_hot_writes.pop(0)
-
-    def _private_work(self, node: int, rng, out: List[MemoryAccess]) -> None:
-        region = self._private_regions[node]
-        for _ in range(self.profile.private_accesses):
-            block = region.start + rng.randrange(len(region))
-            if rng.bernoulli(0.5):
-                out.append(self.read(node, block, pc=9, work=900))
-            else:
-                out.append(self.write(node, block, pc=9, work=900))
-
-    def _long_scan(self, node: int, rng, out: List[MemoryAccess]) -> None:
-        """Delivery-style transaction scanning a long run of order lines."""
-        start = rng.randrange(len(self._scan_region) - self.profile.long_txn_scan_blocks)
-        base = self._scan_region.start + start
-        for offset in range(self.profile.long_txn_scan_blocks):
-            block = base + offset
-            out.append(self.read(node, block, pc=10, work=450))
-            if rng.bernoulli(0.5):
-                out.append(self.write(node, block, pc=11, work=450))
-
-    def _bump(self, node: int, work: int) -> int:
-        self._node_time[node] += work
-        return self._node_time[node]
-
-    # -------------------------------------------------------------- generation
-    def _transaction(self, node: int, rng) -> List[MemoryAccess]:
         out: List[MemoryAccess] = []
-        district = rng.zipf(self._num_districts, alpha=self.profile.district_zipf_alpha)
-        self._index_walk(node, rng, out)
-        self._acquire_lock(node, district, rng, out)
-        self._district_work(node, district, rng, out)
-        self._hot_churn(node, rng, out)
-        self._private_work(node, rng, out)
-        if rng.bernoulli(self.profile.long_txn_fraction):
-            self._long_scan(node, rng, out)
-        self._release_lock(node, district, out)
+        short = rng.bernoulli(profile.short_fraction)
+        pool = self._rows_short if short else self._rows_long
+        district = pool.pick(rng)
+        # Short- and long-template districts are distinct objects, so each
+        # gets its own lock word (the lock site holds 2 * num_districts).
+        lock = district if short else district + self._num_districts
+        self._index.lookup(self, node, rng, out, levels=profile.index_levels)
+        self._locks.acquire(self, node, rng, out, index=lock)
+        pool.walk(self, node, rng, out, index=district)
+        self._hot.churn(self, node, rng, out)
+        self._scratch.work_on(self, node, rng, out)
+        if rng.bernoulli(profile.long_txn_fraction):
+            self._scan.scan(self, node, rng, out)
+        self._locks.release(self, node, out, index=lock)
         return out
-
-    def generate(self) -> AccessTrace:
-        trace = self._new_trace()
-        rng = self.rng.fork(11)
-        num_cpus = self.params.num_nodes
-        node = 0
-        while len(trace) < self.params.target_accesses:
-            # Transactions are dispatched round-robin with jitter, so
-            # consecutive transactions on a hot district land on different
-            # nodes (migratory sharing).
-            node = (node + 1 + rng.randrange(3)) % num_cpus
-            trace.extend(self._transaction(node, rng))
-        return trace
 
 
 @register_workload("db2")

@@ -1,0 +1,86 @@
+"""sparse: an iterative sparse linear solver (repository extension, not in the paper).
+
+Models a conjugate-gradient-style solver on a banded sparse matrix
+distributed by rows: every iteration each CPU gathers the remote entries of
+the solution vector its off-diagonal band references (the *halo*), streams
+through its local matrix values, and rewrites its own vector partition after
+the update.  The gather order is fixed by the matrix's sparsity structure,
+so — like the paper's scientific codes — every iteration re-reads exactly
+the same remote blocks in exactly the same order.
+
+Workload Engine v2 composition: one :class:`PartitionedSweep` over the
+solution vector (halo reads, one remote reader per block, two local
+matrix-value reads per gather) plus a small :class:`ZipfChurnPool` for the
+global reduction variables (dot products, convergence flags), which gives
+sparse a thin uncorrelated tail that distinguishes it from em3d.  Realized
+TSE streams run to the halo length (hundreds of blocks), placing sparse on
+the scientific side of Figure 13.  Registered through the standard
+``register_workload`` path so every fig06-fig14 experiment picks it up via
+``ALL_WORKLOADS``.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List
+
+from repro.common.types import MemoryAccess
+from repro.workloads.base import register_workload
+from repro.workloads.engine import PhasedWorkload
+from repro.workloads.primitives import PartitionedSweep, ZipfChurnPool
+
+
+@register_workload("sparse")
+class SparseSolverWorkload(PhasedWorkload):
+    """Scaled-down sparse-solver trace generator."""
+
+    category = "scientific"
+
+    #: Solution-vector blocks owned by each CPU at scale = 1.0.
+    BASE_BLOCKS_PER_NODE = 384
+    #: Fraction of each partition referenced by the neighbouring band.
+    HALO_FRACTION = 0.75
+    #: Matrix-value reads per gathered halo entry (local, read-only).
+    VALUES_PER_GATHER = 2
+    WORK_PER_GATHER = 28
+
+    def build(self) -> None:
+        self._vector = PartitionedSweep(
+            "vector",
+            self.space,
+            self.rng.fork(40),
+            num_nodes=self.params.num_nodes,
+            blocks_per_node=self.params.scaled(self.BASE_BLOCKS_PER_NODE, minimum=32),
+            # The band references the next row partition (block lower/upper
+            # bidiagonal structure collapses to one remote reader per block).
+            reader_offsets=(2,),
+            remote_fraction=self.HALO_FRACTION,
+            read_work=self.WORK_PER_GATHER,
+            write_work=12,
+            local_reads_per_remote=self.VALUES_PER_GATHER,
+            local_read_work=18,
+        )
+        self._reduction = ZipfChurnPool(
+            "reduction",
+            self.space,
+            self.rng.fork(41),
+            region_blocks=64,
+            pool_depth=32,
+            reads_min=1,
+            reads_max=2,
+            writes=1,
+            read_work=40,
+            write_work=30,
+            dependent=False,
+            pc_base=44,
+        )
+
+    def iteration(self, index: int, rng) -> Iterator[List[List[MemoryAccess]]]:
+        # Gather + SpMV: every CPU reads its halo in matrix order, streaming
+        # local values alongside.
+        yield self._vector.read_phase(self)
+        # Vector update: each CPU rewrites its own partition, then posts its
+        # partial dot products to the (uncorrelated) reduction cells.
+        writes = self._vector.write_phase(self)
+        for node in range(self.params.num_nodes):
+            self._reduction.churn(self, node, rng, writes[node])
+        yield writes

@@ -4,236 +4,183 @@ Web servers share less migratory data than databases: the bulk of their
 memory traffic is the (read-only, hence coherence-quiet) static file cache,
 while coherent read misses come from connection/request bookkeeping that
 migrates between the worker threads on different nodes, shared statistics,
-and the dynamic-content (fastCGI) plumbing.  Roughly 40–45 % of consumptions
+and the dynamic-content (fastCGI) plumbing.  Roughly 40-45 % of consumptions
 follow a recent sharer's order (Figure 6 / Table 3: 43 % for both Apache and
-Zeus), and 30–45 % of TSE's coverage comes from streams shorter than eight
+Zeus), and 30-45 % of TSE's coverage comes from streams shorter than eight
 blocks (Figure 13) because the per-request shared state is small.
 
-Each simulated request is composed of:
+Workload Engine v2 composition (see EXPERIMENTS.md for the calibration
+targets and measured values):
 
-* a connection/request *template* — the per-connection-slot sequence of
-  shared blocks (accept queue entry, connection state, request buffer,
-  session entry) that the handling node reads and updates (correlated,
-  short);
-* file-cache metadata churn — LRU list and hash-bucket updates on random
-  buckets (uncorrelated);
-* static-file reads from the (read-only) file cache plus private scratch
-  work (busy accesses, no consumptions);
-* occasionally a dynamic-content request that walks a longer fastCGI
-  template (the mid-length streams of Figure 13).
+* ``connections`` — a :class:`TemplatePool` of *short* per-connection-slot
+  templates (accept-queue entry, connection state, request buffer, session
+  entry).  A template of length L realizes a TSE stream of ~L-1 hits, so
+  this pool supplies the short-stream mass of Figure 13.
+* ``dynamic`` — a :class:`TemplatePool` of longer fastCGI templates (the
+  mid-length streams of the commercial CDF).
+* ``metadata`` — a :class:`ZipfChurnPool`: LRU-list and hash-bucket updates
+  in no repeatable order (uncorrelated consumptions).
+* ``files`` — a :class:`ReadOnlyRegion` static file cache plus
+  :class:`PrivateScratch` buffers (busy accesses, no consumptions).
+* ``accept`` — a :class:`LockSite` for the accept queue.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
-from repro.common.types import AccessTrace, AccessType, MemoryAccess
-from repro.workloads.base import Workload, WorkloadParams, register_workload
+from repro.common.types import MemoryAccess
+from repro.workloads.base import register_workload
+from repro.workloads.engine import RequestWorkload
+from repro.workloads.primitives import (
+    LockSite,
+    PrivateScratch,
+    ReadOnlyRegion,
+    TemplatePool,
+    ZipfChurnPool,
+)
 
 
 @dataclass(frozen=True)
 class WebProfile:
     """Tuning knobs that differentiate the web servers."""
 
-    #: Number of connection slots (each has a small template of shared blocks).
-    connection_slots: int = 2048
-    template_min: int = 4
-    template_max: int = 10
-    template_write_fraction: float = 0.8
-    template_noise: float = 0.05
-    #: Uncorrelated metadata reads / writes per request.
-    metadata_reads_min: int = 2
-    metadata_reads_max: int = 7
+    #: Number of connection slots (each has a short template of shared
+    #: blocks).  Small enough that slots are re-accepted many times within a
+    #: trace — a slot's first walk has no CMOB history to stream from.
+    connection_slots: int = 256
+    template_min: int = 3
+    template_max: int = 7
+    template_write_fraction: float = 0.85
+    #: Zipf skew of connection-slot reuse.
+    slot_zipf_alpha: float = 0.4
+    #: Fraction of requests that are dynamic (longer shared template).
+    dynamic_fraction: float = 0.30
+    dynamic_templates: int = 64
+    dynamic_min: int = 14
+    dynamic_max: int = 26
+    #: Uncorrelated metadata churn per request.
+    metadata_reads_min: int = 3
+    metadata_reads_max: int = 9
     metadata_writes: int = 2
-    metadata_region_blocks: int = 8192
-    #: Depth of the recently-written pool that uncorrelated reads sample from.
-    metadata_pool_depth: int = 256
+    metadata_region_blocks: int = 1024
+    metadata_pool_depth: int = 512
     #: Read-only static file cache blocks touched per request (busy work).
     file_reads: int = 10
     file_cache_blocks: int = 32768
     private_accesses: int = 8
-    #: Fraction of requests that are dynamic (longer shared template).
-    dynamic_fraction: float = 0.25
-    dynamic_template_blocks: int = 24
-    #: Zipf skew of connection-slot reuse.
-    slot_zipf_alpha: float = 0.4
     lock_contention: float = 0.05
 
 
-# Presets calibrated so trace coverage at the paper's TSE configuration lands
-# near Table 3's 43 % for both servers (see EXPERIMENTS.md).
+# Presets calibrated so the short-stream share of TSE coverage lands in the
+# paper's 30-45 % band and trace coverage near Table 3's 43 % (see
+# EXPERIMENTS.md for the measured values).
 APACHE_PROFILE = WebProfile(
-    template_min=4,
-    template_max=10,
-    metadata_reads_min=6,
-    metadata_reads_max=12,
-    metadata_region_blocks=1024,
-    metadata_pool_depth=512,
-    dynamic_fraction=0.25,
+    template_min=3,
+    template_max=7,
+    metadata_reads_min=4,
+    metadata_reads_max=10,
+    dynamic_fraction=0.40,
 )
 
 ZEUS_PROFILE = WebProfile(
     # Zeus's event-driven core touches slightly less per-request shared state
     # and slightly less irregular metadata per request.
     template_min=3,
-    template_max=8,
-    metadata_reads_min=4,
-    metadata_reads_max=9,
-    metadata_region_blocks=1024,
-    metadata_pool_depth=512,
-    dynamic_fraction=0.20,
+    template_max=6,
+    metadata_reads_min=3,
+    metadata_reads_max=8,
+    dynamic_fraction=0.36,
 )
 
 
-class WebServerWorkload(Workload):
+class WebServerWorkload(RequestWorkload):
     """Generic SPECweb-like generator parameterised by a :class:`WebProfile`."""
 
     category = "commercial"
     profile: WebProfile = WebProfile()
 
-    def __init__(self, params: Optional[WorkloadParams] = None) -> None:
-        super().__init__(params)
-        self._build_server()
-
-    # --------------------------------------------------------------- building
-    def _build_server(self) -> None:
+    def build(self) -> None:
         profile = self.profile
-        rng = self.rng.fork(20)
-        self._slot_templates: List[List[int]] = []
-        lengths = [
-            rng.randint(profile.template_min, profile.template_max)
-            for _ in range(profile.connection_slots)
-        ]
-        # Connection-slot state is scattered across the heap (allocated at
-        # different times), so slot templates draw from a shuffled pool —
-        # stride prefetchers get no traction on them (Figure 12).
-        slots = self.space.allocate("connections", sum(lengths))
-        shuffled_blocks = list(slots)
-        rng.shuffle(shuffled_blocks)
-        cursor = 0
-        for length in lengths:
-            self._slot_templates.append(shuffled_blocks[cursor : cursor + length])
-            cursor += length
-
-        self._metadata_region = self.space.allocate("metadata", profile.metadata_region_blocks)
-        self._file_cache = self.space.allocate("file_cache", profile.file_cache_blocks)
-        self._dynamic_templates = []
-        dynamic = self.space.allocate(
-            "dynamic", profile.dynamic_template_blocks * 64
+        self._connections = TemplatePool(
+            "connections",
+            self.space,
+            self.rng.fork(20),
+            count=profile.connection_slots,
+            length_min=profile.template_min,
+            length_max=profile.template_max,
+            write_fraction=profile.template_write_fraction,
+            zipf_alpha=profile.slot_zipf_alpha,
+            read_work=2000,
+            write_work=800,
+            pc_base=21,
         )
-        dynamic_blocks = list(dynamic)
-        rng.shuffle(dynamic_blocks)
-        for i in range(64):
-            start = i * profile.dynamic_template_blocks
-            self._dynamic_templates.append(
-                dynamic_blocks[start : start + profile.dynamic_template_blocks]
-            )
-        self._accept_lock = self.space.allocate("accept_lock", 1).start
-        self._private_regions = [
-            self.space.allocate(f"private{n}", 256) for n in range(self.params.num_nodes)
-        ]
-        #: Recently written metadata blocks; uncorrelated reads sample from here.
-        self._recent_metadata_writes: List[int] = []
-
-    # ----------------------------------------------------------- access pieces
-    def _bump(self, node: int, work: int) -> int:
-        self._node_time[node] += work
-        return self._node_time[node]
-
-    def _dependent_read(self, node: int, block: int, pc: int, work: int) -> MemoryAccess:
-        return MemoryAccess(
-            node=node,
-            address=block,
-            access_type=AccessType.READ,
-            pc=pc,
-            timestamp=self._bump(node, work),
-            dependent=True,
+        self._dynamic = TemplatePool(
+            "dynamic",
+            self.space,
+            self.rng.fork(24),
+            count=profile.dynamic_templates,
+            length_min=profile.dynamic_min,
+            length_max=profile.dynamic_max,
+            write_fraction=0.6,
+            zipf_alpha=0.3,
+            read_work=1600,
+            write_work=800,
+            pc_base=27,
+        )
+        self._metadata = ZipfChurnPool(
+            "metadata",
+            self.space,
+            self.rng.fork(22),
+            region_blocks=profile.metadata_region_blocks,
+            pool_depth=profile.metadata_pool_depth,
+            reads_min=profile.metadata_reads_min,
+            reads_max=profile.metadata_reads_max,
+            writes=profile.metadata_writes,
+            read_work=2400,
+            write_work=800,
+            pc_base=23,
+        )
+        self._files = ReadOnlyRegion(
+            "file_cache",
+            self.space,
+            self.rng.fork(23),
+            blocks=profile.file_cache_blocks,
+            zipf_alpha=0.8,
+            read_work=1200,
+            pc_base=25,
+        )
+        self._accept = LockSite(
+            "accept_lock",
+            self.space,
+            self.rng.fork(25),
+            count=1,
+            contention=profile.lock_contention,
+            pc_base=19,
+        )
+        self._scratch = PrivateScratch(
+            "private",
+            self.space,
+            self.rng.fork(26),
+            num_nodes=self.params.num_nodes,
+            blocks_per_node=256,
+            accesses=profile.private_accesses,
+            work=1000,
+            pc_base=26,
         )
 
-    def _accept_connection(self, node: int, rng, out: List[MemoryAccess]) -> None:
-        if rng.bernoulli(self.profile.lock_contention):
-            for _ in range(rng.randint(1, 3)):
-                out.append(self.spin_read(node, self._accept_lock))
-        out.append(self.atomic(node, self._accept_lock, pc=20))
-
-    def _slot_work(self, node: int, slot: int, rng, out: List[MemoryAccess]) -> None:
-        """The migratory per-connection template (correlated consumptions)."""
+    def request(self, node: int, rng) -> List[MemoryAccess]:
         profile = self.profile
-        for block in self._slot_templates[slot]:
-            if rng.bernoulli(profile.template_noise):
-                continue
-            out.append(self._dependent_read(node, block, pc=21, work=2000))
-            if rng.bernoulli(profile.template_write_fraction):
-                out.append(self.write(node, block, pc=22, work=800))
-
-    def _metadata_churn(self, node: int, rng, out: List[MemoryAccess]) -> None:
-        """File-cache LRU / hash-bucket churn (uncorrelated consumptions).
-
-        Reads sample from recently written metadata blocks so they are
-        coherent read misses, but in an order unrelated to any earlier
-        consumer's order.
-        """
-        profile = self.profile
-        reads = rng.randint(profile.metadata_reads_min, profile.metadata_reads_max)
-        for _ in range(reads):
-            if self._recent_metadata_writes:
-                block = self._recent_metadata_writes[
-                    rng.randrange(len(self._recent_metadata_writes))
-                ]
-            else:
-                block = self._metadata_region.start + rng.randrange(len(self._metadata_region))
-            out.append(self._dependent_read(node, block, pc=23, work=2400))
-        for _ in range(profile.metadata_writes):
-            block = self._metadata_region.start + rng.randrange(len(self._metadata_region))
-            out.append(self.write(node, block, pc=24, work=800))
-            self._recent_metadata_writes.append(block)
-            if len(self._recent_metadata_writes) > profile.metadata_pool_depth:
-                self._recent_metadata_writes.pop(0)
-
-    def _serve_file(self, node: int, rng, out: List[MemoryAccess]) -> None:
-        """Read-only static content plus private scratch buffers (busy work)."""
-        start = rng.zipf(len(self._file_cache) - self.profile.file_reads, alpha=0.8)
-        base = self._file_cache.start + start
-        for offset in range(self.profile.file_reads):
-            out.append(self.read(node, base + offset, pc=25, work=1200))
-        region = self._private_regions[node]
-        for _ in range(self.profile.private_accesses):
-            block = region.start + rng.randrange(len(region))
-            if rng.bernoulli(0.5):
-                out.append(self.read(node, block, pc=26, work=1000))
-            else:
-                out.append(self.write(node, block, pc=26, work=1000))
-
-    def _dynamic_request(self, node: int, rng, out: List[MemoryAccess]) -> None:
-        """fastCGI-style dynamic content: a longer migratory template."""
-        template = self._dynamic_templates[rng.randrange(len(self._dynamic_templates))]
-        for block in template:
-            out.append(self._dependent_read(node, block, pc=27, work=1600))
-            if rng.bernoulli(0.6):
-                out.append(self.write(node, block, pc=28, work=800))
-
-    # -------------------------------------------------------------- generation
-    def _request(self, node: int, rng) -> List[MemoryAccess]:
         out: List[MemoryAccess] = []
-        slot = rng.zipf(len(self._slot_templates), alpha=self.profile.slot_zipf_alpha)
-        self._accept_connection(node, rng, out)
-        self._slot_work(node, slot, rng, out)
-        self._metadata_churn(node, rng, out)
-        self._serve_file(node, rng, out)
-        if rng.bernoulli(self.profile.dynamic_fraction):
-            self._dynamic_request(node, rng, out)
+        self._accept.acquire(self, node, rng, out)
+        self._connections.walk(self, node, rng, out)
+        self._metadata.churn(self, node, rng, out)
+        self._files.browse(self, node, rng, out, reads=profile.file_reads)
+        self._scratch.work_on(self, node, rng, out)
+        if rng.bernoulli(profile.dynamic_fraction):
+            self._dynamic.walk(self, node, rng, out)
         return out
-
-    def generate(self) -> AccessTrace:
-        trace = self._new_trace()
-        rng = self.rng.fork(21)
-        num_cpus = self.params.num_nodes
-        node = 0
-        while len(trace) < self.params.target_accesses:
-            node = (node + 1 + rng.randrange(3)) % num_cpus
-            trace.extend(self._request(node, rng))
-        return trace
 
 
 @register_workload("apache")

@@ -20,9 +20,11 @@ def small_params() -> WorkloadParams:
 @pytest.fixture(scope="session")
 def small_traces(small_params):
     """One small trace per workload, generated once per test session."""
+    from repro.workloads import ALL_WORKLOADS
+
     return {
         name: get_workload(name, small_params).generate()
-        for name in ("em3d", "moldyn", "ocean", "db2", "oracle", "apache", "zeus")
+        for name in ALL_WORKLOADS
     }
 
 

@@ -14,7 +14,7 @@ from repro.experiments import fig07_compared_streams, fig08_lookahead
 from repro.experiments.cache import cache_info, cached_tse_run, clear_cache
 from repro.experiments.runner import run_parallel, trace_for
 from repro.system.timing import TimingSimulator
-from repro.tse.simulator import run_tse_on_trace
+from repro.tse.simulator import TSESimulator, run_tse_on_trace
 from repro.workloads import get_workload
 from repro.workloads.base import WorkloadParams
 
@@ -128,6 +128,39 @@ class TestTimingLabelCacheDeterminism:
         base_b = TimingSimulator(system, TSEConfig.paper_default(lookahead=24)).run_base(trace)
         assert len(trace._label_cache) == cache_size  # no new label run
         assert base_b.total_cycles == base_a.total_cycles
+
+
+class TestStreamingIngestionDeterminism:
+    def test_stream_run_equals_materialized_run(self):
+        """run_stream on workload.stream() == run on the materialized trace."""
+        config = TSEConfig.paper_default(lookahead=8)
+        params = WorkloadParams(num_nodes=16, seed=42, target_accesses=ACCESSES)
+        trace = get_workload("db2", params).generate()
+        direct = TSESimulator(16, config).run(trace, warmup_fraction=0.3)
+        streamed = TSESimulator(16, config).run_stream(
+            get_workload("db2", params).stream(),
+            name=trace.name,
+            warmup_accesses=int(len(trace) * 0.3),
+        )
+        assert streamed.as_dict() == direct.as_dict()
+        assert (
+            streamed.stream_length_hist.buckets()
+            == direct.stream_length_hist.buckets()
+        )
+
+    def test_run_accepts_plain_iterables(self):
+        """run() ingests any access iterable without materializing a trace."""
+        config = TSEConfig.paper_default()
+        params = WorkloadParams(num_nodes=4, seed=3, target_accesses=4_000)
+        trace = get_workload("apache", params).generate()
+        from_trace = TSESimulator(4, config).run(trace)
+        from_iter = TSESimulator(4, config).run(iter(trace.accesses))
+        expected = dict(from_trace.as_dict(), workload="stream")
+        assert from_iter.as_dict() == expected
+
+    def test_warmup_fraction_rejected_for_streams(self):
+        with pytest.raises(ValueError):
+            TSESimulator(4, TSEConfig.paper_default()).run(iter(()), warmup_fraction=0.3)
 
 
 class TestEventQueueLiveLen:
