@@ -1,0 +1,91 @@
+"""Fail CI when functional-simulator throughput regresses versus the committed value.
+
+Usage::
+
+    python benchmarks/check_bench_regression.py NEW.json COMMITTED.json [--threshold 0.25]
+
+Compares ``functional_sim`` accesses/s in a freshly produced
+``BENCH_core.json`` against the value committed in the repository.  Any
+workload whose throughput dropped by more than the threshold (default 25 %)
+fails the check; an *improved* value is reported but never fails.
+
+Both the current per-class schema (``functional_sim.per_class``) and the
+PR 1 db2-only schema (flat ``functional_sim.accesses_per_s``) are accepted
+on either side: workloads are matched by name, with the flat field treated
+as ``db2``.  Benchmarks run on heterogeneous CI machines, so the threshold
+is intentionally loose — it catches structural regressions, not noise.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict
+
+
+def throughputs(artifact: dict) -> Dict[str, float]:
+    """Extract {workload: accesses_per_s} from either artifact schema."""
+    functional = artifact.get("functional_sim") or {}
+    per_class = functional.get("per_class")
+    if per_class:
+        return {
+            workload: float(entry["accesses_per_s"])
+            for workload, entry in per_class.items()
+            if entry.get("accesses_per_s")
+        }
+    value = functional.get("accesses_per_s")
+    workload = functional.get("workload", "db2")
+    return {workload: float(value)} if value else {}
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("new", help="freshly produced BENCH_core.json")
+    parser.add_argument("committed", help="committed BENCH_core.json")
+    parser.add_argument(
+        "--threshold", type=float, default=0.25,
+        help="maximum tolerated fractional regression (default 0.25)",
+    )
+    args = parser.parse_args()
+
+    with open(args.new) as handle:
+        new = throughputs(json.load(handle))
+    with open(args.committed) as handle:
+        committed = throughputs(json.load(handle))
+
+    if not new:
+        print("ERROR: no functional_sim throughput in the fresh artifact")
+        return 1
+    if not committed:
+        print("no committed throughput to compare against; skipping")
+        return 0
+
+    failures = []
+    for workload, baseline in sorted(committed.items()):
+        current = new.get(workload)
+        if current is None:
+            print(f"{workload}: no fresh measurement (skipped)")
+            continue
+        change = (current - baseline) / baseline
+        status = "ok"
+        if change < -args.threshold:
+            status = "REGRESSION"
+            failures.append(workload)
+        print(
+            f"{workload}: {baseline:,.0f} -> {current:,.0f} accesses/s "
+            f"({change:+.1%}) [{status}]"
+        )
+
+    if failures:
+        print(
+            f"FAIL: functional-sim throughput regressed >"
+            f"{args.threshold:.0%} for: {', '.join(failures)}"
+        )
+        return 1
+    print("throughput check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

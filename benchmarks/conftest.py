@@ -20,9 +20,18 @@ seconds of wall clock):
       "total_wallclock_s": <sum of per-benchmark call durations>,
       "benchmarks": {"<pytest nodeid>": <call duration>, ...},
       "functional_sim": {
+        "chunk_size": <packed-chunk size used (REPRO_STREAM_CHUNK)>,
+        "per_class": {
+          "<workload>": {             # one per class: em3d / db2 / apache
+            "accesses": <n>, "lookahead": <paper lookahead>,
+            "wallclock_s": <one uncached paper-default run>,
+            "accesses_per_s": <n / wallclock_s>
+          }, ...
+        },
+        # db2's numbers duplicated at the top level so the series started
+        # by PR 1 (db2-only) remains directly comparable:
         "workload": "db2", "accesses": <n>,
-        "wallclock_s": <duration of one uncached paper-default run>,
-        "accesses_per_s": <n / wallclock_s>
+        "wallclock_s": <s>, "accesses_per_s": <n / s>
       },
       "pr1_reference": {... seed vs. PR 1 wall-clock numbers ...}
     }
@@ -94,21 +103,42 @@ def pytest_runtest_logreport(report):
 
 
 def _functional_throughput():
-    """Time one uncached paper-default run: the core accesses/sec metric."""
-    from repro.common.config import TSEConfig
+    """Time one uncached paper-default run per workload class.
+
+    One scientific (em3d), one OLTP (db2), one web (apache) exemplar, each
+    replayed through the columnar fast path at its paper lookahead.  db2's
+    numbers are duplicated at the top level for continuity with the
+    db2-only series PR 1 started.
+    """
+    from repro.common.chunk import stream_chunk_size
+    from repro.common.config import PAPER_LOOKAHEAD, TSEConfig
     from repro.experiments.runner import trace_for
     from repro.tse.simulator import run_tse_on_trace
 
     accesses = min(BENCH_ACCESSES, 80_000)
-    trace = trace_for("db2", accesses, 42)
-    start = time.perf_counter()
-    run_tse_on_trace(trace, TSEConfig.paper_default(lookahead=8), warmup_fraction=0.3)
-    elapsed = time.perf_counter() - start
+    per_class = {}
+    for workload in BENCH_WORKLOADS:
+        lookahead = PAPER_LOOKAHEAD.get(workload, 8)
+        trace = trace_for(workload, accesses, 42)
+        start = time.perf_counter()
+        run_tse_on_trace(
+            trace, TSEConfig.paper_default(lookahead=lookahead), warmup_fraction=0.3
+        )
+        elapsed = time.perf_counter() - start
+        per_class[workload] = {
+            "accesses": accesses,
+            "lookahead": lookahead,
+            "wallclock_s": round(elapsed, 3),
+            "accesses_per_s": round(accesses / elapsed) if elapsed > 0 else 0,
+        }
+    headline = per_class["db2"]
     return {
+        "chunk_size": stream_chunk_size(),
+        "per_class": per_class,
         "workload": "db2",
-        "accesses": accesses,
-        "wallclock_s": round(elapsed, 3),
-        "accesses_per_s": round(accesses / elapsed) if elapsed > 0 else 0,
+        "accesses": headline["accesses"],
+        "wallclock_s": headline["wallclock_s"],
+        "accesses_per_s": headline["accesses_per_s"],
     }
 
 

@@ -25,18 +25,12 @@ class DirectoryState(enum.Enum):
     MODIFIED = "modified"
 
 
-@dataclass(slots=True)
-class CMOBPointer:
-    """Directory-resident pointer into a node's CMOB.
-
-    Attributes:
-        node: The node whose CMOB holds the entry.
-        offset: Index of the entry within that CMOB (monotonic append count,
-            so staleness can be detected after wrap-around).
-    """
-
-    node: NodeId
-    offset: int
+#: Directory-resident pointer into a node's CMOB: ``(node, offset)``.
+#: ``node`` is the node whose CMOB holds the entry; ``offset`` is the entry's
+#: monotonic append count within that CMOB (so staleness can be detected
+#: after wrap-around).  A plain tuple: one pointer is recorded per
+#: consumption and per SVB hit, squarely on the replay fast path.
+CMOBPointer = Tuple[NodeId, int]
 
 
 @dataclass(slots=True)
@@ -49,7 +43,8 @@ class DirectoryEntry:
     #: Nodes that have written the block at least once (used to classify
     #: cold vs. coherent misses precisely).
     ever_written: bool = False
-    #: Most recent CMOB pointers, newest first (TSE extension).
+    #: Most recent ``(node, offset)`` CMOB pointers, newest first (TSE
+    #: extension).
     cmob_pointers: List[CMOBPointer] = field(default_factory=list)
 
     def record_cmob_pointer(self, node: NodeId, offset: int, max_pointers: int) -> None:
@@ -61,10 +56,10 @@ class DirectoryEntry:
         """
         pointers = self.cmob_pointers
         for i, pointer in enumerate(pointers):
-            if pointer.node == node:
+            if pointer[0] == node:
                 del pointers[i]
                 break
-        pointers.insert(0, CMOBPointer(node=node, offset=offset))
+        pointers.insert(0, (node, offset))
         del pointers[max_pointers:]
 
 

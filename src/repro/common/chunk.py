@@ -1,0 +1,242 @@
+"""Columnar trace backbone: packed access chunks and chunked traces.
+
+The workload engine emits traces as fixed-size :class:`TraceChunk` objects —
+six parallel packed columns (``array`` typecodes in parentheses):
+
+=============  ====  ====================================================
+column         type  meaning
+=============  ====  ====================================================
+``nodes``      't'=h Issuing node id.
+``blocks``     'q'   Block-granular address.
+``types``      'B'   Small-int access-type code (:data:`TYPE_READ` ...).
+``pcs``        'q'   Program-counter tag.
+``timestamps`` 'q'   Per-node logical retire time.
+``deps``       'B'   1 when the access is a dependent (pointer-chase) read.
+=============  ====  ====================================================
+
+Between the emitters and the columns sits the *packed access record*: the
+plain tuple ``(node, block, type_code, pc, timestamp, dependent)`` that
+workload primitives append to their batch lists.  Tuples of ints are what
+keeps generation allocation-light; the chunk packs them without ever
+constructing a :class:`~repro.common.types.MemoryAccess`.
+
+Consumers choose their view:
+
+* the functional simulator replays raw columns chunk-at-a-time
+  (:meth:`repro.tse.simulator.TSESimulator.run` fast path);
+* legacy/object consumers (timing walk, analysis, tests) use the **thin
+  object view** — :meth:`TraceChunk.iter_accesses` /
+  :attr:`ChunkedTrace.accesses` — which materializes ``MemoryAccess``
+  objects on demand, bit-identical to the v2 engine's old output.
+
+Chunk size comes from :func:`repro.common.config.stream_chunk_size`
+(``REPRO_STREAM_CHUNK``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.common.config import stream_chunk_size
+from repro.common.types import (
+    ACCESS_TYPE_CODE,
+    ACCESS_TYPE_FROM_CODE,
+    MemoryAccess,
+)
+
+__all__ = ["TraceChunk", "ChunkedTrace", "PackedAccess", "stream_chunk_size"]
+
+#: The packed access record emitted by workload primitives.
+PackedAccess = Tuple[int, int, int, int, int, int]
+
+
+class TraceChunk:
+    """One fixed-size segment of a trace as six parallel packed columns."""
+
+    __slots__ = ("nodes", "blocks", "types", "pcs", "timestamps", "deps")
+
+    def __init__(
+        self,
+        nodes: Optional[array] = None,
+        blocks: Optional[array] = None,
+        types: Optional[array] = None,
+        pcs: Optional[array] = None,
+        timestamps: Optional[array] = None,
+        deps: Optional[array] = None,
+    ) -> None:
+        self.nodes = nodes if nodes is not None else array("h")
+        self.blocks = blocks if blocks is not None else array("q")
+        self.types = types if types is not None else array("B")
+        self.pcs = pcs if pcs is not None else array("q")
+        self.timestamps = timestamps if timestamps is not None else array("q")
+        self.deps = deps if deps is not None else array("B")
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    # ------------------------------------------------------------------ filling
+    def extend_packed(self, records: Iterable[PackedAccess]) -> None:
+        """Append packed ``(node, block, type, pc, timestamp, dep)`` records."""
+        nodes_append = self.nodes.append
+        blocks_append = self.blocks.append
+        types_append = self.types.append
+        pcs_append = self.pcs.append
+        ts_append = self.timestamps.append
+        deps_append = self.deps.append
+        for node, block, type_code, pc, timestamp, dep in records:
+            nodes_append(node)
+            blocks_append(block)
+            types_append(type_code)
+            pcs_append(pc)
+            ts_append(timestamp)
+            deps_append(1 if dep else 0)
+
+    @classmethod
+    def from_accesses(cls, accesses: Iterable[MemoryAccess]) -> "TraceChunk":
+        """Pack :class:`MemoryAccess` objects into columns (legacy ingestion)."""
+        chunk = cls()
+        code_of = ACCESS_TYPE_CODE
+        chunk.extend_packed(
+            (a.node, a.address, code_of[a.access_type], a.pc, a.timestamp,
+             1 if a.dependent else 0)
+            for a in accesses
+        )
+        return chunk
+
+    # ------------------------------------------------------------------ slicing
+    def slice(self, start: int, stop: Optional[int] = None) -> "TraceChunk":
+        """A new chunk holding ``[start:stop]`` of every column."""
+        if stop is None:
+            stop = len(self.nodes)
+        return TraceChunk(
+            self.nodes[start:stop], self.blocks[start:stop], self.types[start:stop],
+            self.pcs[start:stop], self.timestamps[start:stop], self.deps[start:stop],
+        )
+
+    # -------------------------------------------------------------- object view
+    def access_at(self, index: int) -> MemoryAccess:
+        """Materialize one access (the thin object view, element-wise)."""
+        return MemoryAccess(
+            node=self.nodes[index],
+            address=self.blocks[index],
+            access_type=ACCESS_TYPE_FROM_CODE[self.types[index]],
+            pc=self.pcs[index],
+            timestamp=self.timestamps[index],
+            dependent=bool(self.deps[index]),
+        )
+
+    def iter_accesses(self) -> Iterator[MemoryAccess]:
+        """Materialize the chunk's accesses one at a time."""
+        decode = ACCESS_TYPE_FROM_CODE
+        for node, block, type_code, pc, timestamp, dep in zip(
+            self.nodes, self.blocks, self.types, self.pcs, self.timestamps, self.deps
+        ):
+            yield MemoryAccess(
+                node=node, address=block, access_type=decode[type_code],
+                pc=pc, timestamp=timestamp, dependent=bool(dep),
+            )
+
+    # ------------------------------------------------------------- serialization
+    def to_payload(self) -> Tuple[array, array, array, array, array, array]:
+        """The raw columns, picklable as flat buffers (parallel-runner hand-off)."""
+        return (self.nodes, self.blocks, self.types, self.pcs, self.timestamps, self.deps)
+
+    @classmethod
+    def from_payload(cls, payload: Sequence[array]) -> "TraceChunk":
+        return cls(*payload)
+
+    def __repr__(self) -> str:
+        return f"TraceChunk({len(self)} accesses)"
+
+
+class ChunkedTrace:
+    """An ordered, interleaved multi-node trace stored as packed chunks.
+
+    Drop-in replacement for :class:`~repro.common.types.AccessTrace` in the
+    experiment harness: the functional simulator consumes :meth:`chunks`
+    directly, while object consumers read :attr:`accesses` (materialized
+    lazily, then cached) or iterate the trace, which yields thin
+    ``MemoryAccess`` views chunk by chunk.
+    """
+
+    def __init__(self, num_nodes: int = 1, name: str = "trace") -> None:
+        self.num_nodes = num_nodes
+        self.name = name
+        self._chunks: List[TraceChunk] = []
+        self._length = 0
+        self._accesses: Optional[List[MemoryAccess]] = None
+
+    # ---------------------------------------------------------------- building
+    def append_chunk(self, chunk: TraceChunk) -> None:
+        """Append one packed chunk, validating node ids in bulk."""
+        if len(chunk):
+            lo, hi = min(chunk.nodes), max(chunk.nodes)
+            if lo < 0 or hi >= self.num_nodes:
+                raise ValueError(
+                    f"chunk contains node {lo if lo < 0 else hi} outside "
+                    f"[0, {self.num_nodes})"
+                )
+        self._chunks.append(chunk)
+        self._length += len(chunk)
+        self._accesses = None
+
+    # -------------------------------------------------------------- consumption
+    def chunks(self) -> Sequence[TraceChunk]:
+        """The packed chunks, in trace order (the fast-path view)."""
+        return self._chunks
+
+    @property
+    def accesses(self) -> List[MemoryAccess]:
+        """Materialized object view (cached after the first request)."""
+        if self._accesses is None:
+            out: List[MemoryAccess] = []
+            for chunk in self._chunks:
+                out.extend(chunk.iter_accesses())
+            self._accesses = out
+        return self._accesses
+
+    def __len__(self) -> int:
+        return self._length
+
+    def __iter__(self) -> Iterator[MemoryAccess]:
+        for chunk in self._chunks:
+            yield from chunk.iter_accesses()
+
+    def __getitem__(self, idx):
+        return self.accesses[idx]
+
+    def per_node(self) -> List[List[MemoryAccess]]:
+        """Split the interleaved trace into per-node access sequences."""
+        buckets: List[List[MemoryAccess]] = [[] for _ in range(self.num_nodes)]
+        for access in self:
+            buckets[access.node].append(access)
+        return buckets
+
+    def footprint(self) -> int:
+        """Number of distinct block addresses touched by the trace."""
+        blocks: set = set()
+        for chunk in self._chunks:
+            blocks.update(chunk.blocks)
+        return len(blocks)
+
+    # ------------------------------------------------------------- serialization
+    def to_payload(self) -> Tuple[int, str, List[Tuple[array, ...]]]:
+        """Flat-buffer form for cheap pickling across process boundaries."""
+        return (self.num_nodes, self.name, [c.to_payload() for c in self._chunks])
+
+    @classmethod
+    def from_payload(cls, payload: Tuple[int, str, List[Tuple[array, ...]]]) -> "ChunkedTrace":
+        num_nodes, name, chunk_payloads = payload
+        trace = cls(num_nodes=num_nodes, name=name)
+        for chunk_payload in chunk_payloads:
+            chunk = TraceChunk.from_payload(chunk_payload)
+            trace._chunks.append(chunk)
+            trace._length += len(chunk)
+        return trace
+
+    def __repr__(self) -> str:
+        return (
+            f"ChunkedTrace(name={self.name!r}, accesses={self._length}, "
+            f"chunks={len(self._chunks)}, num_nodes={self.num_nodes})"
+        )

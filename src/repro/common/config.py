@@ -8,8 +8,35 @@ configuration selected in Section 5 (two compared streams, 32-entry SVB,
 
 from __future__ import annotations
 
+import os
+
 from dataclasses import dataclass, field, replace
 from typing import Dict, Optional
+
+#: Fallback chunk size when ``REPRO_STREAM_CHUNK`` is unset: large enough to
+#: amortize the replay loop's per-segment local binding, small enough that a
+#: chunk's six packed columns stay cache-resident.
+DEFAULT_STREAM_CHUNK = 16384
+
+
+def stream_chunk_size() -> int:
+    """Accesses per packed :class:`~repro.common.chunk.TraceChunk`.
+
+    The columnar trace backbone emits, stores, and replays traces in
+    fixed-size chunks of this many accesses.  Controlled by the
+    ``REPRO_STREAM_CHUNK`` environment variable (documented in README.md
+    alongside ``REPRO_BENCH_ACCESSES`` / ``REPRO_PARALLEL_WORKERS``);
+    invalid or non-positive values fall back to the default.
+    """
+    env = os.environ.get("REPRO_STREAM_CHUNK")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            return DEFAULT_STREAM_CHUNK
+        if value > 0:
+            return value
+    return DEFAULT_STREAM_CHUNK
 
 
 @dataclass(frozen=True)

@@ -52,6 +52,37 @@ class AccessType(enum.Enum):
         return self is AccessType.SPIN_READ
 
 
+#: Small-int encoding of :class:`AccessType` used by the columnar trace
+#: backbone: packed ``TraceChunk`` columns store one of these codes per
+#: access, and the hot loops classify through the parallel lookup tables
+#: below instead of enum dispatch.
+TYPE_READ = 0
+TYPE_WRITE = 1
+TYPE_SPIN_READ = 2
+TYPE_ATOMIC = 3
+
+#: AccessType -> small-int code.
+ACCESS_TYPE_CODE: dict = {
+    AccessType.READ: TYPE_READ,
+    AccessType.WRITE: TYPE_WRITE,
+    AccessType.SPIN_READ: TYPE_SPIN_READ,
+    AccessType.ATOMIC: TYPE_ATOMIC,
+}
+
+#: Small-int code -> AccessType (the object view's decode table).
+ACCESS_TYPE_FROM_CODE = (
+    AccessType.READ,
+    AccessType.WRITE,
+    AccessType.SPIN_READ,
+    AccessType.ATOMIC,
+)
+
+#: Indexed by type code: mirrors AccessType.is_read / is_write / is_spin.
+TYPE_IS_READ = (True, False, True, False)
+TYPE_IS_WRITE = (False, True, False, True)
+TYPE_IS_SPIN = (False, False, True, False)
+
+
 def block_of(address: Address, block_size: int = DEFAULT_BLOCK_SIZE) -> BlockAddress:
     """Return the block address containing ``address``.
 

@@ -112,9 +112,12 @@ def cached_tse_run(
 
 
 def clear_cache() -> None:
-    """Invalidate every cached result (and the shared trace cache)."""
+    """Invalidate every cached result, trace, and warm-state snapshot."""
+    from repro.tse.snapshot import clear_snapshots
+
     _CACHE.clear()
     trace_for.cache_clear()
+    clear_snapshots()
 
 
 def cache_info() -> Dict[str, int]:

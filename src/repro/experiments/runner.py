@@ -14,9 +14,9 @@ from __future__ import annotations
 import os
 
 from functools import lru_cache
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.common.types import AccessTrace
+from repro.common.chunk import ChunkedTrace
 from repro.workloads import ALL_WORKLOADS, get_workload
 from repro.workloads.base import WorkloadParams
 
@@ -33,23 +33,46 @@ DEFAULT_TARGET_ACCESSES = 150_000
 DEFAULT_WARMUP_FRACTION = 0.3
 
 
+#: Packed trace payloads delivered to worker processes by the parallel
+#: runner's initializer; consulted (and consumed) by :func:`trace_for`
+#: before falling back to generation.
+_PRELOADED: Dict[Tuple[str, int, int, int], object] = {}
+
+
 @lru_cache(maxsize=32)
 def trace_for(
     workload: str,
     target_accesses: int = DEFAULT_TARGET_ACCESSES,
     seed: int = 42,
     num_nodes: int = 16,
-) -> AccessTrace:
-    """Generate (and cache) the trace for one workload.
+) -> ChunkedTrace:
+    """Generate (and cache) the packed trace for one workload.
 
     Traces are deterministic in (workload, target_accesses, seed, num_nodes),
     so caching them lets one experiment sweep many TSE configurations without
-    regenerating the workload each time.
+    regenerating the workload each time.  The trace is columnar
+    (:class:`~repro.common.chunk.ChunkedTrace`): the functional simulator
+    replays its packed chunks directly, while object consumers (timing walk,
+    analysis) use the materialized ``.accesses`` view.
     """
+    payload = _PRELOADED.pop((workload, target_accesses, seed, num_nodes), None)
+    if payload is not None:
+        return ChunkedTrace.from_payload(payload)
     params = WorkloadParams(
         num_nodes=num_nodes, seed=seed, target_accesses=target_accesses
     )
-    return get_workload(workload, params).generate()
+    return get_workload(workload, params).generate_chunked()
+
+
+def _seed_preloaded_traces(payloads: Dict[Tuple[str, int, int, int], object]) -> None:
+    """Process-pool initializer: hand workers pre-generated trace payloads.
+
+    The payloads are flat packed buffers (the chunk columns), so pickling
+    them into the worker is far cheaper than regenerating the workload — and
+    on fork-based platforms the parent's warm ``trace_for`` cache is
+    inherited outright, making this a no-op fallback.
+    """
+    _PRELOADED.update(payloads)
 
 
 def default_parallel_workers() -> int:
@@ -108,12 +131,29 @@ def run_parallel(
     if workers <= 1:
         results = run_serial()
     else:
+        # Pre-generate each workload's packed trace once in the parent and
+        # hand the flat chunk buffers to the workers: cheap to pickle, and
+        # fork-based pools additionally inherit the parent's warm cache.
+        # Points run with non-default trace parameters simply regenerate.
+        payloads = {}
+        target_accesses = shared.get("target_accesses")
+        seed = shared.get("seed", 42)
+        num_nodes = shared.get("num_nodes", 16)
+        if isinstance(target_accesses, int) and isinstance(seed, int):
+            for workload in dict.fromkeys(workloads):
+                trace = trace_for(workload, target_accesses, seed, num_nodes)
+                key = (workload, target_accesses, seed, num_nodes)
+                payloads[key] = trace.to_payload()
         pool = None
         try:
             from concurrent.futures import ProcessPoolExecutor
             from concurrent.futures.process import BrokenProcessPool
 
-            pool = ProcessPoolExecutor(max_workers=workers)
+            pool = ProcessPoolExecutor(
+                max_workers=workers,
+                initializer=_seed_preloaded_traces if payloads else None,
+                initargs=(payloads,) if payloads else (),
+            )
         except (ImportError, OSError, PermissionError):
             # No usable process pool on this platform: fall back to serial.
             results = run_serial()

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from repro.common.config import PAPER_LOOKAHEAD, SystemConfig, TSEConfig
+from repro.common.chunk import ChunkedTrace
 from repro.common.types import AccessTrace
 from repro.system.timing import TimingComparison, TimingSimulator
 from repro.tse.simulator import TSESimulator, TSEStats
@@ -77,7 +78,7 @@ class DSMSystem:
         target_accesses: int = 200_000,
         seed: int = 42,
         scale: float = 1.0,
-    ) -> AccessTrace:
+    ) -> ChunkedTrace:
         """Generate a trace for a named workload on this system's node count."""
         params = WorkloadParams(
             num_nodes=self.system.num_nodes,
@@ -85,7 +86,7 @@ class DSMSystem:
             scale=scale,
             target_accesses=target_accesses,
         )
-        return get_workload(workload, params).generate()
+        return get_workload(workload, params).generate_chunked()
 
     def tse_config_for(self, workload: str) -> TSEConfig:
         """The paper's TSE configuration with the per-workload lookahead (Table 3)."""

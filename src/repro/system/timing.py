@@ -18,10 +18,11 @@ Outputs map directly onto the paper's results:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.common.config import SystemConfig, TSEConfig
 from repro.common.stats import ratio
+from repro.common.chunk import ChunkedTrace
 from repro.common.types import AccessTrace
 from repro.node.latency import LatencyModel
 from repro.node.processor import NodeTimingResult, ProcessorModel
@@ -117,10 +118,13 @@ class TimingSimulator:
 
     # ---------------------------------------------------------------- plumbing
     def _label_trace(
-        self, trace: AccessTrace, tse_enabled: bool, warmup_fraction: float
+        self, trace: "Union[AccessTrace, ChunkedTrace]", tse_enabled: bool,
+        warmup_fraction: float
     ) -> Tuple[TSEStats, Sequence[int], Sequence[int]]:
         """Run the functional simulator to label each access with its outcome.
 
+        A packed :class:`ChunkedTrace` is labelled through the columnar
+        replay fast path; the timing walk itself reads the thin object view.
         Label runs are memoized on the trace object, keyed by the exact
         TSE configuration used.  The base-system labeling uses a degenerate
         configuration whose behaviour is independent of the interesting TSE
@@ -160,7 +164,7 @@ class TimingSimulator:
 
     def _run_timing(
         self,
-        trace: AccessTrace,
+        trace: "Union[AccessTrace, ChunkedTrace]",
         codes: Sequence[int],
         leads: Sequence[int],
         tse_enabled: bool,
@@ -181,18 +185,18 @@ class TimingSimulator:
         return result
 
     # --------------------------------------------------------------------- API
-    def run_base(self, trace: AccessTrace) -> TimingResult:
+    def run_base(self, trace: "Union[AccessTrace, ChunkedTrace]") -> TimingResult:
         """Time the baseline system (no TSE) on a trace."""
         _, codes, leads = self._label_trace(trace, tse_enabled=False, warmup_fraction=0.0)
         return self._run_timing(trace, codes, leads, tse_enabled=False, label="base")
 
-    def run_tse(self, trace: AccessTrace) -> Tuple[TimingResult, TSEStats]:
+    def run_tse(self, trace: "Union[AccessTrace, ChunkedTrace]") -> Tuple[TimingResult, TSEStats]:
         """Time the TSE-equipped system; also returns the functional stats."""
         stats, codes, leads = self._label_trace(trace, tse_enabled=True, warmup_fraction=0.0)
         timing = self._run_timing(trace, codes, leads, tse_enabled=True, label="tse")
         return timing, stats
 
-    def compare(self, trace: AccessTrace) -> "TimingComparison":
+    def compare(self, trace: "Union[AccessTrace, ChunkedTrace]") -> "TimingComparison":
         """Run base and TSE on the same trace and package the comparison."""
         base = self.run_base(trace)
         tse, functional = self.run_tse(trace)

@@ -16,6 +16,9 @@ Components (Section 3 of the paper):
   glue (directory CMOB pointers, stream request/forward protocol).
 * :mod:`repro.tse.simulator` — functional trace-driven simulation of a whole
   DSM with TSE, producing coverage / discard / traffic statistics.
+* :mod:`repro.tse.snapshot` — warm-state snapshot/restore: run a workload's
+  cold ramp once, pickle the warmed simulator, and replay only the
+  measurement window on subsequent runs.
 """
 
 from repro.tse.cmob import CMOB
@@ -24,6 +27,7 @@ from repro.tse.stream_queue import StreamQueue, QueueState
 from repro.tse.stream_engine import StreamEngine
 from repro.tse.engine import NodeTSE, TemporalStreamingSystem
 from repro.tse.simulator import TSESimulator, TSEStats
+from repro.tse.snapshot import warm_tse_run
 
 __all__ = [
     "CMOB",
@@ -36,4 +40,5 @@ __all__ = [
     "TemporalStreamingSystem",
     "TSESimulator",
     "TSEStats",
+    "warm_tse_run",
 ]

@@ -22,26 +22,21 @@ Counters are plain ints published into the ``StatsRegistry`` lazily.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.common.config import TSEConfig
 from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
-from repro.coherence.directory import Directory
+from repro.coherence.directory import Directory, DirectoryEntry
 from repro.coherence.messages import CoherenceMessage, MessageType
 from repro.tse.cmob import CMOB
-from repro.tse.stream_engine import FetchRequest, StreamEngine
-from repro.tse.stream_queue import RefillRequest, StreamSource
+from repro.tse.stream_engine import CandidateStream, FetchRequest, StreamEngine
+from repro.tse.stream_queue import _COMPACT_THRESHOLD
 
-
-@dataclass
-class StreamDelivery:
-    """Everything that happened in response to one consumption."""
-
-    queue_id: int
-    fetches: List[FetchRequest] = field(default_factory=list)
-    messages: List[CoherenceMessage] = field(default_factory=list)
+#: What :meth:`TemporalStreamingSystem.on_consumption` returns: the id of the
+#: stream queue allocated for the consumption (-1 when no stream was found)
+#: and the ``(address, queue_id)`` fetch tuples produced in response.
+StreamDelivery = Tuple[int, List[FetchRequest]]
 
 
 class NodeTSE:
@@ -89,6 +84,8 @@ class TemporalStreamingSystem:
         self.config = config
         self.directory = directory
         self.nodes = [NodeTSE(config, node_id=i) for i in range(num_nodes)]
+        #: Direct CMOB references (one attribute hop saved per stream read).
+        self._cmobs = [node.cmob for node in self.nodes]
         self._stats = StatsRegistry(prefix="tse")
         self._message_sink = message_sink
         #: System-wide count of SVB entries per block address, maintained by
@@ -136,11 +133,37 @@ class TemporalStreamingSystem:
 
     # --------------------------------------------------------------- recording
     def _record_and_update_pointer(self, node_id: NodeId, address: BlockAddress) -> int:
-        """Record the order and push the CMOB pointer to the home directory."""
-        offset = self.nodes[node_id].record_order(address)
-        self.directory.record_cmob_pointer(address, node_id, offset)
+        """Record the order and push the CMOB pointer to the home directory.
+
+        One pointer is recorded per consumption and per SVB hit, so the CMOB
+        append and the directory pointer-list update are inlined here.
+        """
+        directory = self.directory
+        # Inline CMOB.append (one call per consumption/hit).
+        cmob = self._cmobs[node_id]
+        offset = cmob._appended
+        slots = cmob._slots
+        slot = offset % cmob.capacity
+        if slot == len(slots):
+            slots.append(address)
+        else:
+            slots[slot] = address
+        cmob._appended = offset + 1
+        entries = directory._entries
+        entry = entries.get(address)
+        if entry is None:
+            entry = DirectoryEntry()
+            entries[address] = entry
+        pointers = entry.cmob_pointers
+        for i in range(len(pointers)):
+            if pointers[i][0] == node_id:
+                del pointers[i]
+                break
+        pointers.insert(0, (node_id, offset))
+        del pointers[directory.cmob_pointers_per_block:]
+        directory._n_cmob_pointer_updates += 1
         if self._message_sink is not None:
-            home = self.directory.home_of(address)
+            home = directory.home_of(address)
             self._message_sink(
                 CoherenceMessage(MessageType.CMOB_POINTER_UPDATE, node_id, home, address)
             )
@@ -156,30 +179,43 @@ class TemporalStreamingSystem:
         forwarding from the source CMOBs, stream-queue allocation and the
         initial block fetches, and finally the CMOB append + pointer update
         for the miss itself.
+
+        Returns ``(queue_id, fetches)``.
         """
         engine = self.nodes[node_id].engine
-        delivery = StreamDelivery(queue_id=-1)
         sink = self._message_sink
+        queue_id = -1
 
         # (0) The miss may confirm a stalled stream or realign an active one.
-        delivery.fetches.extend(engine.on_offchip_miss(address))
+        fetches = engine.on_offchip_miss(address)
 
         # (1) Locate candidate streams via the directory (Figure 4, step 2).
-        pointers = self.directory.cmob_pointers(address)[: self.config.compared_streams]
-        streams: List[Tuple[StreamSource, List[BlockAddress]]] = []
+        # Direct slice of the entry's pointer list (read-only) — the public
+        # ``cmob_pointers`` accessor copies the whole list first.
+        compared = self.config.compared_streams
+        dir_entry = self.directory._entries.get(address)
+        if dir_entry is None:
+            pointers = ()
+        else:
+            pointers = dir_entry.cmob_pointers
+            if len(pointers) > compared:
+                # Only slice when the directory retains more pointers than
+                # the engine compares (pointer-count ablations).
+                pointers = pointers[:compared]
+        streams: List[CandidateStream] = []
         if pointers:
             home = self.directory.home_of(address) if sink is not None else -1
             queue_depth = self.config.queue_depth
-            for pointer in pointers:
-                source_node = self.nodes[pointer.node]
+            cmobs = self._cmobs
+            for pointer_node, pointer_offset in pointers:
                 # The stream starts *after* the head (its data already came via
                 # the baseline coherence reply).
-                start = pointer.offset + 1
-                addresses = source_node.read_stream(start, queue_depth)
+                start = pointer_offset + 1
+                addresses = cmobs[pointer_node].read_stream(start, queue_depth)
                 if sink is not None:
                     sink(
                         CoherenceMessage(
-                            MessageType.STREAM_REQUEST, home, pointer.node, address
+                            MessageType.STREAM_REQUEST, home, pointer_node, address
                         )
                     )
                 if not addresses:
@@ -188,23 +224,20 @@ class TemporalStreamingSystem:
                     sink(
                         CoherenceMessage(
                             MessageType.ADDRESS_STREAM,
-                            pointer.node,
+                            pointer_node,
                             node_id,
                             address,
                             num_addresses=len(addresses),
                         )
                     )
-                streams.append(
-                    (StreamSource(node=pointer.node, next_offset=start + len(addresses)),
-                     addresses)
-                )
+                streams.append((pointer_node, start + len(addresses), addresses))
                 self._n_streams_forwarded += 1
 
         # (2) Hand the streams to the consumer's engine (Figure 4, step 4).
         if streams:
-            queue_id, fetches = engine.accept_streams(address, streams)
-            delivery.queue_id = queue_id
-            delivery.fetches.extend(fetches)
+            queue_id, initial_fetches = engine.accept_streams(address, streams)
+            if initial_fetches:
+                fetches.extend(initial_fetches)
         else:
             self._n_no_stream_found += 1
 
@@ -212,8 +245,11 @@ class TemporalStreamingSystem:
         self._record_and_update_pointer(node_id, address)
 
         # (4) Service any refills that the new fetches made necessary.
-        delivery.fetches.extend(self._service_refills(node_id))
-        return delivery
+        if engine._refill_dirty:
+            refill_fetches = self._service_refills(node_id)
+            if refill_fetches:
+                fetches.extend(refill_fetches)
+        return queue_id, fetches
 
     # ----------------------------------------------------------------- SVB hits
     def on_svb_hit(self, node_id: NodeId, address: BlockAddress):
@@ -227,13 +263,39 @@ class TemporalStreamingSystem:
         Returns ``(entry, follow_on_fetches)``.
         """
         engine = self.nodes[node_id].engine
-        entry, fetches = engine.on_svb_hit(address)
+        # Inline the engine's hit handling (consume entry, credit the queue,
+        # extend the stream): the hit path runs once per eliminated miss.
+        clock = engine._activity_clock + 1
+        engine._activity_clock = clock
+        svb = engine.svb
+        entry = svb._entries.pop(address, None)
         if entry is None:
+            svb._n_misses += 1
             return None, []
-        self._residency_drop(address)
+        svb._n_hits += 1
+        engine._n_svb_hits += 1
+        queue = engine._queues.get(entry[1])
+        if queue is None:
+            fetches: List[FetchRequest] = []
+        else:
+            if queue.in_flight > 0:
+                queue.in_flight -= 1
+            queue.total_hits += 1
+            queue.last_active = clock
+            fetches = engine._fetch_from(queue)
+        # Inline residency drop (one SVB entry for this address just left).
+        residency = self._svb_residency
+        count = residency.get(address, 0)
+        if count <= 1:
+            residency.pop(address, None)
+        else:
+            residency[address] = count - 1
         self._n_svb_hits += 1
         self._record_and_update_pointer(node_id, address)
-        fetches.extend(self._service_refills(node_id))
+        if engine._refill_dirty:
+            refill_fetches = self._service_refills(node_id)
+            if refill_fetches:
+                fetches.extend(refill_fetches)
         return entry, fetches
 
     # ------------------------------------------------------------------ writes
@@ -258,43 +320,113 @@ class TemporalStreamingSystem:
 
     # ----------------------------------------------------------------- refills
     def _service_refills(self, node_id: NodeId) -> List[FetchRequest]:
-        """Serve pending CMOB refill requests for a node's stream queues."""
+        """Serve pending CMOB refill requests for a node's stream queues.
+
+        Collection and servicing are fused per queue: every FIFO's
+        eligibility (live, at or below the refill threshold, no request
+        outstanding) is snapshotted *before* any of the queue's refills are
+        serviced — servicing triggers ``_fetch_from``, which pops from all
+        of a comparing queue's FIFOs and could otherwise make a later FIFO
+        eligible one pass early.  Queues are visited in allocation order,
+        and servicing one queue cannot touch another queue's FIFOs, so the
+        fused pass produces the identical refill and fetch order the
+        collect-then-serve pipeline had, with none of the request-tuple
+        plumbing.
+        """
         engine = self.nodes[node_id].engine
-        refills = engine.pending_refills()
-        if not refills:
+        dirty = engine._refill_dirty
+        if not dirty:
             return []
         fetches: List[FetchRequest] = []
         sink = self._message_sink
-        nodes = self.nodes
-        for refill in refills:
-            source = nodes[refill.source.node]
-            addresses = source.read_stream(refill.source.next_offset, refill.count)
-            if sink is not None:
-                sink(
-                    CoherenceMessage(
-                        MessageType.STREAM_REQUEST, node_id, refill.source.node, 0
-                    )
-                )
-                if addresses:
+        cmobs = self._cmobs
+        config = self.config
+        threshold = config.refill_threshold
+        depth = config.queue_depth
+        queues = engine._queues
+        order = sorted(dirty)
+        dirty.clear()
+        fetch_from = engine._fetch_from
+        for queue_id in order:
+            queue = queues.get(queue_id)
+            if queue is None or queue.state_code == 2:  # STATE_DRAINED
+                continue
+            selected = queue._selected
+            if selected is not None:
+                indices = (selected,)
+            else:
+                indices = tuple(range(len(queue._fifo_data)))
+            pending = queue._refill_pending
+            src_nodes = queue._src_nodes
+            src_next = queue._src_next
+            data = queue._fifo_data
+            pos = queue._fifo_pos
+            # Collect phase: snapshot this queue's eligible FIFOs.
+            eligible = None
+            for i in indices:
+                if pending[i]:
+                    continue
+                source_node = src_nodes[i]
+                if source_node < 0:
+                    continue
+                if len(data[i]) - pos[i] > threshold:
+                    continue
+                pending[i] = True
+                if eligible is None:
+                    eligible = [(i, source_node, src_next[i])]
+                else:
+                    eligible.append((i, source_node, src_next[i]))
+            if eligible is None:
+                continue
+            # Serve phase.
+            for i, source_node, next_offset in eligible:
+                fifo = data[i]
+                p = pos[i]
+                engine._n_refill_requests += 1
+                addresses = cmobs[source_node].read_stream(next_offset, depth)
+                if sink is not None:
                     sink(
                         CoherenceMessage(
-                            MessageType.ADDRESS_STREAM,
-                            refill.source.node,
-                            node_id,
-                            0,
-                            num_addresses=len(addresses),
+                            MessageType.STREAM_REQUEST, node_id, source_node, 0
                         )
                     )
-            new_next = refill.source.next_offset + len(addresses)
-            fetches.extend(engine.apply_refill(refill, addresses, new_next))
-            self._n_refills_serviced += 1
+                    if addresses:
+                        sink(
+                            CoherenceMessage(
+                                MessageType.ADDRESS_STREAM,
+                                source_node,
+                                node_id,
+                                0,
+                                num_addresses=len(addresses),
+                            )
+                        )
+                # Inline extend_stream: append the refill, clear the pending
+                # flag, bump the source offset; the cached queue state needs
+                # refreshing only when a dead FIFO came back to life.
+                if p > _COMPACT_THRESHOLD:
+                    # Shed the consumed prefix before growing the list.
+                    del fifo[:p]
+                    p = 0
+                    pos[i] = 0
+                was_live = p < len(fifo)
+                fifo.extend(addresses)
+                pending[i] = False
+                src_next[i] = next_offset + len(addresses)
+                if not was_live and addresses:
+                    queue._recompute_state()
+                dirty.add(queue_id)
+                new_fetches = fetch_from(queue)
+                if new_fetches:
+                    fetches.extend(new_fetches)
+                self._n_refills_serviced += 1
         return fetches
 
     # ----------------------------------------------------------- data streaming
     def deliver_block(
         self,
         node_id: NodeId,
-        fetch: FetchRequest,
+        address: BlockAddress,
+        queue_id: int,
         producer: Optional[NodeId] = None,
         fill_time: float = 0.0,
         version: int = 0,
@@ -307,30 +439,100 @@ class TemporalStreamingSystem:
         """
         sink = self._message_sink
         if sink is not None:
-            home = self.directory.home_of(fetch.address)
+            home = self.directory.home_of(address)
             source = producer if producer is not None else home
             sink(
                 CoherenceMessage(
-                    MessageType.STREAMED_DATA_REQUEST, node_id, home, fetch.address
+                    MessageType.STREAMED_DATA_REQUEST, node_id, home, address
                 )
             )
             sink(
                 CoherenceMessage(
-                    MessageType.STREAMED_DATA_REPLY, source, node_id, fetch.address
+                    MessageType.STREAMED_DATA_REPLY, source, node_id, address
                 )
             )
         self._n_blocks_streamed += 1
         engine = self.nodes[node_id].engine
-        address = fetch.address
-        refreshed = address in engine.svb
+        refreshed = address in engine.svb._entries
         victim = engine.install_block(
-            address, fetch.queue_id, fill_time=fill_time, version=version
+            address, queue_id, fill_time=fill_time, version=version
         )
         if not refreshed:
             self._svb_residency[address] = self._svb_residency.get(address, 0) + 1
         if victim is not None:
-            self._residency_drop(victim.address)
+            self._residency_drop(victim[0])
         return victim
+
+    def deliver_all(
+        self,
+        node_id: NodeId,
+        fetches: List[FetchRequest],
+        fill_time: float,
+        blocks_map: Dict,
+    ) -> Tuple[int, int]:
+        """Deliver a batch of fetched blocks into ``node_id``'s SVB.
+
+        Batch counterpart of :meth:`deliver_block`: one call per replay
+        event instead of one per block, with the SVB fill, LRU eviction,
+        residency bookkeeping and victim notification inlined on the
+        message-free path.  ``blocks_map`` is the protocol's per-block state
+        dict (for the stored block version).  Returns
+        ``(delivered, discarded)``.
+        """
+        if self._message_sink is not None:
+            delivered = 0
+            discarded = 0
+            for address, queue_id in fetches:
+                block_state = blocks_map.get(address)
+                if block_state is None:
+                    producer, version = None, 0
+                else:
+                    producer, version = block_state.last_writer, block_state.version
+                victim = self.deliver_block(
+                    node_id, address, queue_id,
+                    producer=producer, version=version, fill_time=fill_time,
+                )
+                delivered += 1
+                if victim is not None:
+                    discarded += 1
+            return delivered, discarded
+
+        engine = self.nodes[node_id].engine
+        svb = engine.svb
+        entries = svb._entries
+        capacity = svb.capacity
+        residency = self._svb_residency
+        queues = engine._queues
+        discarded = 0
+        for address, queue_id in fetches:
+            # The stored block version is message-path bookkeeping (the
+            # streamed-data reply's payload identity); the fast path records
+            # 0 — nothing in the replay reads it back.
+            if address in entries:
+                # Refresh: new LRU position and queue binding, no victim,
+                # no residency change (plain dicts keep insertion order).
+                del entries[address]
+                entries[address] = (address, queue_id, fill_time, 0)
+                continue
+            if len(entries) >= capacity:
+                lru_address = next(iter(entries))
+                victim = entries.pop(lru_address)
+                svb._n_evictions += 1
+                owner = queues.get(victim[1])
+                if owner is not None:
+                    owner.on_block_lost()
+                victim_address = victim[0]
+                count = residency.get(victim_address, 0)
+                if count <= 1:
+                    residency.pop(victim_address, None)
+                else:
+                    residency[victim_address] = count - 1
+                discarded += 1
+            entries[address] = (address, queue_id, fill_time, 0)
+            svb._n_fills += 1
+            residency[address] = residency.get(address, 0) + 1
+        self._n_blocks_streamed += len(fetches)
+        return len(fetches), discarded
 
     # -------------------------------------------------------------- end of run
     def drain(self) -> Dict[NodeId, int]:

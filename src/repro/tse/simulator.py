@@ -16,11 +16,17 @@ trace-based analysis (Figures 6–13) and cycle-accurate simulation
 (Figure 14, Table 3).
 
 The replay loop is the hottest code in the repository: every experiment point
-replays hundreds of thousands of accesses through it.  ``_replay`` therefore
-binds every per-access callable and container to a local once per segment,
-accumulates the counters in plain local ints (synced into :class:`TSEStats`
-only when the segment ends), and records per-access outcomes into two
-parallel ``array`` buffers instead of a list of tuples.
+replays hundreds of thousands of accesses through it.  ``_replay_chunk``
+therefore consumes packed :class:`~repro.common.chunk.TraceChunk` columns
+directly — raw node / block / type-code ints classified through lookup
+tables and the coherence protocol's ``read_ints`` / ``write_ints`` fast
+path, with the common read-hit outcome inlined in the loop, counters in
+plain local ints (synced into :class:`TSEStats` at chunk end), outcomes
+recorded into parallel ``array`` buffers, and the cyclic GC paused for the
+duration of a run (the loop allocates no reference cycles).  The legacy
+object path (``AccessTrace`` / ``MemoryAccess`` iterables) packs into a
+chunk and replays through the same loop, so all ingestion paths are
+bit-identical.
 """
 
 from __future__ import annotations
@@ -32,10 +38,24 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import enum
 
+from repro.common.chunk import ChunkedTrace, TraceChunk, stream_chunk_size
 from repro.common.config import InterconnectConfig, TSEConfig
 from repro.common.stats import Histogram, ratio
-from repro.common.types import AccessTrace, MemoryAccess, MissClass
-from repro.coherence.protocol import CoherenceProtocol
+from repro.common.types import (
+    TYPE_IS_WRITE,
+    TYPE_SPIN_READ,
+    AccessTrace,
+    AccessType,
+    MemoryAccess,
+)
+from repro.coherence.protocol import (
+    READ_CAPACITY,
+    READ_COHERENT,
+    READ_COLD,
+    READ_CODE_OF_MISS,
+    READ_SPIN_COHERENT,
+    CoherenceProtocol,
+)
 from repro.interconnect.network import TrafficAccountant
 from repro.tse.engine import TemporalStreamingSystem
 
@@ -181,32 +201,27 @@ class TSESimulator:
 
     # ---------------------------------------------------------------- delivery
     def _deliver_fetches(self, node: int, fetches, fill_time: float = 0.0) -> None:
-        protocol = self.protocol
-        deliver = self.tse.deliver_block
-        fetched = 0
-        discarded = 0
-        for fetch in fetches:
-            producer, version = protocol.block_info(fetch.address)
-            victim = deliver(
-                node, fetch, producer=producer, version=version, fill_time=fill_time
-            )
-            fetched += 1
-            if victim is not None:
-                discarded += 1
+        if not fetches:
+            return
+        fetched, discarded = self.tse.deliver_all(
+            node, fetches, fill_time, self.protocol._blocks
+        )
         self.stats.blocks_fetched += fetched
         self.stats.discarded_blocks += discarded
 
     # --------------------------------------------------------------------- run
     def run(
         self,
-        trace: Union[AccessTrace, Iterable[MemoryAccess]],
+        trace: Union[AccessTrace, ChunkedTrace, Iterable[MemoryAccess]],
         warmup_fraction: float = 0.0,
     ) -> TSEStats:
         """Replay a whole trace (or access stream) and return the statistics.
 
         Args:
-            trace: The interleaved multi-node access trace, either a
-                materialized :class:`AccessTrace` or any iterable of
+            trace: The interleaved multi-node access trace: a packed
+                :class:`~repro.common.chunk.ChunkedTrace` (the fast path —
+                replayed column-at-a-time with no object materialization), a
+                materialized :class:`AccessTrace`, or any iterable of
                 :class:`MemoryAccess` (e.g. ``workload.stream()``), which is
                 consumed in bounded-size chunks without materializing it.
             warmup_fraction: Fraction of the trace processed before statistics
@@ -219,6 +234,12 @@ class TSESimulator:
         """
         if not 0.0 <= warmup_fraction < 1.0:
             raise ValueError("warmup_fraction must be in [0, 1)")
+        if isinstance(trace, ChunkedTrace):
+            return self.run_chunks(
+                trace.chunks(),
+                name=trace.name,
+                warmup_accesses=int(len(trace) * warmup_fraction),
+            )
         if not isinstance(trace, AccessTrace):
             if warmup_fraction:
                 raise ValueError(
@@ -237,9 +258,60 @@ class TSESimulator:
             self._replay(accesses)
         return self.finalize()
 
-    #: Accesses replayed per chunk when ingesting a stream; bounds memory
-    #: while amortizing ``_replay``'s per-segment local binding.
+    #: Legacy alias for the default chunk size; the live value is read from
+    #: :func:`repro.common.config.stream_chunk_size` (``REPRO_STREAM_CHUNK``)
+    #: on every streaming run.
     STREAM_CHUNK = 16384
+
+    def run_chunks(
+        self,
+        chunks: Iterable[TraceChunk],
+        name: str = "stream",
+        warmup_accesses: int = 0,
+    ) -> TSEStats:
+        """Replay packed chunks (the columnar fast path).
+
+        Chunk boundaries are invisible to the results: statistics reset at
+        exactly ``warmup_accesses`` (splitting a chunk if necessary), so this
+        is bit-identical to :meth:`run` over the equivalent object trace.
+        """
+        if warmup_accesses < 0:
+            raise ValueError("warmup_accesses must be non-negative")
+        import gc
+
+        self.stats.workload = name
+        replay = self._replay_chunk
+        warm_left = warmup_accesses
+        measuring = warmup_accesses == 0
+        # Replay allocates heavily but produces no reference cycles, so the
+        # cyclic collector only costs time here; pause it for the run.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            for chunk in chunks:
+                if measuring:
+                    replay(chunk)
+                    continue
+                size = len(chunk)
+                if warm_left >= size:
+                    replay(chunk)
+                    warm_left -= size
+                    if warm_left == 0:
+                        self.reset_stats(name)
+                        measuring = True
+                else:
+                    replay(chunk.slice(0, warm_left))
+                    self.reset_stats(name)
+                    measuring = True
+                    replay(chunk.slice(warm_left))
+        finally:
+            if gc_was_enabled:
+                gc.enable()
+        if not measuring:
+            # Warm-up swallowed the whole trace: measurement window is empty.
+            self.reset_stats(name)
+        return self.finalize()
 
     def run_stream(
         self,
@@ -247,10 +319,10 @@ class TSESimulator:
         name: str = "stream",
         warmup_accesses: int = 0,
     ) -> TSEStats:
-        """Replay an access stream without materializing it.
+        """Replay a ``MemoryAccess`` stream without materializing it.
 
         Equivalent to :meth:`run` on the materialized trace, bit for bit
-        (the replay loop is shared), but holds at most ``STREAM_CHUNK``
+        (the replay loop is shared), but holds at most one packed chunk of
         accesses at a time — workload generators emit traces lazily via
         ``workload.stream()``, so arbitrarily long runs fit in memory.
 
@@ -264,21 +336,24 @@ class TSESimulator:
         if warmup_accesses < 0:
             raise ValueError("warmup_accesses must be non-negative")
         self.stats.workload = name
+        chunk_size = stream_chunk_size()
         iterator = iter(accesses)
         remaining_warmup = warmup_accesses
         while remaining_warmup > 0:
-            chunk = list(islice(iterator, min(self.STREAM_CHUNK, remaining_warmup)))
-            if not chunk:
+            chunk = TraceChunk.from_accesses(
+                islice(iterator, min(chunk_size, remaining_warmup))
+            )
+            if not len(chunk):
                 break
-            self._replay(chunk)
+            self._replay_chunk(chunk)
             remaining_warmup -= len(chunk)
         if warmup_accesses > 0:
             self.reset_stats(name)
         while True:
-            chunk = list(islice(iterator, self.STREAM_CHUNK))
-            if not chunk:
+            chunk = TraceChunk.from_accesses(islice(iterator, chunk_size))
+            if not len(chunk):
                 break
-            self._replay(chunk)
+            self._replay_chunk(chunk)
         return self.finalize()
 
     def reset_stats(self, workload: str = "") -> None:
@@ -288,46 +363,108 @@ class TSESimulator:
     def step(self, access: MemoryAccess) -> None:
         """Process a single access.
 
-        Shares ``_replay`` with :meth:`run` so both paths stay identical;
-        the per-segment local binding makes this convenience entry point
-        slower per access than batched replay — drive whole traces through
-        :meth:`run` when throughput matters.
+        Shares the chunked replay loop with :meth:`run` so both paths stay
+        identical; the per-segment local binding makes this convenience
+        entry point slower per access than batched replay — drive whole
+        traces through :meth:`run` when throughput matters.
         """
         self._replay((access,))
 
     def _replay(self, accesses: Sequence[MemoryAccess]) -> None:
-        """Replay a trace segment; the hot loop of the whole repository.
+        """Replay a segment of ``MemoryAccess`` objects.
 
-        Counters are accumulated in local ints and synced into ``self.stats``
-        once at the end of the segment; outcome recording appends to the
-        preallocated parallel arrays.
+        Thin adapter: packs the objects into a :class:`TraceChunk` and hands
+        it to :meth:`_replay_chunk`, so the object path and the columnar
+        path share one replay implementation.
         """
-        # ---- bind everything the loop touches to locals ----
-        from repro.common.types import AccessType
+        self._replay_chunk(TraceChunk.from_accesses(accesses))
 
-        write_type = AccessType.WRITE
-        atomic_type = AccessType.ATOMIC
+    def _message_adapters(self):
+        """(read, write) callables for the message-emitting (traffic) path.
+
+        They reconstruct minimal accesses for the object-path protocol
+        methods and feed the resulting messages to the traffic accountant,
+        returning the same int classification codes as the fast path.
+        """
+        process_read = self.protocol._process_read
+        process_write = self.protocol._process_write
+        traffic = self.traffic
+        record_all = traffic.record_all if traffic is not None else None
+        code_of = READ_CODE_OF_MISS
+        read_type = AccessType.READ
         spin_type = AccessType.SPIN_READ
+        write_type = AccessType.WRITE
+
+        def read_ints(node: int, address: int, is_spin: bool) -> int:
+            result = process_read(
+                MemoryAccess(node, address, spin_type if is_spin else read_type)
+            )
+            if record_all is not None:
+                record_all(result.messages)
+            return code_of[result.miss_class]
+
+        def write_ints(node: int, address: int) -> None:
+            result = process_write(MemoryAccess(node, address, write_type))
+            if record_all is not None:
+                record_all(result.messages)
+
+        return read_ints, write_ints
+
+    def _replay_chunk(self, chunk: TraceChunk) -> None:
+        """Replay one packed chunk; the hot loop of the whole repository.
+
+        Operates on the raw columns — int node / block / type-code per
+        access, classified through lookup tables and the protocol's
+        ``read_ints`` / ``write_ints`` fast path (no attribute loads, no
+        enum dispatch, no per-access allocation).  Counters are accumulated
+        in local ints and synced into ``self.stats`` once at the end of the
+        chunk; outcome recording appends to the preallocated parallel
+        arrays.
+        """
+        nodes_col = chunk.nodes
+        n = len(nodes_col)
+        if n == 0:
+            return
+        blocks_col = chunk.blocks
+        types_col = chunk.types
+
+        # ---- bind everything the loop touches to locals ----
         tse = self.tse
-        protocol_read = self.protocol._process_read
-        protocol_write = self.protocol._process_write
+        protocol = self.protocol
+        if protocol.emit_messages:
+            read_ints, write_ints = self._message_adapters()
+        else:
+            read_ints = protocol.read_ints
+            write_ints = protocol.write_ints
         tse_on_write = tse.on_write
         tse_on_svb_hit = tse.on_svb_hit
         tse_on_consumption = tse.on_consumption
+        residency = tse._svb_residency
+        install_copy = (
+            protocol.install_copy_ints if protocol._caches is None
+            else protocol.install_copy
+        )
         deliver_fetches = self._deliver_fetches
         node_counts = self._node_access_counts
         engines = [node.engine for node in tse.nodes]
         svb_maps = [engine.svb._entries for engine in engines]
-        traffic = self.traffic
-        record_traffic = traffic.record_all if traffic is not None else None
+        # Read-hit shortcut: with the infinite cache model, "the node holds
+        # the current version" is one dict probe — inlined here so the
+        # overwhelmingly common outcome never leaves the loop.  Finite
+        # caches also require a cache-residency check; leave that to
+        # ``read_ints``.
+        blocks_map = protocol._blocks
+        inline_hits = protocol._caches is None
         record = self.record_outcomes
         codes_append = self.outcome_codes.append
         leads_append = self.outcome_leads.append
 
-        coherent_read_miss = MissClass.COHERENT_READ_MISS
-        spin_coherent_miss = MissClass.SPIN_COHERENT_MISS
-        cold_miss = MissClass.COLD_MISS
-        capacity_miss = MissClass.CAPACITY_MISS
+        is_write_table = TYPE_IS_WRITE
+        spin_code = TYPE_SPIN_READ
+        read_coherent = READ_COHERENT
+        read_spin = READ_SPIN_COHERENT
+        read_cold = READ_COLD
+        read_capacity = READ_CAPACITY
 
         outcome_write = int(Outcome.WRITE)
         outcome_svb_hit = int(Outcome.SVB_HIT)
@@ -338,7 +475,6 @@ class TSESimulator:
         outcome_other = int(Outcome.OTHER)
 
         # ---- local counters, synced into TSEStats at the end ----
-        n_accesses = 0
         n_reads = 0
         n_writes = 0
         n_svb_hits = 0
@@ -347,23 +483,21 @@ class TSESimulator:
         n_cold = 0
         n_capacity = 0
         n_discards = 0
+        n_inline_hits = 0
 
-        for access in accesses:
-            n_accesses += 1
-            node = access.node
-            address = access.address
-            access_type = access.access_type
+        for type_code, node, address in zip(types_col, nodes_col, blocks_col):
             node_access_index = node_counts[node] + 1
             node_counts[node] = node_access_index
-            if access_type is write_type or access_type is atomic_type:
+            if is_write_table[type_code]:
                 n_writes += 1
                 # Writes invalidate matching SVB entries everywhere;
                 # invalidated streamed blocks were never consumed, so they
-                # are discards.
-                n_discards += tse_on_write(node, address)
-                result = protocol_write(access)
-                if record_traffic is not None:
-                    record_traffic(result.messages)
+                # are discards.  The residency membership test is hoisted
+                # out of ``on_write`` — the vast majority of writes touch
+                # blocks no SVB holds.
+                if address in residency:
+                    n_discards += tse_on_write(node, address)
+                write_ints(node, address)
                 if record:
                     codes_append(outcome_write)
                     leads_append(0)
@@ -371,48 +505,69 @@ class TSESimulator:
 
             n_reads += 1
 
-            # Spin reads never count as consumptions and are not streamed.
-            if access_type is not spin_type and address in svb_maps[node]:
-                entry, fetches = tse_on_svb_hit(node, address)
-                if entry is not None:
-                    n_svb_hits += 1
-                    self.protocol.install_copy(node, address)
-                    deliver_fetches(node, fetches, fill_time=node_access_index)
-                    if record:
-                        lead = int(node_access_index - entry.fill_time)
-                        codes_append(outcome_svb_hit)
-                        leads_append(lead if lead > 0 else 0)
-                    continue
-                # Entry vanished between probe and consume (should not happen
-                # in the functional model); fall through to the normal path.
+            if type_code != spin_code:
+                # Spin reads never count as consumptions and are not streamed.
+                if address in svb_maps[node]:
+                    entry, fetches = tse_on_svb_hit(node, address)
+                    if entry is not None:
+                        n_svb_hits += 1
+                        install_copy(node, address)
+                        if fetches:
+                            deliver_fetches(node, fetches, fill_time=node_access_index)
+                        if record:
+                            lead = int(node_access_index - entry[2])
+                            codes_append(outcome_svb_hit)
+                            leads_append(lead if lead > 0 else 0)
+                        continue
+                    # Entry vanished between probe and consume (should not
+                    # happen in the functional model); fall through.
+                if inline_hits:
+                    block_state = blocks_map.get(address)
+                    if (
+                        block_state is not None
+                        and block_state.held_version.get(node) == block_state.version
+                    ):
+                        n_inline_hits += 1
+                        if record:
+                            codes_append(outcome_other)
+                            leads_append(0)
+                        continue
+                code = read_ints(node, address, False)
+            else:
+                code = read_ints(node, address, True)
 
-            result = protocol_read(access)
-            if record_traffic is not None:
-                record_traffic(result.messages)
-            miss_class = result.miss_class
-            if miss_class is coherent_read_miss:
+            if code == read_coherent:
                 n_consumptions += 1
-                delivery = tse_on_consumption(node, address)
-                deliver_fetches(node, delivery.fetches, fill_time=node_access_index)
+                _, fetches = tse_on_consumption(node, address)
+                if fetches:
+                    deliver_fetches(node, fetches, fill_time=node_access_index)
                 if record:
                     codes_append(outcome_consumption)
                     leads_append(0)
-            elif miss_class is spin_coherent_miss:
+            elif code == read_spin:
                 n_spin += 1
                 if record:
                     codes_append(outcome_spin)
                     leads_append(0)
-            elif miss_class is cold_miss:
+            elif code == read_cold:
                 n_cold += 1
-                fetches = engines[node].on_offchip_miss(address)
-                deliver_fetches(node, fetches, fill_time=node_access_index)
+                # A cold miss implies the block's version is 0 (never
+                # written): every FIFO/stall-head address originates from a
+                # CMOB entry, which is only recorded for blocks that had
+                # version > 0 at recording time — and versions never
+                # decrease.  The miss therefore cannot resolve a stall or
+                # realign a stream; only the engine's activity clock (LRU
+                # reclamation time base) must still advance, exactly as the
+                # full ``on_offchip_miss`` scan would have advanced it.
+                engines[node]._activity_clock += 1
                 if record:
                     codes_append(outcome_cold)
                     leads_append(0)
-            elif miss_class is capacity_miss:
+            elif code == read_capacity:
                 n_capacity += 1
                 fetches = engines[node].on_offchip_miss(address)
-                deliver_fetches(node, fetches, fill_time=node_access_index)
+                if fetches:
+                    deliver_fetches(node, fetches, fill_time=node_access_index)
                 if record:
                     codes_append(outcome_capacity)
                     leads_append(0)
@@ -423,7 +578,7 @@ class TSESimulator:
 
         # ---- sync ----
         stats = self.stats
-        stats.accesses += n_accesses
+        stats.accesses += n
         stats.reads += n_reads
         stats.writes += n_writes
         stats.svb_hits += n_svb_hits
@@ -432,6 +587,8 @@ class TSESimulator:
         stats.cold_misses += n_cold
         stats.capacity_misses += n_capacity
         stats.discarded_blocks += n_discards
+        if n_inline_hits:
+            protocol._n_read_hits += n_inline_hits
 
     def finalize(self) -> TSEStats:
         """Account for end-of-run leftovers and collect distributions."""
@@ -447,7 +604,7 @@ class TSESimulator:
 
 
 def run_tse_on_trace(
-    trace: AccessTrace,
+    trace: Union[AccessTrace, ChunkedTrace],
     tse_config: Optional[TSEConfig] = None,
     account_traffic: bool = False,
     interconnect_config: Optional[InterconnectConfig] = None,

@@ -18,32 +18,39 @@ the engine keeps a *scan set* holding only queues that can still react —
 drained queues with no refill outstanding are zombies (they can never leave
 ``DRAINED``) and are pruned from the scan set the first time a pass visits
 them.  The full ``_queues`` map keeps zombies for LRU reclamation and the
-stream-length census.  Activity counters are plain ints, published into the
-``StatsRegistry`` lazily when ``stats`` is read.
+stream-length census.  Fetch requests are plain ``(address, queue_id)``
+tuples (see :data:`FetchRequest`) and refill requests are the stream queue's
+flat tuples — no per-event object allocation.  Activity counters are plain
+ints, published into the ``StatsRegistry`` lazily when ``stats`` is read.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import TSEConfig
 from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
-from repro.tse.stream_queue import QueueState, RefillRequest, StreamQueue, StreamSource
+from repro.tse.stream_queue import (
+    STATE_ACTIVE,
+    STATE_DRAINED,
+    STATE_STALLED,
+    QueueState,
+    StreamQueue,
+)
 from repro.tse.svb import StreamedValueBuffer, SVBEntry
 
 _ACTIVE = QueueState.ACTIVE
 _STALLED = QueueState.STALLED
-_DRAINED = QueueState.DRAINED
 
+#: A block the engine wants streamed into the SVB: ``(address, queue_id)``.
+FetchRequest = Tuple[BlockAddress, int]
 
-@dataclass(slots=True)
-class FetchRequest:
-    """A block the engine wants streamed into the SVB."""
-
-    address: BlockAddress
-    queue_id: int
+#: One candidate stream handed to :meth:`StreamEngine.accept_streams`:
+#: ``(source_node, next_offset, addresses)`` — the CMOB it came from, the
+#: monotonic offset of the next address to request on refill, and the
+#: forwarded addresses themselves.
+CandidateStream = Tuple[NodeId, int, List[BlockAddress]]
 
 
 class StreamEngine:
@@ -59,9 +66,6 @@ class StreamEngine:
         #: Strict subset of ``_queues``: zombies (drained, no refill pending)
         #: are dropped here but stay in ``_queues`` until reclaimed.
         self._scan_queues: Dict[int, StreamQueue] = {}
-        #: Per-queue count of issued-but-unserviced refill requests; a drained
-        #: queue with none outstanding can never be revived.
-        self._refills_outstanding: Dict[int, int] = {}
         #: Queues whose FIFOs changed since the last refill scan.  Only these
         #: can produce new refill requests: an unchanged queue was already
         #: scanned right after the event that made it eligible.
@@ -98,20 +102,30 @@ class StreamEngine:
         """Allocate a stream queue, reclaiming the least-recently-active one
         when all queues are busy (thrashing protection, Section 5.3)."""
         queues = self._queues
+        queue: Optional[StreamQueue] = None
         if len(queues) >= self.config.stream_queues:
-            victim_id = min(queues, key=lambda q: queues[q].last_active)
-            self.retired_queue_hits.append(queues[victim_id].total_hits)
-            del queues[victim_id]
+            victim_id = -1
+            victim_active = -1
+            for queue_id, victim in queues.items():
+                active = victim.last_active
+                if victim_id < 0 or active < victim_active:
+                    victim_id = queue_id
+                    victim_active = active
+            queue = queues.pop(victim_id)
+            self.retired_queue_hits.append(queue.total_hits)
             self._scan_queues.pop(victim_id, None)
-            self._refills_outstanding.pop(victim_id, None)
             self._refill_dirty.discard(victim_id)
             self._n_queue_reclaims += 1
-        queue = StreamQueue(self._next_queue_id, head, self.config.stream_lookahead)
+        new_id = self._next_queue_id
+        if queue is not None:
+            # Reuse the reclaimed queue object in place (allocation pooling).
+            queue.reset(new_id, head, self.config.stream_lookahead)
+        else:
+            queue = StreamQueue(new_id, head, self.config.stream_lookahead)
         queue.last_active = self._activity_clock
-        queues[queue.queue_id] = queue
-        self._scan_queues[queue.queue_id] = queue
-        self._refills_outstanding[queue.queue_id] = 0
-        self._refill_dirty.add(queue.queue_id)
+        queues[new_id] = queue
+        self._scan_queues[new_id] = queue
+        self._refill_dirty.add(new_id)
         self._next_queue_id += 1
         self._n_queue_allocations += 1
         return queue
@@ -132,45 +146,139 @@ class StreamEngine:
     def accept_streams(
         self,
         head: BlockAddress,
-        streams: List[Tuple[StreamSource, List[BlockAddress]]],
+        streams: List[CandidateStream],
     ) -> Tuple[int, List[FetchRequest]]:
         """A set of candidate streams (one per recent consumer) has arrived.
 
         Args:
             head: The consumption address the streams follow.
-            streams: ``(source, addresses)`` pairs read from remote CMOBs.
+            streams: ``(source_node, next_offset, addresses)`` triples read
+                from remote CMOBs.
 
         Returns:
             The new queue's id and the initial fetch requests (empty when the
             streams disagree immediately or are empty).
         """
-        self._tick()
+        self._activity_clock += 1
         if not streams:
             return -1, []
         queue = self._allocate_queue(head)
-        for source, addresses in streams:
-            queue.add_stream(list(addresses), source)
+        # Bulk-populate the fresh queue: the engine owns the forwarded
+        # address lists (CMOB stream reads return fresh slices), so they
+        # become the FIFO storage directly, and the state is derived once
+        # after all FIFOs are in place.
+        fifo_data = queue._fifo_data
+        fifo_pos = queue._fifo_pos
+        src_nodes = queue._src_nodes
+        src_next = queue._src_next
+        refill_pending = queue._refill_pending
+        for source_node, next_offset, addresses in streams:
+            fifo_data.append(addresses)
+            fifo_pos.append(0)
+            src_nodes.append(source_node)
+            src_next.append(next_offset)
+            refill_pending.append(False)
+        queue._recompute_state()
         self._n_streams_accepted += len(streams)
         return queue.queue_id, self._fetch_from(queue)
 
     def _fetch_from(self, queue: StreamQueue) -> List[FetchRequest]:
-        """Fetch blocks for a queue while its heads agree and lookahead allows."""
+        """Fetch blocks for a queue while its heads agree and lookahead allows.
+
+        Equivalent to repeatedly calling ``pop_next`` until the lookahead is
+        reached or the heads stop agreeing (blocks already resident in the
+        SVB are popped but not refetched and do not consume lookahead —
+        another queue fetched them; refetching would double-count traffic).
+        The two dominant shapes are specialized: a *selected* queue pops a
+        plain prefix of one FIFO, and a fresh/agreeing *two-FIFO* queue pops
+        the common prefix — both derive the queue state once at the end
+        instead of once per popped block.
+        """
+        if queue.state_code != STATE_ACTIVE:
+            return []
+        budget = queue.lookahead - queue.in_flight
+        if budget <= 0:
+            return []
         requests: List[FetchRequest] = []
-        svb_probe = self.svb.probe
+        svb_entries = self.svb._entries
         queue_id = queue.queue_id
-        popped = False
-        while queue.can_fetch():
-            address = queue.pop_next()
-            if address is None:
-                break
-            popped = True
-            # Skip blocks already waiting in the SVB (another queue fetched
-            # them); refetching would double-count traffic for no benefit.
-            if svb_probe(address) is not None:
-                queue.on_block_lost()
-                continue
-            requests.append(FetchRequest(address=address, queue_id=queue_id))
+        data = queue._fifo_data
+        pos = queue._fifo_pos
+        selected = queue._selected
+        popped = 0
+        if selected is not None:
+            fifo = data[selected]
+            p = pos[selected]
+            size = len(fifo)
+            while budget > 0 and p < size:
+                address = fifo[p]
+                p += 1
+                popped += 1
+                if address in svb_entries:
+                    continue
+                requests.append((address, queue_id))
+                budget -= 1
+            pos[selected] = p
+            if p == size:
+                queue.state_code = STATE_DRAINED
+                queue._stall_heads = None
+        elif len(data) == 2:
+            d0 = data[0]
+            d1 = data[1]
+            p0 = pos[0]
+            p1 = pos[1]
+            n0 = len(d0)
+            n1 = len(d1)
+            while budget > 0:
+                h0 = d0[p0] if p0 < n0 else None
+                h1 = d1[p1] if p1 < n1 else None
+                if h0 == h1:
+                    if h0 is None:
+                        break  # both exhausted
+                    address = h0
+                    p0 += 1
+                    p1 += 1
+                elif h0 is None:
+                    address = h1
+                    p1 += 1
+                elif h1 is None:
+                    address = h0
+                    p0 += 1
+                else:
+                    break  # heads disagree: stall
+                popped += 1
+                if address in svb_entries:
+                    continue
+                requests.append((address, queue_id))
+                budget -= 1
+            pos[0] = p0
+            pos[1] = p1
+            if popped:
+                h0 = d0[p0] if p0 < n0 else None
+                h1 = d1[p1] if p1 < n1 else None
+                if h0 is None and h1 is None:
+                    queue.state_code = STATE_DRAINED
+                elif h0 is None or h1 is None or h0 == h1:
+                    queue.state_code = STATE_ACTIVE
+                else:
+                    queue.state_code = STATE_STALLED
+                queue._stall_heads = None
+        else:
+            # General comparing case (1 or 3+ FIFOs): per-block pops.
+            while budget > 0:
+                address = queue.pop_next()
+                if address is None:
+                    break
+                popped += 1
+                queue.in_flight -= 1  # re-accounted below, like the fast paths
+                queue.total_fetched -= 1
+                if address in svb_entries:
+                    continue
+                requests.append((address, queue_id))
+                budget -= 1
         if popped:
+            queue.total_fetched += popped
+            queue.in_flight += len(requests)
             self._refill_dirty.add(queue_id)
         if requests:
             self._n_fetch_requests += len(requests)
@@ -183,11 +291,9 @@ class StreamEngine:
 
         Returns the SVB entry displaced by the fill (a discard), if any.
         """
-        victim = self.svb.insert(
-            SVBEntry(address=address, queue_id=queue_id, fill_time=fill_time, version=version)
-        )
+        victim = self.svb.insert(address, queue_id, fill_time, version)
         if victim is not None:
-            owner = self._queues.get(victim.queue_id)
+            owner = self._queues.get(victim[1])
             if owner is not None:
                 owner.on_block_lost()
         return victim
@@ -202,16 +308,17 @@ class StreamEngine:
         Returns the consumed entry and any follow-on fetch requests for the
         corresponding stream queue.
         """
-        self._tick()
+        clock = self._activity_clock + 1
+        self._activity_clock = clock
         entry = self.svb.consume(address)
         if entry is None:
             return None, []
         self._n_svb_hits += 1
-        queue = self._queues.get(entry.queue_id)
+        queue = self._queues.get(entry[1])
         if queue is None:
             return entry, []
         queue.on_hit()
-        queue.last_active = self._activity_clock
+        queue.last_active = clock
         return entry, self._fetch_from(queue)
 
     # ------------------------------------------------------------------ misses
@@ -223,25 +330,34 @@ class StreamEngine:
         queues check whether the miss address sits slightly ahead in their
         pending FIFO entries and drop it to stay aligned.
         """
-        self._tick()
+        self._activity_clock += 1
         requests: List[FetchRequest] = []
         scan = self._scan_queues
         zombies: Optional[List[StreamQueue]] = None
         for queue in scan.values():
-            state = queue.state
-            if state is _STALLED:
-                if queue._resolve_stall(address):
+            state = queue.state_code
+            if state == STATE_STALLED:
+                # A stalled queue's heads cannot change while it is stalled,
+                # so the (lazily cached) head tuple is an O(1) reject for the
+                # overwhelmingly common no-match case.
+                heads = queue._stall_heads
+                if heads is None:
+                    heads = tuple(queue.heads())
+                    queue._stall_heads = heads
+                if address in heads and queue._resolve_stall(address):
                     self._n_stalls_resolved += 1
                     queue.last_active = self._activity_clock
                     self._refill_dirty.add(queue.queue_id)
                     requests.extend(self._fetch_from(queue))
-            elif state is _ACTIVE:
+            elif state == STATE_ACTIVE:
                 if queue.skip_address(address):
                     queue.last_active = self._activity_clock
                     self._refill_dirty.add(queue.queue_id)
                     requests.extend(self._fetch_from(queue))
-            elif not self._refills_outstanding.get(queue.queue_id):
-                # Drained with no refill in flight: can never react again.
+            else:
+                # Drained: refills are collected and served synchronously
+                # within the event that made them necessary, so a drained
+                # queue can never be revived.
                 if zombies is None:
                     zombies = [queue]
                 else:
@@ -259,56 +375,10 @@ class StreamEngine:
         """A write (by any node) invalidates the matching SVB entry."""
         entry = self.svb.invalidate(address)
         if entry is not None:
-            queue = self._queues.get(entry.queue_id)
+            queue = self._queues.get(entry[1])
             if queue is not None:
                 queue.on_block_lost()
         return entry
-
-    # ---------------------------------------------------------------- refills
-    def pending_refills(self) -> List[RefillRequest]:
-        """Collect refill requests from live queues running low on addresses.
-
-        Only queues marked dirty since the last scan are visited: any queue
-        whose FIFOs have not changed was already scanned right after the
-        event that last made it eligible, so it cannot produce new requests.
-        Dirty queues are visited in allocation (queue-id) order, matching a
-        full scan's iteration order.
-        """
-        dirty = self._refill_dirty
-        if not dirty:
-            return []
-        requests: List[RefillRequest] = []
-        threshold = self.config.refill_threshold
-        depth = self.config.queue_depth
-        refills_outstanding = self._refills_outstanding
-        queues = self._queues
-        for queue_id in sorted(dirty):
-            queue = queues.get(queue_id)
-            if queue is None or queue.state is _DRAINED:
-                continue
-            new_requests = queue.refill_requests(threshold, depth)
-            if new_requests:
-                refills_outstanding[queue_id] = (
-                    refills_outstanding.get(queue_id, 0) + len(new_requests)
-                )
-                requests.extend(new_requests)
-        dirty.clear()
-        if requests:
-            self._n_refill_requests += len(requests)
-        return requests
-
-    def apply_refill(self, refill: RefillRequest, addresses: List[BlockAddress],
-                     new_next_offset: int) -> List[FetchRequest]:
-        """Deliver refill addresses to the requesting FIFO and resume fetching."""
-        queue = self._queues.get(refill.queue_id)
-        if queue is None:
-            return []
-        outstanding = self._refills_outstanding.get(refill.queue_id, 0)
-        if outstanding > 0:
-            self._refills_outstanding[refill.queue_id] = outstanding - 1
-        queue.extend_stream(refill.fifo_index, addresses, new_next_offset)
-        self._refill_dirty.add(refill.queue_id)
-        return self._fetch_from(queue)
 
     # ---------------------------------------------------------------- cleanup
     def drain(self) -> List[SVBEntry]:

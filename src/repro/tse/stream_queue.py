@@ -8,16 +8,26 @@ matches one of the heads, at which point the other FIFOs are discarded and
 streaming resumes with the selected stream (Section 3.3).
 
 The queue sits on the simulator's innermost loop (every consumption, SVB hit
-and off-chip miss consults it), so the state/fetch predicates are written
-allocation-free: no intermediate lists, a single pass over the FIFOs.
+and off-chip miss consults it), so the layout is flat and allocation-free:
+
+* each FIFO is a **plain address list plus a cursor** (``_fifo_data`` /
+  ``_fifo_pos``) — popping the head is a cursor increment, window searches
+  are O(1) random access (a deque's are O(k)), and refills are plain list
+  extends (consumed prefixes are compacted away once they pass a threshold);
+* stream sources are two parallel int lists (``_src_nodes`` /
+  ``_src_next``), not per-FIFO objects;
+* refill requests are plain tuples
+  ``(queue_id, fifo_index, source_node, next_offset, count)``;
+* the queue state is a cached small int (:data:`STATE_ACTIVE` ...),
+  maintained on every FIFO mutation instead of being recomputed through an
+  enum property on every read (the replay loop consults queue state once per
+  off-chip miss per queue).
 """
 
 from __future__ import annotations
 
 import enum
-from collections import deque
-from dataclasses import dataclass
-from typing import Deque, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.common.types import BlockAddress, NodeId
 
@@ -33,23 +43,19 @@ class QueueState(enum.Enum):
     DRAINED = "drained"
 
 
-@dataclass(slots=True)
-class StreamSource:
-    """Identity of the CMOB a FIFO's addresses came from, for refills."""
+#: Int encoding of :class:`QueueState` kept in :attr:`StreamQueue.state_code`.
+STATE_ACTIVE = 0
+STATE_STALLED = 1
+STATE_DRAINED = 2
 
-    node: NodeId
-    #: Monotonic CMOB offset of the *next* address to request on refill.
-    next_offset: int
+_STATE_ENUM = (QueueState.ACTIVE, QueueState.STALLED, QueueState.DRAINED)
 
+#: A refill request: ask ``source_node`` for ``count`` more addresses
+#: starting at ``next_offset``, destined for ``(queue_id, fifo_index)``.
+RefillRequest = Tuple[int, int, NodeId, int, int]
 
-@dataclass(slots=True)
-class RefillRequest:
-    """Ask ``source.node`` for ``count`` more addresses starting at the offset."""
-
-    queue_id: int
-    fifo_index: int
-    source: StreamSource
-    count: int
+#: Consumed FIFO prefixes longer than this are compacted away on refill.
+_COMPACT_THRESHOLD = 4096
 
 
 class StreamQueue:
@@ -65,22 +71,32 @@ class StreamQueue:
         "queue_id",
         "head",
         "lookahead",
-        "_fifos",
-        "_sources",
+        "_fifo_data",
+        "_fifo_pos",
+        "_src_nodes",
+        "_src_next",
         "_selected",
         "in_flight",
         "total_fetched",
         "total_hits",
         "_refill_pending",
         "last_active",
+        "state_code",
+        "_stall_heads",
     )
 
     def __init__(self, queue_id: int, head: BlockAddress, lookahead: int) -> None:
         self.queue_id = queue_id
         self.head = head
         self.lookahead = lookahead
-        self._fifos: List[Deque[BlockAddress]] = []
-        self._sources: List[Optional[StreamSource]] = []
+        #: Per-FIFO address storage and consumption cursor: the live entries
+        #: of FIFO ``i`` are ``_fifo_data[i][_fifo_pos[i]:]``.
+        self._fifo_data: List[List[BlockAddress]] = []
+        self._fifo_pos: List[int] = []
+        #: Per-FIFO stream source: CMOB owner and the monotonic offset of the
+        #: next address to request on refill (-1 node == no source).
+        self._src_nodes: List[int] = []
+        self._src_next: List[int] = []
         #: Index of the FIFO selected after a stall resolution; None while
         #: all FIFOs are still being compared.
         self._selected: Optional[int] = None
@@ -95,117 +111,206 @@ class StreamQueue:
         #: Last consumption order index at which this queue saw activity
         #: (hit or allocation); used for LRU reclamation by the engine.
         self.last_active = 0
+        #: Cached :data:`STATE_*` code, maintained on every FIFO mutation.
+        self.state_code = STATE_DRAINED
+        #: Lazily computed tuple of the disagreeing FIFO heads while the
+        #: queue is STALLED (heads cannot change during a stall), used by
+        #: the engine's miss scan as an O(1) pre-check before attempting
+        #: stall resolution.  Invalidated whenever ``state_code`` changes.
+        self._stall_heads = None
+
+    def reset(self, queue_id: int, head: BlockAddress, lookahead: int) -> None:
+        """Re-initialize a reclaimed queue in place (allocation pooling)."""
+        self.queue_id = queue_id
+        self.head = head
+        self.lookahead = lookahead
+        self._fifo_data.clear()
+        self._fifo_pos.clear()
+        self._src_nodes.clear()
+        self._src_next.clear()
+        self._refill_pending.clear()
+        self._selected = None
+        self.in_flight = 0
+        self.total_fetched = 0
+        self.total_hits = 0
+        self.state_code = STATE_DRAINED
+        self._stall_heads = None
 
     # -------------------------------------------------------------- population
     def add_stream(
         self,
         addresses: List[BlockAddress],
-        source: Optional[StreamSource] = None,
+        source_node: int = -1,
+        next_offset: int = 0,
     ) -> int:
         """Add one candidate stream (a FIFO); returns its index."""
-        self._fifos.append(deque(addresses))
-        self._sources.append(source)
+        self._fifo_data.append(list(addresses))
+        self._fifo_pos.append(0)
+        self._src_nodes.append(source_node)
+        self._src_next.append(next_offset)
         self._refill_pending.append(False)
-        return len(self._fifos) - 1
+        self._recompute_state()
+        return len(self._fifo_data) - 1
 
     def extend_stream(self, fifo_index: int, addresses: List[BlockAddress],
                       new_next_offset: Optional[int] = None) -> None:
         """Append refill addresses to an existing FIFO."""
-        if not 0 <= fifo_index < len(self._fifos):
+        if not 0 <= fifo_index < len(self._fifo_data):
             raise IndexError(f"no FIFO {fifo_index} in queue {self.queue_id}")
-        self._fifos[fifo_index].extend(addresses)
+        data = self._fifo_data[fifo_index]
+        pos = self._fifo_pos[fifo_index]
+        if pos > _COMPACT_THRESHOLD:
+            # Shed the consumed prefix before growing the list further.
+            del data[:pos]
+            pos = 0
+            self._fifo_pos[fifo_index] = 0
+        was_live = pos < len(data)
+        data.extend(addresses)
         self._refill_pending[fifo_index] = False
-        source = self._sources[fifo_index]
-        if source is not None and new_next_offset is not None:
-            source.next_offset = new_next_offset
+        if new_next_offset is not None and self._src_nodes[fifo_index] >= 0:
+            self._src_next[fifo_index] = new_next_offset
+        # Appending to a live FIFO changes neither its head nor the set of
+        # non-empty FIFOs, so the cached state is still valid.
+        if not was_live and addresses:
+            self._recompute_state()
 
     @property
     def num_streams(self) -> int:
-        return len(self._fifos)
+        return len(self._fifo_data)
 
     # -------------------------------------------------------------- inspection
     def _live_fifos(self) -> List[int]:
         """Indices of FIFOs still being followed (all, or just the selected one)."""
         if self._selected is not None:
             return [self._selected]
-        return list(range(len(self._fifos)))
+        return list(range(len(self._fifo_data)))
 
     def pending(self, fifo_index: Optional[int] = None) -> int:
         """Number of addresses still queued in a FIFO (or the selected/first)."""
-        if not self._fifos:
+        if not self._fifo_data:
             return 0
-        if fifo_index is not None:
-            return len(self._fifos[fifo_index])
-        if self._selected is not None:
-            return len(self._fifos[self._selected])
-        return len(self._fifos[0])
+        if fifo_index is None:
+            fifo_index = self._selected if self._selected is not None else 0
+        return len(self._fifo_data[fifo_index]) - self._fifo_pos[fifo_index]
 
-    @property
-    def state(self) -> QueueState:
+    def _recompute_state(self) -> None:
+        """Refresh :attr:`state_code` after a FIFO mutation (single pass)."""
         selected = self._selected
+        data = self._fifo_data
+        pos = self._fifo_pos
         if selected is not None:
-            return QueueState.ACTIVE if self._fifos[selected] else QueueState.DRAINED
-        # Single pass: count non-empty FIFOs and compare their heads.
+            self.state_code = (
+                STATE_ACTIVE if pos[selected] < len(data[selected]) else STATE_DRAINED
+            )
+            self._stall_heads = None
+            return
+        # Count non-empty FIFOs and compare their heads.
         non_empty = 0
         first_head: BlockAddress = 0
-        for fifo in self._fifos:
-            if fifo:
-                head = fifo[0]
+        for i in range(len(data)):
+            fifo = data[i]
+            p = pos[i]
+            if p < len(fifo):
+                head = fifo[p]
                 if non_empty == 0:
                     first_head = head
                 elif head != first_head:
                     # At least two live FIFOs disagree at the front.
-                    return QueueState.STALLED
+                    self.state_code = STATE_STALLED
+                    self._stall_heads = None
+                    return
                 non_empty += 1
-        if non_empty == 0:
-            return QueueState.DRAINED
-        return QueueState.ACTIVE
+        self.state_code = STATE_DRAINED if non_empty == 0 else STATE_ACTIVE
+        self._stall_heads = None
+
+    @property
+    def state(self) -> QueueState:
+        """Enum view of :attr:`state_code` (object API compatibility)."""
+        return _STATE_ENUM[self.state_code]
 
     def heads(self) -> List[BlockAddress]:
         """Current FIFO heads of all live, non-empty FIFOs."""
-        selected = self._selected
-        if selected is not None:
-            fifo = self._fifos[selected]
-            return [fifo[0]] if fifo else []
-        return [fifo[0] for fifo in self._fifos if fifo]
+        data = self._fifo_data
+        pos = self._fifo_pos
+        if self._selected is not None:
+            i = self._selected
+            return [data[i][pos[i]]] if pos[i] < len(data[i]) else []
+        return [data[i][pos[i]] for i in range(len(data)) if pos[i] < len(data[i])]
 
     # ------------------------------------------------------------------- fetch
     def next_agreed(self) -> Optional[BlockAddress]:
         """Return the agreed next address if the queue is ACTIVE, else None."""
-        selected = self._selected
-        if selected is not None:
-            fifo = self._fifos[selected]
-            return fifo[0] if fifo else None
-        agreed: Optional[BlockAddress] = None
-        seen = False
-        for fifo in self._fifos:
-            if fifo:
-                head = fifo[0]
-                if not seen:
-                    agreed = head
-                    seen = True
-                elif head != agreed:
-                    return None
-        return agreed
+        if self.state_code != STATE_ACTIVE:
+            return None
+        data = self._fifo_data
+        pos = self._fifo_pos
+        if self._selected is not None:
+            i = self._selected
+            return data[i][pos[i]]
+        for i in range(len(data)):
+            if pos[i] < len(data[i]):
+                return data[i][pos[i]]
+        return None
 
     def can_fetch(self) -> bool:
         """May the engine fetch another block for this queue right now?"""
-        return self.in_flight < self.lookahead and self.next_agreed() is not None
+        return self.in_flight < self.lookahead and self.state_code == STATE_ACTIVE
 
     def pop_next(self) -> Optional[BlockAddress]:
-        """Pop the agreed next address from every live FIFO and mark it in flight."""
-        address = self.next_agreed()
-        if address is None:
+        """Pop the agreed next address from every live FIFO and mark it in flight.
+
+        Returns None unless the queue is ACTIVE (heads agree), so callers may
+        drive the fetch loop off the return value alone.
+        """
+        if self.state_code != STATE_ACTIVE:
             return None
+        data = self._fifo_data
+        pos = self._fifo_pos
         selected = self._selected
         if selected is not None:
-            self._fifos[selected].popleft()
+            fifo = data[selected]
+            p = pos[selected]
+            address = fifo[p]
+            p += 1
+            pos[selected] = p
+            if p == len(fifo):
+                self.state_code = STATE_DRAINED
+                self._stall_heads = None
         else:
-            for fifo in self._fifos:
-                # An ACTIVE comparing queue has matching heads on every
-                # non-empty FIFO; exhausted FIFOs are simply skipped.
-                if fifo and fifo[0] == address:
-                    fifo.popleft()
+            # An ACTIVE comparing queue has matching heads on every
+            # non-empty FIFO; exhausted FIFOs are simply skipped.  The new
+            # state is derived in the same pass: advance each matching FIFO
+            # and compare the post-advance heads as they appear.
+            address = None
+            non_empty = 0
+            first_head = 0
+            stalled = False
+            for i in range(len(data)):
+                fifo = data[i]
+                p = pos[i]
+                size = len(fifo)
+                if p < size:
+                    head = fifo[p]
+                    if address is None:
+                        address = head
+                    if head == address:
+                        p += 1
+                        pos[i] = p
+                        if p == size:
+                            continue
+                        head = fifo[p]
+                    if non_empty == 0:
+                        first_head = head
+                    elif head != first_head:
+                        stalled = True
+                    non_empty += 1
+            if address is None:
+                return None
+            if stalled:
+                self.state_code = STATE_STALLED
+            else:
+                self.state_code = STATE_DRAINED if non_empty == 0 else STATE_ACTIVE
+            self._stall_heads = None
         self.in_flight += 1
         self.total_fetched += 1
         return address
@@ -231,17 +336,24 @@ class StreamQueue:
         processor already missed on it, so streaming it would be wasted).
         Returns True when the stall was resolved.
         """
-        if self.state is not QueueState.STALLED:
+        if self.state_code != STATE_STALLED:
             return False
         return self._resolve_stall(miss_address)
 
     def _resolve_stall(self, miss_address: BlockAddress) -> bool:
         """Stall resolution body; caller has already verified STALLED state."""
         # STALLED implies no FIFO is selected yet: scan all of them.
-        for i, fifo in enumerate(self._fifos):
-            if fifo and fifo[0] == miss_address:
+        data = self._fifo_data
+        pos = self._fifo_pos
+        for i in range(len(data)):
+            fifo = data[i]
+            p = pos[i]
+            if p < len(fifo) and fifo[p] == miss_address:
                 self._selected = i
-                fifo.popleft()  # the processor already has this block
+                p += 1
+                pos[i] = p  # the processor already has this block
+                self.state_code = STATE_ACTIVE if p < len(fifo) else STATE_DRAINED
+                self._stall_heads = None
                 return True
         return False
 
@@ -255,20 +367,25 @@ class StreamQueue:
         the SVB's tolerance of small reorderings.  Returns True if found.
         """
         found = False
-        selected = self._selected
+        data = self._fifo_data
+        pos = self._fifo_pos
         window_limit = self.lookahead if self.lookahead > 1 else 1
-        if selected is not None:
-            fifos: Tuple[Deque[BlockAddress], ...] = (self._fifos[selected],)
+        if self._selected is not None:
+            indices: Tuple[int, ...] = (self._selected,)
         else:
-            fifos = tuple(self._fifos)
-        for fifo in fifos:
-            fifo_len = len(fifo)
-            window = fifo_len if fifo_len < window_limit else window_limit
-            for position in range(window):
+            indices = tuple(range(len(data)))
+        for i in indices:
+            fifo = data[i]
+            p = pos[i]
+            live = len(fifo) - p
+            window = live if live < window_limit else window_limit
+            for position in range(p, p + window):
                 if fifo[position] == address:
                     del fifo[position]
                     found = True
                     break
+        if found:
+            self._recompute_state()
         return found
 
     # ------------------------------------------------------------------ refills
@@ -277,22 +394,24 @@ class StreamQueue:
         requests: List[RefillRequest] = []
         selected = self._selected
         if selected is not None:
-            indices = (selected,)
+            indices: Tuple[int, ...] = (selected,)
         else:
-            indices = tuple(range(len(self._fifos)))
+            indices = tuple(range(len(self._fifo_data)))
         pending = self._refill_pending
-        sources = self._sources
-        fifos = self._fifos
+        src_nodes = self._src_nodes
+        data = self._fifo_data
+        pos = self._fifo_pos
+        queue_id = self.queue_id
         for i in indices:
             if pending[i]:
                 continue
-            source = sources[i]
-            if source is None:
+            source_node = src_nodes[i]
+            if source_node < 0:
                 continue
-            if len(fifos[i]) <= threshold:
+            if len(data[i]) - pos[i] <= threshold:
                 pending[i] = True
                 requests.append(
-                    RefillRequest(self.queue_id, i, source, count)
+                    (queue_id, i, source_node, self._src_next[i], count)
                 )
         return requests
 

@@ -1,39 +1,36 @@
 """Streamed Value Buffer (SVB).
 
 A small, fully-associative buffer that holds streamed cache blocks until the
-processor consumes them (Section 3.3).  Each entry carries a valid bit, the
-block address, the id of the stream queue that fetched it, and an LRU
-position.  Entries hold only clean data and are invalidated when any node
-(including the local one) writes the block.
+processor consumes them (Section 3.3).  Each entry carries the block address,
+the id of the stream queue that fetched it, its fill time, and the block
+version at fetch.  Entries hold only clean data and are invalidated when any
+node (including the local one) writes the block.
 
 The SVB is deliberately separate from the cache hierarchy: it avoids
 polluting the caches with mispredicted blocks and provides a small window
 that tolerates slight reordering between the stream and the processor's
 actual access sequence.
+
+The buffer sits on the replay fast path (every delivered block is one
+insert; every non-spin read is one membership probe), so entries are plain
+tuples ``(address, queue_id, fill_time, version)`` — see :data:`SVBEntry` —
+kept in an insertion-ordered dict used as the LRU.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress
 
-
-@dataclass(slots=True)
-class SVBEntry:
-    """One streamed block resident in the SVB."""
-
-    address: BlockAddress
-    queue_id: int
-    #: Simulation time (or trace index) at which the block was streamed in;
-    #: used by the timing model to decide whether the block arrived early
-    #: enough (full coverage) or was still in flight (partial coverage).
-    fill_time: float = 0.0
-    #: Version of the block when fetched (invalidation safety-net for tests).
-    version: int = 0
+#: One streamed block resident in the SVB: ``(address, queue_id, fill_time,
+#: version)``.  ``fill_time`` is the simulation time (or trace index) at
+#: which the block was streamed in; the timing model uses it to decide
+#: whether the block arrived early enough (full coverage) or was still in
+#: flight (partial coverage).  ``version`` is the block version when fetched
+#: (invalidation safety-net for tests).
+SVBEntry = Tuple[BlockAddress, int, float, int]
 
 
 class StreamedValueBuffer:
@@ -64,8 +61,8 @@ class StreamedValueBuffer:
         self.node_id = node_id
         self.block_size = block_size
         self._stats = StatsRegistry(prefix=f"svb.n{node_id}")
-        # OrderedDict as an LRU: most-recently-used at the end.
-        self._entries: "OrderedDict[BlockAddress, SVBEntry]" = OrderedDict()
+        # Insertion-ordered dict as an LRU: most-recently-filled at the end.
+        self._entries: Dict[BlockAddress, SVBEntry] = {}
         # Hot-path activity counters, published into the registry lazily.
         self._n_fills = 0
         self._n_evictions = 0
@@ -97,22 +94,27 @@ class StreamedValueBuffer:
         return self.capacity * self.block_size
 
     # ------------------------------------------------------------------ insert
-    def insert(self, entry: SVBEntry) -> Optional[SVBEntry]:
+    def insert(self, address: BlockAddress, queue_id: int,
+               fill_time: float = 0.0, version: int = 0) -> Optional[SVBEntry]:
         """Insert a streamed block; return the LRU victim evicted, if any.
 
         An evicted entry is an unused streamed block — the caller records it
         as a discard.  Re-inserting an address refreshes its LRU position and
         queue binding without producing a victim.
         """
-        if entry.address in self._entries:
-            self._entries.move_to_end(entry.address)
-            self._entries[entry.address] = entry
+        entries = self._entries
+        if address in entries:
+            # Move to the MRU end by delete + re-insert (plain dicts keep
+            # insertion order).
+            del entries[address]
+            entries[address] = (address, queue_id, fill_time, version)
             return None
         victim: Optional[SVBEntry] = None
-        if len(self._entries) >= self.capacity:
-            _, victim = self._entries.popitem(last=False)
+        if len(entries) >= self.capacity:
+            lru_address = next(iter(entries))
+            victim = entries.pop(lru_address)
             self._n_evictions += 1
-        self._entries[entry.address] = entry
+        entries[address] = (address, queue_id, fill_time, version)
         self._n_fills += 1
         return victim
 
@@ -125,7 +127,7 @@ class StreamedValueBuffer:
         """Hit: remove the entry (it moves to the L1 cache) and return it.
 
         Returns None on a miss.  The stream engine uses the returned entry's
-        ``queue_id`` to retrieve the next block of that stream.
+        queue id to retrieve the next block of that stream.
         """
         entry = self._entries.pop(address, None)
         if entry is None:
@@ -144,7 +146,7 @@ class StreamedValueBuffer:
 
     def invalidate_queue(self, queue_id: int) -> List[SVBEntry]:
         """Drop every entry fetched by a given stream queue (queue reclaimed)."""
-        doomed = [a for a, e in self._entries.items() if e.queue_id == queue_id]
+        doomed = [a for a, e in self._entries.items() if e[1] == queue_id]
         removed = []
         for address in doomed:
             removed.append(self._entries.pop(address))

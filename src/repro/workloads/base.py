@@ -7,7 +7,15 @@ from dataclasses import dataclass, replace
 from typing import Callable, Dict, Iterator, List, Optional, Type
 
 from repro.common.rng import DeterministicRNG
-from repro.common.types import AccessTrace, AccessType, BlockAddress, MemoryAccess, NodeId
+from repro.common.types import (
+    TYPE_ATOMIC,
+    TYPE_READ,
+    TYPE_SPIN_READ,
+    TYPE_WRITE,
+    AccessTrace,
+    BlockAddress,
+    NodeId,
+)
 
 
 @dataclass(frozen=True)
@@ -80,10 +88,11 @@ class AddressSpace:
         return block - region.start
 
 
-def interleave(
-    per_node: List[List[MemoryAccess]], quantum: int
-) -> Iterator[MemoryAccess]:
+def interleave(per_node: List[list], quantum: int) -> Iterator:
     """Round-robin interleave per-node access lists, ``quantum`` at a time.
+
+    Element-type agnostic: works on packed access records (the engine's
+    emission path) and on :class:`MemoryAccess` objects alike.
 
     Approximates the concurrent execution of one phase across the machine:
     all nodes progress together, none races a full phase ahead, and the
@@ -124,46 +133,54 @@ class Workload(abc.ABC):
         """Produce the globally interleaved access trace."""
 
     # -------------------------------------------------------------- utilities
+    #
+    # The emitters produce *packed access records* — plain tuples
+    # ``(node, block, type_code, pc, timestamp, dependent)`` — which the
+    # engine packs straight into :class:`~repro.common.chunk.TraceChunk`
+    # columns; the object view (``stream()`` / ``generate()``) wraps the same
+    # tuples in :class:`MemoryAccess` lazily, so both paths are bit-identical.
     def _access(
         self,
         node: NodeId,
         address: BlockAddress,
-        access_type: AccessType,
+        type_code: int,
         pc: int = 0,
         work: int = 1,
-        dependent: bool = False,
-    ) -> MemoryAccess:
-        """Create one access, advancing the node's logical clock by ``work``
-        instructions (memory access + surrounding compute)."""
-        self._node_time[node] += work
-        return MemoryAccess(
-            node=node,
-            address=address,
-            access_type=access_type,
-            pc=pc,
-            timestamp=self._node_time[node],
-            dependent=dependent,
-        )
+        dependent: int = 0,
+    ):
+        """Create one packed access record, advancing the node's logical
+        clock by ``work`` instructions (memory access + surrounding compute)."""
+        times = self._node_time
+        timestamp = times[node] + work
+        times[node] = timestamp
+        return (node, address, type_code, pc, timestamp, dependent)
 
-    def read(self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1) -> MemoryAccess:
-        return self._access(node, address, AccessType.READ, pc, work)
+    def read(self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1):
+        times = self._node_time
+        timestamp = times[node] + work
+        times[node] = timestamp
+        return (node, address, TYPE_READ, pc, timestamp, 0)
 
-    def dependent_read(
-        self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1
-    ) -> MemoryAccess:
+    def dependent_read(self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1):
         """A read whose address depends on the previous read's data (pointer
         chase); the timing model serialises these, keeping consumption MLP
         near 1 for the commercial workloads."""
-        return self._access(node, address, AccessType.READ, pc, work, dependent=True)
+        times = self._node_time
+        timestamp = times[node] + work
+        times[node] = timestamp
+        return (node, address, TYPE_READ, pc, timestamp, 1)
 
-    def write(self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1) -> MemoryAccess:
-        return self._access(node, address, AccessType.WRITE, pc, work)
+    def write(self, node: NodeId, address: BlockAddress, pc: int = 0, work: int = 1):
+        times = self._node_time
+        timestamp = times[node] + work
+        times[node] = timestamp
+        return (node, address, TYPE_WRITE, pc, timestamp, 0)
 
-    def spin_read(self, node: NodeId, address: BlockAddress, pc: int = 0) -> MemoryAccess:
-        return self._access(node, address, AccessType.SPIN_READ, pc, work=1)
+    def spin_read(self, node: NodeId, address: BlockAddress, pc: int = 0):
+        return self._access(node, address, TYPE_SPIN_READ, pc, work=1)
 
-    def atomic(self, node: NodeId, address: BlockAddress, pc: int = 0) -> MemoryAccess:
-        return self._access(node, address, AccessType.ATOMIC, pc, work=2)
+    def atomic(self, node: NodeId, address: BlockAddress, pc: int = 0):
+        return self._access(node, address, TYPE_ATOMIC, pc, work=2)
 
     def _new_trace(self) -> AccessTrace:
         return AccessTrace(num_nodes=self.params.num_nodes, name=self.name)

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
-from repro.common.types import MemoryAccess
+from repro.common.chunk import PackedAccess
 from repro.workloads.base import register_workload
 from repro.workloads.engine import PhasedWorkload
 from repro.workloads.primitives import PartitionedSweep
@@ -69,7 +69,7 @@ class Em3dWorkload(PhasedWorkload):
         self._h_field = PartitionedSweep("h_field", self.space, self.rng.fork(1), **common)
         self._e_field = PartitionedSweep("e_field", self.space, self.rng.fork(2), **common)
 
-    def iteration(self, index: int, rng) -> Iterator[List[List[MemoryAccess]]]:
+    def iteration(self, index: int, rng) -> Iterator[List[List[PackedAccess]]]:
         # E phase: read remote H dependencies, write own E values.
         yield self._merge(self._h_field.read_phase(self), self._e_field.write_phase(self))
         # H phase: read remote E dependencies, write own H values.
@@ -77,7 +77,7 @@ class Em3dWorkload(PhasedWorkload):
 
     @staticmethod
     def _merge(
-        reads: List[List[MemoryAccess]], writes: List[List[MemoryAccess]]
-    ) -> List[List[MemoryAccess]]:
+        reads: List[List[PackedAccess]], writes: List[List[PackedAccess]]
+    ) -> List[List[PackedAccess]]:
         """One phase's per-node lists: each CPU's reads, then its writes."""
         return [r + w for r, w in zip(reads, writes)]

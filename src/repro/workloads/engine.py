@@ -10,16 +10,17 @@ concrete workload only has to
 * express one unit of work — a request (:meth:`RequestWorkload.request`) or
   one iteration's phases (:meth:`PhasedWorkload.iteration`).
 
-Traces are emitted as a **stream of batches**: one request, or one
-interleaved phase, at a time.  ``stream()`` yields individual accesses and
-stops at the first batch boundary after the access target is crossed (the
-same "finish the transaction you are in" semantics the v1 generators had),
-so traces never need to be fully materialized — the TSE simulator ingests
-the iterator directly via :meth:`repro.tse.simulator.TSESimulator.run`.
-``generate()`` materializes the same stream into an
-:class:`~repro.common.types.AccessTrace` for the timing model and the
-experiment caches; both paths consume identical RNG draws, so they are
-bit-identical.
+Traces are emitted as a **stream of batches** — one request, or one
+interleaved phase, at a time — where a batch is a list of *packed access
+records* (see :mod:`repro.common.chunk`).  The emission loop fills packed
+:class:`~repro.common.chunk.TraceChunk` columns directly
+(:meth:`MixtureWorkload.stream_chunks` / :meth:`generate_chunked`): no
+``MemoryAccess`` objects exist on the columnar path.  The legacy object API
+is preserved as a thin view: ``stream()`` yields ``MemoryAccess`` objects
+wrapped around the same records and ``generate()`` materializes them into an
+:class:`~repro.common.types.AccessTrace`.  Every path consumes identical RNG
+draws and stops at the first batch boundary after the access target is
+crossed, so chunked and object emission are bit-identical.
 """
 
 from __future__ import annotations
@@ -27,7 +28,9 @@ from __future__ import annotations
 import abc
 from typing import Iterator, List, Optional
 
-from repro.common.types import AccessTrace, MemoryAccess
+from repro.common.chunk import ChunkedTrace, TraceChunk, stream_chunk_size
+from repro.common.types import ACCESS_TYPE_FROM_CODE, AccessTrace, MemoryAccess
+
 from repro.workloads.base import Workload, WorkloadParams, interleave
 
 __all__ = [
@@ -42,8 +45,8 @@ class MixtureWorkload(Workload):
     """Base for every Workload Engine v2 workload.
 
     Subclasses allocate primitives in :meth:`build` and produce work in
-    :meth:`batches`; this class provides the streaming / materializing trace
-    API on top.
+    :meth:`batches`; this class provides the chunked / streaming /
+    materializing trace APIs on top.
     """
 
     def __init__(self, params: Optional[WorkloadParams] = None) -> None:
@@ -56,21 +59,67 @@ class MixtureWorkload(Workload):
         """Allocate primitives and any derived state (called once at init)."""
 
     @abc.abstractmethod
-    def batches(self) -> Iterator[List[MemoryAccess]]:
-        """Endless stream of work units (one request / one interleaved phase)."""
+    def batches(self) -> Iterator[list]:
+        """Endless stream of work units (one request / one interleaved phase),
+        each a list of packed access records."""
 
     # ----------------------------------------------------------------- emission
+    def stream_chunks(
+        self,
+        target_accesses: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> Iterator[TraceChunk]:
+        """Emit the trace as packed fixed-size chunks (the columnar backbone).
+
+        Batches are packed straight into column arrays; chunk boundaries are
+        independent of batch boundaries (a chunk is yielded as soon as it
+        reaches ``chunk_size``), and emission stops at the first batch
+        boundary after the access target is crossed — the same "finish the
+        transaction you are in" semantics ``stream()`` has.
+        """
+        target = target_accesses if target_accesses is not None else self.params.target_accesses
+        size = chunk_size if chunk_size is not None else stream_chunk_size()
+        emitted = 0
+        chunk = TraceChunk()
+        for batch in self.batches():
+            chunk.extend_packed(batch)
+            emitted += len(batch)
+            while len(chunk) >= size:
+                yield chunk.slice(0, size)
+                chunk = chunk.slice(size)
+            if emitted >= target:
+                break
+        if len(chunk):
+            yield chunk
+
+    def generate_chunked(
+        self,
+        target_accesses: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> ChunkedTrace:
+        """Materialize the chunk stream into a :class:`ChunkedTrace`."""
+        trace = ChunkedTrace(num_nodes=self.params.num_nodes, name=self.name)
+        for chunk in self.stream_chunks(target_accesses, chunk_size):
+            trace.append_chunk(chunk)
+        return trace
+
+    # -------------------------------------------------------------- object view
     def stream(self, target_accesses: Optional[int] = None) -> Iterator[MemoryAccess]:
-        """Yield accesses until the target is crossed at a batch boundary.
+        """Yield accesses as ``MemoryAccess`` objects (thin view over emission).
 
         The generator holds at most one batch in memory, so arbitrarily long
         traces can be replayed through the TSE simulator without
         materializing an :class:`AccessTrace`.
         """
         target = target_accesses if target_accesses is not None else self.params.target_accesses
+        decode = ACCESS_TYPE_FROM_CODE
         emitted = 0
         for batch in self.batches():
-            yield from batch
+            for node, block, type_code, pc, timestamp, dep in batch:
+                yield MemoryAccess(
+                    node=node, address=block, access_type=decode[type_code],
+                    pc=pc, timestamp=timestamp, dependent=bool(dep),
+                )
             emitted += len(batch)
             if emitted >= target:
                 return
@@ -99,10 +148,10 @@ class RequestWorkload(MixtureWorkload):
     RNG_SALT = 21
 
     @abc.abstractmethod
-    def request(self, node: int, rng) -> List[MemoryAccess]:
+    def request(self, node: int, rng) -> list:
         """Emit one complete request / transaction executed by ``node``."""
 
-    def batches(self) -> Iterator[List[MemoryAccess]]:
+    def batches(self) -> Iterator[list]:
         rng = self.rng.fork(self.RNG_SALT)
         num_nodes = self.params.num_nodes
         node = 0
@@ -125,10 +174,10 @@ class PhasedWorkload(MixtureWorkload):
     RNG_SALT = 23
 
     @abc.abstractmethod
-    def iteration(self, index: int, rng) -> Iterator[List[List[MemoryAccess]]]:
+    def iteration(self, index: int, rng) -> Iterator[List[list]]:
         """Yield this iteration's phases (per-node access lists, in order)."""
 
-    def batches(self) -> Iterator[List[MemoryAccess]]:
+    def batches(self) -> Iterator[list]:
         rng = self.rng.fork(self.RNG_SALT)
         quantum = self.params.quantum
         index = 0

@@ -28,7 +28,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.common.types import MemoryAccess
+from repro.common.chunk import PackedAccess
 from repro.workloads.base import register_workload
 from repro.workloads.engine import RequestWorkload
 from repro.workloads.primitives import (
@@ -152,9 +152,9 @@ class JBBWorkload(RequestWorkload):
             pc_base=39,
         )
 
-    def request(self, node: int, rng) -> List[MemoryAccess]:
+    def request(self, node: int, rng) -> List[PackedAccess]:
         profile = self.profile
-        out: List[MemoryAccess] = []
+        out: List[PackedAccess] = []
         warehouse = rng.zipf(profile.warehouses, alpha=0.4)
         self._classes.lookup(self, node, rng, out, levels=profile.class_reads)
         self._locks.acquire(self, node, rng, out, index=warehouse)

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
-from repro.common.types import MemoryAccess
+from repro.common.chunk import PackedAccess
 from repro.workloads.base import register_workload
 from repro.workloads.engine import PhasedWorkload
 from repro.workloads.primitives import PartitionedSweep
@@ -65,7 +65,7 @@ class MoldynWorkload(PhasedWorkload):
         )
         self._drift_rng = self.rng.fork(2)
 
-    def iteration(self, index: int, rng) -> Iterator[List[List[MemoryAccess]]]:
+    def iteration(self, index: int, rng) -> Iterator[List[List[PackedAccess]]]:
         if index > 0 and index % self.REBUILD_INTERVAL == 0:
             self._positions.drift(self._drift_rng, self.REBUILD_CHURN)
         # Force sweep: read remote neighbour positions (+ local positions).

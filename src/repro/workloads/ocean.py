@@ -27,7 +27,7 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
-from repro.common.types import MemoryAccess
+from repro.common.chunk import PackedAccess
 from repro.workloads.base import register_workload
 from repro.workloads.engine import PhasedWorkload
 from repro.workloads.primitives import PartitionedSweep
@@ -88,7 +88,7 @@ class OceanWorkload(PhasedWorkload):
             for g in range(self.NUM_GRIDS)
         ]
 
-    def iteration(self, index: int, rng) -> Iterator[List[List[MemoryAccess]]]:
+    def iteration(self, index: int, rng) -> Iterator[List[List[PackedAccess]]]:
         # One relaxation step per grid, alternating: boundary exchange +
         # interior sweep (reads), then rewrite the own partition for the
         # next step (writes).

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.common.types import MemoryAccess
+from repro.common.chunk import PackedAccess
 from repro.workloads.base import register_workload
 from repro.workloads.engine import RequestWorkload
 from repro.workloads.primitives import (
@@ -196,9 +196,9 @@ class OLTPWorkload(RequestWorkload):
         )
         self._num_districts = num_districts
 
-    def request(self, node: int, rng) -> List[MemoryAccess]:
+    def request(self, node: int, rng) -> List[PackedAccess]:
         profile = self.profile
-        out: List[MemoryAccess] = []
+        out: List[PackedAccess] = []
         short = rng.bernoulli(profile.short_fraction)
         pool = self._rows_short if short else self._rows_long
         district = pool.pick(rng)

@@ -58,7 +58,7 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.common.rng import DeterministicRNG
-from repro.common.types import MemoryAccess
+from repro.common.chunk import PackedAccess
 from repro.workloads.base import AddressSpace
 
 
@@ -122,7 +122,7 @@ class TemplatePool:
         emitter,
         node: int,
         rng: DeterministicRNG,
-        out: List[MemoryAccess],
+        out: List[PackedAccess],
         index: Optional[int] = None,
     ) -> None:
         """Walk one template: read (and mostly write back) each block in order."""
@@ -191,7 +191,7 @@ class PointerChase:
         emitter,
         node: int,
         rng: DeterministicRNG,
-        out: List[MemoryAccess],
+        out: List[PackedAccess],
         hops: Optional[int] = None,
     ) -> None:
         """Enter the ring at a root and chase ``hops`` successors."""
@@ -249,7 +249,7 @@ class StridedSweep:
         emitter,
         node: int,
         rng: DeterministicRNG,
-        out: List[MemoryAccess],
+        out: List[PackedAccess],
     ) -> None:
         """Scan one aligned run of ``scan_blocks`` blocks."""
         runs = len(self.region) // self.scan_blocks
@@ -307,7 +307,7 @@ class ZipfChurnPool:
         emitter,
         node: int,
         rng: DeterministicRNG,
-        out: List[MemoryAccess],
+        out: List[PackedAccess],
     ) -> None:
         """Emit one round of uncorrelated reads plus pool-refreshing writes."""
         read = emitter.dependent_read if self.dependent else emitter.read
@@ -432,14 +432,14 @@ class PartitionedSweep:
             for i, value in zip(picks, rotated):
                 sequence[i] = value
 
-    def read_phase(self, emitter) -> List[List[MemoryAccess]]:
+    def read_phase(self, emitter) -> List[List[PackedAccess]]:
         """Per-node read lists: each consumer re-reads its remote sequence.
 
         Deliberately draw-free: the repeatable order is the whole point of
         the primitive, so phases consume no randomness (only :meth:`drift`
         perturbs the sequences).
         """
-        per_node: List[List[MemoryAccess]] = [[] for _ in range(self.num_nodes)]
+        per_node: List[List[PackedAccess]] = [[] for _ in range(self.num_nodes)]
         pc = self.pc_base
         local_every = self.local_reads_per_remote
         for node in range(self.num_nodes):
@@ -456,12 +456,12 @@ class PartitionedSweep:
                     )
         return per_node
 
-    def write_phase(self, emitter) -> List[List[MemoryAccess]]:
+    def write_phase(self, emitter) -> List[List[PackedAccess]]:
         """Per-node write lists: each owner rewrites its shared sub-partition
         (turning the next iteration's remote reads back into consumptions)
         plus every ``interior_rewrite_stride``-th interior block.  Draw-free,
         like :meth:`read_phase`."""
-        per_node: List[List[MemoryAccess]] = [[] for _ in range(self.num_nodes)]
+        per_node: List[List[PackedAccess]] = [[] for _ in range(self.num_nodes)]
         pc = self.pc_base + 2
         stride = max(1, self.interior_rewrite_stride)
         shared_len = self._shared_len
@@ -500,7 +500,7 @@ class ReadOnlyRegion:
         emitter,
         node: int,
         rng: DeterministicRNG,
-        out: List[MemoryAccess],
+        out: List[PackedAccess],
         reads: int,
     ) -> None:
         """Read ``reads`` consecutive blocks from a zipf-skewed start point."""
@@ -515,7 +515,7 @@ class ReadOnlyRegion:
         emitter,
         node: int,
         rng: DeterministicRNG,
-        out: List[MemoryAccess],
+        out: List[PackedAccess],
         levels: int = 3,
     ) -> None:
         """A B-tree-style descent: one random block per level."""
@@ -552,7 +552,7 @@ class PrivateScratch:
         emitter,
         node: int,
         rng: DeterministicRNG,
-        out: List[MemoryAccess],
+        out: List[PackedAccess],
     ) -> None:
         region = self.regions[node]
         pc = self.pc_base
@@ -587,7 +587,7 @@ class LockSite:
         emitter,
         node: int,
         rng: DeterministicRNG,
-        out: List[MemoryAccess],
+        out: List[PackedAccess],
         index: int = 0,
     ) -> None:
         lock = self.locks[index % len(self.locks)]
@@ -596,7 +596,7 @@ class LockSite:
                 out.append(emitter.spin_read(node, lock, pc=self.pc_base))
         out.append(emitter.atomic(node, lock, pc=self.pc_base + 1))
 
-    def release(self, emitter, node: int, out: List[MemoryAccess], index: int = 0) -> None:
+    def release(self, emitter, node: int, out: List[PackedAccess], index: int = 0) -> None:
         out.append(emitter.atomic(node, self.locks[index % len(self.locks)], pc=self.pc_base + 2))
 
 

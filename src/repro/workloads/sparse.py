@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
-from repro.common.types import MemoryAccess
+from repro.common.chunk import PackedAccess
 from repro.workloads.base import register_workload
 from repro.workloads.engine import PhasedWorkload
 from repro.workloads.primitives import PartitionedSweep, ZipfChurnPool
@@ -74,7 +74,7 @@ class SparseSolverWorkload(PhasedWorkload):
             pc_base=44,
         )
 
-    def iteration(self, index: int, rng) -> Iterator[List[List[MemoryAccess]]]:
+    def iteration(self, index: int, rng) -> Iterator[List[List[PackedAccess]]]:
         # Gather + SpMV: every CPU reads its halo in matrix order, streaming
         # local values alongside.
         yield self._vector.read_phase(self)

@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
-from repro.common.types import MemoryAccess
+from repro.common.chunk import PackedAccess
 from repro.workloads.base import register_workload
 from repro.workloads.engine import RequestWorkload
 from repro.workloads.primitives import (
@@ -170,9 +170,9 @@ class WebServerWorkload(RequestWorkload):
             pc_base=26,
         )
 
-    def request(self, node: int, rng) -> List[MemoryAccess]:
+    def request(self, node: int, rng) -> List[PackedAccess]:
         profile = self.profile
-        out: List[MemoryAccess] = []
+        out: List[PackedAccess] = []
         self._accept.acquire(self, node, rng, out)
         self._connections.walk(self, node, rng, out)
         self._metadata.churn(self, node, rng, out)

@@ -31,8 +31,8 @@ class TestDirectory:
         directory.record_cmob_pointer(10, node=2, offset=12)
         pointers = directory.cmob_pointers(10)
         assert len(pointers) == 2
-        assert (pointers[0].node, pointers[0].offset) == (2, 12)
-        assert (pointers[1].node, pointers[1].offset) == (1, 9)
+        assert pointers[0] == (2, 12)  # (node, offset), newest first
+        assert pointers[1] == (1, 9)
 
     def test_same_node_pointer_refreshes_in_place(self):
         directory = Directory(num_nodes=4, cmob_pointers_per_block=2)
@@ -40,7 +40,7 @@ class TestDirectory:
         directory.record_cmob_pointer(10, node=1, offset=7)
         directory.record_cmob_pointer(10, node=0, offset=20)
         pointers = directory.cmob_pointers(10)
-        assert [(p.node, p.offset) for p in pointers] == [(0, 20), (1, 7)]
+        assert pointers == [(0, 20), (1, 7)]
 
     def test_pointer_storage_bits_formula(self):
         directory = Directory(num_nodes=16, cmob_pointers_per_block=2)

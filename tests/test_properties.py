@@ -8,7 +8,7 @@ from repro.interconnect.torus import TorusTopology
 from repro.memory import Cache, LineState
 from repro.common.config import CacheConfig
 from repro.tse.cmob import CMOB
-from repro.tse.svb import StreamedValueBuffer, SVBEntry
+from repro.tse.svb import StreamedValueBuffer
 
 addresses = st.integers(min_value=0, max_value=1 << 20)
 
@@ -73,7 +73,7 @@ class TestSVBProperties:
     def test_size_never_exceeds_capacity(self, blocks, capacity):
         svb = StreamedValueBuffer(capacity_entries=capacity)
         for block in blocks:
-            svb.insert(SVBEntry(address=block, queue_id=0))
+            svb.insert(block, queue_id=0)
             assert len(svb) <= capacity
 
     @given(st.lists(addresses, min_size=1, max_size=100))
@@ -81,7 +81,7 @@ class TestSVBProperties:
     def test_consume_removes_exactly_once(self, blocks):
         svb = StreamedValueBuffer(capacity_entries=1 << 12)
         for block in blocks:
-            svb.insert(SVBEntry(address=block, queue_id=0))
+            svb.insert(block, queue_id=0)
         for block in set(blocks):
             assert svb.consume(block) is not None
             assert svb.consume(block) is None

@@ -5,8 +5,8 @@ import pytest
 from repro.common.config import TSEConfig
 from repro.tse.cmob import CMOB
 from repro.tse.stream_engine import StreamEngine
-from repro.tse.stream_queue import QueueState, StreamQueue, StreamSource
-from repro.tse.svb import StreamedValueBuffer, SVBEntry
+from repro.tse.stream_queue import QueueState, StreamQueue
+from repro.tse.svb import StreamedValueBuffer
 
 
 class TestCMOB:
@@ -54,46 +54,46 @@ class TestCMOB:
 class TestSVB:
     def test_insert_probe_consume(self):
         svb = StreamedValueBuffer(capacity_entries=4)
-        svb.insert(SVBEntry(address=10, queue_id=1))
+        svb.insert(10, queue_id=1)
         assert svb.probe(10) is not None
         entry = svb.consume(10)
-        assert entry.queue_id == 1
+        assert entry[1] == 1  # queue id
         assert svb.probe(10) is None
 
     def test_lru_eviction_returns_victim(self):
         svb = StreamedValueBuffer(capacity_entries=2)
-        svb.insert(SVBEntry(address=1, queue_id=0))
-        svb.insert(SVBEntry(address=2, queue_id=0))
-        victim = svb.insert(SVBEntry(address=3, queue_id=0))
-        assert victim is not None and victim.address == 1
+        svb.insert(1, queue_id=0)
+        svb.insert(2, queue_id=0)
+        victim = svb.insert(3, queue_id=0)
+        assert victim is not None and victim[0] == 1  # victim address
         assert len(svb) == 2
 
     def test_reinsert_refreshes_without_victim(self):
         svb = StreamedValueBuffer(capacity_entries=2)
-        svb.insert(SVBEntry(address=1, queue_id=0))
-        svb.insert(SVBEntry(address=2, queue_id=0))
-        assert svb.insert(SVBEntry(address=1, queue_id=5)) is None
-        victim = svb.insert(SVBEntry(address=3, queue_id=0))
-        assert victim.address == 2  # 1 was refreshed, so 2 is now LRU
+        svb.insert(1, queue_id=0)
+        svb.insert(2, queue_id=0)
+        assert svb.insert(1, queue_id=5) is None
+        victim = svb.insert(3, queue_id=0)
+        assert victim[0] == 2  # 1 was refreshed, so 2 is now LRU
 
     def test_invalidate_on_write(self):
         svb = StreamedValueBuffer(capacity_entries=4)
-        svb.insert(SVBEntry(address=7, queue_id=0))
+        svb.insert(7, queue_id=0)
         assert svb.invalidate(7) is not None
         assert svb.invalidate(7) is None
 
     def test_invalidate_queue_flushes_only_that_queue(self):
         svb = StreamedValueBuffer(capacity_entries=8)
-        svb.insert(SVBEntry(address=1, queue_id=0))
-        svb.insert(SVBEntry(address=2, queue_id=1))
+        svb.insert(1, queue_id=0)
+        svb.insert(2, queue_id=1)
         removed = svb.invalidate_queue(0)
-        assert [e.address for e in removed] == [1]
+        assert [e[0] for e in removed] == [1]
         assert 2 in svb
 
     def test_drain_returns_all_unconsumed(self):
         svb = StreamedValueBuffer(capacity_entries=8)
         for address in range(5):
-            svb.insert(SVBEntry(address=address, queue_id=0))
+            svb.insert(address, queue_id=0)
         assert len(svb.drain()) == 5
         assert len(svb) == 0
 
@@ -102,7 +102,7 @@ class TestStreamQueue:
     def _queue_with_streams(self, *streams, lookahead=4):
         queue = StreamQueue(queue_id=0, head=99, lookahead=lookahead)
         for i, stream in enumerate(streams):
-            queue.add_stream(list(stream), StreamSource(node=i, next_offset=len(stream)))
+            queue.add_stream(list(stream), source_node=i, next_offset=len(stream))
         return queue
 
     def test_single_stream_is_active(self):
@@ -159,7 +159,8 @@ class TestStreamQueue:
         queue = self._queue_with_streams([1, 2], lookahead=4)
         requests = queue.refill_requests(threshold=4, count=8)
         assert len(requests) == 1
-        assert requests[0].count == 8
+        # (queue_id, fifo_index, source_node, next_offset, count)
+        assert requests[0][4] == 8
         # A second call while the refill is pending asks for nothing.
         assert queue.refill_requests(threshold=4, count=8) == []
 
@@ -179,16 +180,15 @@ class TestStreamEngine:
 
     def test_accept_streams_fetches_up_to_lookahead(self):
         engine = self._engine()
-        source = StreamSource(node=1, next_offset=10)
-        queue_id, fetches = engine.accept_streams(99, [(source, [1, 2, 3, 4, 5, 6])])
+        queue_id, fetches = engine.accept_streams(99, [(1, 10, [1, 2, 3, 4, 5, 6])])
         assert queue_id >= 0
-        assert [f.address for f in fetches] == [1, 2, 3, 4]
+        assert [address for address, _ in fetches] == [1, 2, 3, 4]
 
     def test_disagreeing_streams_fetch_nothing(self):
         engine = self._engine()
         streams = [
-            (StreamSource(node=1, next_offset=0), [1, 2, 3]),
-            (StreamSource(node=2, next_offset=0), [7, 8, 9]),
+            (1, 0, [1, 2, 3]),
+            (2, 0, [7, 8, 9]),
         ]
         _, fetches = engine.accept_streams(99, streams)
         assert fetches == []
@@ -196,45 +196,41 @@ class TestStreamEngine:
 
     def test_svb_hit_extends_stream(self):
         engine = self._engine()
-        source = StreamSource(node=1, next_offset=0)
-        _, fetches = engine.accept_streams(99, [(source, [1, 2, 3, 4, 5, 6])])
-        for fetch in fetches:
-            engine.install_block(fetch.address, fetch.queue_id)
+        _, fetches = engine.accept_streams(99, [(1, 0, [1, 2, 3, 4, 5, 6])])
+        for address, queue_id in fetches:
+            engine.install_block(address, queue_id)
         _, more = engine.on_svb_hit(1)
-        assert [f.address for f in more] == [5]
+        assert [address for address, _ in more] == [5]
 
     def test_offchip_miss_resolves_stall(self):
         engine = self._engine()
         streams = [
-            (StreamSource(node=1, next_offset=0), [1, 2, 3]),
-            (StreamSource(node=2, next_offset=0), [7, 8, 9]),
+            (1, 0, [1, 2, 3]),
+            (2, 0, [7, 8, 9]),
         ]
         engine.accept_streams(99, streams)
         fetches = engine.on_offchip_miss(7)
-        assert [f.address for f in fetches] == [8, 9]
+        assert [address for address, _ in fetches] == [8, 9]
 
     def test_queue_reclaim_records_retired_hits(self):
         engine = self._engine()
-        source = StreamSource(node=1, next_offset=0)
         for head in range(3):  # 3 allocations with only 2 queues
-            engine.accept_streams(head, [(source, [head * 10 + 1, head * 10 + 2])])
+            engine.accept_streams(head, [(1, 0, [head * 10 + 1, head * 10 + 2])])
         assert len(engine.retired_queue_hits) == 1
 
     def test_install_block_evicts_and_notifies_owner(self):
         engine = self._engine()
-        source = StreamSource(node=1, next_offset=0)
         # Three queues, four fetches each: twelve fills overflow the 8-entry SVB.
         victims = []
         for base in (1, 100, 200):
-            _, fetches = engine.accept_streams(base, [(source, list(range(base + 1, base + 20)))])
-            victims.extend(engine.install_block(f.address, f.queue_id) for f in fetches)
+            _, fetches = engine.accept_streams(base, [(1, 0, list(range(base + 1, base + 20)))])
+            victims.extend(engine.install_block(a, q) for a, q in fetches)
         assert any(v is not None for v in victims)
 
     def test_invalidate_removes_block_and_frees_slot(self):
         engine = self._engine()
-        source = StreamSource(node=1, next_offset=0)
-        _, fetches = engine.accept_streams(99, [(source, [1, 2, 3, 4, 5])])
-        for fetch in fetches:
-            engine.install_block(fetch.address, fetch.queue_id)
+        _, fetches = engine.accept_streams(99, [(1, 0, [1, 2, 3, 4, 5])])
+        for address, queue_id in fetches:
+            engine.install_block(address, queue_id)
         assert engine.on_invalidate(1) is not None
         assert engine.lookup(1) is None

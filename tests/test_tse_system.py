@@ -45,7 +45,7 @@ class TestTemporalStreamingSystem:
         tse.on_consumption(0, 50)
         assert tse.nodes[0].cmob.appended == 1
         pointers = directory.cmob_pointers(50)
-        assert len(pointers) == 1 and pointers[0].node == 0
+        assert len(pointers) == 1 and pointers[0][0] == 0  # (node, offset)
 
     def test_stream_located_from_recorded_order(self):
         tse, _ = self._system()
@@ -54,30 +54,30 @@ class TestTemporalStreamingSystem:
             tse.on_consumption(0, address)
         # Node 1 misses on the head of that sequence: the stream {11..} is
         # located on node 0's CMOB and fetched.
-        delivery = tse.on_consumption(1, 10)
-        assert delivery.queue_id >= 0
-        assert [f.address for f in delivery.fetches] == [11, 12, 13, 14]
+        queue_id, fetches = tse.on_consumption(1, 10)
+        assert queue_id >= 0
+        assert [address for address, _ in fetches] == [11, 12, 13, 14]
 
     def test_svb_hit_records_in_cmob_and_directory(self):
         tse, directory = self._system()
         for address in (10, 11, 12):
             tse.on_consumption(0, address)
-        delivery = tse.on_consumption(1, 10)
-        for fetch in delivery.fetches:
-            tse.deliver_block(1, fetch)
+        _, fetches = tse.on_consumption(1, 10)
+        for address, fetch_queue in fetches:
+            tse.deliver_block(1, address, fetch_queue)
         appended_before = tse.nodes[1].cmob.appended
         entry, _ = tse.on_svb_hit(1, 11)
         assert entry is not None
         assert tse.nodes[1].cmob.appended == appended_before + 1
-        assert any(p.node == 1 for p in directory.cmob_pointers(11))
+        assert any(node == 1 for node, _ in directory.cmob_pointers(11))
 
     def test_write_invalidates_streamed_blocks_everywhere(self):
         tse, _ = self._system()
         for address in (10, 11, 12):
             tse.on_consumption(0, address)
-        delivery = tse.on_consumption(1, 10)
-        for fetch in delivery.fetches:
-            tse.deliver_block(1, fetch)
+        _, fetches = tse.on_consumption(1, 10)
+        for address, fetch_queue in fetches:
+            tse.deliver_block(1, address, fetch_queue)
         invalidated = tse.on_write(0, 11)
         assert invalidated == 1
         assert not tse.svb_probe(1, 11)
