@@ -25,18 +25,29 @@ from typing import Dict
 
 
 def throughputs(artifact: dict) -> Dict[str, float]:
-    """Extract {workload: accesses_per_s} from either artifact schema."""
+    """Extract {series: rate} from either artifact schema.
+
+    Functional-simulator series are keyed by workload name; the service
+    scheduler's campaign throughput (PR 4, ``service_throughput``) is keyed
+    ``service`` in jobs/s.  Series absent on either side are skipped, so
+    older artifacts compare cleanly.
+    """
     functional = artifact.get("functional_sim") or {}
     per_class = functional.get("per_class")
     if per_class:
-        return {
+        series = {
             workload: float(entry["accesses_per_s"])
             for workload, entry in per_class.items()
             if entry.get("accesses_per_s")
         }
-    value = functional.get("accesses_per_s")
-    workload = functional.get("workload", "db2")
-    return {workload: float(value)} if value else {}
+    else:
+        value = functional.get("accesses_per_s")
+        workload = functional.get("workload", "db2")
+        series = {workload: float(value)} if value else {}
+    service = artifact.get("service_throughput") or {}
+    if service.get("jobs_per_s"):
+        series["service"] = float(service["jobs_per_s"])
+    return series
 
 
 def main() -> int:

@@ -33,6 +33,13 @@ seconds of wall clock):
         "workload": "db2", "accesses": <n>,
         "wallclock_s": <s>, "accesses_per_s": <n / s>
       },
+      "service_throughput": {       # campaign jobs/s through the service
+        "jobs": <n>, "accesses_per_job": <trace size>,
+        "wallclock_s": <first submission (all jobs computed + stored)>,
+        "jobs_per_s": <jobs / wallclock_s>,
+        "resubmit_wallclock_s": <second submission (all jobs from store)>,
+        "resubmit_jobs_per_s": <jobs / resubmit_wallclock_s>
+      },
       "pr1_reference": {... seed vs. PR 1 wall-clock numbers ...}
     }
 """
@@ -69,6 +76,10 @@ DEFAULT_BENCH_ACCESSES = 80_000
 _durations = {}
 _expected_nodeids = set()
 _skipped_nodeids = set()
+
+#: Populated by benchmarks/test_bench_service.py: campaign jobs/s through
+#: the service scheduler + persistent store (see the schema docstring).
+_service_metrics = {}
 
 
 @pytest.fixture(scope="session")
@@ -111,7 +122,11 @@ def _functional_throughput():
     db2-only series PR 1 started.
     """
     from repro.common.chunk import stream_chunk_size
-    from repro.common.config import PAPER_LOOKAHEAD, TSEConfig
+    from repro.common.config import (
+        DEFAULT_WARMUP_FRACTION,
+        PAPER_LOOKAHEAD,
+        TSEConfig,
+    )
     from repro.experiments.runner import trace_for
     from repro.tse.simulator import run_tse_on_trace
 
@@ -122,7 +137,9 @@ def _functional_throughput():
         trace = trace_for(workload, accesses, 42)
         start = time.perf_counter()
         run_tse_on_trace(
-            trace, TSEConfig.paper_default(lookahead=lookahead), warmup_fraction=0.3
+            trace,
+            TSEConfig.paper_default(lookahead=lookahead),
+            warmup_fraction=DEFAULT_WARMUP_FRACTION,
         )
         elapsed = time.perf_counter() - start
         per_class[workload] = {
@@ -152,7 +169,15 @@ def pytest_sessionfinish(session, exitstatus):
     ran_everything = _expected_nodeids and not (
         _expected_nodeids - _skipped_nodeids - set(_durations)
     )
-    if not ran_everything:
+    # A file-subset invocation collects (and therefore "completes") only its
+    # own items; require every benchmark file to have contributed so partial
+    # runs never overwrite the committed trajectory.
+    ran_files = {Path(nodeid.split("::")[0]).name for nodeid in _durations}
+    expected_files = {
+        path.name
+        for path in Path(__file__).resolve().parent.glob("test_bench_*.py")
+    }
+    if not ran_everything or not expected_files <= ran_files:
         return
     artifact = {
         "_schema": (
@@ -165,6 +190,7 @@ def pytest_sessionfinish(session, exitstatus):
         "total_wallclock_s": round(sum(_durations.values()), 3),
         "benchmarks": dict(sorted(_durations.items())),
         "functional_sim": _functional_throughput(),
+        "service_throughput": dict(_service_metrics) or None,
         "pr1_reference": PR1_REFERENCE,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_core.json"

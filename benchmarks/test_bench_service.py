@@ -1,0 +1,56 @@
+"""Service-path benchmark: campaign jobs/s through the scheduler + store.
+
+Submits a real (scaled-down) fig09 campaign through the full service stack
+— spec compilation, store dedupe, async scheduling, persistent writes —
+and asserts the merged rows match the direct ``run_parallel`` path.  The
+measured throughput is recorded as ``service_throughput`` in
+``BENCH_core.json`` (via ``conftest._service_metrics``) and regression-
+checked by ``benchmarks/check_bench_regression.py``.
+"""
+
+import time
+
+from conftest import _service_metrics, run_once
+
+
+def _campaign_round_trip(tmp_path, workloads, accesses):
+    from repro.experiments import fig09_svb
+    from repro.service import Service
+    from repro.service.presets import campaign
+
+    spec = campaign("fig09", workloads=workloads, target_accesses=accesses)
+    with Service(store_path=tmp_path / "bench-store.sqlite", max_workers=1) as service:
+        start = time.perf_counter()
+        run = service.submit(spec, wait=True)
+        compute_s = time.perf_counter() - start
+        assert run.status == "done" and run.computed == run.total
+
+        start = time.perf_counter()
+        rerun = service.submit(spec, wait=True)
+        resubmit_s = time.perf_counter() - start
+        assert rerun.cached == rerun.total and rerun.computed == 0
+
+        rows = service.results(run)
+    direct = fig09_svb.run(workloads=workloads, target_accesses=accesses)
+    import json
+
+    assert rows == json.loads(json.dumps(direct))
+    return run.total, compute_s, resubmit_s
+
+
+def test_service_campaign_throughput(benchmark, tmp_path, bench_workloads,
+                                     bench_accesses):
+    accesses = min(bench_accesses, 40_000)
+    jobs, compute_s, resubmit_s = run_once(
+        benchmark, _campaign_round_trip, tmp_path, bench_workloads, accesses
+    )
+    _service_metrics.update({
+        "jobs": jobs,
+        "accesses_per_job": accesses,
+        "wallclock_s": round(compute_s, 3),
+        "jobs_per_s": round(jobs / compute_s, 3) if compute_s > 0 else 0,
+        "resubmit_wallclock_s": round(resubmit_s, 3),
+        "resubmit_jobs_per_s": (
+            round(jobs / resubmit_s, 1) if resubmit_s > 0 else 0
+        ),
+    })

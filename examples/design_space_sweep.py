@@ -16,7 +16,7 @@ Run with:  python examples/design_space_sweep.py [workload]
 import sys
 from typing import Dict, Tuple
 
-from repro.common.config import TSEConfig
+from repro.common.config import DEFAULT_WARMUP_FRACTION, TSEConfig
 from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import run_parallel, trace_for
 
@@ -35,7 +35,7 @@ def _point(
     section, name, config = named_config
     stats = cached_tse_run(
         workload, config, target_accesses=target_accesses, seed=seed,
-        warmup_fraction=0.3,
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
     )
     return {
         "section": section,

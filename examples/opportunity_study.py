@@ -18,7 +18,7 @@ from typing import Dict
 from repro.analysis.correlation import temporal_correlation
 from repro.analysis.streams import fraction_of_hits_from_short_streams
 from repro.coherence.protocol import CoherenceProtocol, extract_consumptions
-from repro.common.config import PAPER_LOOKAHEAD, TSEConfig
+from repro.common.config import DEFAULT_WARMUP_FRACTION, PAPER_LOOKAHEAD, TSEConfig
 from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import run_parallel, trace_for
 
@@ -32,13 +32,16 @@ def study(workload: str, _config: object = None) -> Dict[str, object]:
     protocol = CoherenceProtocol(trace.num_nodes)
     consumptions = extract_consumptions(protocol.process_trace(trace), trace.num_nodes)
     correlation = temporal_correlation(
-        consumptions, measure_from_global_index=int(len(trace) * 0.3), workload=workload
+        consumptions,
+        measure_from_global_index=int(len(trace) * DEFAULT_WARMUP_FRACTION),
+        workload=workload,
     )
 
     # --- streaming behaviour (Figures 7/13) ------------------------------
     config = TSEConfig.paper_default(lookahead=PAPER_LOOKAHEAD.get(workload, 8))
     stats = cached_tse_run(
-        workload, config, target_accesses=TARGET_ACCESSES, seed=42, warmup_fraction=0.3
+        workload, config, target_accesses=TARGET_ACCESSES, seed=42,
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
     )
 
     lines = [

@@ -9,7 +9,7 @@ Run with:  python examples/prefetcher_shootout.py [workload]
 
 import sys
 
-from repro.common.config import TSEConfig
+from repro.common.config import DEFAULT_WARMUP_FRACTION, TSEConfig
 from repro.prefetch import GHBPrefetcher, StridePrefetcher, evaluate_prefetcher
 from repro.tse.simulator import run_tse_on_trace
 from repro.workloads import get_workload
@@ -31,11 +31,17 @@ def main() -> None:
         ("G/AC", lambda: GHBPrefetcher(mode="G/AC", history_entries=512, degree=8)),
     ]
     for name, factory in baselines:
-        result = evaluate_prefetcher(trace, factory, buffer_entries=32, warmup_fraction=0.3)
+        result = evaluate_prefetcher(
+            trace, factory, buffer_entries=32,
+            warmup_fraction=DEFAULT_WARMUP_FRACTION,
+        )
         print(f"{name:<10} {result.coverage:>9.1%} {result.discard_rate:>9.1%} "
               f"{result.accuracy:>9.1%}")
 
-    tse = run_tse_on_trace(trace, TSEConfig.paper_default(lookahead=8), warmup_fraction=0.3)
+    tse = run_tse_on_trace(
+        trace, TSEConfig.paper_default(lookahead=8),
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
+    )
     print(f"{'TSE':<10} {tse.coverage:>9.1%} {tse.discard_rate:>9.1%} {tse.accuracy:>9.1%}")
 
     print("\nTSE wins because its CMOB lives in main memory (millions of "

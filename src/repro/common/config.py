@@ -18,6 +18,15 @@ from typing import Dict, Optional
 #: chunk's six packed columns stay cache-resident.
 DEFAULT_STREAM_CHUNK = 16384
 
+#: Fraction of each trace treated as warm-up (caches, CMOBs, directory
+#: pointers), mirroring the paper's warming methodology (Section 4).  This is
+#: the **single** source of the warm-up fraction: the experiment harness
+#: (``repro.experiments.runner``), :func:`repro.tse.simulator.run_tse_on_trace`,
+#: :func:`repro.prefetch.harness.evaluate_prefetcher` and the examples all
+#: reference this constant rather than repeating a per-module literal
+#: (locked in by ``tests/test_service.py::TestWarmupConstant``).
+DEFAULT_WARMUP_FRACTION = 0.3
+
 
 def stream_chunk_size() -> int:
     """Accesses per packed :class:`~repro.common.chunk.TraceChunk`.

@@ -1,0 +1,24 @@
+"""Shared sqlite connection settings for every accessor of a service DB file.
+
+Both the service result store (:mod:`repro.service.store`) and the
+persistent warm-state snapshot mapping
+(:class:`repro.tse.snapshot.PersistentSnapshotStore`) open per-operation
+connections to the same sqlite file from multiple threads and processes;
+this helper keeps the tuning (WAL journaling + busy timeout) in one place
+without coupling either layer to the other.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+
+def connect(path, row_factory=None) -> sqlite3.Connection:
+    """Open a per-operation connection with the repository's standard
+    settings: 30 s busy timeout, WAL journaling, NORMAL synchronous."""
+    conn = sqlite3.connect(path, timeout=30.0)
+    if row_factory is not None:
+        conn.row_factory = row_factory
+    conn.execute("PRAGMA journal_mode=WAL")
+    conn.execute("PRAGMA synchronous=NORMAL")
+    return conn

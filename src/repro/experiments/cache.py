@@ -29,7 +29,11 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Dict, Optional, Tuple
 
-from repro.common.config import InterconnectConfig, TSEConfig
+from repro.common.config import (
+    DEFAULT_WARMUP_FRACTION,
+    InterconnectConfig,
+    TSEConfig,
+)
 from repro.experiments.runner import trace_for
 from repro.tse.simulator import TSEStats, run_tse_on_trace
 
@@ -77,6 +81,39 @@ class ResultCache:
 _CACHE = ResultCache()
 
 
+def determinism_key(
+    workload: str,
+    target_accesses: int,
+    seed: int,
+    num_nodes: int,
+    tse_config: Optional[TSEConfig],
+    warmup_fraction: float,
+    account_traffic: bool = False,
+    interconnect_config: Optional[InterconnectConfig] = None,
+) -> Tuple:
+    """The full determinism domain of one functional run, as a tuple.
+
+    This is the in-process result-cache key.  The service layer's job keys
+    (:class:`repro.service.spec.Job`) cover a different domain — a sweep
+    point (experiment, workload, config cell, trace size, seed, nodes,
+    shared kwargs) rather than one functional run — but both are rendered
+    to persistent text through the same :func:`key_text` canonicalization.
+    """
+    config = tse_config if tse_config is not None else TSEConfig.paper_default()
+    return (workload, target_accesses, seed, num_nodes, config,
+            warmup_fraction, account_traffic, interconnect_config)
+
+
+def key_text(key: Tuple) -> str:
+    """Canonical text form of a determinism key.
+
+    Frozen-dataclass ``repr`` is deterministic and covers every field, so
+    the text is stable across processes and interpreter restarts — safe to
+    use as a persistent primary key.
+    """
+    return repr(key)
+
+
 def cached_tse_run(
     workload: str,
     tse_config: Optional[TSEConfig] = None,
@@ -84,7 +121,7 @@ def cached_tse_run(
     target_accesses: int,
     seed: int = 42,
     num_nodes: int = 16,
-    warmup_fraction: float = 0.0,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     account_traffic: bool = False,
     interconnect_config: Optional[InterconnectConfig] = None,
 ) -> TSEStats:
@@ -95,8 +132,8 @@ def cached_tse_run(
     parameters.  The result object is shared — treat it as read-only.
     """
     config = tse_config if tse_config is not None else TSEConfig.paper_default()
-    key = (workload, target_accesses, seed, num_nodes, config,
-           warmup_fraction, account_traffic, interconnect_config)
+    key = determinism_key(workload, target_accesses, seed, num_nodes, config,
+                          warmup_fraction, account_traffic, interconnect_config)
     stats = _CACHE.get(key)
     if stats is None:
         trace = trace_for(workload, target_accesses, seed, num_nodes)
@@ -123,3 +160,63 @@ def clear_cache() -> None:
 def cache_info() -> Dict[str, int]:
     """Hit/miss statistics of the shared result cache."""
     return _CACHE.info()
+
+
+def main(argv: Optional[list] = None) -> int:
+    """Cache-management entry point: ``python -m repro.experiments.cache``.
+
+    ``--stats`` prints the state of every cache layer (in-process results,
+    traces, warm-state snapshots, and — when it exists — the persistent
+    service store); ``--clear`` empties them.  The service's store GC is
+    routed through this entry point: clearing here is the one supported way
+    to drop persisted results and snapshots.
+    """
+    import argparse
+    import json as _json
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.cache",
+        description="Inspect or clear the simulation caches and the "
+        "persistent service result store.",
+    )
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache and store statistics as JSON")
+    parser.add_argument("--clear", action="store_true",
+                        help="clear the in-process caches and the service store")
+    parser.add_argument("--store", default=None, metavar="PATH",
+                        help="service store path (default: REPRO_SERVICE_STORE "
+                        "or .repro/service.sqlite)")
+    args = parser.parse_args(argv)
+    if not (args.stats or args.clear):
+        parser.error("nothing to do: pass --stats and/or --clear")
+
+    from repro.service.store import ResultStore, default_store_path
+    from repro.tse.snapshot import snapshot_info
+
+    store_path = args.store if args.store is not None else default_store_path()
+    store = ResultStore(store_path) if ResultStore.exists(store_path) else None
+
+    if args.clear:
+        clear_cache()
+        cleared = {"in_process": "cleared"}
+        if store is not None:
+            cleared["store"] = store.clear()
+        else:
+            cleared["store"] = f"no store at {store_path}"
+        print(_json.dumps({"cleared": cleared}, indent=2, default=str))
+    if args.stats:
+        stats = {
+            "results": cache_info(),
+            "traces": trace_for.cache_info()._asdict(),
+            "snapshots": snapshot_info(),
+            "store": store.stats() if store is not None
+            else f"no store at {store_path}",
+        }
+        print(_json.dumps(stats, indent=2, default=str))
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -14,9 +14,11 @@ from repro.analysis.correlation import cumulative_correlation, temporal_correlat
 from repro.coherence.protocol import CoherenceProtocol, extract_consumptions
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
+    DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
     trace_for,
 )
 
@@ -40,14 +42,22 @@ def _point(
         consumptions,
         max_distance=max(distances),
         workload=workload,
-        # Warm the history on the first 30 % of the trace, as the paper
+        # Warm the history on the shared warm-up window, as the paper
         # warms caches/CMOBs before measuring.
-        measure_from_global_index=int(len(trace) * 0.3),
+        measure_from_global_index=int(len(trace) * DEFAULT_WARMUP_FRACTION),
     )
     row: Dict[str, object] = {"workload": workload}
     for distance, fraction in cumulative_correlation(correlation, distances):
         row[f"d{distance}"] = fraction
     return row
+
+
+SPEC = SweepSpec(
+    title="Figure 6: cumulative % consumptions vs. temporal correlation distance",
+    point=_point,
+    columns=("workload",) + tuple(f"d{d}" for d in (1, 2, 4, 8, 16)),
+    shared=(("distances", DISTANCES),),
+)
 
 
 def run(
@@ -57,17 +67,14 @@ def run(
     distances: Sequence[int] = DISTANCES,
 ) -> List[Dict[str, object]]:
     """One row per workload: cumulative correlation at each distance."""
-    return run_parallel(
-        _point, workloads,
+    return run_sweep(
+        SPEC, workloads=workloads,
         target_accesses=target_accesses, seed=seed, distances=tuple(distances),
     )
 
 
 def main() -> None:
-    rows = run()
-    columns = ["workload"] + [f"d{d}" for d in (1, 2, 4, 8, 16)]
-    print("Figure 6: cumulative % consumptions vs. temporal correlation distance")
-    print(format_table(rows, columns))
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

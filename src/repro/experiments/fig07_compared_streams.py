@@ -17,8 +17,9 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
 )
 
 STREAM_COUNTS: Sequence[int] = (1, 2, 3, 4)
@@ -46,6 +47,15 @@ def _point(
     }
 
 
+SPEC = SweepSpec(
+    title="Figure 7: sensitivity to the number of compared streams (lookahead 8)",
+    point=_point,
+    columns=("workload", "compared_streams", "coverage", "discards"),
+    configs=tuple(STREAM_COUNTS),
+    shared=(("lookahead", 8),),
+)
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     stream_counts: Sequence[int] = STREAM_COUNTS,
@@ -54,16 +64,14 @@ def run(
     lookahead: int = 8,
 ) -> List[Dict[str, object]]:
     """One row per (workload, compared streams): coverage and discards."""
-    return run_parallel(
-        _point, workloads, tuple(stream_counts),
+    return run_sweep(
+        SPEC, workloads=workloads, configs=tuple(stream_counts),
         target_accesses=target_accesses, seed=seed, lookahead=lookahead,
     )
 
 
 def main() -> None:
-    rows = run()
-    print("Figure 7: sensitivity to the number of compared streams (lookahead 8)")
-    print(format_table(rows, ["workload", "compared_streams", "coverage", "discards"]))
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

@@ -15,8 +15,9 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
 )
 
 LOOKAHEADS: Sequence[int] = (2, 4, 8, 12, 16, 20, 24)
@@ -43,6 +44,14 @@ def _point(
     }
 
 
+SPEC = SweepSpec(
+    title="Figure 8: effect of stream lookahead on discards (2 compared streams)",
+    point=_point,
+    columns=("workload", "lookahead", "discards", "coverage"),
+    configs=tuple(LOOKAHEADS),
+)
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     lookaheads: Sequence[int] = LOOKAHEADS,
@@ -50,16 +59,14 @@ def run(
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per (workload, lookahead): discards and coverage."""
-    return run_parallel(
-        _point, workloads, tuple(lookaheads),
+    return run_sweep(
+        SPEC, workloads=workloads, configs=tuple(lookaheads),
         target_accesses=target_accesses, seed=seed,
     )
 
 
 def main() -> None:
-    rows = run()
-    print("Figure 8: effect of stream lookahead on discards (2 compared streams)")
-    print(format_table(rows, ["workload", "lookahead", "discards", "coverage"]))
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

@@ -16,8 +16,9 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
 )
 
 #: (label, entries) — 64-byte blocks, so 8 entries = 512 B ... 1M entries = "inf".
@@ -52,6 +53,15 @@ def _point(
     }
 
 
+SPEC = SweepSpec(
+    title="Figure 9: sensitivity to SVB size (lookahead 8, 2 compared streams)",
+    point=_point,
+    columns=("workload", "svb", "coverage", "discards"),
+    configs=tuple(SVB_SIZES),
+    shared=(("lookahead", 8),),
+)
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     svb_sizes: Sequence[Tuple[str, int]] = SVB_SIZES,
@@ -60,16 +70,14 @@ def run(
     lookahead: int = 8,
 ) -> List[Dict[str, object]]:
     """One row per (workload, SVB size): coverage and discards."""
-    return run_parallel(
-        _point, workloads, tuple(svb_sizes),
+    return run_sweep(
+        SPEC, workloads=workloads, configs=tuple(svb_sizes),
         target_accesses=target_accesses, seed=seed, lookahead=lookahead,
     )
 
 
 def main() -> None:
-    rows = run()
-    print("Figure 9: sensitivity to SVB size (lookahead 8, 2 compared streams)")
-    print(format_table(rows, ["workload", "svb", "coverage", "discards"]))
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

@@ -16,8 +16,9 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
 )
 
 #: Per-node CMOB capacities in entries (x 6 bytes each for the byte size).
@@ -46,20 +47,9 @@ def _point(
     }
 
 
-def run(
-    workloads: Sequence[str] = WORKLOADS,
-    capacities: Sequence[int] = CMOB_CAPACITIES,
-    target_accesses: int = DEFAULT_TARGET_ACCESSES,
-    seed: int = 42,
-    lookahead: int = 8,
-) -> List[Dict[str, object]]:
-    """One row per (workload, capacity): coverage and fraction of peak coverage."""
-    rows = run_parallel(
-        _point, workloads, tuple(capacities),
-        target_accesses=target_accesses, seed=seed, lookahead=lookahead,
-    )
-    # Fraction-of-peak needs every capacity of a workload: rows arrive in
-    # deterministic workload-major order, so group and annotate in place.
+def _annotate_fraction_of_peak(rows: List[Dict[str, object]]) -> List[Dict[str, object]]:
+    """Fraction-of-peak needs every capacity of a workload: rows arrive in
+    deterministic workload-major order, so group and annotate in place."""
     peak: Dict[str, float] = {}
     for row in rows:
         coverage = float(row["coverage"])  # type: ignore[arg-type]
@@ -73,10 +63,32 @@ def run(
     return rows
 
 
+SPEC = SweepSpec(
+    title="Figure 10: CMOB storage requirements (fraction of peak coverage)",
+    point=_point,
+    columns=("workload", "cmob_bytes", "coverage", "fraction_of_peak"),
+    configs=tuple(CMOB_CAPACITIES),
+    shared=(("lookahead", 8),),
+    finalize=_annotate_fraction_of_peak,
+)
+
+
+def run(
+    workloads: Sequence[str] = WORKLOADS,
+    capacities: Sequence[int] = CMOB_CAPACITIES,
+    target_accesses: int = DEFAULT_TARGET_ACCESSES,
+    seed: int = 42,
+    lookahead: int = 8,
+) -> List[Dict[str, object]]:
+    """One row per (workload, capacity): coverage and fraction of peak coverage."""
+    return run_sweep(
+        SPEC, workloads=workloads, configs=tuple(capacities),
+        target_accesses=target_accesses, seed=seed, lookahead=lookahead,
+    )
+
+
 def main() -> None:
-    rows = run()
-    print("Figure 10: CMOB storage requirements (fraction of peak coverage)")
-    print(format_table(rows, ["workload", "cmob_bytes", "coverage", "fraction_of_peak"]))
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

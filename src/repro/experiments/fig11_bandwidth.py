@@ -17,8 +17,9 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
     trace_for,
 )
 
@@ -51,26 +52,26 @@ def _point(
     }
 
 
+SPEC = SweepSpec(
+    title="Figure 11: interconnect bisection bandwidth overhead (plus Section 5.4 pin overhead)",
+    point=_point,
+    columns=("workload", "overhead_gbps", "overhead_ratio", "fraction_of_peak", "pin_overhead"),
+)
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     target_accesses: int = DEFAULT_TARGET_ACCESSES,
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per workload with the Figure 11 bar and annotations."""
-    return run_parallel(
-        _point, workloads, target_accesses=target_accesses, seed=seed,
+    return run_sweep(
+        SPEC, workloads=workloads, target_accesses=target_accesses, seed=seed,
     )
 
 
 def main() -> None:
-    rows = run()
-    print("Figure 11: interconnect bisection bandwidth overhead (plus Section 5.4 pin overhead)")
-    print(
-        format_table(
-            rows,
-            ["workload", "overhead_gbps", "overhead_ratio", "fraction_of_peak", "pin_overhead"],
-        )
-    )
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

@@ -15,8 +15,9 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
     trace_for,
 )
 from repro.prefetch import GHBPrefetcher, StridePrefetcher, evaluate_prefetcher
@@ -67,6 +68,14 @@ def _point(
     }
 
 
+SPEC = SweepSpec(
+    title="Figure 12: TSE compared to stride and GHB prefetchers",
+    point=_point,
+    columns=("workload", "technique", "coverage", "discards"),
+    configs=tuple(TECHNIQUES),
+)
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     techniques: Sequence[str] = TECHNIQUES,
@@ -74,16 +83,14 @@ def run(
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per (workload, technique): coverage and discards."""
-    return run_parallel(
-        _point, workloads, tuple(techniques),
+    return run_sweep(
+        SPEC, workloads=workloads, configs=tuple(techniques),
         target_accesses=target_accesses, seed=seed,
     )
 
 
 def main() -> None:
-    rows = run()
-    print("Figure 12: TSE compared to stride and GHB prefetchers")
-    print(format_table(rows, ["workload", "technique", "coverage", "discards"]))
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

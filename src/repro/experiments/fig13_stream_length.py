@@ -21,8 +21,9 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
 )
 
 #: Length buckets reported in the printed table (the CDF helper covers the
@@ -54,26 +55,28 @@ def _point(
     return row
 
 
+SPEC = SweepSpec(
+    title="Figure 13: cumulative % of hits vs. stream length",
+    point=_point,
+    columns=("workload",)
+    + tuple(f"len<={b}" for b in (1, 4, 8, 32, 128, 1024))
+    + ("short_stream_share", "median_stream_length"),
+)
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     target_accesses: int = DEFAULT_TARGET_ACCESSES,
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per workload: CDF of hits vs. stream length."""
-    return run_parallel(
-        _point, workloads, target_accesses=target_accesses, seed=seed,
+    return run_sweep(
+        SPEC, workloads=workloads, target_accesses=target_accesses, seed=seed,
     )
 
 
 def main() -> None:
-    rows = run()
-    columns = (
-        ["workload"]
-        + [f"len<={b}" for b in (1, 4, 8, 32, 128, 1024)]
-        + ["short_stream_share", "median_stream_length"]
-    )
-    print("Figure 13: cumulative % of hits vs. stream length")
-    print(format_table(rows, columns))
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

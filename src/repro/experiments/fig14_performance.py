@@ -13,8 +13,9 @@ from repro.common.config import PAPER_LOOKAHEAD, SystemConfig, TSEConfig
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
     trace_for,
 )
 from repro.system.timing import TimingSimulator
@@ -46,35 +47,35 @@ def _point(
     }
 
 
+SPEC = SweepSpec(
+    title="Figure 14: execution-time breakdown and TSE speedup",
+    point=_point,
+    columns=(
+        "workload",
+        "base_busy",
+        "base_other",
+        "base_coherent",
+        "tse_busy",
+        "tse_other",
+        "tse_coherent",
+        "speedup",
+    ),
+)
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     target_accesses: int = DEFAULT_TARGET_ACCESSES,
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One row per workload: normalized breakdowns for base and TSE + speedup."""
-    return run_parallel(
-        _point, workloads, target_accesses=target_accesses, seed=seed,
+    return run_sweep(
+        SPEC, workloads=workloads, target_accesses=target_accesses, seed=seed,
     )
 
 
 def main() -> None:
-    rows = run()
-    print("Figure 14: execution-time breakdown and TSE speedup")
-    print(
-        format_table(
-            rows,
-            [
-                "workload",
-                "base_busy",
-                "base_other",
-                "base_coherent",
-                "tse_busy",
-                "tse_other",
-                "tse_coherent",
-                "speedup",
-            ],
-        )
-    )
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

@@ -13,10 +13,12 @@ from __future__ import annotations
 
 import os
 
+from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.chunk import ChunkedTrace
+from repro.common.config import DEFAULT_WARMUP_FRACTION
 from repro.workloads import ALL_WORKLOADS, get_workload
 from repro.workloads.base import WorkloadParams
 
@@ -28,9 +30,9 @@ WORKLOADS: Sequence[str] = ALL_WORKLOADS
 #: higher-fidelity runs.
 DEFAULT_TARGET_ACCESSES = 150_000
 
-#: Fraction of each trace treated as warm-up (caches, CMOBs, directory
-#: pointers), mirroring the paper's warming methodology.
-DEFAULT_WARMUP_FRACTION = 0.3
+# DEFAULT_WARMUP_FRACTION is defined in repro.common.config (the single
+# source) and re-exported here because every fig module historically imported
+# it from the runner.
 
 
 #: Packed trace payloads delivered to worker processes by the parallel
@@ -177,6 +179,72 @@ def run_parallel(
         else:
             rows.append(result)
     return rows
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """Declarative description of one experiment's sweep.
+
+    Every fig06–fig14 module is the same skeleton — build the sweep grid,
+    evaluate a point function over ``workloads x configs`` with
+    :func:`run_parallel`, optionally post-process the merged rows, and print
+    an aligned table.  A ``SweepSpec`` captures that skeleton's variable
+    parts once per module (as its module-level ``SPEC``), and is also what
+    the service layer (:mod:`repro.service`) compiles into campaigns.
+
+    Attributes:
+        title: The heading ``main()`` prints above the table.
+        point: The module-level sweep-point function (picklable), called as
+            ``point(workload, config, *, target_accesses, seed, **shared)``.
+        columns: Table columns, in print order.
+        configs: Default inner sweep dimension (``(None,)`` = one point per
+            workload).
+        shared: Fixed extra keyword arguments for every point, as a sorted
+            tuple of ``(name, value)`` pairs so the spec stays hashable.
+        finalize: Optional whole-table post-processing hook (e.g. Figure 10's
+            fraction-of-peak annotation), applied to the merged rows.
+    """
+
+    title: str
+    point: Callable[..., Any]
+    columns: Tuple[str, ...]
+    configs: Tuple[Any, ...] = (None,)
+    shared: Tuple[Tuple[str, Any], ...] = ()
+    finalize: Optional[Callable[[List[Dict[str, object]]], List[Dict[str, object]]]] = None
+
+
+def run_sweep(
+    spec: SweepSpec,
+    workloads: Sequence[str] = WORKLOADS,
+    configs: Optional[Sequence[Any]] = None,
+    target_accesses: int = DEFAULT_TARGET_ACCESSES,
+    seed: int = 42,
+    **overrides: Any,
+) -> List[Dict[str, object]]:
+    """Evaluate a :class:`SweepSpec`'s grid and return the (finalized) rows.
+
+    ``configs`` overrides the spec's default inner dimension; ``overrides``
+    override individual ``spec.shared`` keyword arguments.  Row order is the
+    deterministic :func:`run_parallel` job order.
+    """
+    shared = dict(spec.shared)
+    shared.update(overrides)
+    rows = run_parallel(
+        spec.point,
+        workloads,
+        spec.configs if configs is None else tuple(configs),
+        target_accesses=target_accesses,
+        seed=seed,
+        **shared,
+    )
+    return spec.finalize(rows) if spec.finalize is not None else rows
+
+
+def sweep_main(spec: SweepSpec, **kwargs: Any) -> None:
+    """The shared ``main()``: run the spec's sweep and print its table."""
+    rows = run_sweep(spec, **kwargs)
+    print(spec.title)
+    print(format_table(rows, spec.columns))
 
 
 def format_table(rows: Iterable[Dict[str, object]], columns: Sequence[str]) -> str:

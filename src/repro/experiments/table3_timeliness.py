@@ -15,8 +15,9 @@ from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,
     DEFAULT_WARMUP_FRACTION,
     WORKLOADS,
-    format_table,
-    run_parallel,
+    SweepSpec,
+    run_sweep,
+    sweep_main,
     trace_for,
 )
 from repro.system.timing import TimingSimulator
@@ -49,26 +50,29 @@ def _point(
     }
 
 
+SPEC = SweepSpec(
+    title="Table 3: streaming timeliness",
+    point=_point,
+    columns=(
+        "workload", "trace_coverage", "mlp", "lookahead",
+        "full_coverage", "partial_coverage",
+    ),
+)
+
+
 def run(
     workloads: Sequence[str] = WORKLOADS,
     target_accesses: int = DEFAULT_TARGET_ACCESSES,
     seed: int = 42,
 ) -> List[Dict[str, object]]:
     """One Table 3 row per workload."""
-    return run_parallel(
-        _point, workloads, target_accesses=target_accesses, seed=seed,
+    return run_sweep(
+        SPEC, workloads=workloads, target_accesses=target_accesses, seed=seed,
     )
 
 
 def main() -> None:
-    rows = run()
-    print("Table 3: streaming timeliness")
-    print(
-        format_table(
-            rows,
-            ["workload", "trace_coverage", "mlp", "lookahead", "full_coverage", "partial_coverage"],
-        )
-    )
+    sweep_main(SPEC)
 
 
 if __name__ == "__main__":

@@ -5,12 +5,13 @@ remote block is a cold miss, no CMOB history exists, and no stream can form.
 At the paper's trace sizes the ramp is negligible, but at this repository's
 scaled-down defaults it sits inside the measurement window and drags em3d /
 ocean trace coverage below the paper's ~1.0 long-trace limit (the ROADMAP
-open item).
+open item, resolved in PR 3).
 
 This experiment measures coverage at the default benchmark trace size twice
 per workload:
 
-* **cold** — the plain 30 % in-window warm-up every experiment uses;
+* **cold** — the plain in-window warm-up every experiment uses
+  (:data:`~repro.common.config.DEFAULT_WARMUP_FRACTION`);
 * **warm** — a full-size warm ramp replayed *outside* the measurement
   window through :func:`repro.tse.snapshot.warm_tse_run`, whose cached
   post-ramp snapshot makes repeated warm runs nearly free.
@@ -18,14 +19,20 @@ per workload:
 Run as a module for the table::
 
     PYTHONPATH=src python -m repro.experiments.warm_state
+
+or as the ``warm_state`` service preset (``python -m repro.service submit
+warm_state``), where the post-ramp snapshots persist in the service store
+(:class:`~repro.tse.snapshot.PersistentSnapshotStore`) and are shared
+across worker processes and restarts.
 """
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence
 
-from repro.common.config import PAPER_LOOKAHEAD, TSEConfig
-from repro.experiments.runner import format_table
+from repro.common.config import DEFAULT_WARMUP_FRACTION, PAPER_LOOKAHEAD, TSEConfig
+from repro.experiments.runner import SweepSpec, run_sweep, sweep_main
 from repro.tse.snapshot import warm_tse_run
 from repro.tse.simulator import TSESimulator
 from repro.workloads.base import SCIENTIFIC_WORKLOADS
@@ -38,6 +45,63 @@ DEFAULT_MEASURE_ACCESSES = 80_000
 DEFAULT_WARM_ACCESSES = 80_000
 
 
+@lru_cache(maxsize=8)
+def _snapshot_store(path: str):
+    from repro.tse.snapshot import PersistentSnapshotStore
+
+    return PersistentSnapshotStore(path)
+
+
+def _point(
+    workload: str,
+    _config: object,
+    *,
+    target_accesses: int,
+    seed: int,
+    warm_accesses: int,
+    use_snapshot: bool = True,
+    snapshot_store_path: Optional[str] = None,
+) -> Dict[str, object]:
+    """Cold vs. warm-state coverage for one workload (``target_accesses`` is
+    the measurement window)."""
+    from repro.experiments.runner import trace_for
+
+    lookahead = PAPER_LOOKAHEAD.get(workload, 8)
+    config = TSEConfig.paper_default(lookahead=lookahead)
+    cold = TSESimulator(16, tse_config=config).run(
+        trace_for(workload, target_accesses, seed),
+        warmup_fraction=DEFAULT_WARMUP_FRACTION,
+    )
+    warm = warm_tse_run(
+        workload,
+        config,
+        warm_accesses=warm_accesses,
+        measure_accesses=target_accesses,
+        seed=seed,
+        use_snapshot=use_snapshot,
+        snapshot_store=(
+            _snapshot_store(snapshot_store_path) if snapshot_store_path else None
+        ),
+    )
+    return {
+        "workload": workload,
+        "lookahead": lookahead,
+        "cold_coverage": cold.coverage,
+        "warm_coverage": warm.coverage,
+        "delta": warm.coverage - cold.coverage,
+        "warm_accesses": warm_accesses,
+        "measure_accesses": target_accesses,
+    }
+
+
+SPEC = SweepSpec(
+    title="Warm-state coverage at default benchmark trace size",
+    point=_point,
+    columns=("workload", "lookahead", "cold_coverage", "warm_coverage", "delta"),
+    shared=(("warm_accesses", DEFAULT_WARM_ACCESSES),),
+)
+
+
 def run(
     workloads: Sequence[str] = SCIENTIFIC_WORKLOADS,
     measure_accesses: int = DEFAULT_MEASURE_ACCESSES,
@@ -46,46 +110,21 @@ def run(
     use_snapshot: bool = True,
 ) -> List[Dict[str, object]]:
     """One row per workload: cold vs. warm-state coverage and the delta."""
-    from repro.experiments.runner import trace_for
-
-    rows: List[Dict[str, object]] = []
-    for workload in workloads:
-        lookahead = PAPER_LOOKAHEAD.get(workload, 8)
-        config = TSEConfig.paper_default(lookahead=lookahead)
-        cold = TSESimulator(16, tse_config=config).run(
-            trace_for(workload, measure_accesses, seed), warmup_fraction=0.3
-        )
-        warm = warm_tse_run(
-            workload,
-            config,
-            warm_accesses=warm_accesses,
-            measure_accesses=measure_accesses,
-            seed=seed,
-            use_snapshot=use_snapshot,
-        )
-        rows.append({
-            "workload": workload,
-            "lookahead": lookahead,
-            "cold_coverage": cold.coverage,
-            "warm_coverage": warm.coverage,
-            "delta": warm.coverage - cold.coverage,
-            "warm_accesses": warm_accesses,
-            "measure_accesses": measure_accesses,
-        })
-    return rows
+    return run_sweep(
+        SPEC,
+        workloads=workloads,
+        target_accesses=measure_accesses,
+        seed=seed,
+        warm_accesses=warm_accesses,
+        use_snapshot=use_snapshot,
+    )
 
 
 def main(argv: Optional[Sequence[str]] = None) -> None:
-    rows = run()
-    print("Warm-state coverage at default benchmark trace size")
-    print(
-        format_table(
-            rows,
-            columns=(
-                "workload", "lookahead", "cold_coverage",
-                "warm_coverage", "delta",
-            ),
-        )
+    sweep_main(
+        SPEC,
+        workloads=SCIENTIFIC_WORKLOADS,
+        target_accesses=DEFAULT_MEASURE_ACCESSES,
     )
 
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.common.config import DEFAULT_WARMUP_FRACTION
 from repro.common.stats import ratio
 from repro.common.types import AccessTrace, MissClass
 from repro.coherence.protocol import CoherenceProtocol
@@ -62,7 +63,7 @@ def evaluate_prefetcher(
     trace: AccessTrace,
     prefetcher_factory: Callable[[], Prefetcher],
     buffer_entries: int = 32,
-    warmup_fraction: float = 0.0,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
 ) -> PrefetcherStats:
     """Run one baseline prefetcher over a trace.
 
@@ -71,7 +72,9 @@ def evaluate_prefetcher(
         prefetcher_factory: Builds a fresh per-node prefetcher.
         buffer_entries: Prefetch-buffer capacity (32 = the 2 KB SVB).
         warmup_fraction: Fraction of the trace excluded from statistics
-            (state still trains during warm-up).
+            (state still trains during warm-up).  Defaults to the shared
+            :data:`~repro.common.config.DEFAULT_WARMUP_FRACTION` so TSE and
+            baseline prefetchers are measured over the same window.
     """
     num_nodes = trace.num_nodes
     protocol = CoherenceProtocol(num_nodes, cache_model="infinite")

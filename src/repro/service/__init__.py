@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: campaigns, persistent results, async scheduling.
+
+The experiment harness (PR 1–3) made single sweeps fast; this subsystem
+makes them *durable and submittable*.  Four parts:
+
+* :mod:`repro.service.spec` — declarative :class:`Campaign` specifications
+  (workloads x config grid x seeds x trace sizes) that compile to a
+  deterministic job list, each job keyed by the same determinism key the
+  in-process result cache uses (:func:`repro.experiments.cache.determinism_key`);
+* :mod:`repro.service.store` — a persistent ``sqlite3`` result store, so
+  completed points survive restarts and resubmitted campaigns recompute
+  nothing;
+* :mod:`repro.service.scheduler` — an ``asyncio`` scheduler over the
+  existing process pool with priority queues, per-trace job batching,
+  progress, cancellation, and crash-resume from the store;
+* :mod:`repro.service.api` / :mod:`repro.service.cli` — a stdlib
+  ``http.server`` JSON API and the ``python -m repro.service`` command line
+  (``submit`` / ``status`` / ``results`` / ``serve``).
+
+Every paper figure is available as a campaign preset
+(:mod:`repro.service.presets`); the rendered preset tables are bit-identical
+to the fig modules' direct CLI output (locked in by ``tests/test_service.py``).
+"""
+
+from repro.service.spec import Campaign, Job
+from repro.service.store import ResultStore, default_store_path
+from repro.service.scheduler import CampaignRun, Scheduler
+from repro.service.service import Service
+
+__all__ = [
+    "Campaign",
+    "Job",
+    "ResultStore",
+    "default_store_path",
+    "CampaignRun",
+    "Scheduler",
+    "Service",
+]

@@ -1,0 +1,16 @@
+"""``python -m repro.service`` entry point."""
+
+import os
+import sys
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # Output was piped into a consumer that closed early (e.g. head).
+        # Redirect stdout to devnull so the interpreter's shutdown flush
+        # does not raise again, and exit quietly like any well-behaved CLI.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(0)

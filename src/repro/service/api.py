@@ -1,0 +1,163 @@
+"""Stdlib HTTP/JSON front-end for the simulation service.
+
+Routes (all JSON):
+
+* ``GET  /healthz``                  — liveness probe.
+* ``GET  /presets``                  — available campaign presets.
+* ``GET  /campaigns``                — every stored campaign with progress.
+* ``GET  /campaigns/<id>``           — one campaign's progress.
+* ``POST /campaigns``                — submit; body is either
+  ``{"preset": "fig12", ...overrides}`` or ``{"campaign": {...spec...}}``.
+  Optional ``"wait": true`` blocks until done and includes the rendered
+  table; ``"workloads"``, ``"target_accesses"``, ``"seed"``, ``"priority"``
+  override preset defaults.
+* ``POST /campaigns/<id>/cancel``    — drop the campaign's queued jobs.
+* ``GET  /jobs/<id>``                — one job by short id (status + rows).
+* ``GET  /results?experiment=&workload=&limit=`` — filterable results.
+
+Built on ``http.server.ThreadingHTTPServer``: handler threads block on the
+thread-safe :class:`~repro.service.service.Service` facade, so a waiting
+submit does not stall other requests.
+"""
+
+from __future__ import annotations
+
+import json
+
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from repro.service import presets
+from repro.service.service import Service
+from repro.service.spec import Campaign
+
+
+class ServiceHTTPServer(ThreadingHTTPServer):
+    """ThreadingHTTPServer carrying the service facade for its handlers."""
+
+    daemon_threads = True
+
+    def __init__(self, address: Tuple[str, int], service: Service) -> None:
+        super().__init__(address, _Handler)
+        self.service = service
+
+
+class _Handler(BaseHTTPRequestHandler):
+    server: ServiceHTTPServer
+
+    # ------------------------------------------------------------- plumbing
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass  # keep test/CI output clean; use an access-logging proxy if needed
+
+    def _reply(self, status: int, payload: Any) -> None:
+        body = json.dumps(payload, default=str).encode()
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, status: int, message: str) -> None:
+        self._reply(status, {"error": message})
+
+    def _read_body(self) -> Optional[Dict[str, Any]]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        try:
+            return json.loads(self.rfile.read(length))
+        except json.JSONDecodeError:
+            return None
+
+    # --------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        query = parse_qs(url.query)
+        if url.path == "/healthz":
+            return self._reply(200, {"ok": True, "store": str(service.store.path)})
+        if url.path == "/presets":
+            return self._reply(200, {"presets": list(presets.preset_names())})
+        if url.path == "/campaigns":
+            return self._reply(200, {"campaigns": service.store.campaigns()})
+        if len(parts) == 2 and parts[0] == "campaigns":
+            progress = service.progress(_int_or(-1, parts[1]))
+            if progress is None:
+                return self._error(404, f"no campaign {parts[1]}")
+            return self._reply(200, progress)
+        if len(parts) == 2 and parts[0] == "jobs":
+            job = service.store.get_job(parts[1])
+            if job is None:
+                return self._error(404, f"no job {parts[1]}")
+            return self._reply(200, job)
+        if url.path == "/results":
+            records = service.store.query_results(
+                experiment=_first(query, "experiment"),
+                workload=_first(query, "workload"),
+                limit=_int_or(1000, _first(query, "limit")),
+            )
+            return self._reply(200, {"results": records})
+        return self._error(404, f"unknown path {url.path}")
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        service = self.server.service
+        url = urlparse(self.path)
+        parts = [part for part in url.path.split("/") if part]
+        body = self._read_body()
+        if body is None:
+            return self._error(400, "invalid JSON body")
+        if url.path == "/campaigns":
+            try:
+                campaign = _campaign_from_body(body)
+                campaign.jobs()  # compile eagerly: bad specs become a 400 here
+            except (KeyError, ValueError, TypeError) as exc:
+                return self._error(400, str(exc))
+            wait = bool(body.get("wait"))
+            try:
+                run = service.submit(campaign, wait=wait)
+                payload = run.progress()
+                if wait:
+                    payload["rows"], payload["table"] = service.rows_and_table(run)
+            except Exception as exc:  # never drop the socket without a reply
+                return self._error(500, f"{type(exc).__name__}: {exc}")
+            return self._reply(200, payload)
+        if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "cancel":
+            if service.cancel(_int_or(-1, parts[1])):
+                return self._reply(200, {"cancelled": True})
+            return self._error(404, f"no live campaign {parts[1]}")
+        return self._error(404, f"unknown path {url.path}")
+
+
+def _first(query: Dict[str, list], name: str) -> Optional[str]:
+    values = query.get(name)
+    return values[0] if values else None
+
+
+def _int_or(default: int, value: Optional[str]) -> int:
+    try:
+        return int(value) if value is not None else default
+    except ValueError:
+        return default
+
+
+def _campaign_from_body(body: Dict[str, Any]) -> Campaign:
+    if "campaign" in body:
+        return Campaign.from_dict(body["campaign"])
+    if "preset" not in body:
+        raise ValueError("body needs either 'preset' or 'campaign'")
+    return presets.campaign(
+        str(body["preset"]),
+        workloads=body.get("workloads"),
+        target_accesses=body.get("target_accesses"),
+        seed=int(body.get("seed", 42)),
+        priority=int(body.get("priority", 0)),
+    )
+
+
+def make_server(
+    service: Service, host: str = "127.0.0.1", port: int = 8765
+) -> ServiceHTTPServer:
+    """Bind the JSON API to ``host:port`` (port 0 = ephemeral, for tests)."""
+    return ServiceHTTPServer((host, port), service)

@@ -1,0 +1,210 @@
+"""The ``python -m repro.service`` command line.
+
+Subcommands::
+
+    submit PRESET   submit a campaign; in-process runs always complete
+                    before exit (use serve + --url for fire-and-forget queueing)
+    status [ID]     campaign listing / one campaign's progress
+    results ID      re-render a stored campaign's table (no recompute)
+    serve           run the HTTP JSON API
+    presets         list available presets
+
+``submit`` / ``status`` run against the local store by default; pass
+``--url http://host:port`` to drive a running ``serve`` instance instead.
+A preset submitted with ``--wait`` (the default) prints a table
+bit-identical to the experiment module's own CLI — e.g. ``submit fig12``
+matches ``python -m repro.experiments.fig12_comparison`` — while completed
+points are served from the store without recomputation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from typing import Any, Dict, List, Optional
+
+from repro.service import presets
+from repro.service.service import Service
+from repro.service.store import ResultStore, default_store_path
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Submit, query, and serve TSE simulation campaigns.",
+    )
+    parser.add_argument(
+        "--store", default=None, metavar="PATH",
+        help="result store path (default: REPRO_SERVICE_STORE or "
+        f"{default_store_path()})",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    submit = commands.add_parser("submit", help="submit a campaign preset")
+    submit.add_argument("preset", help="preset name (see 'presets')")
+    submit.add_argument("--workloads", default=None,
+                        help="comma-separated workload subset")
+    submit.add_argument("--accesses", type=int, default=None,
+                        help="trace size (target accesses) override")
+    submit.add_argument("--seed", type=int, default=42)
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument("--workers", type=int, default=None,
+                        help="scheduler workers (default: REPRO_SERVICE_WORKERS)")
+    submit.add_argument("--no-wait", action="store_true",
+                        help="with --url: return after queueing on the server; "
+                        "locally: run to completion but print progress JSON "
+                        "instead of the table")
+    submit.add_argument("--url", default=None,
+                        help="submit to a running server instead of in-process")
+
+    status = commands.add_parser("status", help="campaign progress")
+    status.add_argument("campaign", nargs="?", type=int, default=None)
+    status.add_argument("--url", default=None)
+
+    results = commands.add_parser("results", help="render a stored campaign")
+    results.add_argument("campaign", type=int)
+
+    serve = commands.add_parser("serve", help="run the HTTP JSON API")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8765)
+    serve.add_argument("--workers", type=int, default=None)
+    serve.add_argument("--no-resume", action="store_true",
+                       help="do not resume unfinished campaigns on startup")
+
+    commands.add_parser("presets", help="list available campaign presets")
+    return parser
+
+
+def _http(url: str, path: str, payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
+    import urllib.request
+
+    request = urllib.request.Request(
+        url.rstrip("/") + path,
+        data=None if payload is None else json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+        method="GET" if payload is None else "POST",
+    )
+    with urllib.request.urlopen(request, timeout=600) as response:
+        return json.loads(response.read())
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    workloads: Optional[List[str]] = (
+        [name.strip() for name in args.workloads.split(",") if name.strip()]
+        if args.workloads else None
+    )
+    if args.url:
+        payload = {
+            "preset": args.preset,
+            "seed": args.seed,
+            "priority": args.priority,
+            "wait": not args.no_wait,
+        }
+        if workloads:
+            payload["workloads"] = workloads
+        if args.accesses is not None:
+            payload["target_accesses"] = args.accesses
+        reply = _http(args.url, "/campaigns", payload)
+        if "table" in reply:
+            print(reply["table"])
+        else:
+            print(json.dumps(reply, indent=2))
+        return 0
+    campaign = presets.campaign(
+        args.preset, workloads=workloads, target_accesses=args.accesses,
+        seed=args.seed, priority=args.priority,
+    )
+    with Service(store_path=args.store, max_workers=args.workers) as service:
+        # In-process submission always completes before exit: closing the
+        # service with queued work would abandon it (there is no resident
+        # scheduler to pick it up — that's what `serve` + --url is for).
+        run = service.submit(campaign, wait=True)
+        if args.no_wait:
+            print(json.dumps(run.progress(), indent=2))
+        else:
+            print(service.render(run))
+        return 1 if run.failed else 0
+
+
+def _open_store_readonly(path) -> Optional[ResultStore]:
+    """Open an existing store for a read-only subcommand, or report its
+    absence — never create one as a query side effect."""
+    if not ResultStore.exists(path):
+        resolved = path if path is not None else default_store_path()
+        print(f"no store at {resolved}", file=sys.stderr)
+        return None
+    return ResultStore(path)
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    if args.url:
+        path = "/campaigns" if args.campaign is None else f"/campaigns/{args.campaign}"
+        print(json.dumps(_http(args.url, path), indent=2))
+        return 0
+    store = _open_store_readonly(args.store)
+    if store is None:
+        return 1
+    if args.campaign is None:
+        print(json.dumps({"campaigns": store.campaigns()}, indent=2, default=str))
+        return 0
+    record = store.campaign(args.campaign)
+    if record is None:
+        print(f"no campaign {args.campaign}", file=sys.stderr)
+        return 1
+    keys = store.campaign_keys(args.campaign)
+    stored = len(store.present_keys(keys))
+    record.pop("spec_json", None)
+    record.update(total=len(keys), stored=stored, remaining=len(keys) - stored)
+    print(json.dumps(record, indent=2, default=str))
+    return 0
+
+
+def _cmd_results(args: argparse.Namespace) -> int:
+    from repro.service.service import render_stored_campaign
+
+    store = _open_store_readonly(args.store)
+    if store is None:
+        return 1
+    try:
+        print(render_stored_campaign(store, args.campaign))
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.service.api import make_server
+
+    with Service(
+        store_path=args.store, max_workers=args.workers,
+        resume=not args.no_resume,
+    ) as service:
+        server = make_server(service, host=args.host, port=args.port)
+        host, port = server.server_address[:2]
+        print(f"repro service on http://{host}:{port} "
+              f"(store: {service.store.path})", file=sys.stderr)
+        try:
+            server.serve_forever()
+        except KeyboardInterrupt:
+            pass
+        finally:
+            server.shutdown()
+            server.server_close()
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "presets":
+        print("\n".join(presets.preset_names()))
+        return 0
+    handler = {
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "results": _cmd_results,
+        "serve": _cmd_serve,
+    }[args.command]
+    return handler(args)

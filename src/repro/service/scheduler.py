@@ -1,0 +1,365 @@
+"""Async campaign scheduler over the existing process pool.
+
+The scheduler is an ``asyncio`` front-end: campaigns are compiled to job
+lists, jobs already present in the persistent store are skipped outright
+(resubmission is near-free), and the remaining jobs are **batched by trace
+identity** — every job that replays the same ``(workload, target_accesses,
+seed, num_nodes)`` trace is grouped into one batch so a worker process
+generates (or inherits) that packed trace once and sweeps every
+configuration over it, exactly like ``run_parallel``'s preloading.  Batches
+flow through a priority queue (campaign priority first, submission order
+second) to a pool of worker tasks, each of which drives one
+``ProcessPoolExecutor`` slot; with ``max_workers <= 1`` batches execute
+inline in-process, which is also the automatic fallback when no process
+pool can be created.
+
+Results are written to the store the moment a batch completes, so a crash
+loses at most the in-flight batches: on restart, :meth:`Scheduler.resume`
+re-submits every campaign that never reached a terminal status, and only
+the missing points run (locked in by ``tests/test_service.py``).  Failures
+are isolated per job; a campaign with failed points finishes ``failed``
+(terminal — never auto-retried), and because its successful points are
+already stored, resubmitting it recomputes only the failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.experiments.runner import default_parallel_workers
+from repro.service.spec import Campaign, Job
+from repro.service.store import ResultStore
+
+
+def execute_batch(
+    jobs: Sequence[Job],
+) -> List[Tuple[str, str, str, Optional[List[Dict[str, object]]], Optional[str]]]:
+    """Run one batch of jobs (in a worker process or inline).
+
+    Jobs in a batch share a trace identity, so the first job generates the
+    packed trace and the rest sweep their configurations over the cached
+    copy (``trace_for``'s lru_cache / the shared result cache).
+
+    Failures are isolated per job: each outcome tuple carries either the
+    job's rows or an error string, so one bad point never discards its
+    batchmates' completed work.
+    """
+    outcomes = []
+    for job in jobs:
+        try:
+            outcomes.append((job.key, job.job_id, job.workload, job.execute(), None))
+        except Exception as exc:
+            outcomes.append((
+                job.key, job.job_id, job.workload, None,
+                f"{type(exc).__name__}: {exc}",
+            ))
+    return outcomes
+
+
+@dataclass
+class CampaignRun:
+    """Live progress of one submitted campaign."""
+
+    id: int
+    campaign: Campaign
+    jobs: List[Job]
+    cached: int = 0
+    computed: int = 0
+    failed: int = 0
+    remaining: int = 0
+    cancelled: bool = False
+    error: Optional[str] = None
+    done: asyncio.Event = field(default_factory=asyncio.Event)
+
+    @property
+    def total(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def status(self) -> str:
+        if not self.done.is_set():
+            return "running"
+        if self.cancelled:
+            return "cancelled"
+        return "failed" if self.failed else "done"
+
+    def progress(self) -> Dict[str, Any]:
+        """Progress JSON.  ``campaign_id``/``name``/``status``/``total``/
+        ``stored``/``remaining`` form the stable core every front-end can
+        rely on (a store-only view after a restart reports the same keys);
+        the cached/computed/failed split exists only while the run is live
+        in this process."""
+        return {
+            "campaign_id": self.id,
+            "name": self.campaign.name,
+            "experiment": self.campaign.experiment,
+            "status": self.status,
+            "total": self.total,
+            "stored": self.cached + self.computed,
+            "cached": self.cached,
+            "computed": self.computed,
+            "failed": self.failed,
+            "remaining": self.remaining,
+            "error": self.error,
+        }
+
+
+def _batch_jobs(jobs: Sequence[Job], batch_size: int) -> List[List[Job]]:
+    """Group jobs by trace identity, preserving job order within groups."""
+    groups: Dict[Tuple, List[Job]] = {}
+    for job in jobs:
+        identity = (job.workload, job.target_accesses, job.seed, job.num_nodes)
+        groups.setdefault(identity, []).append(job)
+    batches: List[List[Job]] = []
+    for group in groups.values():
+        for start in range(0, len(group), batch_size):
+            batches.append(group[start:start + batch_size])
+    return batches
+
+
+class Scheduler:
+    """Priority-queued async scheduler with store-backed memoization."""
+
+    def __init__(
+        self,
+        store: ResultStore,
+        max_workers: Optional[int] = None,
+        batch_size: int = 64,
+    ) -> None:
+        self.store = store
+        self.max_workers = (
+            max_workers if max_workers is not None else default_parallel_workers()
+        )
+        self.batch_size = max(1, batch_size)
+        self.runs: Dict[int, CampaignRun] = {}
+        self._queue: "asyncio.PriorityQueue[Tuple[int, int, CampaignRun, List[Job]]]" = (
+            asyncio.PriorityQueue()
+        )
+        self._seq = 0
+        self._workers: List[asyncio.Task] = []
+        self._executor = None
+        self._executor_broken = False
+        #: key -> run whose queued batch will compute it (compute dedupe).
+        self._inflight: Dict[str, CampaignRun] = {}
+        #: key -> runs waiting on another run's in-flight computation.
+        self._waiters: Dict[str, List[CampaignRun]] = {}
+
+    # ----------------------------------------------------------- submission
+    async def submit(self, campaign: Campaign) -> CampaignRun:
+        """Compile, dedupe against the store AND in-flight work, enqueue.
+
+        A job already queued or executing for another campaign is not
+        queued again: this run registers as a *waiter* and is credited (as
+        ``cached``) the moment the owning run stores the result — so
+        concurrently submitted overlapping campaigns compute each shared
+        point exactly once.
+        """
+        jobs = campaign.jobs()
+        keys = [job.key for job in jobs]
+        present = self.store.present_keys(keys)
+        # Runtime-only context: points that support it persist their warm
+        # snapshots alongside the results (never part of the job key).
+        context = (("snapshot_store_path", str(self.store.path)),)
+        campaign_id = self.store.create_campaign(
+            json.dumps(campaign.to_dict()), campaign.name, keys
+        )
+        run = CampaignRun(id=campaign_id, campaign=campaign, jobs=jobs)
+        pending = []
+        for job in jobs:
+            if job.key in present:
+                run.cached += 1
+            elif job.key in self._inflight:
+                self._waiters.setdefault(job.key, []).append(run)
+                run.remaining += 1
+            else:
+                self._inflight[job.key] = run
+                pending.append(replace(job, context=context))
+                run.remaining += 1
+        self.runs[campaign_id] = run
+        if run.remaining == 0:
+            self._finish(run)
+            return run
+        for batch in _batch_jobs(pending, self.batch_size):
+            self._seq += 1
+            self._queue.put_nowait((-campaign.priority, self._seq, run, batch))
+        self._ensure_workers()
+        return run
+
+    async def resume(self) -> List[CampaignRun]:
+        """Crash-resume: re-submit every campaign with a non-terminal status.
+
+        Stored points are never recomputed — a resumed campaign only runs
+        the jobs its crashed predecessor had not finished.  The original
+        record is marked ``superseded`` only once its replacement is
+        submitted; a record whose spec can no longer be loaded (corrupt
+        JSON, renamed experiment) is marked ``failed`` and skipped, never
+        blocking the campaigns after it.
+        """
+        resumed = []
+        for record in self.store.unfinished_campaigns():
+            if record["id"] in self.runs:
+                continue  # still actively running in this process
+            try:
+                campaign = Campaign.from_dict(json.loads(record["spec_json"]))
+                run = await self.submit(campaign)
+            except Exception:
+                self.store.set_campaign_status(record["id"], "failed")
+                continue
+            self.store.set_campaign_status(record["id"], "superseded")
+            resumed.append(run)
+        return resumed
+
+    # ------------------------------------------------------------ execution
+    def _ensure_workers(self) -> None:
+        alive = [task for task in self._workers if not task.done()]
+        want = max(1, self.max_workers)
+        while len(alive) < want:
+            alive.append(asyncio.create_task(self._worker()))
+        self._workers = alive
+
+    def _pool(self):
+        if self._executor is None and not self._executor_broken:
+            try:
+                from concurrent.futures import ProcessPoolExecutor
+
+                self._executor = ProcessPoolExecutor(max_workers=self.max_workers)
+            except (ImportError, OSError, PermissionError):
+                self._executor_broken = True
+        return self._executor
+
+    async def _execute(self, batch: List[Job]):
+        loop = asyncio.get_running_loop()
+        if self.max_workers <= 1:
+            # In-process execution, but on the default thread pool: the
+            # event loop (and with it the HTTP front-end) stays responsive
+            # while a batch computes.
+            return await loop.run_in_executor(None, execute_batch, batch)
+        pool = self._pool()
+        if pool is None:
+            return await loop.run_in_executor(None, execute_batch, batch)
+        from concurrent.futures.process import BrokenProcessPool
+
+        try:
+            return await loop.run_in_executor(pool, execute_batch, batch)
+        except BrokenProcessPool:
+            self._executor = None
+            self._executor_broken = True
+            return await loop.run_in_executor(None, execute_batch, batch)
+
+    async def _worker(self) -> None:
+        while True:
+            try:
+                _, _, run, batch = await self._queue.get()
+            except asyncio.CancelledError:
+                return
+            resolved = 0
+            aborted = False
+            try:
+                if run.cancelled:
+                    self._hand_over_cancelled_batch(run, batch)
+                    continue
+                outcomes = await self._execute(batch)
+                for key, job_id, workload, rows, error in outcomes:
+                    self._inflight.pop(key, None)
+                    if error is not None:
+                        run.failed += 1
+                        run.error = error
+                        self._settle_waiters(key, error=error)
+                    else:
+                        self.store.put_result(
+                            key, job_id, run.campaign.experiment, workload, rows
+                        )
+                        run.computed += 1
+                        self._settle_waiters(key)
+                    resolved += 1
+            except asyncio.CancelledError:
+                # close() aborted this batch mid-flight: the campaign is NOT
+                # complete — leave its store status non-terminal so a later
+                # resume() picks it up, and let the cancellation propagate.
+                aborted = True
+                raise
+            except Exception as exc:
+                # Batch-level failure (pool death, store write error): only
+                # the jobs not already resolved above count as failed.
+                message = f"{type(exc).__name__}: {exc}"
+                run.failed += len(batch) - resolved
+                run.error = message
+                for job in batch[resolved:]:
+                    self._inflight.pop(job.key, None)
+                    self._settle_waiters(job.key, error=message)
+            finally:
+                if not aborted and not run.done.is_set():
+                    run.remaining -= len(batch)
+                    if run.remaining <= 0:
+                        self._finish(run)
+                self._queue.task_done()
+
+    def _settle_waiters(self, key: str, error: Optional[str] = None) -> None:
+        """Credit (or fail) every run waiting on another run's in-flight job."""
+        for waiter in self._waiters.pop(key, []):
+            if error is None:
+                waiter.cached += 1
+            else:
+                waiter.failed += 1
+                waiter.error = error
+            if not waiter.done.is_set():
+                waiter.remaining -= 1
+                if waiter.remaining <= 0:
+                    self._finish(waiter)
+
+    def _hand_over_cancelled_batch(self, run: CampaignRun, batch: List[Job]) -> None:
+        """A cancelled run's batch is dropped — but any job other runs are
+        waiting on is re-queued under its first waiter, so cancellation
+        never strands a concurrent campaign."""
+        for job in batch:
+            self._inflight.pop(job.key, None)
+            waiters = self._waiters.pop(job.key, None)
+            if not waiters:
+                continue
+            new_owner, *rest = waiters
+            if rest:
+                self._waiters[job.key] = rest
+            self._inflight[job.key] = new_owner
+            self._seq += 1
+            self._queue.put_nowait(
+                (-new_owner.campaign.priority, self._seq, new_owner, [job])
+            )
+
+    def _finish(self, run: CampaignRun) -> None:
+        run.done.set()
+        self.store.set_campaign_status(run.id, run.status)
+
+    # ------------------------------------------------------------- control
+    async def wait(self, run: CampaignRun) -> CampaignRun:
+        await run.done.wait()
+        return run
+
+    def cancel(self, run: CampaignRun) -> None:
+        """Cancel a run: queued batches are dropped when dequeued; batches
+        already executing complete (their results are still stored)."""
+        run.cancelled = True
+
+    def results(self, run: CampaignRun) -> List[Dict[str, object]]:
+        """The campaign's merged rows in deterministic job order."""
+        merged: List[Dict[str, object]] = []
+        for rows in self.store.campaign_rows(run.id):
+            if rows:
+                merged.extend(rows)
+        return merged
+
+    async def close(self) -> None:
+        for task in self._workers:
+            task.cancel()
+        for task in self._workers:
+            try:
+                await task
+            except asyncio.CancelledError:
+                pass
+        self._workers = []
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None

@@ -1,0 +1,184 @@
+"""The service runtime: one store + one scheduler on a background loop.
+
+:class:`Service` is the synchronous facade both front-ends (HTTP handlers
+and the CLI) drive: it owns a :class:`~repro.service.store.ResultStore`, an
+event loop running on a daemon thread, and a
+:class:`~repro.service.scheduler.Scheduler` living on that loop.  All
+methods are thread-safe (they marshal onto the loop), so any number of
+HTTP handler threads can submit and poll concurrently.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import threading
+
+from typing import Any, Dict, List, Optional
+
+from repro.service.scheduler import CampaignRun, Scheduler
+from repro.service.spec import Campaign
+from repro.service.store import ResultStore
+
+
+def default_service_workers() -> int:
+    """Scheduler worker count: ``REPRO_SERVICE_WORKERS``, else the parallel
+    runner's default (``REPRO_PARALLEL_WORKERS`` / CPU count)."""
+    env = os.environ.get("REPRO_SERVICE_WORKERS")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    from repro.experiments.runner import default_parallel_workers
+
+    return default_parallel_workers()
+
+
+def default_batch_size() -> int:
+    """Jobs per scheduler batch: ``REPRO_SERVICE_BATCH`` (default 64)."""
+    env = os.environ.get("REPRO_SERVICE_BATCH")
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    return 64
+
+
+def render_stored_campaign(store: ResultStore, campaign_id: int) -> str:
+    """Render a stored campaign's table straight from the store.
+
+    Read-only — no scheduler or event loop required (the ``results`` CLI
+    subcommand uses this directly).
+    """
+    record = store.campaign(campaign_id)
+    if record is None:
+        raise KeyError(f"no campaign {campaign_id}")
+    campaign = Campaign.from_dict(json.loads(record["spec_json"]))
+    rows: List[Dict[str, object]] = []
+    for job_rows in store.campaign_rows(campaign_id):
+        if job_rows:
+            rows.extend(job_rows)
+    return campaign.render(rows)
+
+
+class Service:
+    """Thread-safe facade over the async scheduler (used by HTTP and CLI)."""
+
+    def __init__(
+        self,
+        store_path: Optional[os.PathLike] = None,
+        max_workers: Optional[int] = None,
+        batch_size: Optional[int] = None,
+        resume: bool = False,
+    ) -> None:
+        self.store = ResultStore(store_path)
+        self.scheduler = Scheduler(
+            self.store,
+            max_workers=(
+                max_workers if max_workers is not None else default_service_workers()
+            ),
+            batch_size=batch_size if batch_size is not None else default_batch_size(),
+        )
+        self._loop = asyncio.new_event_loop()
+        self._thread = threading.Thread(
+            target=self._loop.run_forever, name="repro-service-loop", daemon=True
+        )
+        self._thread.start()
+        if resume:
+            self.resume()
+
+    # ------------------------------------------------------------- plumbing
+    def _call(self, coroutine, timeout: Optional[float] = None):
+        return asyncio.run_coroutine_threadsafe(coroutine, self._loop).result(timeout)
+
+    # ------------------------------------------------------------------ API
+    def submit(
+        self,
+        campaign: Campaign,
+        wait: bool = False,
+        timeout: Optional[float] = None,
+    ) -> CampaignRun:
+        run = self._call(self.scheduler.submit(campaign))
+        if wait:
+            self.wait(run, timeout=timeout)
+        return run
+
+    def wait(self, run: CampaignRun, timeout: Optional[float] = None) -> CampaignRun:
+        return self._call(self.scheduler.wait(run), timeout=timeout)
+
+    def resume(self) -> List[CampaignRun]:
+        """Re-submit campaigns an earlier (crashed) process left unfinished."""
+        return self._call(self.scheduler.resume())
+
+    def cancel(self, campaign_id: int) -> bool:
+        run = self.scheduler.runs.get(campaign_id)
+        if run is None:
+            return False
+        self._loop.call_soon_threadsafe(self.scheduler.cancel, run)
+        return True
+
+    def progress(self, campaign_id: int) -> Optional[Dict[str, Any]]:
+        """Live progress when the campaign runs here, else the stored record.
+
+        Both views share the stable core keys ``campaign_id`` / ``name`` /
+        ``status`` / ``total`` / ``stored`` / ``remaining``; the live view
+        adds the cached/computed/failed split (unknowable after a restart).
+        """
+        run = self.scheduler.runs.get(campaign_id)
+        if run is not None:
+            return run.progress()
+        record = self.store.campaign(campaign_id)
+        if record is None:
+            return None
+        keys = self.store.campaign_keys(campaign_id)
+        stored = len(self.store.present_keys(keys))
+        return {
+            "campaign_id": record["id"],
+            "name": record["name"],
+            "status": record["status"],
+            "total": len(keys),
+            "stored": stored,
+            "remaining": len(keys) - stored,
+        }
+
+    def results(self, run: CampaignRun) -> List[Dict[str, object]]:
+        """Merged rows in job order, with the spec's finalize hook applied —
+        so machine-readable rows carry the same columns as the rendered
+        table (e.g. fig10's ``fraction_of_peak``)."""
+        return run.campaign.finalize_rows(self.scheduler.results(run))
+
+    def rows_and_table(self, run: CampaignRun):
+        """Finalized rows plus the rendered table from a single store read
+        (the HTTP wait path returns both for the same campaign)."""
+        rows = self.results(run)
+        spec = run.campaign.spec()
+        from repro.experiments.runner import format_table
+
+        return rows, spec.title + "\n" + format_table(rows, spec.columns)
+
+    def render(self, run: CampaignRun) -> str:
+        """The campaign's table, bit-identical to the experiment module CLI."""
+        # Raw scheduler rows: Campaign.render applies the finalize hook
+        # itself, exactly once.
+        return run.campaign.render(self.scheduler.results(run))
+
+    def render_campaign(self, campaign_id: int) -> str:
+        """Render a stored campaign (possibly from an earlier process)."""
+        return render_stored_campaign(self.store, campaign_id)
+
+    def close(self) -> None:
+        try:
+            self._call(self.scheduler.close(), timeout=30)
+        finally:
+            self._loop.call_soon_threadsafe(self._loop.stop)
+            self._thread.join(timeout=10)
+            self._loop.close()
+
+    def __enter__(self) -> "Service":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,274 @@
+"""Persistent result store (stdlib ``sqlite3``).
+
+Completed sweep points are stored keyed by the canonical determinism-key
+text of their :class:`~repro.service.spec.Job` — the same key domain the
+in-process cache uses — so results survive restarts, resubmitted campaigns
+recompute nothing, and any number of campaigns share one copy of each
+point.  Campaign membership (ordering included) is stored separately, so a
+campaign's table can always be reassembled row-for-row.
+
+Connections are opened per operation (cheap for this workload) which makes
+the store trivially safe to use from the scheduler's event-loop thread, the
+HTTP server's handler threads, and pool worker processes at the same time;
+WAL journaling plus a busy timeout handles the cross-process writes.
+
+Garbage collection is routed through the cache-management entry point::
+
+    python -m repro.experiments.cache --clear [--store PATH]
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import time
+
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+#: Environment variable naming the default store location.
+STORE_ENV = "REPRO_SERVICE_STORE"
+
+#: Default store path when ``REPRO_SERVICE_STORE`` is unset.
+DEFAULT_STORE = ".repro/service.sqlite"
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS results (
+    key        TEXT PRIMARY KEY,
+    job_id     TEXT NOT NULL,
+    experiment TEXT NOT NULL,
+    workload   TEXT NOT NULL,
+    rows_json  TEXT NOT NULL,
+    created    REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_results_job_id ON results(job_id);
+CREATE INDEX IF NOT EXISTS idx_results_workload ON results(workload);
+CREATE TABLE IF NOT EXISTS campaigns (
+    id        INTEGER PRIMARY KEY AUTOINCREMENT,
+    name      TEXT NOT NULL,
+    spec_json TEXT NOT NULL,
+    status    TEXT NOT NULL,
+    created   REAL NOT NULL,
+    finished  REAL
+);
+CREATE TABLE IF NOT EXISTS campaign_jobs (
+    campaign_id INTEGER NOT NULL,
+    position    INTEGER NOT NULL,
+    key         TEXT NOT NULL,
+    PRIMARY KEY (campaign_id, position)
+);
+"""
+
+
+def default_store_path() -> Path:
+    """Store location: ``REPRO_SERVICE_STORE`` or ``.repro/service.sqlite``."""
+    return Path(os.environ.get(STORE_ENV) or DEFAULT_STORE)
+
+
+class ResultStore:
+    """Durable campaign/result storage over one sqlite file."""
+
+    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        from repro.tse.snapshot import PersistentSnapshotStore
+
+        self.path = Path(path) if path is not None else default_store_path()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.executescript(_SCHEMA)
+        # The snapshots table shares this file but its DDL has exactly one
+        # owner: PersistentSnapshotStore (warm-state snapshot persistence).
+        PersistentSnapshotStore(self.path)
+
+    @staticmethod
+    def exists(path: Optional[os.PathLike] = None) -> bool:
+        """Whether a store file already exists (without creating one)."""
+        return Path(path if path is not None else default_store_path()).is_file()
+
+    def _connect(self) -> sqlite3.Connection:
+        from repro.common.sqlitedb import connect
+
+        return connect(self.path, row_factory=sqlite3.Row)
+
+    # ------------------------------------------------------------- results
+    def put_result(
+        self, key: str, job_id: str, experiment: str, workload: str,
+        rows: List[Dict[str, object]],
+    ) -> None:
+        """Store one job's rows.  Idempotent: a key is written at most once
+        (results are deterministic, so first-write-wins loses nothing)."""
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO results "
+                "(key, job_id, experiment, workload, rows_json, created) "
+                "VALUES (?, ?, ?, ?, ?, ?)",
+                (key, job_id, experiment, workload, json.dumps(rows), time.time()),
+            )
+
+    def get_result(self, key: str) -> Optional[List[Dict[str, object]]]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT rows_json FROM results WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else json.loads(row["rows_json"])
+
+    def get_job(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """Look one job up by its short id (``GET /jobs/<id>``)."""
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT key, job_id, experiment, workload, rows_json, created "
+                "FROM results WHERE job_id = ?", (job_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        record = dict(row)
+        record["rows"] = json.loads(record.pop("rows_json"))
+        return record
+
+    def present_keys(self, keys: Sequence[str]) -> Set[str]:
+        """The subset of ``keys`` that already has a stored result."""
+        present: Set[str] = set()
+        if not keys:
+            return present
+        with self._connect() as conn:
+            chunk = 500  # stay under sqlite's bound-parameter limit
+            for start in range(0, len(keys), chunk):
+                part = list(keys[start:start + chunk])
+                marks = ",".join("?" * len(part))
+                rows = conn.execute(
+                    f"SELECT key FROM results WHERE key IN ({marks})", part
+                ).fetchall()
+                present.update(row["key"] for row in rows)
+        return present
+
+    def query_results(
+        self,
+        experiment: Optional[str] = None,
+        workload: Optional[str] = None,
+        limit: int = 1000,
+    ) -> List[Dict[str, Any]]:
+        """Filterable result listing (``GET /results``)."""
+        clauses, params = [], []
+        if experiment:
+            clauses.append("experiment = ?")
+            params.append(experiment)
+        if workload:
+            clauses.append("workload = ?")
+            params.append(workload)
+        where = f"WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT key, job_id, experiment, workload, rows_json, created "
+                f"FROM results {where} ORDER BY created, key LIMIT ?",
+                (*params, int(limit)),
+            ).fetchall()
+        records = []
+        for row in rows:
+            record = dict(row)
+            record["rows"] = json.loads(record.pop("rows_json"))
+            records.append(record)
+        return records
+
+    # ----------------------------------------------------------- campaigns
+    def create_campaign(self, spec_json: str, name: str, keys: Sequence[str]) -> int:
+        with self._connect() as conn:
+            cursor = conn.execute(
+                "INSERT INTO campaigns (name, spec_json, status, created) "
+                "VALUES (?, ?, 'running', ?)",
+                (name, spec_json, time.time()),
+            )
+            campaign_id = int(cursor.lastrowid)
+            conn.executemany(
+                "INSERT INTO campaign_jobs (campaign_id, position, key) "
+                "VALUES (?, ?, ?)",
+                [(campaign_id, position, key) for position, key in enumerate(keys)],
+            )
+        return campaign_id
+
+    def set_campaign_status(self, campaign_id: int, status: str) -> None:
+        finished = time.time() if status in ("done", "failed", "cancelled") else None
+        with self._connect() as conn:
+            conn.execute(
+                "UPDATE campaigns SET status = ?, finished = ? WHERE id = ?",
+                (status, finished, campaign_id),
+            )
+
+    def campaigns(self) -> List[Dict[str, Any]]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT c.id, c.name, c.status, c.created, c.finished, "
+                "       COUNT(j.key) AS total, COUNT(r.key) AS stored "
+                "FROM campaigns c "
+                "LEFT JOIN campaign_jobs j ON j.campaign_id = c.id "
+                "LEFT JOIN results r ON r.key = j.key "
+                "GROUP BY c.id ORDER BY c.id"
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    def campaign(self, campaign_id: int) -> Optional[Dict[str, Any]]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT id, name, spec_json, status, created, finished "
+                "FROM campaigns WHERE id = ?", (campaign_id,)
+            ).fetchone()
+        return None if row is None else dict(row)
+
+    def campaign_keys(self, campaign_id: int) -> List[str]:
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT key FROM campaign_jobs WHERE campaign_id = ? "
+                "ORDER BY position", (campaign_id,)
+            ).fetchall()
+        return [row["key"] for row in rows]
+
+    def campaign_rows(self, campaign_id: int) -> List[Optional[List[Dict[str, object]]]]:
+        """Each job's stored rows in campaign order (``None`` = not yet run)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT r.rows_json AS rows_json "
+                "FROM campaign_jobs j LEFT JOIN results r ON r.key = j.key "
+                "WHERE j.campaign_id = ? ORDER BY j.position", (campaign_id,)
+            ).fetchall()
+        return [
+            None if row["rows_json"] is None else json.loads(row["rows_json"])
+            for row in rows
+        ]
+
+    def unfinished_campaigns(self) -> List[Dict[str, Any]]:
+        """Campaigns whose status never reached a terminal state (crash-resume).
+
+        ``superseded`` (a crashed record already replaced by a resumed one)
+        is terminal too — otherwise every restart would resubmit it again.
+        """
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT id, name, spec_json, status, created FROM campaigns "
+                "WHERE status NOT IN ('done', 'failed', 'cancelled', 'superseded') "
+                "ORDER BY id"
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    # ----------------------------------------------------------- lifecycle
+    def stats(self) -> Dict[str, Any]:
+        with self._connect() as conn:
+            results = conn.execute("SELECT COUNT(*) AS n FROM results").fetchone()["n"]
+            campaigns = conn.execute("SELECT COUNT(*) AS n FROM campaigns").fetchone()["n"]
+            snapshots = conn.execute("SELECT COUNT(*) AS n FROM snapshots").fetchone()["n"]
+        return {
+            "path": str(self.path),
+            "results": results,
+            "campaigns": campaigns,
+            "snapshots": snapshots,
+            "bytes": self.path.stat().st_size if self.path.exists() else 0,
+        }
+
+    def clear(self) -> Dict[str, int]:
+        """Drop every stored result, campaign, and snapshot (the store GC)."""
+        with self._connect() as conn:
+            counts = {
+                "results": conn.execute("DELETE FROM results").rowcount,
+                "campaigns": conn.execute("DELETE FROM campaigns").rowcount,
+                "campaign_jobs": conn.execute("DELETE FROM campaign_jobs").rowcount,
+                "snapshots": conn.execute("DELETE FROM snapshots").rowcount,
+            }
+        return counts

@@ -12,7 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
-from repro.common.config import PAPER_LOOKAHEAD, SystemConfig, TSEConfig
+from repro.common.config import (
+    DEFAULT_WARMUP_FRACTION,
+    PAPER_LOOKAHEAD,
+    SystemConfig,
+    TSEConfig,
+)
 from repro.common.chunk import ChunkedTrace
 from repro.common.types import AccessTrace
 from repro.system.timing import TimingComparison, TimingSimulator
@@ -98,7 +103,7 @@ class DSMSystem:
         self,
         trace: AccessTrace,
         tse_config: Optional[TSEConfig] = None,
-        warmup_fraction: float = 0.3,
+        warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
         account_traffic: bool = False,
     ) -> TSEStats:
         """Trace-driven TSE analysis (coverage / discards / traffic)."""
@@ -123,7 +128,7 @@ class DSMSystem:
         target_accesses: int = 200_000,
         seed: int = 42,
         with_timing: bool = True,
-        warmup_fraction: float = 0.3,
+        warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     ) -> SystemComparison:
         """End-to-end convenience: generate, analyze, and (optionally) time."""
         trace = self.generate_trace(workload, target_accesses=target_accesses, seed=seed)

@@ -39,7 +39,11 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import enum
 
 from repro.common.chunk import ChunkedTrace, TraceChunk, stream_chunk_size
-from repro.common.config import InterconnectConfig, TSEConfig
+from repro.common.config import (
+    DEFAULT_WARMUP_FRACTION,
+    InterconnectConfig,
+    TSEConfig,
+)
 from repro.common.stats import Histogram, ratio
 from repro.common.types import (
     TYPE_IS_WRITE,
@@ -608,9 +612,14 @@ def run_tse_on_trace(
     tse_config: Optional[TSEConfig] = None,
     account_traffic: bool = False,
     interconnect_config: Optional[InterconnectConfig] = None,
-    warmup_fraction: float = 0.0,
+    warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
 ) -> TSEStats:
-    """Convenience wrapper: build a simulator for the trace and run it."""
+    """Convenience wrapper: build a simulator for the trace and run it.
+
+    Defaults to the experiment harness's shared
+    :data:`~repro.common.config.DEFAULT_WARMUP_FRACTION` warm-up window; pass
+    ``warmup_fraction=0.0`` to measure from the first access.
+    """
     simulator = TSESimulator(
         trace.num_nodes,
         tse_config=tse_config,

@@ -30,7 +30,10 @@ disabled simply by not using this module (nothing in the plain
 from __future__ import annotations
 
 import pickle
-from typing import Dict, List, Optional, Tuple
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, List, MutableMapping, Optional, Tuple
 
 from repro.common.chunk import TraceChunk
 from repro.common.config import TSEConfig
@@ -40,8 +43,10 @@ __all__ = [
     "capture",
     "restore",
     "warm_tse_run",
+    "snapshot_key",
     "clear_snapshots",
     "snapshot_info",
+    "PersistentSnapshotStore",
 ]
 
 
@@ -62,10 +67,80 @@ def restore(snapshot: bytes) -> TSESimulator:
     return pickle.loads(snapshot)
 
 
-#: Process-wide snapshot cache: determinism key -> pickled simulator.
-_SNAPSHOTS: Dict[Tuple, bytes] = {}
+#: Process-wide snapshot cache: determinism-key text -> pickled simulator.
+_SNAPSHOTS: Dict[str, bytes] = {}
 _HITS = 0
 _MISSES = 0
+
+
+def snapshot_key(
+    workload: str,
+    warm_accesses: int,
+    total_accesses: int,
+    seed: int,
+    num_nodes: int,
+    config: TSEConfig,
+) -> str:
+    """Canonical text key of one warm-state point (stable across processes)."""
+    return repr((workload, warm_accesses, total_accesses, seed, num_nodes, config))
+
+
+class PersistentSnapshotStore(MutableMapping):
+    """A sqlite-backed snapshot mapping (text key -> pickled simulator).
+
+    Drop-in replacement for the in-process snapshot dict that survives
+    restarts and is shared between scheduler worker processes — pass it to
+    :func:`warm_tse_run` as ``snapshot_store``.  It points at the service
+    result store's sqlite file by default (same ``snapshots`` table the
+    store GC clears), but any path works.  Writes are first-write-wins:
+    snapshots are deterministic per key, so a concurrent duplicate insert
+    loses nothing.
+    """
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as conn:
+            conn.execute(
+                "CREATE TABLE IF NOT EXISTS snapshots ("
+                "key TEXT PRIMARY KEY, payload BLOB NOT NULL, created REAL NOT NULL)"
+            )
+
+    def _connect(self) -> sqlite3.Connection:
+        from repro.common.sqlitedb import connect
+
+        return connect(self.path)
+
+    def __getitem__(self, key: str) -> bytes:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT payload FROM snapshots WHERE key = ?", (key,)
+            ).fetchone()
+        if row is None:
+            raise KeyError(key)
+        return row[0]
+
+    def __setitem__(self, key: str, payload: bytes) -> None:
+        with self._connect() as conn:
+            conn.execute(
+                "INSERT OR IGNORE INTO snapshots (key, payload, created) "
+                "VALUES (?, ?, ?)",
+                (key, sqlite3.Binary(payload), time.time()),
+            )
+
+    def __delitem__(self, key: str) -> None:
+        with self._connect() as conn:
+            if conn.execute("DELETE FROM snapshots WHERE key = ?", (key,)).rowcount == 0:
+                raise KeyError(key)
+
+    def __iter__(self):
+        with self._connect() as conn:
+            keys = [row[0] for row in conn.execute("SELECT key FROM snapshots")]
+        return iter(keys)
+
+    def __len__(self) -> int:
+        with self._connect() as conn:
+            return conn.execute("SELECT COUNT(*) FROM snapshots").fetchone()[0]
 
 
 def clear_snapshots() -> None:
@@ -117,6 +192,7 @@ def warm_tse_run(
     seed: int = 42,
     num_nodes: int = 16,
     use_snapshot: bool = True,
+    snapshot_store: Optional[MutableMapping] = None,
 ) -> TSEStats:
     """Run ``measure_accesses`` of a workload after a ``warm_accesses`` ramp.
 
@@ -127,6 +203,11 @@ def warm_tse_run(
     later run of the same point skips straight to the measurement window;
     with ``use_snapshot=False`` the ramp is replayed, which is the
     bit-identity reference the tests compare against.
+
+    ``snapshot_store`` substitutes a different mapping for the in-process
+    snapshot cache — pass a :class:`PersistentSnapshotStore` to share warm
+    state across worker processes and restarts (the service scheduler does
+    this for warm-state campaigns).
     """
     global _HITS, _MISSES
     if warm_accesses < 0 or measure_accesses <= 0:
@@ -137,10 +218,11 @@ def warm_tse_run(
     trace = trace_for(workload, warm_accesses + measure_accesses, seed, num_nodes)
     warm_chunks, measure_chunks = _split_chunks(trace.chunks(), warm_accesses)
 
-    key = (workload, warm_accesses, len(trace), seed, num_nodes, config)
+    store = snapshot_store if snapshot_store is not None else _SNAPSHOTS
+    key = snapshot_key(workload, warm_accesses, len(trace), seed, num_nodes, config)
     simulator: Optional[TSESimulator] = None
     if use_snapshot:
-        payload = _SNAPSHOTS.get(key)
+        payload = store.get(key)
         if payload is not None:
             _HITS += 1
             simulator = restore(payload)
@@ -150,6 +232,6 @@ def warm_tse_run(
             simulator._replay_chunk(chunk)
         if use_snapshot:
             _MISSES += 1
-            _SNAPSHOTS[key] = capture(simulator)
+            store[key] = capture(simulator)
     simulator.reset_stats(workload)
     return simulator.run_chunks(measure_chunks, name=workload)

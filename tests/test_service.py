@@ -1,0 +1,574 @@
+"""Tests for the simulation-as-a-service subsystem (``repro.service``).
+
+Covers the persistent store (round-trip, idempotence), campaign specs
+(deterministic compilation, JSON normalization), the async scheduler
+(idempotent resubmission, batching determinism, crash-resume with zero
+recompute), the HTTP front-end over a loopback server, bit-identity of the
+fig12/fig14 preset tables against the experiment modules' direct CLI
+output, and the shared warm-up constant.
+"""
+
+import inspect
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.common.config import DEFAULT_WARMUP_FRACTION, TSEConfig
+from repro.experiments.runner import format_table
+from repro.service import Campaign, ResultStore, Service
+from repro.service.presets import campaign as preset_campaign
+from repro.service.presets import preset_names
+from repro.service.spec import Job
+
+#: Small but non-trivial trace size (streams actually form).
+ACCESSES = 5_000
+
+
+@pytest.fixture()
+def store(tmp_path):
+    return ResultStore(tmp_path / "store.sqlite")
+
+
+def tiny_campaign(**overrides):
+    defaults = dict(workloads=("db2",), target_accesses=ACCESSES)
+    defaults.update(overrides)
+    return preset_campaign("fig09", **defaults)
+
+
+class TestResultStore:
+    def test_round_trip(self, store):
+        rows = [{"workload": "db2", "coverage": 0.375, "svb": "2k"}]
+        store.put_result("key-1", "job-1", "exp", "db2", rows)
+        assert store.get_result("key-1") == rows
+        assert store.get_result("missing") is None
+        assert store.present_keys(["key-1", "missing"]) == {"key-1"}
+
+    def test_put_is_idempotent_first_write_wins(self, store):
+        store.put_result("key-1", "job-1", "exp", "db2", [{"coverage": 0.1}])
+        store.put_result("key-1", "job-1", "exp", "db2", [{"coverage": 0.9}])
+        assert store.get_result("key-1") == [{"coverage": 0.1}]
+        assert store.stats()["results"] == 1
+
+    def test_floats_round_trip_exactly(self, store):
+        value = 0.1 + 0.2  # not representable prettily; repr round-trips
+        store.put_result("key-f", "job-f", "exp", "db2", [{"x": value}])
+        assert store.get_result("key-f")[0]["x"] == value
+
+    def test_campaign_rows_preserve_job_order(self, store):
+        keys = ["key-b", "key-a", "key-c"]
+        campaign_id = store.create_campaign("{}", "test", keys)
+        store.put_result("key-a", "ja", "exp", "db2", [{"row": "a"}])
+        store.put_result("key-b", "jb", "exp", "db2", [{"row": "b"}])
+        rows = store.campaign_rows(campaign_id)
+        assert rows == [[{"row": "b"}], [{"row": "a"}], None]
+
+    def test_clear_routes_gc(self, store):
+        store.put_result("key-1", "job-1", "exp", "db2", [{}])
+        store.create_campaign("{}", "test", ["key-1"])
+        counts = store.clear()
+        assert counts["results"] == 1 and counts["campaigns"] == 1
+        assert store.stats()["results"] == 0
+
+
+class TestCampaignSpec:
+    def test_jobs_follow_run_parallel_order(self):
+        camp = Campaign(
+            name="t", experiment="repro.experiments.fig08_lookahead",
+            workloads=("db2", "em3d"), configs=(2, 4),
+            trace_sizes=(ACCESSES,),
+        )
+        grid = [(job.workload, job.config) for job in camp.jobs()]
+        assert grid == [("db2", 2), ("db2", 4), ("em3d", 2), ("em3d", 4)]
+
+    def test_json_round_trip_preserves_keys(self):
+        camp = Campaign(
+            name="t", experiment="repro.experiments.fig09_svb",
+            workloads=("db2",),
+            configs=(("2k", 32), ("inf", 1 << 20)),  # tuple cells
+            trace_sizes=(ACCESSES,),
+            shared=(("lookahead", 8),),
+        )
+        reloaded = Campaign.from_dict(json.loads(json.dumps(camp.to_dict())))
+        assert [job.key for job in reloaded.jobs()] == [job.key for job in camp.jobs()]
+
+    def test_tse_config_cells_round_trip(self):
+        camp = Campaign(
+            name="t", experiment="repro.experiments.fig08_lookahead",
+            workloads=("db2",),
+            configs=(TSEConfig.paper_default(lookahead=4),),
+            trace_sizes=(ACCESSES,),
+        )
+        reloaded = Campaign.from_dict(json.loads(json.dumps(camp.to_dict())))
+        assert reloaded.configs == camp.configs
+        assert [job.key for job in reloaded.jobs()] == [job.key for job in camp.jobs()]
+
+    def test_unknown_fields_rejected(self):
+        with pytest.raises(ValueError):
+            Campaign.from_dict({"name": "x", "experiment": "e",
+                                "workloads": ["db2"], "bogus": 1})
+
+    def test_list_valued_inputs_normalized_at_construction(self):
+        """Lists (natural Python input) and their JSON round trip compile
+        byte-identical job keys — crash-resume dedupe depends on this."""
+        camp = Campaign(
+            name="t", experiment="repro.experiments.fig06_correlation",
+            workloads=["db2"],  # type: ignore[arg-type]
+            trace_sizes=[ACCESSES],  # type: ignore[arg-type]
+            shared=(("distances", [1, 2, 4]),),  # list value inside shared
+        )
+        reloaded = Campaign.from_dict(json.loads(json.dumps(camp.to_dict())))
+        assert [job.key for job in reloaded.jobs()] == [job.key for job in camp.jobs()]
+        assert camp.jobs()[0].shared == (("distances", (1, 2, 4)),)
+
+    def test_workload_names_validated_at_construction(self):
+        with pytest.raises(ValueError, match="unknown workloads"):
+            Campaign(name="t", experiment="repro.experiments.fig09_svb",
+                     workloads=("dbb2",))
+        with pytest.raises(ValueError, match="unknown workloads"):
+            # A bare string explodes into characters — must not compile.
+            Campaign(name="t", experiment="repro.experiments.fig09_svb",
+                     workloads="db2")  # type: ignore[arg-type]
+
+    def test_non_repro_experiment_rejected(self):
+        from repro.service.spec import spec_for
+
+        with pytest.raises(ValueError):
+            spec_for("os")  # arbitrary module import must be refused
+        with pytest.raises(ValueError):
+            spec_for("repro.experiments.nonexistent")
+
+    def test_preset_defaults_compile(self):
+        for name in preset_names():
+            camp = preset_campaign(name, target_accesses=ACCESSES)
+            jobs = camp.jobs()
+            assert jobs and all(isinstance(job, Job) for job in jobs)
+
+
+class TestSchedulerAndService:
+    def test_idempotent_resubmit_recomputes_zero(self, tmp_path):
+        """ISSUE acceptance: the second submission computes nothing."""
+        camp = tiny_campaign()
+        with Service(store_path=tmp_path / "s.sqlite", max_workers=1) as service:
+            first = service.submit(camp, wait=True)
+            assert first.status == "done"
+            assert first.computed == first.total and first.cached == 0
+            second = service.submit(camp, wait=True)
+            assert second.cached == second.total and second.computed == 0
+            assert service.render(second) == service.render(first)
+
+    def test_resubmit_survives_restart(self, tmp_path):
+        camp = tiny_campaign()
+        with Service(store_path=tmp_path / "s.sqlite", max_workers=1) as service:
+            table = service.render(service.submit(camp, wait=True))
+        # Fresh process-equivalent: new Service over the same store file.
+        with Service(store_path=tmp_path / "s.sqlite", max_workers=1) as service:
+            run = service.submit(camp, wait=True)
+            assert run.computed == 0 and run.cached == run.total
+            assert service.render(run) == table
+
+    def test_batching_deterministic_vs_serial(self, tmp_path):
+        """Any batch size produces the same stored rows as one-job batches."""
+        camp = preset_campaign(
+            "fig08", workloads=("db2", "em3d"), target_accesses=ACCESSES
+        )
+        tables = []
+        for index, batch_size in enumerate((1, 3, 64)):
+            with Service(
+                store_path=tmp_path / f"b{index}.sqlite",
+                max_workers=1, batch_size=batch_size,
+            ) as service:
+                tables.append(service.render(service.submit(camp, wait=True)))
+        assert tables[0] == tables[1] == tables[2]
+
+    def test_crash_resume_skips_stored_points(self, tmp_path, monkeypatch):
+        """Kill mid-campaign, restart, and only the missing points run."""
+        camp = tiny_campaign()
+        jobs = camp.jobs()
+        store_path = tmp_path / "s.sqlite"
+        store = ResultStore(store_path)
+        # Simulate the crashed process: campaign recorded as running, the
+        # first two points stored, the rest never finished.
+        done, missing = jobs[:2], jobs[2:]
+        for job in done:
+            store.put_result(job.key, job.job_id, job.experiment,
+                             job.workload, job.execute())
+        store.create_campaign(
+            json.dumps(camp.to_dict()), camp.name, [job.key for job in jobs]
+        )
+
+        executed = []
+        import repro.service.scheduler as scheduler_module
+
+        real_execute = scheduler_module.execute_batch
+
+        def counting_execute(batch):
+            executed.extend(job.key for job in batch)
+            return real_execute(batch)
+
+        monkeypatch.setattr(scheduler_module, "execute_batch", counting_execute)
+        with Service(store_path=store_path, max_workers=1) as service:
+            resumed = service.resume()
+            assert len(resumed) == 1
+            run = service.wait(resumed[0])
+            assert run.status == "done"
+            assert run.cached == len(done) and run.computed == len(missing)
+        assert sorted(executed) == sorted(job.key for job in missing)
+        # ... and the resumed campaign's table is complete.
+        assert store.campaign_rows(resumed[0].id).count(None) == 0
+
+    def test_failed_job_does_not_poison_its_batch(self, tmp_path):
+        """One bad point: batchmates' results are stored, only it fails."""
+        camp = Campaign(
+            name="mixed", experiment="repro.experiments.fig09_svb",
+            workloads=("db2",),
+            configs=(("2k", 32), "bogus-config"),  # second cell cannot unpack
+            trace_sizes=(ACCESSES,), shared=(("lookahead", 8),),
+        )
+        with Service(store_path=tmp_path / "s.sqlite", max_workers=1) as service:
+            run = service.submit(camp, wait=True)
+            assert run.status == "failed"
+            assert run.computed == 1 and run.failed == 1
+            assert run.error  # the unpack failure is reported
+            # Resubmission retries only the failed point; the good one is cached.
+            rerun = service.submit(camp, wait=True)
+            assert rerun.cached == 1 and rerun.computed == 0 and rerun.failed == 1
+
+    def test_second_restart_does_not_resubmit_superseded(self, tmp_path):
+        camp = tiny_campaign()
+        store_path = tmp_path / "s.sqlite"
+        store = ResultStore(store_path)
+        store.create_campaign(json.dumps(camp.to_dict()), camp.name,
+                              [job.key for job in camp.jobs()])
+        with Service(store_path=store_path, max_workers=1) as service:
+            resumed = service.resume()
+            assert len(resumed) == 1
+            service.wait(resumed[0])
+        # A later restart finds only terminal records: nothing to resume.
+        with Service(store_path=store_path, max_workers=1) as service:
+            assert service.resume() == []
+
+    def test_close_mid_campaign_stays_resumable(self, tmp_path, monkeypatch):
+        """Shutting down mid-flight must NOT mark the campaign done: the
+        aborted batch leaves it non-terminal, and a later resume finishes it."""
+        import time
+
+        import repro.service.scheduler as scheduler_module
+
+        real_execute = scheduler_module.execute_batch
+
+        def slow_execute(batch):
+            time.sleep(3)
+            return real_execute(batch)
+
+        monkeypatch.setattr(scheduler_module, "execute_batch", slow_execute)
+        camp = tiny_campaign()
+        store_path = tmp_path / "s.sqlite"
+        service = Service(store_path=store_path, max_workers=1)
+        run = service.submit(camp, wait=False)
+        service.close()  # aborts the in-flight batch
+
+        store = ResultStore(store_path)
+        assert store.campaign(run.id)["status"] == "running"  # non-terminal
+        monkeypatch.setattr(scheduler_module, "execute_batch", real_execute)
+        with Service(store_path=store_path, max_workers=1) as fresh:
+            resumed = fresh.resume()
+            assert len(resumed) == 1
+            done = fresh.wait(resumed[0])
+            assert done.status == "done"
+        assert store.campaign(run.id)["status"] == "superseded"
+        assert store.campaign_rows(done.id).count(None) == 0
+
+    def test_results_rows_include_finalize_columns(self, tmp_path):
+        """fig10's machine-readable rows carry fraction_of_peak, matching
+        the rendered table's columns."""
+        camp = preset_campaign(
+            "fig10", workloads=("db2",), target_accesses=ACCESSES,
+        )
+        with Service(store_path=tmp_path / "s.sqlite", max_workers=1) as service:
+            run = service.submit(camp, wait=True)
+            rows = service.results(run)
+        assert rows and all("fraction_of_peak" in row for row in rows)
+        assert any(row["fraction_of_peak"] == 1.0 for row in rows)
+
+    def test_num_nodes_other_than_16_rejected(self):
+        with pytest.raises(ValueError):
+            Campaign(name="t", experiment="repro.experiments.fig09_svb",
+                     workloads=("db2",), num_nodes=8)
+
+    def test_concurrent_overlapping_campaigns_compute_once(self, tmp_path):
+        """Two campaigns sharing every point, submitted while the first is
+        still queued: the second waits on the in-flight jobs instead of
+        recomputing them."""
+        import asyncio
+
+        from repro.service.scheduler import Scheduler
+
+        async def scenario():
+            store = ResultStore(tmp_path / "s.sqlite")
+            scheduler = Scheduler(store, max_workers=1, batch_size=1)
+            first = await scheduler.submit(tiny_campaign())
+            # Workers have not run yet: every job of the twin is in-flight.
+            second = await scheduler.submit(tiny_campaign())
+            await scheduler.wait(first)
+            await scheduler.wait(second)
+            await scheduler.close()
+            return first, second
+
+        first, second = asyncio.run(scenario())
+        assert first.status == second.status == "done"
+        assert first.computed == first.total
+        assert second.computed == 0 and second.cached == second.total
+        assert ResultStore(tmp_path / "s.sqlite").stats()["results"] == first.total
+
+    def test_cancelled_run_hands_in_flight_jobs_to_waiters(self, tmp_path):
+        """Cancelling the owning run must not strand a concurrent waiter."""
+        import asyncio
+
+        from repro.service.scheduler import Scheduler
+
+        async def scenario():
+            store = ResultStore(tmp_path / "s.sqlite")
+            scheduler = Scheduler(store, max_workers=1, batch_size=1)
+            owner = await scheduler.submit(tiny_campaign())
+            waiter = await scheduler.submit(tiny_campaign())
+            scheduler.cancel(owner)
+            await scheduler.wait(owner)
+            await scheduler.wait(waiter)
+            await scheduler.close()
+            return owner, waiter
+
+        owner, waiter = asyncio.run(scenario())
+        assert owner.status == "cancelled"
+        assert waiter.status == "done"
+        assert waiter.computed == waiter.total  # it took over the jobs
+        assert ResultStore(tmp_path / "s.sqlite").stats()["results"] == waiter.total
+
+    def test_resume_isolates_unloadable_campaign_specs(self, tmp_path):
+        """A corrupt stored spec is marked failed and does not block the
+        resume of later campaigns."""
+        camp = tiny_campaign()
+        store_path = tmp_path / "s.sqlite"
+        store = ResultStore(store_path)
+        bad_id = store.create_campaign("{not json", "broken", ["key-x"])
+        good_id = store.create_campaign(
+            json.dumps(camp.to_dict()), camp.name, [job.key for job in camp.jobs()]
+        )
+        with Service(store_path=store_path, max_workers=1) as service:
+            resumed = service.resume()
+            assert len(resumed) == 1
+            assert service.wait(resumed[0]).status == "done"
+        assert store.campaign(bad_id)["status"] == "failed"
+        assert store.campaign(good_id)["status"] == "superseded"
+
+    def test_cancel_drops_queued_jobs(self, tmp_path):
+        """Cancelling before the loop runs the workers drops every batch."""
+        import asyncio
+
+        from repro.service.scheduler import Scheduler
+
+        async def scenario():
+            store = ResultStore(tmp_path / "s.sqlite")
+            scheduler = Scheduler(store, max_workers=1, batch_size=1)
+            run = await scheduler.submit(tiny_campaign())
+            scheduler.cancel(run)  # workers have not been scheduled yet
+            await scheduler.wait(run)
+            await scheduler.close()
+            return run
+
+        run = asyncio.run(scenario())
+        assert run.status == "cancelled"
+        assert run.computed == 0
+        assert ResultStore(tmp_path / "s.sqlite").stats()["results"] == 0
+
+
+class TestHTTPSmoke:
+    def test_loopback_submit_matches_run_parallel(self, tmp_path):
+        """CI smoke: a tiny campaign over HTTP == the direct run_parallel path."""
+        from repro.experiments import fig09_svb
+        from repro.service.api import make_server
+
+        with Service(store_path=tmp_path / "s.sqlite", max_workers=1) as service:
+            server = make_server(service, port=0)
+            port = server.server_address[1]
+            thread = threading.Thread(target=server.serve_forever, daemon=True)
+            thread.start()
+            base = f"http://127.0.0.1:{port}"
+            try:
+                with urllib.request.urlopen(base + "/healthz", timeout=30) as reply:
+                    assert json.loads(reply.read())["ok"] is True
+
+                request = urllib.request.Request(
+                    base + "/campaigns",
+                    data=json.dumps({
+                        "preset": "fig09", "workloads": ["db2"],
+                        "target_accesses": ACCESSES, "wait": True,
+                    }).encode(),
+                    headers={"Content-Type": "application/json"},
+                )
+                with urllib.request.urlopen(request, timeout=600) as reply:
+                    payload = json.loads(reply.read())
+                assert payload["status"] == "done"
+
+                direct = fig09_svb.run(workloads=("db2",), target_accesses=ACCESSES)
+                assert payload["rows"] == json.loads(json.dumps(direct))
+                assert payload["table"] == (
+                    fig09_svb.SPEC.title + "\n"
+                    + format_table(direct, fig09_svb.SPEC.columns)
+                )
+
+                job_id = json.loads(urllib.request.urlopen(
+                    base + "/results?workload=db2&limit=1", timeout=30
+                ).read())["results"][0]["job_id"]
+                job = json.loads(urllib.request.urlopen(
+                    base + f"/jobs/{job_id}", timeout=30
+                ).read())
+                assert job["workload"] == "db2" and job["rows"]
+
+                with urllib.request.urlopen(base + "/campaigns", timeout=30) as reply:
+                    campaigns = json.loads(reply.read())["campaigns"]
+                assert campaigns and campaigns[-1]["status"] == "done"
+
+                # A bad campaign spec must come back as a 400, not a dropped
+                # socket (and must not import arbitrary modules).
+                for experiment in ("os", "repro.experiments.nonexistent"):
+                    bad = urllib.request.Request(
+                        base + "/campaigns",
+                        data=json.dumps({"campaign": {
+                            "name": "x", "experiment": experiment,
+                            "workloads": ["db2"],
+                        }}).encode(),
+                        headers={"Content-Type": "application/json"},
+                    )
+                    with pytest.raises(urllib.error.HTTPError) as excinfo:
+                        urllib.request.urlopen(bad, timeout=30)
+                    assert excinfo.value.code == 400
+            finally:
+                server.shutdown()
+                server.server_close()
+
+
+class TestPresetBitIdentity:
+    """ISSUE acceptance: fig12/fig14 through the service == direct CLI."""
+
+    WORKLOADS = ("db2", "em3d")
+
+    @pytest.mark.parametrize("module_name,preset", [
+        ("fig12_comparison", "fig12"),
+        ("fig14_performance", "fig14"),
+    ])
+    def test_preset_table_matches_module_cli(self, tmp_path, module_name, preset):
+        import importlib
+
+        module = importlib.import_module(f"repro.experiments.{module_name}")
+        # What the module CLI prints (main() == title + table of run()).
+        rows = module.run(workloads=self.WORKLOADS, target_accesses=ACCESSES)
+        direct = module.SPEC.title + "\n" + format_table(rows, module.SPEC.columns)
+
+        with Service(store_path=tmp_path / "s.sqlite", max_workers=1) as service:
+            run = service.submit(
+                preset_campaign(preset, workloads=self.WORKLOADS,
+                                target_accesses=ACCESSES),
+                wait=True,
+            )
+            assert run.status == "done"
+            assert service.render(run) == direct
+            # Re-render from the persisted store (JSON round trip included).
+            assert service.render_campaign(run.id) == direct
+
+
+class TestWarmupConstant:
+    """ISSUE bugfix: a single shared warm-up constant, no drifting literals."""
+
+    def test_single_source_of_truth(self):
+        from repro.common import config
+        from repro.experiments import cache, runner
+
+        assert runner.DEFAULT_WARMUP_FRACTION is config.DEFAULT_WARMUP_FRACTION
+        assert cache.DEFAULT_WARMUP_FRACTION is config.DEFAULT_WARMUP_FRACTION
+
+    def test_entry_point_defaults_follow_the_constant(self):
+        from repro.experiments.cache import cached_tse_run
+        from repro.prefetch.harness import evaluate_prefetcher
+        from repro.tse.simulator import run_tse_on_trace
+
+        for function in (run_tse_on_trace, evaluate_prefetcher, cached_tse_run):
+            default = inspect.signature(function).parameters["warmup_fraction"].default
+            assert default == DEFAULT_WARMUP_FRACTION, function.__name__
+
+
+class TestCacheCLI:
+    def test_stats_and_clear(self, tmp_path, capsys):
+        from repro.experiments.cache import main as cache_main
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        store.put_result("key-1", "job-1", "exp", "db2", [{}])
+
+        assert cache_main(["--stats", "--store", str(store.path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["store"]["results"] == 1
+        assert "snapshots" in stats and "traces" in stats
+
+        assert cache_main(["--clear", "--store", str(store.path)]) == 0
+        cleared = json.loads(capsys.readouterr().out)
+        assert cleared["cleared"]["store"]["results"] == 1
+        assert store.stats()["results"] == 0
+
+    def test_missing_store_reported_not_created(self, tmp_path, capsys):
+        from repro.experiments.cache import main as cache_main
+
+        path = tmp_path / "absent.sqlite"
+        assert cache_main(["--stats", "--store", str(path)]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert "no store" in stats["store"]
+        assert not path.exists()
+
+
+class TestWarmStatePreset:
+    def test_snapshots_persist_in_service_store(self, tmp_path):
+        """The warm_state preset stores its post-ramp snapshots (runtime
+        context, never part of the job key) so restarts skip the ramp."""
+        camp = preset_campaign(
+            "warm_state", workloads=("em3d",), target_accesses=2_000,
+            shared=(("warm_accesses", 2_000),),
+        )
+        store_path = tmp_path / "s.sqlite"
+        with Service(store_path=store_path, max_workers=1) as service:
+            run = service.submit(camp, wait=True)
+            assert run.status == "done" and run.computed == 1
+        store = ResultStore(store_path)
+        assert store.stats()["snapshots"] == 1
+        # The context injection must not have changed the job key.
+        assert store.present_keys([job.key for job in camp.jobs()])
+
+
+class TestPersistentSnapshots:
+    def test_warm_run_shares_snapshots_through_store(self, tmp_path):
+        from repro.tse.snapshot import PersistentSnapshotStore, warm_tse_run
+
+        path = tmp_path / "snaps.sqlite"
+        snapshot_store = PersistentSnapshotStore(path)
+        config = TSEConfig.paper_default(lookahead=8)
+        kwargs = dict(warm_accesses=2_000, measure_accesses=2_000, seed=42)
+
+        reference = warm_tse_run("em3d", config, use_snapshot=False, **kwargs)
+        first = warm_tse_run("em3d", config, snapshot_store=snapshot_store, **kwargs)
+        assert len(snapshot_store) == 1
+        # A fresh mapping over the same file restores instead of re-ramping.
+        reopened = PersistentSnapshotStore(path)
+        second = warm_tse_run("em3d", config, snapshot_store=reopened, **kwargs)
+        assert first.as_dict() == reference.as_dict() == second.as_dict()
+
+    def test_mapping_protocol(self, tmp_path):
+        from repro.tse.snapshot import PersistentSnapshotStore
+
+        snaps = PersistentSnapshotStore(tmp_path / "snaps.sqlite")
+        snaps["a"] = b"payload"
+        snaps["a"] = b"ignored"  # first write wins
+        assert snaps["a"] == b"payload"
+        assert list(snaps) == ["a"] and len(snaps) == 1
+        del snaps["a"]
+        with pytest.raises(KeyError):
+            snaps["a"]
