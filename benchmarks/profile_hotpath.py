@@ -1,0 +1,82 @@
+"""Profile one functional replay and print the hottest functions.
+
+The standing tool for "where is the next bottleneck": runs a single
+uncached paper-default replay of one workload under ``cProfile`` and prints
+the top cumulative (and top self-time) functions, so future perf PRs start
+from measurements instead of ad-hoc scripts.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/profile_hotpath.py db2
+    PYTHONPATH=src python benchmarks/profile_hotpath.py apache --accesses 160000 --top 30
+    PYTHONPATH=src python benchmarks/profile_hotpath.py em3d --sort tottime
+
+Note that ``cProfile`` charges ~0.5µs per function call, which inflates
+call-heavy code relative to slice/``memcmp``-heavy code — confirm any
+conclusion with a wall-clock A/B before acting on it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import io
+import pstats
+import time
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("workload", help="workload name (e.g. db2, apache, em3d)")
+    parser.add_argument("--accesses", type=int, default=80_000,
+                        help="trace size (default: the benchmark size, 80000)")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--nodes", type=int, default=16)
+    parser.add_argument("--lookahead", type=int, default=None,
+                        help="stream lookahead (default: the paper's value "
+                        "for the workload)")
+    parser.add_argument("--top", type=int, default=20,
+                        help="number of functions to print (default 20)")
+    parser.add_argument("--sort", choices=("cumulative", "tottime"),
+                        default="cumulative",
+                        help="ranking order (default cumulative)")
+    args = parser.parse_args()
+
+    from repro.common.config import (
+        DEFAULT_WARMUP_FRACTION,
+        PAPER_LOOKAHEAD,
+        TSEConfig,
+    )
+    from repro.experiments.runner import trace_for
+    from repro.tse.simulator import run_tse_on_trace
+
+    lookahead = (
+        args.lookahead if args.lookahead is not None
+        else PAPER_LOOKAHEAD.get(args.workload, 8)
+    )
+    config = TSEConfig.paper_default(lookahead=lookahead)
+    trace = trace_for(args.workload, args.accesses, args.seed, args.nodes)
+
+    # One unprofiled run first: wall clock without instrumentation overhead.
+    start = time.perf_counter()
+    run_tse_on_trace(trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION)
+    elapsed = time.perf_counter() - start
+    print(
+        f"{args.workload}: {args.accesses} accesses in {elapsed:.3f}s "
+        f"({args.accesses / elapsed:,.0f} accesses/s, lookahead {lookahead})\n"
+    )
+
+    profile = cProfile.Profile()
+    profile.enable()
+    run_tse_on_trace(trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION)
+    profile.disable()
+    out = io.StringIO()
+    pstats.Stats(profile, stream=out).sort_stats(args.sort).print_stats(args.top)
+    print(out.getvalue())
+    return 0
+
+
+if __name__ == "__main__":
+    import sys
+
+    sys.exit(main())

@@ -1,0 +1,128 @@
+"""Bit-identity reference battery for the TSE functional/traffic/timing planes.
+
+Runs a fixed matrix of simulations — every workload under several TSE
+configurations (including wraparound-heavy tiny CMOBs, single/many compared
+streams, tiny SVBs), traffic-accounting runs, outcome-recording runs, the
+warm-state snapshot path, and a timing comparison — and writes every result
+as JSON.  Two trees produce byte-identical files exactly when their
+simulators are bit-identical, so a perf refactor is verified the way PR 3
+was::
+
+    # in the reference tree (e.g. a worktree at the base commit)
+    PYTHONPATH=src python benchmarks/reference_battery.py /tmp/ref.json
+    # in the working tree
+    PYTHONPATH=src python benchmarks/reference_battery.py /tmp/new.json
+    diff /tmp/ref.json /tmp/new.json
+
+The matrix is intentionally small (~a minute) but adversarial: tiny CMOB
+capacities force stale-pointer/wraparound paths, tiny SVBs force evictions
+and queue-owner notifications, compared_streams extremes force the
+single-FIFO short-circuit and the general N-FIFO agreement path.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+
+from repro.common.config import InterconnectConfig, TSEConfig
+from repro.experiments.runner import trace_for
+from repro.tse.simulator import TSESimulator
+from repro.tse.snapshot import warm_tse_run
+
+ACCESSES = 20_000
+SEED = 42
+NUM_NODES = 16
+
+WORKLOADS = (
+    "em3d", "moldyn", "ocean", "sparse", "apache", "db2", "oracle", "zeus", "jbb",
+)
+
+#: (label, config) cells; every workload runs every cell.
+CONFIGS = (
+    ("paper", TSEConfig.paper_default()),
+    ("single_stream", TSEConfig.paper_default().with_(compared_streams=1)),
+    ("four_streams", TSEConfig(compared_streams=4, cmob_pointers_per_block=4)),
+    ("tiny_cmob", TSEConfig(cmob_capacity=512)),
+    ("tiny_cmob_wrap", TSEConfig(cmob_capacity=97, svb_entries=8)),
+    ("tiny_svb", TSEConfig(svb_entries=4)),
+    ("deep_lookahead", TSEConfig.paper_default(lookahead=24)),
+)
+
+
+def functional_cell(workload: str, config: TSEConfig) -> dict:
+    trace = trace_for(workload, ACCESSES, SEED, NUM_NODES)
+    simulator = TSESimulator(NUM_NODES, tse_config=config, record_outcomes=True)
+    stats = simulator.run(trace, warmup_fraction=0.3)
+    row = stats.as_dict()
+    row["stream_length_hist"] = sorted(stats.stream_length_hist._buckets.items())
+    row["outcome_codes_sum"] = sum(simulator.outcome_codes)
+    row["outcome_leads_sum"] = sum(simulator.outcome_leads)
+    row["outcome_len"] = len(simulator.outcome_codes)
+    row["tse_counters"] = dict(sorted(simulator.tse.stats.snapshot().items()))
+    return row
+
+
+def traffic_cell(workload: str) -> dict:
+    trace = trace_for(workload, ACCESSES, SEED, NUM_NODES)
+    simulator = TSESimulator(
+        NUM_NODES,
+        tse_config=TSEConfig.paper_default(),
+        account_traffic=True,
+        interconnect_config=InterconnectConfig(width=4, height=4),
+    )
+    return simulator.run(trace, warmup_fraction=0.3).as_dict()
+
+
+def warm_cell(workload: str) -> dict:
+    cold = warm_tse_run(
+        workload, warm_accesses=6_000, measure_accesses=8_000,
+        seed=SEED, num_nodes=NUM_NODES, use_snapshot=False,
+    )
+    warm = warm_tse_run(
+        workload, warm_accesses=6_000, measure_accesses=8_000,
+        seed=SEED, num_nodes=NUM_NODES, use_snapshot=True,
+    )
+    again = warm_tse_run(
+        workload, warm_accesses=6_000, measure_accesses=8_000,
+        seed=SEED, num_nodes=NUM_NODES, use_snapshot=True,
+    )
+    return {"cold": cold.as_dict(), "warm": warm.as_dict(), "restored": again.as_dict()}
+
+
+def timing_cell(workload: str) -> dict:
+    from repro.system.timing import TimingSimulator
+
+    trace = trace_for(workload, ACCESSES, SEED, NUM_NODES)
+    comparison = TimingSimulator(tse_config=TSEConfig.paper_default()).compare(trace)
+    return {
+        "speedup": comparison.speedup,
+        "breakdowns": comparison.normalized_breakdowns(),
+        "table3": comparison.table3_row(),
+    }
+
+
+def main() -> int:
+    out_path = sys.argv[1] if len(sys.argv) > 1 else "battery.json"
+    battery: dict = {"accesses": ACCESSES, "seed": SEED, "nodes": NUM_NODES}
+    for workload in WORKLOADS:
+        cells = {}
+        for label, config in CONFIGS:
+            cells[label] = functional_cell(workload, config)
+        battery[workload] = cells
+        print(f"{workload}: functional done", flush=True)
+    battery["traffic"] = {w: traffic_cell(w) for w in ("em3d", "db2", "apache")}
+    print("traffic done", flush=True)
+    battery["warm"] = {w: warm_cell(w) for w in ("em3d", "db2")}
+    print("warm done", flush=True)
+    battery["timing"] = {w: timing_cell(w) for w in ("db2", "moldyn")}
+    print("timing done", flush=True)
+    with open(out_path, "w") as handle:
+        json.dump(battery, handle, indent=1, sort_keys=True, default=str)
+        handle.write("\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

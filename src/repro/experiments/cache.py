@@ -167,8 +167,11 @@ def main(argv: Optional[list] = None) -> int:
 
     ``--stats`` prints the state of every cache layer (in-process results,
     traces, warm-state snapshots, and — when it exists — the persistent
-    service store); ``--clear`` empties them.  The service's store GC is
-    routed through this entry point: clearing here is the one supported way
+    service store); ``--clear`` empties them; ``--gc --keep-days N``
+    age-evicts persisted result/snapshot rows older than ``N`` days while
+    preserving campaign membership, so a later resubmission recomputes
+    exactly the evicted points.  The service's store GC is routed through
+    this entry point: clearing or collecting here is the one supported way
     to drop persisted results and snapshots.
     """
     import argparse
@@ -176,19 +179,29 @@ def main(argv: Optional[list] = None) -> int:
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.experiments.cache",
-        description="Inspect or clear the simulation caches and the "
-        "persistent service result store.",
+        description="Inspect, clear, or age-collect the simulation caches "
+        "and the persistent service result store.",
     )
     parser.add_argument("--stats", action="store_true",
                         help="print cache and store statistics as JSON")
     parser.add_argument("--clear", action="store_true",
                         help="clear the in-process caches and the service store")
+    parser.add_argument("--gc", action="store_true",
+                        help="age-based eviction of persisted store rows "
+                        "(requires --keep-days)")
+    parser.add_argument("--keep-days", type=float, default=None, metavar="N",
+                        help="with --gc: keep rows created within the last "
+                        "N days, evict older ones")
     parser.add_argument("--store", default=None, metavar="PATH",
                         help="service store path (default: REPRO_SERVICE_STORE "
                         "or .repro/service.sqlite)")
     args = parser.parse_args(argv)
-    if not (args.stats or args.clear):
-        parser.error("nothing to do: pass --stats and/or --clear")
+    if not (args.stats or args.clear or args.gc):
+        parser.error("nothing to do: pass --stats, --clear and/or --gc")
+    if args.gc and args.keep_days is None:
+        parser.error("--gc requires --keep-days N")
+    if args.keep_days is not None and args.keep_days < 0:
+        parser.error("--keep-days must be non-negative")
 
     from repro.service.store import ResultStore, default_store_path
     from repro.tse.snapshot import snapshot_info
@@ -204,6 +217,13 @@ def main(argv: Optional[list] = None) -> int:
         else:
             cleared["store"] = f"no store at {store_path}"
         print(_json.dumps({"cleared": cleared}, indent=2, default=str))
+    if args.gc:
+        if store is not None:
+            evicted = store.gc(args.keep_days)
+        else:
+            evicted = f"no store at {store_path}"
+        print(_json.dumps({"gc": {"keep_days": args.keep_days,
+                                  "evicted": evicted}}, indent=2, default=str))
     if args.stats:
         stats = {
             "results": cache_info(),

@@ -12,9 +12,11 @@ the store trivially safe to use from the scheduler's event-loop thread, the
 HTTP server's handler threads, and pool worker processes at the same time;
 WAL journaling plus a busy timeout handles the cross-process writes.
 
-Garbage collection is routed through the cache-management entry point::
-
-    python -m repro.experiments.cache --clear [--store PATH]
+Garbage collection is routed through the cache-management entry point:
+``python -m repro.experiments.cache --clear [--store PATH]`` wipes
+everything, and ``--gc --keep-days N`` evicts only result/snapshot rows
+older than ``N`` days (campaign membership survives, so resubmission
+recomputes exactly the evicted points).
 """
 
 from __future__ import annotations
@@ -263,12 +265,36 @@ class ResultStore:
         }
 
     def clear(self) -> Dict[str, int]:
-        """Drop every stored result, campaign, and snapshot (the store GC)."""
+        """Drop every stored result, campaign, and snapshot (the full wipe)."""
         with self._connect() as conn:
             counts = {
                 "results": conn.execute("DELETE FROM results").rowcount,
                 "campaigns": conn.execute("DELETE FROM campaigns").rowcount,
                 "campaign_jobs": conn.execute("DELETE FROM campaign_jobs").rowcount,
                 "snapshots": conn.execute("DELETE FROM snapshots").rowcount,
+            }
+        return counts
+
+    def gc(self, keep_days: float) -> Dict[str, int]:
+        """Age-based eviction: drop result and snapshot rows older than
+        ``keep_days`` days.
+
+        Only the *stale* rows go; campaign membership (``campaigns`` /
+        ``campaign_jobs``) is preserved, so resubmitting a campaign after a
+        GC recomputes exactly the evicted points and reuses every survivor
+        — the acceptance contract of the ``--gc`` entry point.  Returns the
+        per-table eviction counts.
+        """
+        if keep_days < 0:
+            raise ValueError("keep_days must be non-negative")
+        cutoff = time.time() - keep_days * 86400.0
+        with self._connect() as conn:
+            counts = {
+                "results": conn.execute(
+                    "DELETE FROM results WHERE created < ?", (cutoff,)
+                ).rowcount,
+                "snapshots": conn.execute(
+                    "DELETE FROM snapshots WHERE created < ?", (cutoff,)
+                ).rowcount,
             }
         return counts

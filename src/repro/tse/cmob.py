@@ -11,6 +11,31 @@ Offsets handed out by :meth:`CMOB.append` are *monotonic append counts*, not
 physical slot indices, so stale pointers (overwritten after wrap-around) are
 detected rather than silently returning unrelated addresses.
 
+Storage is a flat circular buffer of 64-bit entries grown lazily up to
+``capacity`` slots, held as a packed little-endian byte buffer
+(``bytearray``, 8 bytes per entry).  The byte-packed representation is
+deliberate: it is the one CPython buffer type whose comparisons and searches
+run at ``memcmp``/``memmem`` speed without boxing an int per element (the
+``array`` module's rich comparison unpacks every item), which is what makes
+the stream engine's window-at-a-time agreement checks and miss probes
+C-fast.  The monotonic append count doubles as the validity watermark
+(``oldest_valid_offset = appended - capacity``).  Stream reads are served as
+packed windows — one or two slice copies, never a per-offset loop — and the
+refill path appends a window straight onto a destination buffer
+(:meth:`extend_into`), so a 32–64 address refill is a single ``memcpy``-class
+operation end to end.
+
+Wrap-around semantics of window reads (locked by tests):
+
+* a *stale* start offset (older than :attr:`oldest_valid_offset`) yields an
+  **empty** window — never a partial window resynchronized to the oldest
+  resident entry, because the entries that replaced the overwritten ones
+  belong to an unrelated, much later part of the order;
+* a *future* start offset (``>= appended``) likewise yields nothing;
+* a valid start is truncated at the append watermark: every returned entry
+  is resident and positionally exact, so windows may be shorter than
+  requested but are never silently padded or misaligned.
+
 Appends and stream reads sit on the simulator's hot path, so activity is
 accumulated in plain integer attributes and published into the
 :class:`~repro.common.stats.StatsRegistry` lazily, when ``stats`` is read.
@@ -18,10 +43,40 @@ accumulated in plain integer attributes and published into the
 
 from __future__ import annotations
 
-from typing import List, Optional
+import sys
+from array import array
+from typing import Optional
 
 from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
+
+#: Typecode of the unpacked view of CMOB windows: unsigned 64-bit addresses.
+CMOB_TYPECODE = "Q"
+
+#: Bytes per packed CMOB entry.
+ENTRY_WIDTH = 8
+
+#: The packed layout is explicitly little-endian (appends, window unpackers
+#: and miss probes all use ``'<Q'`` / ``to_bytes(..., "little")``), so the
+#: ``array``-based pack/unpack helpers byteswap on big-endian hosts.
+_NEEDS_SWAP = sys.byteorder != "little"
+
+
+def pack_window(addresses) -> bytearray:
+    """Pack an iterable of block addresses into the FIFO byte layout."""
+    packed = array(CMOB_TYPECODE, addresses)
+    if _NEEDS_SWAP:
+        packed.byteswap()
+    return bytearray(packed.tobytes())
+
+
+def unpack_window(window) -> array:
+    """Unpack a byte window back into an ``array('Q')`` of addresses."""
+    unpacked = array(CMOB_TYPECODE)
+    unpacked.frombytes(bytes(window))
+    if _NEEDS_SWAP:
+        unpacked.byteswap()
+    return unpacked
 
 
 class CMOB:
@@ -32,7 +87,7 @@ class CMOB:
         "node_id",
         "entry_bytes",
         "_stats",
-        "_slots",
+        "_data",
         "_appended",
         "_n_stream_reads",
         "_n_addresses_streamed",
@@ -45,12 +100,15 @@ class CMOB:
         self.node_id = node_id
         self.entry_bytes = entry_bytes
         self._stats = StatsRegistry(prefix=f"cmob.n{node_id}")
-        #: Physical storage, grown lazily up to ``capacity`` entries: slot
-        #: ``offset % capacity`` is appended exactly when the buffer first
-        #: reaches it, so ``len(_slots) == min(appended, capacity)`` always
-        #: holds and huge "near-infinite" CMOBs cost only what they use.
-        self._slots: List[BlockAddress] = []
-        #: Total number of appends ever performed; the next append gets this offset.
+        #: Physical storage, grown lazily up to ``capacity`` packed entries:
+        #: slot ``offset % capacity`` is appended exactly when the buffer
+        #: first reaches it, so ``len(_data) == 8 * min(appended, capacity)``
+        #: always holds and huge "near-infinite" CMOBs cost only what they
+        #: use.
+        self._data = bytearray()
+        #: Total number of appends ever performed; the next append gets this
+        #: offset.  Doubles as the validity watermark: offsets below
+        #: ``_appended - capacity`` have been overwritten.
         self._appended = 0
         self._n_stream_reads = 0
         self._n_addresses_streamed = 0
@@ -72,12 +130,12 @@ class CMOB:
         pointer for this block (Section 3.1 step 4).
         """
         offset = self._appended
-        slots = self._slots
-        slot = offset % self.capacity
-        if slot == len(slots):
-            slots.append(address)
+        data = self._data
+        slot = (offset % self.capacity) << 3
+        if slot == len(data):
+            data += address.to_bytes(8, "little")
         else:
-            slots[slot] = address
+            data[slot:slot + 8] = address.to_bytes(8, "little")
         self._appended = offset + 1
         return offset
 
@@ -104,44 +162,80 @@ class CMOB:
         """Read the entry at a monotonic offset; None if stale or out of range."""
         if not self.is_valid_offset(offset):
             return None
-        return self._slots[offset % self.capacity]
+        slot = (offset % self.capacity) << 3
+        return int.from_bytes(self._data[slot:slot + 8], "little")
 
-    def read_stream(self, start_offset: int, count: int) -> List[BlockAddress]:
+    def read_stream(self, start_offset: int, count: int) -> array:
         """Read up to ``count`` addresses starting at ``start_offset``.
 
         This models the protocol controller reading a stream of subsequent
-        addresses from the CMOB (Section 3.2 step 3).  The returned list may
-        be shorter than ``count`` when the order ends or the start is stale.
+        addresses from the CMOB (Section 3.2 step 3).  The returned packed
+        ``array('Q')`` window is a fresh snapshot (safe against later
+        wrap-around overwrites); it may be shorter than ``count`` when the
+        order ends, and is empty when the start is stale or in the future.
+        The engine's hot paths use :meth:`extend_into` instead, which keeps
+        the window in the packed byte form end to end.
         """
+        window = array(CMOB_TYPECODE)
         if count <= 0:
-            return []
+            return window
         self._n_stream_reads += 1
         end = self._appended
         capacity = self.capacity
-        oldest = end - capacity
-        if oldest < 0:
-            oldest = 0
-        # A stale (overwritten) or future start yields nothing; otherwise
-        # every offset in [start, min(start + count, end)) is resident and
-        # non-None, so the window can be copied with at most two slices.
-        if start_offset < oldest or start_offset >= end:
-            return []
+        if start_offset < 0 or start_offset < end - capacity or start_offset >= end:
+            return window
         stop = start_offset + count
         if stop > end:
             stop = end
-        lo = start_offset % capacity
-        hi = lo + (stop - start_offset)
-        if hi <= capacity:
-            addresses = self._slots[lo:hi]
+        lo = (start_offset % capacity) << 3
+        hi = lo + ((stop - start_offset) << 3)
+        data = self._data
+        cap8 = capacity << 3
+        if hi <= cap8:
+            window.frombytes(bytes(data[lo:hi]))
         else:
-            addresses = self._slots[lo:] + self._slots[: hi - capacity]
-        self._n_addresses_streamed += len(addresses)
-        return addresses
+            window.frombytes(bytes(data[lo:]) + bytes(data[: hi - cap8]))
+        if _NEEDS_SWAP:
+            window.byteswap()
+        self._n_addresses_streamed += len(window)
+        return window
+
+    def extend_into(self, dest: bytearray, start_offset: int, count: int) -> int:
+        """Append a packed stream window directly onto ``dest``; return its length.
+
+        The batched-refill primitive: one or two ``memcpy``-class extends
+        straight into a stream-queue FIFO buffer, with no intermediate
+        window object and no per-address reads.  Returns the number of
+        *addresses* appended (window truncation rules as in
+        :meth:`read_stream`).
+        """
+        if count <= 0:
+            return 0
+        self._n_stream_reads += 1
+        end = self._appended
+        capacity = self.capacity
+        if start_offset < 0 or start_offset < end - capacity or start_offset >= end:
+            return 0
+        stop = start_offset + count
+        if stop > end:
+            stop = end
+        n = stop - start_offset
+        lo = (start_offset % capacity) << 3
+        hi = lo + (n << 3)
+        data = self._data
+        cap8 = capacity << 3
+        if hi <= cap8:
+            dest += data[lo:hi]
+        else:
+            dest += data[lo:]
+            dest += data[: hi - cap8]
+        self._n_addresses_streamed += n
+        return n
 
     # ---------------------------------------------------------------- reporting
     @property
     def storage_bytes(self) -> int:
-        """Physical storage footprint of the CMOB in bytes."""
+        """Modelled storage footprint of the CMOB in bytes (6-byte entries)."""
         return self.capacity * self.entry_bytes
 
     def utilization(self) -> float:

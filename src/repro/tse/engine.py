@@ -15,6 +15,16 @@ capabilities of Section 2:
    candidate streams and retrieves blocks into its SVB with bounded
    lookahead, matching the consumption rate (Section 3.3).
 
+The compare/refill plane is packed end to end: candidate streams are CMOB
+window arrays forwarded as-is, fetch requests travel as per-queue batches
+(:data:`~repro.tse.stream_engine.FetchBatch`) flattened in order by
+:meth:`TemporalStreamingSystem.deliver_all`, and the refill service appends
+CMOB windows straight onto the stream-queue FIFOs (one
+:meth:`~repro.tse.cmob.CMOB.extend_into` per refill instead of per-address
+reads).  Refills are driven by the engine's *eligibility* set — only queues
+with a FIFO actually at or below the refill threshold are visited, so the
+common consumption pays a single empty-set check.
+
 Message objects are only constructed when a message sink is attached
 (traffic accounting); the common no-sink path pays nothing for them.
 Counters are plain ints published into the ``StatsRegistry`` lazily.
@@ -30,13 +40,13 @@ from repro.common.types import BlockAddress, NodeId
 from repro.coherence.directory import Directory, DirectoryEntry
 from repro.coherence.messages import CoherenceMessage, MessageType
 from repro.tse.cmob import CMOB
-from repro.tse.stream_engine import CandidateStream, FetchRequest, StreamEngine
-from repro.tse.stream_queue import _COMPACT_THRESHOLD
+from repro.tse.stream_engine import CandidateStream, FetchBatch, StreamEngine
+from repro.tse.stream_queue import _COMPACT_THRESHOLD, StreamQueue
 
 #: What :meth:`TemporalStreamingSystem.on_consumption` returns: the id of the
 #: stream queue allocated for the consumption (-1 when no stream was found)
-#: and the ``(address, queue_id)`` fetch tuples produced in response.
-StreamDelivery = Tuple[int, List[FetchRequest]]
+#: and the ``(queue_id, [addresses])`` fetch batches produced in response.
+StreamDelivery = Tuple[int, List[FetchBatch]]
 
 
 class NodeTSE:
@@ -55,8 +65,8 @@ class NodeTSE:
         """Append a consumption (or useful streamed hit) to the CMOB."""
         return self.cmob.append(address)
 
-    def read_stream(self, start_offset: int, count: int) -> List[BlockAddress]:
-        """Serve a stream request against this node's CMOB."""
+    def read_stream(self, start_offset: int, count: int):
+        """Serve a stream request against this node's CMOB (packed window)."""
         return self.cmob.read_stream(start_offset, count)
 
 
@@ -137,17 +147,21 @@ class TemporalStreamingSystem:
 
         One pointer is recorded per consumption and per SVB hit, so the CMOB
         append and the directory pointer-list update are inlined here.
+
+        KEEP IN SYNC: ``on_consumption`` and ``on_svb_hit`` inline this body
+        (as they do ``StreamEngine.accept_streams``) on the replay hot path;
+        behavioral changes here must be mirrored in both.
         """
         directory = self.directory
         # Inline CMOB.append (one call per consumption/hit).
         cmob = self._cmobs[node_id]
         offset = cmob._appended
-        slots = cmob._slots
-        slot = offset % cmob.capacity
-        if slot == len(slots):
-            slots.append(address)
+        data = cmob._data
+        slot = (offset % cmob.capacity) << 3
+        if slot == len(data):
+            data += address.to_bytes(8, "little")
         else:
-            slots[slot] = address
+            data[slot:slot + 8] = address.to_bytes(8, "little")
         cmob._appended = offset + 1
         entries = directory._entries
         entry = entries.get(address)
@@ -160,7 +174,9 @@ class TemporalStreamingSystem:
                 del pointers[i]
                 break
         pointers.insert(0, (node_id, offset))
-        del pointers[directory.cmob_pointers_per_block:]
+        keep = directory.cmob_pointers_per_block
+        if len(pointers) > keep:
+            del pointers[keep:]
         directory._n_cmob_pointer_updates += 1
         if self._message_sink is not None:
             home = directory.home_of(address)
@@ -176,14 +192,15 @@ class TemporalStreamingSystem:
 
         Performs, in order: stall resolution against the miss address,
         stream location through the directory's CMOB pointers, stream
-        forwarding from the source CMOBs, stream-queue allocation and the
-        initial block fetches, and finally the CMOB append + pointer update
-        for the miss itself.
+        forwarding from the source CMOBs (one packed window read per
+        pointer), stream-queue allocation and the initial block fetches,
+        and finally the CMOB append + pointer update for the miss itself.
 
-        Returns ``(queue_id, fetches)``.
+        Returns ``(queue_id, fetch_batches)``.
         """
         engine = self.nodes[node_id].engine
         sink = self._message_sink
+        directory = self.directory
         queue_id = -1
 
         # (0) The miss may confirm a stalled stream or realign an active one.
@@ -193,7 +210,8 @@ class TemporalStreamingSystem:
         # Direct slice of the entry's pointer list (read-only) — the public
         # ``cmob_pointers`` accessor copies the whole list first.
         compared = self.config.compared_streams
-        dir_entry = self.directory._entries.get(address)
+        dir_entries = directory._entries
+        dir_entry = dir_entries.get(address)
         if dir_entry is None:
             pointers = ()
         else:
@@ -203,22 +221,25 @@ class TemporalStreamingSystem:
                 # the engine compares (pointer-count ablations).
                 pointers = pointers[:compared]
         streams: List[CandidateStream] = []
+        cmobs = self._cmobs
         if pointers:
-            home = self.directory.home_of(address) if sink is not None else -1
+            home = directory.home_of(address) if sink is not None else -1
             queue_depth = self.config.queue_depth
-            cmobs = self._cmobs
             for pointer_node, pointer_offset in pointers:
-                # The stream starts *after* the head (its data already came via
-                # the baseline coherence reply).
+                # The stream starts *after* the head (its data already came
+                # via the baseline coherence reply).  The window is read
+                # straight into what becomes the FIFO storage — one packed
+                # copy, no per-address reads.
                 start = pointer_offset + 1
-                addresses = cmobs[pointer_node].read_stream(start, queue_depth)
+                window = bytearray()
+                count = cmobs[pointer_node].extend_into(window, start, queue_depth)
                 if sink is not None:
                     sink(
                         CoherenceMessage(
                             MessageType.STREAM_REQUEST, home, pointer_node, address
                         )
                     )
-                if not addresses:
+                if not count:
                     continue
                 if sink is not None:
                     sink(
@@ -227,22 +248,120 @@ class TemporalStreamingSystem:
                             pointer_node,
                             node_id,
                             address,
-                            num_addresses=len(addresses),
+                            num_addresses=count,
                         )
                     )
-                streams.append((pointer_node, start + len(addresses), addresses))
+                streams.append((pointer_node, start + count, window))
                 self._n_streams_forwarded += 1
 
-        # (2) Hand the streams to the consumer's engine (Figure 4, step 4).
+        # (2) Hand the streams to the consumer's engine (Figure 4, step 4) —
+        # ``accept_streams`` inlined: allocate (reclaiming the LRU victim
+        # when all queues are busy), bulk-populate the FIFOs with the packed
+        # windows, derive the state once, and fetch the agreed prefix.
         if streams:
-            queue_id, initial_fetches = engine.accept_streams(address, streams)
-            if initial_fetches:
-                fetches.extend(initial_fetches)
+            engine._activity_clock += 1
+            queues = engine._queues
+            engine_config = engine.config
+            queue = None
+            if len(queues) >= engine_config.stream_queues:
+                victim_id = -1
+                victim_active = -1
+                for qid, victim in queues.items():
+                    active = victim.last_active
+                    if victim_id < 0 or active < victim_active:
+                        victim_id = qid
+                        victim_active = active
+                queue = queues.pop(victim_id)
+                engine.retired_queue_hits.append(queue.total_hits)
+                engine._scan_queues.pop(victim_id, None)
+                engine._refill_dirty.discard(victim_id)
+                engine._n_queue_reclaims += 1
+            queue_id = engine._next_queue_id
+            if queue is not None:
+                queue.reset(queue_id, address, engine_config.stream_lookahead)
+            else:
+                queue = StreamQueue(queue_id, address, engine_config.stream_lookahead)
+            queue.last_active = engine._activity_clock
+            queues[queue_id] = queue
+            engine._scan_queues[queue_id] = queue
+            engine._next_queue_id = queue_id + 1
+            engine._n_queue_allocations += 1
+            fifo_data = queue._fifo_data
+            fifo_pos = queue._fifo_pos
+            src_nodes = queue._src_nodes
+            src_next = queue._src_next
+            refill_pending = queue._refill_pending
+            for source_node, next_offset, window in streams:
+                fifo_data.append(window)
+                fifo_pos.append(0)
+                src_nodes.append(source_node)
+                src_next.append(next_offset)
+                refill_pending.append(False)
+            # Fresh-queue state, derived inline: every appended window is
+            # non-empty, so the queue is ACTIVE unless two packed heads
+            # disagree.
+            n_streams = len(streams)
+            if n_streams == 1:
+                queue.state_code = 0  # STATE_ACTIVE
+            elif n_streams == 2:
+                queue.state_code = (
+                    0 if fifo_data[0][:8] == fifo_data[1][:8] else 1  # ACTIVE/STALLED
+                )
+            else:
+                queue._recompute_state()
+            engine._n_streams_accepted += n_streams
+            batch = engine._fetch_from(queue)
+            if batch:
+                fetches.append((queue_id, batch))
+            # A short window can leave a fresh FIFO at or below the refill
+            # threshold even before (or without) any pops — checked inline
+            # for the 1/2-FIFO shapes (a fresh queue has no refills pending
+            # and real sources throughout).
+            threshold8 = engine._refill_threshold8
+            if n_streams <= 2:
+                if (
+                    len(fifo_data[0]) - fifo_pos[0] <= threshold8
+                    or (n_streams == 2 and len(fifo_data[1]) - fifo_pos[1] <= threshold8)
+                ):
+                    engine._refill_dirty.add(queue_id)
+            elif queue.needs_refill(engine._refill_threshold):
+                engine._refill_dirty.add(queue_id)
         else:
             self._n_no_stream_found += 1
 
-        # (3) Record the miss in the consumer's CMOB (Figure 3, steps 3-4).
-        self._record_and_update_pointer(node_id, address)
+        # (3) Record the miss in the consumer's CMOB and push the pointer to
+        # the home directory (Figure 3, steps 3-4) — inlined, reusing the
+        # directory entry already looked up in step 1.
+        cmob = cmobs[node_id]
+        offset = cmob._appended
+        data = cmob._data
+        slot = (offset % cmob.capacity) << 3
+        if slot == len(data):
+            data += address.to_bytes(8, "little")
+        else:
+            data[slot:slot + 8] = address.to_bytes(8, "little")
+        cmob._appended = offset + 1
+        if dir_entry is None:
+            dir_entry = DirectoryEntry()
+            dir_entries[address] = dir_entry
+        dir_pointers = dir_entry.cmob_pointers
+        for i in range(len(dir_pointers)):
+            if dir_pointers[i][0] == node_id:
+                del dir_pointers[i]
+                break
+        dir_pointers.insert(0, (node_id, offset))
+        keep = directory.cmob_pointers_per_block
+        if len(dir_pointers) > keep:
+            del dir_pointers[keep:]
+        directory._n_cmob_pointer_updates += 1
+        if sink is not None:
+            sink(
+                CoherenceMessage(
+                    MessageType.CMOB_POINTER_UPDATE, node_id,
+                    directory.home_of(address), address,
+                )
+            )
+        self._n_cmob_appends += 1
 
         # (4) Service any refills that the new fetches made necessary.
         if engine._refill_dirty:
@@ -260,7 +379,7 @@ class TemporalStreamingSystem:
         and the hit is recorded in the CMOB because it replaces the coherent
         read miss that would have occurred without TSE (Section 3.1).
 
-        Returns ``(entry, follow_on_fetches)``.
+        Returns ``(entry, follow_on_fetch_batches)``.
         """
         engine = self.nodes[node_id].engine
         # Inline the engine's hit handling (consume entry, credit the queue,
@@ -275,14 +394,15 @@ class TemporalStreamingSystem:
         svb._n_hits += 1
         engine._n_svb_hits += 1
         queue = engine._queues.get(entry[1])
-        if queue is None:
-            fetches: List[FetchRequest] = []
-        else:
+        fetches: List[FetchBatch] = []
+        if queue is not None:
             if queue.in_flight > 0:
                 queue.in_flight -= 1
             queue.total_hits += 1
             queue.last_active = clock
-            fetches = engine._fetch_from(queue)
+            batch = engine._fetch_from(queue)
+            if batch:
+                fetches.append((queue.queue_id, batch))
         # Inline residency drop (one SVB entry for this address just left).
         residency = self._svb_residency
         count = residency.get(address, 0)
@@ -291,7 +411,42 @@ class TemporalStreamingSystem:
         else:
             residency[address] = count - 1
         self._n_svb_hits += 1
-        self._record_and_update_pointer(node_id, address)
+        # Record the hit in the CMOB and push the pointer home (a hit
+        # replaces the miss one-for-one) — ``_record_and_update_pointer``
+        # inlined, as in ``on_consumption``.
+        directory = self.directory
+        cmob = self._cmobs[node_id]
+        offset = cmob._appended
+        data = cmob._data
+        slot = (offset % cmob.capacity) << 3
+        if slot == len(data):
+            data += address.to_bytes(8, "little")
+        else:
+            data[slot:slot + 8] = address.to_bytes(8, "little")
+        cmob._appended = offset + 1
+        dir_entries = directory._entries
+        dir_entry = dir_entries.get(address)
+        if dir_entry is None:
+            dir_entry = DirectoryEntry()
+            dir_entries[address] = dir_entry
+        dir_pointers = dir_entry.cmob_pointers
+        for i in range(len(dir_pointers)):
+            if dir_pointers[i][0] == node_id:
+                del dir_pointers[i]
+                break
+        dir_pointers.insert(0, (node_id, offset))
+        keep = directory.cmob_pointers_per_block
+        if len(dir_pointers) > keep:
+            del dir_pointers[keep:]
+        directory._n_cmob_pointer_updates += 1
+        if self._message_sink is not None:
+            self._message_sink(
+                CoherenceMessage(
+                    MessageType.CMOB_POINTER_UPDATE, node_id,
+                    directory.home_of(address), address,
+                )
+            )
+        self._n_cmob_appends += 1
         if engine._refill_dirty:
             refill_fetches = self._service_refills(node_id)
             if refill_fetches:
@@ -319,7 +474,7 @@ class TemporalStreamingSystem:
         return invalidated
 
     # ----------------------------------------------------------------- refills
-    def _service_refills(self, node_id: NodeId) -> List[FetchRequest]:
+    def _service_refills(self, node_id: NodeId) -> List[FetchBatch]:
         """Serve pending CMOB refill requests for a node's stream queues.
 
         Collection and servicing are fused per queue: every FIFO's
@@ -330,21 +485,29 @@ class TemporalStreamingSystem:
         eligible one pass early.  Queues are visited in allocation order,
         and servicing one queue cannot touch another queue's FIFOs, so the
         fused pass produces the identical refill and fetch order the
-        collect-then-serve pipeline had, with none of the request-tuple
-        plumbing.
+        collect-then-serve pipeline had.  Each refill is one batched CMOB
+        window append (``extend_into``) straight onto the FIFO — no
+        per-address reads, no intermediate request plumbing.  The dirty set
+        arrives pre-filtered: the engine only queues *eligible* queues, so
+        this runs exactly when there is work.
         """
         engine = self.nodes[node_id].engine
         dirty = engine._refill_dirty
         if not dirty:
             return []
-        fetches: List[FetchRequest] = []
+        fetches: List[FetchBatch] = []
         sink = self._message_sink
         cmobs = self._cmobs
         config = self.config
         threshold = config.refill_threshold
+        threshold8 = threshold << 3
         depth = config.queue_depth
         queues = engine._queues
-        order = sorted(dirty)
+        if len(dirty) == 1:
+            # The common shape: exactly the queue the event touched.
+            order = tuple(dirty)
+        else:
+            order = sorted(dirty)
         dirty.clear()
         fetch_from = engine._fetch_from
         for queue_id in order:
@@ -369,7 +532,7 @@ class TemporalStreamingSystem:
                 source_node = src_nodes[i]
                 if source_node < 0:
                     continue
-                if len(data[i]) - pos[i] > threshold:
+                if len(data[i]) - pos[i] > threshold8:
                     continue
                 pending[i] = True
                 if eligible is None:
@@ -378,46 +541,52 @@ class TemporalStreamingSystem:
                     eligible.append((i, source_node, src_next[i]))
             if eligible is None:
                 continue
-            # Serve phase.
+            # Serve phase: one batched CMOB window append per refill.
             for i, source_node, next_offset in eligible:
                 fifo = data[i]
                 p = pos[i]
                 engine._n_refill_requests += 1
-                addresses = cmobs[source_node].read_stream(next_offset, depth)
+                if p > _COMPACT_THRESHOLD:
+                    # Shed the consumed prefix before growing the array.
+                    del fifo[:p]
+                    p = 0
+                    pos[i] = 0
+                was_live = p < len(fifo)
+                count = cmobs[source_node].extend_into(fifo, next_offset, depth)
                 if sink is not None:
                     sink(
                         CoherenceMessage(
                             MessageType.STREAM_REQUEST, node_id, source_node, 0
                         )
                     )
-                    if addresses:
+                    if count:
                         sink(
                             CoherenceMessage(
                                 MessageType.ADDRESS_STREAM,
                                 source_node,
                                 node_id,
                                 0,
-                                num_addresses=len(addresses),
+                                num_addresses=count,
                             )
                         )
-                # Inline extend_stream: append the refill, clear the pending
-                # flag, bump the source offset; the cached queue state needs
-                # refreshing only when a dead FIFO came back to life.
-                if p > _COMPACT_THRESHOLD:
-                    # Shed the consumed prefix before growing the list.
-                    del fifo[:p]
-                    p = 0
-                    pos[i] = 0
-                was_live = p < len(fifo)
-                fifo.extend(addresses)
                 pending[i] = False
-                src_next[i] = next_offset + len(addresses)
-                if not was_live and addresses:
+                src_next[i] = next_offset + count
+                if not was_live and count:
                     queue._recompute_state()
-                dirty.add(queue_id)
-                new_fetches = fetch_from(queue)
-                if new_fetches:
-                    fetches.extend(new_fetches)
+                # ``_fetch_from`` gated inline: right after an allocation the
+                # lookahead is typically exhausted, so most refills have no
+                # budget and the call would be a no-op.
+                if queue.state_code == 0 and queue.in_flight < queue.lookahead:
+                    batch = fetch_from(queue)
+                    if batch:
+                        fetches.append((queue_id, batch))
+                # A short window can leave this FIFO still at or below the
+                # threshold: re-queue it for the next event (its pending
+                # flag was just cleared above).  Other FIFOs can only have
+                # become eligible through ``fetch_from``'s pops, which
+                # queue the refill themselves.
+                if len(fifo) - pos[i] <= threshold8:
+                    dirty.add(queue_id)
                 self._n_refills_serviced += 1
         return fetches
 
@@ -466,35 +635,37 @@ class TemporalStreamingSystem:
     def deliver_all(
         self,
         node_id: NodeId,
-        fetches: List[FetchRequest],
+        batches: List[FetchBatch],
         fill_time: float,
         blocks_map: Dict,
     ) -> Tuple[int, int]:
-        """Deliver a batch of fetched blocks into ``node_id``'s SVB.
+        """Deliver the fetched block batches into ``node_id``'s SVB.
 
         Batch counterpart of :meth:`deliver_block`: one call per replay
-        event instead of one per block, with the SVB fill, LRU eviction,
-        residency bookkeeping and victim notification inlined on the
-        message-free path.  ``blocks_map`` is the protocol's per-block state
-        dict (for the stored block version).  Returns
+        event instead of one per block, consuming the engine's per-queue
+        ``(queue_id, [addresses])`` batches in order, with the SVB fill, LRU
+        eviction, residency bookkeeping and victim notification inlined on
+        the message-free path.  ``blocks_map`` is the protocol's per-block
+        state dict (for the stored block version).  Returns
         ``(delivered, discarded)``.
         """
         if self._message_sink is not None:
             delivered = 0
             discarded = 0
-            for address, queue_id in fetches:
-                block_state = blocks_map.get(address)
-                if block_state is None:
-                    producer, version = None, 0
-                else:
-                    producer, version = block_state.last_writer, block_state.version
-                victim = self.deliver_block(
-                    node_id, address, queue_id,
-                    producer=producer, version=version, fill_time=fill_time,
-                )
-                delivered += 1
-                if victim is not None:
-                    discarded += 1
+            for queue_id, addresses in batches:
+                for address in addresses:
+                    block_state = blocks_map.get(address)
+                    if block_state is None:
+                        producer, version = None, 0
+                    else:
+                        producer, version = block_state.last_writer, block_state.version
+                    victim = self.deliver_block(
+                        node_id, address, queue_id,
+                        producer=producer, version=version, fill_time=fill_time,
+                    )
+                    delivered += 1
+                    if victim is not None:
+                        discarded += 1
             return delivered, discarded
 
         engine = self.nodes[node_id].engine
@@ -503,36 +674,39 @@ class TemporalStreamingSystem:
         capacity = svb.capacity
         residency = self._svb_residency
         queues = engine._queues
+        delivered = 0
         discarded = 0
-        for address, queue_id in fetches:
-            # The stored block version is message-path bookkeeping (the
-            # streamed-data reply's payload identity); the fast path records
-            # 0 — nothing in the replay reads it back.
-            if address in entries:
-                # Refresh: new LRU position and queue binding, no victim,
-                # no residency change (plain dicts keep insertion order).
-                del entries[address]
+        for queue_id, addresses in batches:
+            delivered += len(addresses)
+            for address in addresses:
+                # The stored block version is message-path bookkeeping (the
+                # streamed-data reply's payload identity); the fast path
+                # records 0 — nothing in the replay reads it back.
+                if address in entries:
+                    # Refresh: new LRU position and queue binding, no victim,
+                    # no residency change (plain dicts keep insertion order).
+                    del entries[address]
+                    entries[address] = (address, queue_id, fill_time, 0)
+                    continue
+                if len(entries) >= capacity:
+                    lru_address = next(iter(entries))
+                    victim = entries.pop(lru_address)
+                    svb._n_evictions += 1
+                    owner = queues.get(victim[1])
+                    if owner is not None:
+                        owner.on_block_lost()
+                    victim_address = victim[0]
+                    count = residency.get(victim_address, 0)
+                    if count <= 1:
+                        residency.pop(victim_address, None)
+                    else:
+                        residency[victim_address] = count - 1
+                    discarded += 1
                 entries[address] = (address, queue_id, fill_time, 0)
-                continue
-            if len(entries) >= capacity:
-                lru_address = next(iter(entries))
-                victim = entries.pop(lru_address)
-                svb._n_evictions += 1
-                owner = queues.get(victim[1])
-                if owner is not None:
-                    owner.on_block_lost()
-                victim_address = victim[0]
-                count = residency.get(victim_address, 0)
-                if count <= 1:
-                    residency.pop(victim_address, None)
-                else:
-                    residency[victim_address] = count - 1
-                discarded += 1
-            entries[address] = (address, queue_id, fill_time, 0)
-            svb._n_fills += 1
-            residency[address] = residency.get(address, 0) + 1
-        self._n_blocks_streamed += len(fetches)
-        return len(fetches), discarded
+                svb._n_fills += 1
+                residency[address] = residency.get(address, 0) + 1
+        self._n_blocks_streamed += delivered
+        return delivered, discarded
 
     # -------------------------------------------------------------- end of run
     def drain(self) -> Dict[NodeId, int]:

@@ -205,6 +205,7 @@ class TSESimulator:
 
     # ---------------------------------------------------------------- delivery
     def _deliver_fetches(self, node: int, fetches, fill_time: float = 0.0) -> None:
+        """Deliver the event's ``(queue_id, [addresses])`` fetch batches."""
         if not fetches:
             return
         fetched, discarded = self.tse.deliver_all(
@@ -429,8 +430,12 @@ class TSESimulator:
         n = len(nodes_col)
         if n == 0:
             return
-        blocks_col = chunk.blocks
-        types_col = chunk.types
+        # Box each column once (C-level tolist) instead of once per access
+        # inside the zip — block addresses are large ints, so per-element
+        # array iteration would allocate a fresh object for every access.
+        nodes_col = nodes_col.tolist()
+        blocks_col = chunk.blocks.tolist()
+        types_col = chunk.types.tolist()
 
         # ---- bind everything the loop touches to locals ----
         tse = self.tse
@@ -489,9 +494,14 @@ class TSESimulator:
         n_discards = 0
         n_inline_hits = 0
 
+        # Per-node access clocks feed only the recorded SVB fill times and
+        # hit leads; without outcome recording nothing observable reads
+        # them, so the non-recording replay skips the bookkeeping entirely.
+        node_access_index = 0
         for type_code, node, address in zip(types_col, nodes_col, blocks_col):
-            node_access_index = node_counts[node] + 1
-            node_counts[node] = node_access_index
+            if record:
+                node_access_index = node_counts[node] + 1
+                node_counts[node] = node_access_index
             if is_write_table[type_code]:
                 n_writes += 1
                 # Writes invalidate matching SVB entries everywhere;

@@ -40,6 +40,8 @@ from repro.common.config import TSEConfig
 from repro.tse.simulator import TSESimulator, TSEStats
 
 __all__ = [
+    "SNAPSHOT_FORMAT",
+    "SnapshotFormatError",
     "capture",
     "restore",
     "warm_tse_run",
@@ -49,22 +51,57 @@ __all__ = [
     "PersistentSnapshotStore",
 ]
 
+#: Version of the snapshot payload format.  Bump whenever the pickled
+#: simulator's internal representation changes incompatibly (e.g. the PR 5
+#: move to byte-packed CMOB rings and stream-queue FIFOs, which is format 2;
+#: format 1 was the PR 3 list-backed layout).  The version participates in
+#: :func:`snapshot_key`, so persisted pre-refactor snapshots simply never
+#: match — a restore falls back to a cold ramp instead of unpickling an
+#: object whose attributes no longer exist — and it is embedded in the
+#: payload itself so a payload from a mismatched writer is rejected loudly
+#: by :func:`restore` rather than half-restored.
+SNAPSHOT_FORMAT = 2
+
+
+class SnapshotFormatError(RuntimeError):
+    """A snapshot payload was written by an incompatible format version."""
+
 
 def capture(simulator: TSESimulator) -> bytes:
     """Serialize a simulator's complete functional state.
 
     Only message-free simulators can be captured: a traffic-accounting run
     holds an interconnect sink whose accounting is not part of the warm
-    state contract.
+    state contract.  The payload embeds :data:`SNAPSHOT_FORMAT`.
     """
     if simulator.traffic is not None:
         raise ValueError("cannot snapshot a traffic-accounting simulator")
-    return pickle.dumps(simulator, protocol=pickle.HIGHEST_PROTOCOL)
+    return pickle.dumps((SNAPSHOT_FORMAT, simulator), protocol=pickle.HIGHEST_PROTOCOL)
 
 
 def restore(snapshot: bytes) -> TSESimulator:
-    """Materialize an independent simulator from a :func:`capture` payload."""
-    return pickle.loads(snapshot)
+    """Materialize an independent simulator from a :func:`capture` payload.
+
+    Raises :class:`SnapshotFormatError` for payloads without a matching
+    format header (e.g. a raw pre-versioning pickle, or one captured by a
+    different simulator layout); callers that can recompute — like
+    :func:`warm_tse_run` — treat that as a cache miss.
+    """
+    try:
+        payload = pickle.loads(snapshot)
+    except Exception as exc:  # unpicklable / truncated / stale class layout
+        raise SnapshotFormatError(f"unreadable snapshot payload: {exc}") from exc
+    if (
+        not isinstance(payload, tuple)
+        or len(payload) != 2
+        or payload[0] != SNAPSHOT_FORMAT
+        or not isinstance(payload[1], TSESimulator)
+    ):
+        raise SnapshotFormatError(
+            "snapshot payload is not format "
+            f"{SNAPSHOT_FORMAT} (got {type(payload).__name__})"
+        )
+    return payload[1]
 
 
 #: Process-wide snapshot cache: determinism-key text -> pickled simulator.
@@ -81,8 +118,13 @@ def snapshot_key(
     num_nodes: int,
     config: TSEConfig,
 ) -> str:
-    """Canonical text key of one warm-state point (stable across processes)."""
-    return repr((workload, warm_accesses, total_accesses, seed, num_nodes, config))
+    """Canonical text key of one warm-state point (stable across processes).
+
+    Includes :data:`SNAPSHOT_FORMAT`, so snapshots persisted by an older
+    simulator layout are invalidated by key — never deserialized.
+    """
+    return repr((SNAPSHOT_FORMAT, workload, warm_accesses, total_accesses,
+                 seed, num_nodes, config))
 
 
 class PersistentSnapshotStore(MutableMapping):
@@ -224,8 +266,14 @@ def warm_tse_run(
     if use_snapshot:
         payload = store.get(key)
         if payload is not None:
-            _HITS += 1
-            simulator = restore(payload)
+            try:
+                simulator = restore(payload)
+                _HITS += 1
+            except SnapshotFormatError:
+                # A stale or foreign payload under the current key: fall
+                # back to the cold ramp and overwrite it below.
+                simulator = None
+                store.pop(key, None)
     if simulator is None:
         simulator = TSESimulator(num_nodes, tse_config=config)
         for chunk in warm_chunks:

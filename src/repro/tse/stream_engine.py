@@ -13,19 +13,33 @@ events (Section 3.3):
 The engine itself is policy only: the system layer (``repro.tse.engine``)
 performs the actual block "transfers" and accounts for traffic and latency.
 
-Performance notes: every off-chip miss and refill pass scans the queues, so
-the engine keeps a *scan set* holding only queues that can still react —
-drained queues with no refill outstanding are zombies (they can never leave
-``DRAINED``) and are pruned from the scan set the first time a pass visits
-them.  The full ``_queues`` map keeps zombies for LRU reclamation and the
-stream-length census.  Fetch requests are plain ``(address, queue_id)``
-tuples (see :data:`FetchRequest`) and refill requests are the stream queue's
-flat tuples — no per-event object allocation.  Activity counters are plain
-ints, published into the ``StatsRegistry`` lazily when ``stats`` is read.
+Performance notes: the compare plane is **window-at-a-time** over the packed
+byte FIFOs (8 bytes per address, the CMOB window layout):
+:meth:`StreamEngine._fetch_from` finds the agreed prefix of the compared
+streams with ``memcmp``-class slice equality (a binary search pins the first
+divergence index when whole windows disagree), pops it with cursor
+arithmetic, unpacks it once (a single ``struct`` call) for the SVB filter,
+and emits it as one fetch *batch* ``(queue_id, [addresses])`` (see
+:data:`FetchBatch`); single-FIFO and selected queues short-circuit to a
+plain slice walk.  Off-chip misses probe active FIFOs with a
+``memmem``-class packed substring search (misaligned or already-consumed
+matches are false positives that the precise windowed ``skip_address``
+rejects), so the common nothing-matches miss never boxes an address.  Every
+off-chip miss and refill pass scans the queues, so the engine keeps a *scan
+set* holding only queues that can still react — drained queues with no
+refill outstanding are zombies (they can never leave ``DRAINED``) and are
+pruned from the scan set the first time a pass visits them.  The full
+``_queues`` map keeps zombies for LRU reclamation and the stream-length
+census.  The refill-dirty set holds only queues whose FIFOs are actually
+*eligible* for a refill (``StreamQueue.needs_refill`` checked at each
+mutation site), so the system layer's refill service runs only when there is
+real work.  Activity counters are plain ints, published into the
+``StatsRegistry`` lazily when ``stats`` is read.
 """
 
 from __future__ import annotations
 
+import struct
 from typing import Dict, List, Optional, Tuple
 
 from repro.common.config import TSEConfig
@@ -37,20 +51,59 @@ from repro.tse.stream_queue import (
     STATE_STALLED,
     QueueState,
     StreamQueue,
+    _as_fifo,
 )
 from repro.tse.svb import StreamedValueBuffer, SVBEntry
 
 _ACTIVE = QueueState.ACTIVE
 _STALLED = QueueState.STALLED
 
-#: A block the engine wants streamed into the SVB: ``(address, queue_id)``.
-FetchRequest = Tuple[BlockAddress, int]
+#: A batch of blocks the engine wants streamed into the SVB, all fetched by
+#: one queue in one event: ``(queue_id, [address, ...])``.  Batches preserve
+#: the exact per-block fetch order of the old per-block tuples; they are
+#: flattened in order by the system layer's ``deliver_all``.
+FetchBatch = Tuple[int, List[BlockAddress]]
 
 #: One candidate stream handed to :meth:`StreamEngine.accept_streams`:
 #: ``(source_node, next_offset, addresses)`` — the CMOB it came from, the
 #: monotonic offset of the next address to request on refill, and the
-#: forwarded addresses themselves.
-CandidateStream = Tuple[NodeId, int, List[BlockAddress]]
+#: forwarded addresses themselves (a packed window or plain iterable).
+CandidateStream = Tuple[NodeId, int, object]
+
+#: Single-address unpack for the take==1 fast path (a freed lookahead slot).
+_U1 = struct.Struct("<Q").unpack_from
+
+#: Lazily built ``n``-address unpackers for boxing a whole agreed window in
+#: one C call.
+_UNPACKERS: Dict[int, object] = {}
+
+
+def _window_unpacker(n: int):
+    unpacker = _UNPACKERS.get(n)
+    if unpacker is None:
+        unpacker = _UNPACKERS[n] = struct.Struct("<%dQ" % n).unpack_from
+    return unpacker
+
+
+def _lcp(d0: bytearray, p0: int, d1: bytearray, p1: int, limit: int) -> int:
+    """Longest common prefix (in addresses, ``<= limit``) of two packed windows.
+
+    The caller has already established that the full ``limit``-address
+    windows are *not* equal, so the divergence index is found by binary
+    search over ``memcmp``-class slice comparisons — O(log limit) compares
+    instead of a Python loop over elements.
+    """
+    if d0[p0:p0 + 8] != d1[p1:p1 + 8]:
+        return 0
+    lo, hi = 1, limit - 1
+    while lo < hi:
+        mid = (lo + hi + 1) >> 1
+        m8 = mid << 3
+        if d0[p0:p0 + m8] == d1[p1:p1 + m8]:
+            lo = mid
+        else:
+            hi = mid - 1
+    return lo
 
 
 class StreamEngine:
@@ -66,10 +119,15 @@ class StreamEngine:
         #: Strict subset of ``_queues``: zombies (drained, no refill pending)
         #: are dropped here but stay in ``_queues`` until reclaimed.
         self._scan_queues: Dict[int, StreamQueue] = {}
-        #: Queues whose FIFOs changed since the last refill scan.  Only these
-        #: can produce new refill requests: an unchanged queue was already
-        #: scanned right after the event that made it eligible.
+        #: Queues with at least one refill-eligible FIFO (low, sourced, no
+        #: request outstanding), maintained at every mutation site via
+        #: ``StreamQueue.needs_refill``.  The system layer's refill service
+        #: drains it in queue-id order.
         self._refill_dirty: set = set()
+        self._refill_threshold = config.refill_threshold
+        #: Refill threshold in packed bytes (8 per address), for the inline
+        #: eligibility checks against byte cursors.
+        self._refill_threshold8 = config.refill_threshold << 3
         self._next_queue_id = 0
         self._activity_clock = 0
         #: Hit counts of queues that have been reclaimed, kept so the
@@ -125,7 +183,6 @@ class StreamEngine:
         queue.last_active = self._activity_clock
         queues[new_id] = queue
         self._scan_queues[new_id] = queue
-        self._refill_dirty.add(new_id)
         self._next_queue_id += 1
         self._n_queue_allocations += 1
         return queue
@@ -147,82 +204,83 @@ class StreamEngine:
         self,
         head: BlockAddress,
         streams: List[CandidateStream],
-    ) -> Tuple[int, List[FetchRequest]]:
+    ) -> Tuple[int, List[BlockAddress]]:
         """A set of candidate streams (one per recent consumer) has arrived.
 
         Args:
             head: The consumption address the streams follow.
             streams: ``(source_node, next_offset, addresses)`` triples read
-                from remote CMOBs.
+                from remote CMOBs (packed windows or plain lists).
 
         Returns:
-            The new queue's id and the initial fetch requests (empty when the
-            streams disagree immediately or are empty).
+            The new queue's id and the initial fetch batch for it (empty
+            when the streams disagree immediately or are empty).
         """
         self._activity_clock += 1
         if not streams:
             return -1, []
         queue = self._allocate_queue(head)
         # Bulk-populate the fresh queue: the engine owns the forwarded
-        # address lists (CMOB stream reads return fresh slices), so they
-        # become the FIFO storage directly, and the state is derived once
-        # after all FIFOs are in place.
+        # windows, so they become the FIFO storage directly, and the state
+        # is derived once after all FIFOs are in place.
+        # KEEP IN SYNC: ``TemporalStreamingSystem.on_consumption`` inlines
+        # this whole method (allocation included) on the replay hot path;
+        # behavioral changes here must be mirrored there.
         fifo_data = queue._fifo_data
         fifo_pos = queue._fifo_pos
         src_nodes = queue._src_nodes
         src_next = queue._src_next
         refill_pending = queue._refill_pending
         for source_node, next_offset, addresses in streams:
-            fifo_data.append(addresses)
+            fifo_data.append(_as_fifo(addresses))
             fifo_pos.append(0)
             src_nodes.append(source_node)
             src_next.append(next_offset)
             refill_pending.append(False)
         queue._recompute_state()
         self._n_streams_accepted += len(streams)
-        return queue.queue_id, self._fetch_from(queue)
+        batch = self._fetch_from(queue)
+        # A short window can leave a fresh FIFO at or below the refill
+        # threshold even before (or without) any pops.
+        if queue.needs_refill(self._refill_threshold):
+            self._refill_dirty.add(queue.queue_id)
+        return queue.queue_id, batch
 
-    def _fetch_from(self, queue: StreamQueue) -> List[FetchRequest]:
-        """Fetch blocks for a queue while its heads agree and lookahead allows.
+    def _fetch_from(self, queue: StreamQueue) -> List[BlockAddress]:
+        """Pop the agreed window for a queue and return its fetch batch.
 
-        Equivalent to repeatedly calling ``pop_next`` until the lookahead is
-        reached or the heads stop agreeing (blocks already resident in the
-        SVB are popped but not refetched and do not consume lookahead —
-        another queue fetched them; refetching would double-count traffic).
-        The two dominant shapes are specialized: a *selected* queue pops a
-        plain prefix of one FIFO, and a fresh/agreeing *two-FIFO* queue pops
-        the common prefix — both derive the queue state once at the end
-        instead of once per popped block.
+        Window-at-a-time equivalent of repeatedly calling ``pop_next`` until
+        the lookahead is reached or the heads stop agreeing: the agreed
+        prefix of the compared FIFOs is found with packed-slice comparisons
+        (binary-searching the divergence index when a whole window
+        disagrees), popped with cursor arithmetic, and filtered against the
+        SVB in one pass over a boxed-once window tuple.  Blocks already
+        resident in the SVB are popped but not refetched and do not consume
+        lookahead — another queue fetched them; refetching would
+        double-count traffic.  Selected and single-FIFO queues short-circuit
+        to plain slice walks.
+
+        Callers that may have lowered a FIFO level through other means
+        (skip-deletes, stall selection) must check ``needs_refill``
+        themselves; this method checks it only when it popped something.
         """
         if queue.state_code != STATE_ACTIVE:
             return []
         budget = queue.lookahead - queue.in_flight
         if budget <= 0:
             return []
-        requests: List[FetchRequest] = []
         svb_entries = self.svb._entries
-        queue_id = queue.queue_id
         data = queue._fifo_data
         pos = queue._fifo_pos
         selected = queue._selected
+        batch: List[BlockAddress] = []
+        append = batch.append
         popped = 0
-        if selected is not None:
-            fifo = data[selected]
-            p = pos[selected]
-            size = len(fifo)
-            while budget > 0 and p < size:
-                address = fifo[p]
-                p += 1
-                popped += 1
-                if address in svb_entries:
-                    continue
-                requests.append((address, queue_id))
-                budget -= 1
-            pos[selected] = p
-            if p == size:
-                queue.state_code = STATE_DRAINED
-                queue._stall_heads = None
-        elif len(data) == 2:
+
+        if selected is None and len(data) == 2:
+            # The dominant comparing shape: two FIFOs.  Pop the agreed
+            # prefix window-by-window while both are live, then continue on
+            # the survivor alone.
             d0 = data[0]
             d1 = data[1]
             p0 = pos[0]
@@ -230,59 +288,203 @@ class StreamEngine:
             n0 = len(d0)
             n1 = len(d1)
             while budget > 0:
-                h0 = d0[p0] if p0 < n0 else None
-                h1 = d1[p1] if p1 < n1 else None
-                if h0 == h1:
-                    if h0 is None:
-                        break  # both exhausted
-                    address = h0
-                    p0 += 1
-                    p1 += 1
-                elif h0 is None:
-                    address = h1
-                    p1 += 1
-                elif h1 is None:
-                    address = h0
-                    p0 += 1
-                else:
-                    break  # heads disagree: stall
-                popped += 1
-                if address in svb_entries:
+                k = (n0 - p0) >> 3
+                k1 = (n1 - p1) >> 3
+                if k1 < k:
+                    k = k1
+                if k <= 0:
+                    break  # at least one FIFO exhausted
+                m = k if k < budget else budget
+                if m == 1:
+                    # Post-hit shape: a single freed lookahead slot.
+                    if d0[p0:p0 + 8] != d1[p1:p1 + 8]:
+                        break  # heads diverged: stall (derived below)
+                    address = _U1(d0, p0)[0]
+                    p0 += 8
+                    p1 += 8
+                    popped += 1
+                    if address not in svb_entries:
+                        append(address)
+                        budget -= 1
                     continue
-                requests.append((address, queue_id))
-                budget -= 1
+                m8 = m << 3
+                if d0[p0:p0 + m8] == d1[p1:p1 + m8]:
+                    agreed = m
+                else:
+                    agreed = _lcp(d0, p0, d1, p1, m)
+                    if agreed == 0:
+                        break  # heads diverged: stall (derived below)
+                window = _window_unpacker(agreed)(d0, p0)
+                agreed8 = agreed << 3
+                p0 += agreed8
+                p1 += agreed8
+                popped += agreed
+                for address in window:
+                    if address not in svb_entries:
+                        append(address)
+                        budget -= 1
+                if agreed < m:
+                    break  # divergence inside the window: stall
+            if budget > 0 and (p0 >= n0) != (p1 >= n1):
+                # Exactly one FIFO exhausted: the survivor streams alone.
+                first_live = p0 < n0
+                if first_live:
+                    d, p, size = d0, p0, n0
+                else:
+                    d, p, size = d1, p1, n1
+                while budget > 0 and p < size:
+                    take = (size - p) >> 3
+                    if take > budget:
+                        take = budget
+                    if take == 1:
+                        address = _U1(d, p)[0]
+                        p += 8
+                        popped += 1
+                        if address not in svb_entries:
+                            append(address)
+                            budget -= 1
+                        continue
+                    window = _window_unpacker(take)(d, p)
+                    p += take << 3
+                    popped += take
+                    for address in window:
+                        if address not in svb_entries:
+                            append(address)
+                            budget -= 1
+                if first_live:
+                    p0 = p
+                else:
+                    p1 = p
             pos[0] = p0
             pos[1] = p1
             if popped:
-                h0 = d0[p0] if p0 < n0 else None
-                h1 = d1[p1] if p1 < n1 else None
-                if h0 is None and h1 is None:
+                if p0 >= n0 and p1 >= n1:
                     queue.state_code = STATE_DRAINED
-                elif h0 is None or h1 is None or h0 == h1:
+                elif p0 >= n0 or p1 >= n1 or d0[p0:p0 + 8] == d1[p1:p1 + 8]:
                     queue.state_code = STATE_ACTIVE
                 else:
                     queue.state_code = STATE_STALLED
                 queue._stall_heads = None
-        else:
-            # General comparing case (1 or 3+ FIFOs): per-block pops.
-            while budget > 0:
-                address = queue.pop_next()
-                if address is None:
-                    break
-                popped += 1
-                queue.in_flight -= 1  # re-accounted below, like the fast paths
-                queue.total_fetched -= 1
-                if address in svb_entries:
+                queue.total_fetched += popped
+                queue.in_flight += len(batch)
+                # Inline refill-eligibility check over both FIFOs.
+                threshold8 = self._refill_threshold8
+                pending = queue._refill_pending
+                src_nodes = queue._src_nodes
+                if (
+                    (not pending[0] and src_nodes[0] >= 0 and n0 - p0 <= threshold8)
+                    or (not pending[1] and src_nodes[1] >= 0 and n1 - p1 <= threshold8)
+                ):
+                    self._refill_dirty.add(queue.queue_id)
+            if batch:
+                self._n_fetch_requests += len(batch)
+            return batch
+        if selected is not None or len(data) == 1:
+            # One followed FIFO (selected after a stall, or a single
+            # candidate stream): the agreed window is a plain slice.
+            i = selected if selected is not None else 0
+            fifo = data[i]
+            p = pos[i]
+            size = len(fifo)
+            while budget > 0 and p < size:
+                take = (size - p) >> 3
+                if take > budget:
+                    take = budget
+                if take == 1:
+                    address = _U1(fifo, p)[0]
+                    p += 8
+                    popped += 1
+                    if address not in svb_entries:
+                        append(address)
+                        budget -= 1
                     continue
-                requests.append((address, queue_id))
-                budget -= 1
+                window = _window_unpacker(take)(fifo, p)
+                p += take << 3
+                popped += take
+                for address in window:
+                    if address not in svb_entries:
+                        append(address)
+                        budget -= 1
+            pos[i] = p
+            if p == size:
+                queue.state_code = STATE_DRAINED
+                queue._stall_heads = None
+            if popped:
+                queue.total_fetched += popped
+                queue.in_flight += len(batch)
+                # Inline refill-eligibility check for the one followed FIFO.
+                if (
+                    not queue._refill_pending[i]
+                    and queue._src_nodes[i] >= 0
+                    and size - p <= self._refill_threshold8
+                ):
+                    self._refill_dirty.add(queue.queue_id)
+            if batch:
+                self._n_fetch_requests += len(batch)
+            return batch
+        # General comparing case (3+ FIFOs): agreed prefix against the first
+        # live FIFO, window-at-a-time, re-deriving the live set whenever the
+        # shortest FIFO drains.
+        nf = len(data)
+        while budget > 0:
+            live = [i for i in range(nf) if pos[i] < len(data[i])]
+            if not live:
+                break
+            if len(live) == 1:
+                i = live[0]
+                fifo = data[i]
+                p = pos[i]
+                size = len(fifo)
+                while budget > 0 and p < size:
+                    take = (size - p) >> 3
+                    if take > budget:
+                        take = budget
+                    window = _window_unpacker(take)(fifo, p)
+                    p += take << 3
+                    popped += take
+                    for address in window:
+                        if address not in svb_entries:
+                            append(address)
+                            budget -= 1
+                pos[i] = p
+                break
+            i0 = live[0]
+            d0 = data[i0]
+            p0 = pos[i0]
+            k = min((len(data[i]) - pos[i]) >> 3 for i in live)
+            m = k if k < budget else budget
+            agreed = m
+            for i in live[1:]:
+                di = data[i]
+                pi = pos[i]
+                a8 = agreed << 3
+                if d0[p0:p0 + a8] != di[pi:pi + a8]:
+                    agreed = _lcp(d0, p0, di, pi, agreed)
+                    if agreed == 0:
+                        break
+            if agreed:
+                window = _window_unpacker(agreed)(d0, p0)
+                agreed8 = agreed << 3
+                for i in live:
+                    pos[i] += agreed8
+                popped += agreed
+                for address in window:
+                    if address not in svb_entries:
+                        append(address)
+                        budget -= 1
+            if agreed < m:
+                break  # divergence: stall (derived below)
+        if popped:
+            queue._recompute_state()
+
         if popped:
             queue.total_fetched += popped
-            queue.in_flight += len(requests)
-            self._refill_dirty.add(queue_id)
-        if requests:
-            self._n_fetch_requests += len(requests)
-        return requests
+            queue.in_flight += len(batch)
+            if queue.needs_refill(self._refill_threshold):
+                self._refill_dirty.add(queue.queue_id)
+        if batch:
+            self._n_fetch_requests += len(batch)
+        return batch
 
     # --------------------------------------------------------------------- SVB
     def install_block(self, address: BlockAddress, queue_id: int,
@@ -302,10 +504,10 @@ class StreamEngine:
         """Probe the SVB (no side effects); used by the timing model's L1-miss path."""
         return self.svb.probe(address)
 
-    def on_svb_hit(self, address: BlockAddress) -> Tuple[Optional[SVBEntry], List[FetchRequest]]:
+    def on_svb_hit(self, address: BlockAddress) -> Tuple[Optional[SVBEntry], List[FetchBatch]]:
         """The processor hit in the SVB: consume the entry, extend the stream.
 
-        Returns the consumed entry and any follow-on fetch requests for the
+        Returns the consumed entry and any follow-on fetch batches for the
         corresponding stream queue.
         """
         clock = self._activity_clock + 1
@@ -319,10 +521,11 @@ class StreamEngine:
             return entry, []
         queue.on_hit()
         queue.last_active = clock
-        return entry, self._fetch_from(queue)
+        batch = self._fetch_from(queue)
+        return entry, [(queue.queue_id, batch)] if batch else []
 
     # ------------------------------------------------------------------ misses
-    def on_offchip_miss(self, address: BlockAddress) -> List[FetchRequest]:
+    def on_offchip_miss(self, address: BlockAddress) -> List[FetchBatch]:
         """An off-chip read missed (no SVB hit).
 
         Stalled queues check the miss address against their FIFO heads; a
@@ -331,8 +534,11 @@ class StreamEngine:
         pending FIFO entries and drop it to stay aligned.
         """
         self._activity_clock += 1
-        requests: List[FetchRequest] = []
+        batches: List[FetchBatch] = []
+        threshold = self._refill_threshold
+        dirty = self._refill_dirty
         scan = self._scan_queues
+        packed: Optional[bytes] = None
         zombies: Optional[List[StreamQueue]] = None
         for queue in scan.values():
             state = queue.state_code
@@ -347,13 +553,40 @@ class StreamEngine:
                 if address in heads and queue._resolve_stall(address):
                     self._n_stalls_resolved += 1
                     queue.last_active = self._activity_clock
-                    self._refill_dirty.add(queue.queue_id)
-                    requests.extend(self._fetch_from(queue))
+                    batch = self._fetch_from(queue)
+                    if batch:
+                        batches.append((queue.queue_id, batch))
+                    # Selecting one FIFO (and dropping the matched head) can
+                    # leave it refill-eligible even when nothing was popped.
+                    if queue.needs_refill(threshold):
+                        dirty.add(queue.queue_id)
             elif state == STATE_ACTIVE:
-                if queue.skip_address(address):
+                # Allocation-light reject: a ``memmem``-class substring probe
+                # over each whole packed FIFO over-approximates the windowed
+                # search (consumed, beyond-window, or misaligned matches are
+                # false positives the precise ``skip_address`` rejects);
+                # FIFOs stay short by compaction, so the probe is a few
+                # cache lines and never boxes an address.
+                if packed is None:
+                    packed = address.to_bytes(8, "little")
+                data = queue._fifo_data
+                selected = queue._selected
+                if selected is not None:
+                    probable = packed in data[selected]
+                else:
+                    probable = False
+                    for fifo in data:
+                        if packed in fifo:
+                            probable = True
+                            break
+                if probable and queue.skip_address(address):
                     queue.last_active = self._activity_clock
-                    self._refill_dirty.add(queue.queue_id)
-                    requests.extend(self._fetch_from(queue))
+                    batch = self._fetch_from(queue)
+                    if batch:
+                        batches.append((queue.queue_id, batch))
+                    # The skip-delete lowered a FIFO level by one.
+                    if queue.needs_refill(threshold):
+                        dirty.add(queue.queue_id)
             else:
                 # Drained: refills are collected and served synchronously
                 # within the event that made them necessary, so a drained
@@ -368,7 +601,7 @@ class StreamEngine:
                 # but a queue observed DRAINED in this pass cannot have been
                 # refilled meanwhile, so dropping it is safe.
                 scan.pop(queue.queue_id, None)
-        return requests
+        return batches
 
     # ------------------------------------------------------------- invalidation
     def on_invalidate(self, address: BlockAddress) -> Optional[SVBEntry]:

@@ -8,12 +8,17 @@ matches one of the heads, at which point the other FIFOs are discarded and
 streaming resumes with the selected stream (Section 3.3).
 
 The queue sits on the simulator's innermost loop (every consumption, SVB hit
-and off-chip miss consults it), so the layout is flat and allocation-free:
+and off-chip miss consults it), so the layout is flat and packed:
 
-* each FIFO is a **plain address list plus a cursor** (``_fifo_data`` /
-  ``_fifo_pos``) — popping the head is a cursor increment, window searches
-  are O(1) random access (a deque's are O(k)), and refills are plain list
-  extends (consumed prefixes are compacted away once they pass a threshold);
+* each FIFO is a **packed byte buffer plus a byte cursor** (``_fifo_data`` /
+  ``_fifo_pos``): 8 bytes per address, little-endian, the same layout CMOB
+  windows arrive in.  Refills are ``memcpy``-class extends, head-agreement
+  checks compare whole windows with ``memcmp``-class slice equality (see the
+  engine's window-at-a-time ``_fetch_from``), miss probes are
+  ``memmem``-class substring searches, and popping an agreed prefix is
+  cursor arithmetic.  (A ``bytearray`` rather than an ``array('Q')`` because
+  only the byte types compare and search without boxing an int per element
+  in CPython.)
 * stream sources are two parallel int lists (``_src_nodes`` /
   ``_src_next``), not per-FIFO objects;
 * refill requests are plain tuples
@@ -21,15 +26,22 @@ and off-chip miss consults it), so the layout is flat and allocation-free:
 * the queue state is a cached small int (:data:`STATE_ACTIVE` ...),
   maintained on every FIFO mutation instead of being recomputed through an
   enum property on every read (the replay loop consults queue state once per
-  off-chip miss per queue).
+  off-chip miss per queue);
+* refill *eligibility* is checked at mutation sites (:meth:`needs_refill`)
+  rather than by rescanning every changed queue on every event — the
+  engine's refill service only ever visits queues that are actually low.
+
+Public methods keep *address-count* semantics (``pending``, ``lookahead``,
+``refill_requests`` thresholds); the byte layout is internal.
 """
 
 from __future__ import annotations
 
 import enum
-from typing import List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple
 
 from repro.common.types import BlockAddress, NodeId
+from repro.tse.cmob import pack_window
 
 
 class QueueState(enum.Enum):
@@ -54,8 +66,18 @@ _STATE_ENUM = (QueueState.ACTIVE, QueueState.STALLED, QueueState.DRAINED)
 #: starting at ``next_offset``, destined for ``(queue_id, fifo_index)``.
 RefillRequest = Tuple[int, int, NodeId, int, int]
 
-#: Consumed FIFO prefixes longer than this are compacted away on refill.
-_COMPACT_THRESHOLD = 4096
+#: Consumed FIFO prefixes longer than this many *bytes* are compacted away on
+#: refill.  Kept small: compacting a packed buffer is one cheap ``memmove``,
+#: and short FIFOs keep the engine's whole-buffer miss probes effectively
+#: free.
+_COMPACT_THRESHOLD = 512
+
+
+def _as_fifo(addresses) -> bytearray:
+    """Coerce a candidate stream into packed FIFO storage."""
+    if type(addresses) is bytearray:
+        return addresses
+    return pack_window(addresses)
 
 
 class StreamQueue:
@@ -89,9 +111,9 @@ class StreamQueue:
         self.queue_id = queue_id
         self.head = head
         self.lookahead = lookahead
-        #: Per-FIFO address storage and consumption cursor: the live entries
-        #: of FIFO ``i`` are ``_fifo_data[i][_fifo_pos[i]:]``.
-        self._fifo_data: List[List[BlockAddress]] = []
+        #: Per-FIFO packed address storage and *byte* consumption cursor: the
+        #: live entries of FIFO ``i`` are ``_fifo_data[i][_fifo_pos[i]:]``.
+        self._fifo_data: List[bytearray] = []
         self._fifo_pos: List[int] = []
         #: Per-FIFO stream source: CMOB owner and the monotonic offset of the
         #: next address to request on refill (-1 node == no source).
@@ -139,12 +161,17 @@ class StreamQueue:
     # -------------------------------------------------------------- population
     def add_stream(
         self,
-        addresses: List[BlockAddress],
+        addresses: Iterable[BlockAddress],
         source_node: int = -1,
         next_offset: int = 0,
     ) -> int:
-        """Add one candidate stream (a FIFO); returns its index."""
-        self._fifo_data.append(list(addresses))
+        """Add one candidate stream (a FIFO); returns its index.
+
+        ``addresses`` may be any iterable of block addresses; a packed
+        ``bytearray`` window (e.g. from the CMOB refill path) becomes the
+        FIFO storage directly, without copying.
+        """
+        self._fifo_data.append(_as_fifo(addresses))
         self._fifo_pos.append(0)
         self._src_nodes.append(source_node)
         self._src_next.append(next_offset)
@@ -152,7 +179,7 @@ class StreamQueue:
         self._recompute_state()
         return len(self._fifo_data) - 1
 
-    def extend_stream(self, fifo_index: int, addresses: List[BlockAddress],
+    def extend_stream(self, fifo_index: int, addresses: Iterable[BlockAddress],
                       new_next_offset: Optional[int] = None) -> None:
         """Append refill addresses to an existing FIFO."""
         if not 0 <= fifo_index < len(self._fifo_data):
@@ -160,18 +187,19 @@ class StreamQueue:
         data = self._fifo_data[fifo_index]
         pos = self._fifo_pos[fifo_index]
         if pos > _COMPACT_THRESHOLD:
-            # Shed the consumed prefix before growing the list further.
+            # Shed the consumed prefix before growing the buffer further.
             del data[:pos]
             pos = 0
             self._fifo_pos[fifo_index] = 0
         was_live = pos < len(data)
-        data.extend(addresses)
+        packed = _as_fifo(addresses)
+        data += packed
         self._refill_pending[fifo_index] = False
         if new_next_offset is not None and self._src_nodes[fifo_index] >= 0:
             self._src_next[fifo_index] = new_next_offset
         # Appending to a live FIFO changes neither its head nor the set of
         # non-empty FIFOs, so the cached state is still valid.
-        if not was_live and addresses:
+        if not was_live and len(packed):
             self._recompute_state()
 
     @property
@@ -191,7 +219,7 @@ class StreamQueue:
             return 0
         if fifo_index is None:
             fifo_index = self._selected if self._selected is not None else 0
-        return len(self._fifo_data[fifo_index]) - self._fifo_pos[fifo_index]
+        return (len(self._fifo_data[fifo_index]) - self._fifo_pos[fifo_index]) >> 3
 
     def _recompute_state(self) -> None:
         """Refresh :attr:`state_code` after a FIFO mutation (single pass)."""
@@ -204,14 +232,14 @@ class StreamQueue:
             )
             self._stall_heads = None
             return
-        # Count non-empty FIFOs and compare their heads.
+        # Count non-empty FIFOs and compare their packed heads.
         non_empty = 0
-        first_head: BlockAddress = 0
+        first_head = b""
         for i in range(len(data)):
             fifo = data[i]
             p = pos[i]
             if p < len(fifo):
-                head = fifo[p]
+                head = fifo[p:p + 8]
                 if non_empty == 0:
                     first_head = head
                 elif head != first_head:
@@ -234,8 +262,15 @@ class StreamQueue:
         pos = self._fifo_pos
         if self._selected is not None:
             i = self._selected
-            return [data[i][pos[i]]] if pos[i] < len(data[i]) else []
-        return [data[i][pos[i]] for i in range(len(data)) if pos[i] < len(data[i])]
+            if pos[i] < len(data[i]):
+                p = pos[i]
+                return [int.from_bytes(data[i][p:p + 8], "little")]
+            return []
+        return [
+            int.from_bytes(data[i][pos[i]:pos[i] + 8], "little")
+            for i in range(len(data))
+            if pos[i] < len(data[i])
+        ]
 
     # ------------------------------------------------------------------- fetch
     def next_agreed(self) -> Optional[BlockAddress]:
@@ -246,10 +281,12 @@ class StreamQueue:
         pos = self._fifo_pos
         if self._selected is not None:
             i = self._selected
-            return data[i][pos[i]]
+            p = pos[i]
+            return int.from_bytes(data[i][p:p + 8], "little")
         for i in range(len(data)):
-            if pos[i] < len(data[i]):
-                return data[i][pos[i]]
+            p = pos[i]
+            if p < len(data[i]):
+                return int.from_bytes(data[i][p:p + 8], "little")
         return None
 
     def can_fetch(self) -> bool:
@@ -260,7 +297,9 @@ class StreamQueue:
         """Pop the agreed next address from every live FIFO and mark it in flight.
 
         Returns None unless the queue is ACTIVE (heads agree), so callers may
-        drive the fetch loop off the return value alone.
+        drive the fetch loop off the return value alone.  The engine's
+        window-at-a-time ``_fetch_from`` pops agreed *prefixes* instead;
+        this per-element entry point remains for direct queue use.
         """
         if self.state_code != STATE_ACTIVE:
             return None
@@ -270,8 +309,8 @@ class StreamQueue:
         if selected is not None:
             fifo = data[selected]
             p = pos[selected]
-            address = fifo[p]
-            p += 1
+            address = int.from_bytes(fifo[p:p + 8], "little")
+            p += 8
             pos[selected] = p
             if p == len(fifo):
                 self.state_code = STATE_DRAINED
@@ -281,31 +320,32 @@ class StreamQueue:
             # non-empty FIFO; exhausted FIFOs are simply skipped.  The new
             # state is derived in the same pass: advance each matching FIFO
             # and compare the post-advance heads as they appear.
-            address = None
+            packed: Optional[bytes] = None
             non_empty = 0
-            first_head = 0
+            first_head = b""
             stalled = False
             for i in range(len(data)):
                 fifo = data[i]
                 p = pos[i]
                 size = len(fifo)
                 if p < size:
-                    head = fifo[p]
-                    if address is None:
-                        address = head
-                    if head == address:
-                        p += 1
+                    head = fifo[p:p + 8]
+                    if packed is None:
+                        packed = head
+                    if head == packed:
+                        p += 8
                         pos[i] = p
                         if p == size:
                             continue
-                        head = fifo[p]
+                        head = fifo[p:p + 8]
                     if non_empty == 0:
                         first_head = head
                     elif head != first_head:
                         stalled = True
                     non_empty += 1
-            if address is None:
+            if packed is None:
                 return None
+            address = int.from_bytes(packed, "little")
             if stalled:
                 self.state_code = STATE_STALLED
             else:
@@ -345,12 +385,13 @@ class StreamQueue:
         # STALLED implies no FIFO is selected yet: scan all of them.
         data = self._fifo_data
         pos = self._fifo_pos
+        packed = miss_address.to_bytes(8, "little")
         for i in range(len(data)):
             fifo = data[i]
             p = pos[i]
-            if p < len(fifo) and fifo[p] == miss_address:
+            if p < len(fifo) and fifo[p:p + 8] == packed:
                 self._selected = i
-                p += 1
+                p += 8
                 pos[i] = p  # the processor already has this block
                 self.state_code = STATE_ACTIVE if p < len(fifo) else STATE_DRAINED
                 self._stall_heads = None
@@ -364,12 +405,15 @@ class StreamQueue:
         yet fetched) slightly ahead of the agreed position — the stream
         engine realigns rather than streaming a block the processor already
         obtained.  Only a small window (the lookahead) is searched, mirroring
-        the SVB's tolerance of small reorderings.  Returns True if found.
+        the SVB's tolerance of small reorderings; the search itself is an
+        aligned ``memmem``-class scan of the packed window.  Returns True if
+        found.
         """
         found = False
         data = self._fifo_data
         pos = self._fifo_pos
         window_limit = self.lookahead if self.lookahead > 1 else 1
+        packed = address.to_bytes(8, "little")
         if self._selected is not None:
             indices: Tuple[int, ...] = (self._selected,)
         else:
@@ -378,17 +422,49 @@ class StreamQueue:
             fifo = data[i]
             p = pos[i]
             live = len(fifo) - p
-            window = live if live < window_limit else window_limit
-            for position in range(p, p + window):
-                if fifo[position] == address:
-                    del fifo[position]
-                    found = True
-                    break
+            window = live if live < (window_limit << 3) else (window_limit << 3)
+            stop = p + window
+            at = fifo.find(packed, p, stop)
+            while at >= 0 and (at - p) & 7:
+                # Unaligned substring match: resume at the next byte.
+                at = fifo.find(packed, at + 1, stop)
+            if at >= 0:
+                del fifo[at:at + 8]
+                found = True
         if found:
             self._recompute_state()
         return found
 
     # ------------------------------------------------------------------ refills
+    def needs_refill(self, threshold: int) -> bool:
+        """Is any followed FIFO at or below the refill threshold (addresses)?
+
+        The mutation-site replacement for the old changed-queue rescan: the
+        engine calls this after every event that can lower a FIFO level
+        (fetch pops, skip-deletes, stall selection, initial population) and
+        queues the refill service only when it returns True.  Mirrors the
+        eligibility predicate of the service exactly — live level at or
+        below ``threshold``, a real source, no request outstanding.
+        """
+        selected = self._selected
+        data = self._fifo_data
+        if selected is not None:
+            indices: Tuple[int, ...] = (selected,)
+        else:
+            indices = tuple(range(len(data)))
+        pos = self._fifo_pos
+        pending = self._refill_pending
+        src_nodes = self._src_nodes
+        threshold8 = threshold << 3
+        for i in indices:
+            if (
+                not pending[i]
+                and src_nodes[i] >= 0
+                and len(data[i]) - pos[i] <= threshold8
+            ):
+                return True
+        return False
+
     def refill_requests(self, threshold: int, count: int) -> List[RefillRequest]:
         """Refill requests for live FIFOs running low (Section 3.3: half empty)."""
         requests: List[RefillRequest] = []
@@ -402,13 +478,14 @@ class StreamQueue:
         data = self._fifo_data
         pos = self._fifo_pos
         queue_id = self.queue_id
+        threshold8 = threshold << 3
         for i in indices:
             if pending[i]:
                 continue
             source_node = src_nodes[i]
             if source_node < 0:
                 continue
-            if len(data[i]) - pos[i] <= threshold:
+            if len(data[i]) - pos[i] <= threshold8:
                 pending[i] = True
                 requests.append(
                     (queue_id, i, source_node, self._src_next[i], count)

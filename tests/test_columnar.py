@@ -176,6 +176,110 @@ class TestWarmSnapshots:
             capture(simulator)
 
 
+class TestSnapshotFormatVersioning:
+    """Snapshots carry a format version: stale payloads fall back to the
+    cold ramp instead of unpickling garbage (PR 5 acceptance)."""
+
+    WARM = 2_000
+    MEASURE = 2_000
+
+    def test_capture_embeds_format_and_restore_validates(self):
+        import pickle
+
+        from repro.tse.snapshot import SNAPSHOT_FORMAT, SnapshotFormatError
+
+        simulator = TSESimulator(4, TSEConfig.paper_default(lookahead=8))
+        payload = capture(simulator)
+        version, _ = pickle.loads(payload)
+        assert version == SNAPSHOT_FORMAT
+        assert isinstance(restore(payload), TSESimulator)
+        # A pre-versioning payload (raw pickled simulator) is rejected.
+        legacy = pickle.dumps(simulator, protocol=pickle.HIGHEST_PROTOCOL)
+        with pytest.raises(SnapshotFormatError):
+            restore(legacy)
+        with pytest.raises(SnapshotFormatError):
+            restore(b"not a pickle at all")
+
+    def test_snapshot_key_is_format_scoped(self):
+        from repro.tse.snapshot import SNAPSHOT_FORMAT, snapshot_key
+
+        key = snapshot_key("db2", 100, 200, 42, 16, TSEConfig.paper_default())
+        assert key.startswith(f"({SNAPSHOT_FORMAT},")
+
+    def test_bad_payload_under_current_key_falls_back_to_cold_ramp(self):
+        """Even a corrupt payload stored under the *current* key must not
+        crash or skew results: warm_tse_run recomputes the ramp and heals
+        the store entry."""
+        import pickle
+
+        from repro.tse import snapshot as snap
+
+        clear_snapshots()
+        config = TSEConfig.paper_default(lookahead=8)
+        reference = warm_tse_run(
+            "db2", config, warm_accesses=self.WARM,
+            measure_accesses=self.MEASURE, use_snapshot=False,
+        )
+        from repro.experiments.runner import trace_for
+
+        trace = trace_for("db2", self.WARM + self.MEASURE, 42, 16)
+        key = snap.snapshot_key(
+            "db2", self.WARM, len(trace), 42, 16, config
+        )
+        legacy_sim = TSESimulator(16, config)
+        snap._SNAPSHOTS[key] = pickle.dumps(legacy_sim)  # unversioned payload
+        healed = warm_tse_run(
+            "db2", config, warm_accesses=self.WARM, measure_accesses=self.MEASURE,
+        )
+        assert healed.as_dict() == reference.as_dict()
+        # The bad payload was replaced by a valid, versioned one.
+        assert isinstance(restore(snap._SNAPSHOTS[key]), TSESimulator)
+        clear_snapshots()
+
+
+class TestPackedCMOBDeterminism:
+    """Array-backed (byte-packed) CMOB determinism under heavy wraparound."""
+
+    def test_wraparound_heavy_run_matches_object_path(self):
+        """A CMOB far smaller than the trace working set exercises constant
+        stale-pointer truncation and ring overwrite; the packed ring must be
+        bit-identical to the object replay path through all of it."""
+        config = TSEConfig(cmob_capacity=97, svb_entries=8, stream_lookahead=8)
+        chunked = get_workload("db2", SMALL).generate_chunked(chunk_size=512)
+        object_trace = get_workload("db2", SMALL).generate()
+        fast = TSESimulator(4, config).run(chunked, warmup_fraction=0.3)
+        slow = TSESimulator(4, config).run(object_trace, warmup_fraction=0.3)
+        assert fast.as_dict() == slow.as_dict()
+
+    def test_packed_ring_grows_lazily_and_caps(self):
+        from repro.tse.cmob import CMOB
+
+        cmob = CMOB(capacity=16)
+        for address in range(10):
+            cmob.append(address)
+        assert len(cmob._data) == 10 * 8
+        for address in range(10, 40):
+            cmob.append(address)
+        assert len(cmob._data) == 16 * 8  # capped at capacity entries
+
+    def test_snapshot_round_trips_packed_state(self):
+        """Capture/restore across the byte-packed CMOB + FIFO state is
+        deterministic: the restored twin replays to identical results."""
+        config = TSEConfig(cmob_capacity=97, svb_entries=8, stream_lookahead=8)
+        chunked = get_workload("db2", SMALL).generate_chunked(chunk_size=512)
+        chunks = chunked.chunks()
+        reference = TSESimulator(4, config)
+        twin_source = TSESimulator(4, config)
+        for chunk in chunks[:2]:
+            reference._replay_chunk(chunk)
+            twin_source._replay_chunk(chunk)
+        twin = restore(capture(twin_source))
+        for chunk in chunks[2:]:
+            reference._replay_chunk(chunk)
+            twin._replay_chunk(chunk)
+        assert reference.finalize().as_dict() == twin.finalize().as_dict()
+
+
 class TestParallelPreload:
     def test_preloaded_payload_feeds_trace_for(self):
         from repro.experiments import runner

@@ -54,7 +54,7 @@ class TestCMOBProperties:
         for address in appended:
             cmob.append(address)
         start = cmob.oldest_valid_offset
-        resident = cmob.read_stream(start, len(appended))
+        resident = list(cmob.read_stream(start, len(appended)))
         assert resident == appended[start:]
 
     @given(st.lists(addresses, min_size=1, max_size=200), st.integers(min_value=1, max_value=32))

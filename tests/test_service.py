@@ -73,6 +73,95 @@ class TestResultStore:
         assert store.stats()["results"] == 0
 
 
+def _backdate(store, keys, days=30.0):
+    """Rewrite ``created`` for the given result keys ``days`` into the past."""
+    import time as _time
+
+    cutoff = _time.time() - days * 86400.0
+    with store._connect() as conn:
+        for key in keys:
+            conn.execute("UPDATE results SET created = ? WHERE key = ?",
+                         (cutoff, key))
+
+
+class TestStoreGC:
+    def test_gc_evicts_only_stale_rows(self, store):
+        store.put_result("old", "j-old", "exp", "db2", [{"row": "old"}])
+        store.put_result("new", "j-new", "exp", "db2", [{"row": "new"}])
+        store.create_campaign("{}", "camp", ["old", "new"])
+        _backdate(store, ["old"])
+        counts = store.gc(keep_days=7)
+        assert counts == {"results": 1, "snapshots": 0}
+        assert store.get_result("old") is None
+        assert store.get_result("new") == [{"row": "new"}]
+        # Campaign membership is never evicted: the table can still be
+        # reassembled, with the evicted point simply pending again.
+        assert store.stats()["campaigns"] == 1
+        assert store.campaign_rows(1) == [None, [{"row": "new"}]]
+
+    def test_gc_negative_days_rejected(self, store):
+        with pytest.raises(ValueError):
+            store.gc(keep_days=-1)
+
+    def test_gc_evicts_stale_snapshots(self, store):
+        import time as _time
+
+        from repro.tse.snapshot import PersistentSnapshotStore
+
+        snaps = PersistentSnapshotStore(store.path)
+        snaps["snap-old"] = b"payload"
+        snaps["snap-new"] = b"payload"
+        with store._connect() as conn:
+            conn.execute(
+                "UPDATE snapshots SET created = ? WHERE key = 'snap-old'",
+                (_time.time() - 30 * 86400.0,),
+            )
+        counts = store.gc(keep_days=7)
+        assert counts == {"results": 0, "snapshots": 1}
+        assert "snap-old" not in snaps and "snap-new" in snaps
+
+    def test_resubmission_recomputes_exactly_the_evicted_points(self, tmp_path):
+        """ISSUE acceptance: after an age GC, resubmitting the same campaign
+        recomputes the evicted points and only those, and the rendered table
+        is unchanged."""
+        camp = tiny_campaign()
+        store_path = tmp_path / "s.sqlite"
+        with Service(store_path=store_path, max_workers=1) as service:
+            first = service.submit(camp, wait=True)
+            table = service.render(first)
+            assert first.computed == first.total
+        store = ResultStore(store_path)
+        keys = [job.key for job in camp.jobs()]
+        evicted = keys[::2]
+        _backdate(store, evicted)
+        counts = store.gc(keep_days=7)
+        assert counts["results"] == len(evicted)
+        with Service(store_path=store_path, max_workers=1) as service:
+            second = service.submit(camp, wait=True)
+            assert second.computed == len(evicted)
+            assert second.cached == second.total - len(evicted)
+            assert service.render(second) == table
+
+    def test_cache_cli_gc_flag(self, tmp_path, capsys):
+        from repro.experiments.cache import main as cache_main
+
+        store = ResultStore(tmp_path / "s.sqlite")
+        store.put_result("old", "j-old", "exp", "db2", [{}])
+        store.put_result("new", "j-new", "exp", "db2", [{}])
+        _backdate(store, ["old"])
+        assert cache_main(["--gc", "--keep-days", "7",
+                           "--store", str(store.path)]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["gc"]["evicted"] == {"results": 1, "snapshots": 0}
+        assert store.stats()["results"] == 1
+
+    def test_cache_cli_gc_requires_keep_days(self, tmp_path):
+        from repro.experiments.cache import main as cache_main
+
+        with pytest.raises(SystemExit):
+            cache_main(["--gc", "--store", str(tmp_path / "s.sqlite")])
+
+
 class TestCampaignSpec:
     def test_jobs_follow_run_parallel_order(self):
         camp = Campaign(

@@ -19,13 +19,13 @@ class TestCMOB:
         cmob = CMOB(capacity=16)
         for address in range(100, 110):
             cmob.append(address)
-        assert cmob.read_stream(3, 4) == [103, 104, 105, 106]
+        assert list(cmob.read_stream(3, 4)) == [103, 104, 105, 106]
 
     def test_read_stream_truncates_at_end(self):
         cmob = CMOB(capacity=16)
         for address in range(100, 105):
             cmob.append(address)
-        assert cmob.read_stream(3, 10) == [103, 104]
+        assert list(cmob.read_stream(3, 10)) == [103, 104]
 
     def test_wraparound_invalidates_stale_offsets(self):
         cmob = CMOB(capacity=4)
@@ -33,8 +33,8 @@ class TestCMOB:
             cmob.append(address)
         assert not cmob.is_valid_offset(2)
         assert cmob.read(2) is None
-        assert cmob.read_stream(2, 4) == []
-        assert cmob.read_stream(7, 4) == [7, 8, 9]
+        assert list(cmob.read_stream(2, 4)) == []
+        assert list(cmob.read_stream(7, 4)) == [7, 8, 9]
 
     def test_len_caps_at_capacity(self):
         cmob = CMOB(capacity=4)
@@ -49,6 +49,80 @@ class TestCMOB:
     def test_invalid_capacity_rejected(self):
         with pytest.raises(ValueError):
             CMOB(capacity=0)
+
+
+class TestCMOBWindowBoundaries:
+    """Wrap-around edge semantics of window reads, locked explicitly.
+
+    The contract (documented in ``repro.tse.cmob``): a stale start yields an
+    *empty* window — never a partial window resynchronized to the oldest
+    resident entry — a future start yields nothing, and a valid start is
+    truncated at the append watermark.
+    """
+
+    def _wrapped(self, capacity=4, appended=10):
+        cmob = CMOB(capacity=capacity)
+        for address in range(100, 100 + appended):
+            cmob.append(address)
+        return cmob
+
+    def test_start_exactly_at_oldest_valid_offset(self):
+        cmob = self._wrapped()  # offsets 6..9 resident
+        assert cmob.oldest_valid_offset == 6
+        assert list(cmob.read_stream(6, 4)) == [106, 107, 108, 109]
+
+    def test_stale_start_truncates_to_empty_not_partial(self):
+        cmob = self._wrapped()
+        # Offset 5 was overwritten; a partial window starting at the oldest
+        # resident entry (106...) would be positionally wrong data.
+        assert list(cmob.read_stream(5, 4)) == []
+        assert list(cmob.read_stream(0, 100)) == []
+
+    def test_future_start_yields_empty(self):
+        cmob = self._wrapped()
+        assert list(cmob.read_stream(10, 4)) == []
+        assert list(cmob.read_stream(999, 4)) == []
+
+    def test_window_truncated_at_append_watermark(self):
+        cmob = self._wrapped()
+        assert list(cmob.read_stream(8, 100)) == [108, 109]
+        assert list(cmob.read_stream(9, 1)) == [109]
+
+    def test_window_spans_physical_ring_boundary(self):
+        # capacity 4: offsets 6..9 live in slots 2,3,0,1 — a window from
+        # offset 6 crosses the physical wrap point.
+        cmob = self._wrapped()
+        assert list(cmob.read_stream(6, 3)) == [106, 107, 108]
+        assert list(cmob.read_stream(7, 3)) == [107, 108, 109]
+
+    def test_non_positive_count_yields_empty(self):
+        cmob = self._wrapped()
+        assert list(cmob.read_stream(6, 0)) == []
+        assert list(cmob.read_stream(6, -3)) == []
+
+    def test_negative_start_yields_empty_even_before_wrap(self):
+        # On a not-yet-full ring ``appended - capacity`` is negative; a
+        # negative start must still be rejected, not wrapped into live data.
+        cmob = CMOB(capacity=16)
+        for address in (100, 101, 102):
+            cmob.append(address)
+        assert list(cmob.read_stream(-1, 2)) == []
+        dest = bytearray()
+        assert cmob.extend_into(dest, -1, 2) == 0
+        assert dest == bytearray()
+
+    def test_extend_into_matches_read_stream_everywhere(self):
+        """The batched refill primitive and the window read agree at every
+        start offset, including stale, wrapping, and future ones."""
+        from repro.tse.cmob import unpack_window
+
+        cmob = self._wrapped(capacity=5, appended=13)
+        for start in range(-1, 15):
+            window = list(cmob.read_stream(start, 4))
+            dest = bytearray()
+            count = cmob.extend_into(dest, start, 4)
+            assert count == len(window)
+            assert list(unpack_window(dest)) == window
 
 
 class TestSVB:
@@ -180,9 +254,9 @@ class TestStreamEngine:
 
     def test_accept_streams_fetches_up_to_lookahead(self):
         engine = self._engine()
-        queue_id, fetches = engine.accept_streams(99, [(1, 10, [1, 2, 3, 4, 5, 6])])
+        queue_id, batch = engine.accept_streams(99, [(1, 10, [1, 2, 3, 4, 5, 6])])
         assert queue_id >= 0
-        assert [address for address, _ in fetches] == [1, 2, 3, 4]
+        assert batch == [1, 2, 3, 4]
 
     def test_disagreeing_streams_fetch_nothing(self):
         engine = self._engine()
@@ -196,11 +270,11 @@ class TestStreamEngine:
 
     def test_svb_hit_extends_stream(self):
         engine = self._engine()
-        _, fetches = engine.accept_streams(99, [(1, 0, [1, 2, 3, 4, 5, 6])])
-        for address, queue_id in fetches:
+        queue_id, batch = engine.accept_streams(99, [(1, 0, [1, 2, 3, 4, 5, 6])])
+        for address in batch:
             engine.install_block(address, queue_id)
         _, more = engine.on_svb_hit(1)
-        assert [address for address, _ in more] == [5]
+        assert [(q, list(a)) for q, a in more] == [(queue_id, [5])]
 
     def test_offchip_miss_resolves_stall(self):
         engine = self._engine()
@@ -208,9 +282,9 @@ class TestStreamEngine:
             (1, 0, [1, 2, 3]),
             (2, 0, [7, 8, 9]),
         ]
-        engine.accept_streams(99, streams)
+        queue_id, _ = engine.accept_streams(99, streams)
         fetches = engine.on_offchip_miss(7)
-        assert [address for address, _ in fetches] == [8, 9]
+        assert [(q, list(a)) for q, a in fetches] == [(queue_id, [8, 9])]
 
     def test_queue_reclaim_records_retired_hits(self):
         engine = self._engine()
@@ -223,14 +297,14 @@ class TestStreamEngine:
         # Three queues, four fetches each: twelve fills overflow the 8-entry SVB.
         victims = []
         for base in (1, 100, 200):
-            _, fetches = engine.accept_streams(base, [(1, 0, list(range(base + 1, base + 20)))])
-            victims.extend(engine.install_block(a, q) for a, q in fetches)
+            queue_id, batch = engine.accept_streams(base, [(1, 0, list(range(base + 1, base + 20)))])
+            victims.extend(engine.install_block(a, queue_id) for a in batch)
         assert any(v is not None for v in victims)
 
     def test_invalidate_removes_block_and_frees_slot(self):
         engine = self._engine()
-        _, fetches = engine.accept_streams(99, [(1, 0, [1, 2, 3, 4, 5])])
-        for address, queue_id in fetches:
+        queue_id, batch = engine.accept_streams(99, [(1, 0, [1, 2, 3, 4, 5])])
+        for address in batch:
             engine.install_block(address, queue_id)
         assert engine.on_invalidate(1) is not None
         assert engine.lookup(1) is None

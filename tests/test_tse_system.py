@@ -56,15 +56,17 @@ class TestTemporalStreamingSystem:
         # located on node 0's CMOB and fetched.
         queue_id, fetches = tse.on_consumption(1, 10)
         assert queue_id >= 0
-        assert [address for address, _ in fetches] == [11, 12, 13, 14]
+        # Fetches arrive as per-queue batches: (queue_id, [addresses]).
+        assert [(q, list(a)) for q, a in fetches] == [(queue_id, [11, 12, 13, 14])]
 
     def test_svb_hit_records_in_cmob_and_directory(self):
         tse, directory = self._system()
         for address in (10, 11, 12):
             tse.on_consumption(0, address)
         _, fetches = tse.on_consumption(1, 10)
-        for address, fetch_queue in fetches:
-            tse.deliver_block(1, address, fetch_queue)
+        for fetch_queue, addresses in fetches:
+            for address in addresses:
+                tse.deliver_block(1, address, fetch_queue)
         appended_before = tse.nodes[1].cmob.appended
         entry, _ = tse.on_svb_hit(1, 11)
         assert entry is not None
@@ -76,8 +78,9 @@ class TestTemporalStreamingSystem:
         for address in (10, 11, 12):
             tse.on_consumption(0, address)
         _, fetches = tse.on_consumption(1, 10)
-        for address, fetch_queue in fetches:
-            tse.deliver_block(1, address, fetch_queue)
+        for fetch_queue, addresses in fetches:
+            for address in addresses:
+                tse.deliver_block(1, address, fetch_queue)
         invalidated = tse.on_write(0, 11)
         assert invalidated == 1
         assert not tse.svb_probe(1, 11)
