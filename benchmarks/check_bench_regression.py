@@ -27,10 +27,11 @@ from typing import Dict
 def throughputs(artifact: dict) -> Dict[str, float]:
     """Extract {series: rate} from either artifact schema.
 
-    Functional-simulator series are keyed by workload name; the service
-    scheduler's campaign throughput (PR 4, ``service_throughput``) is keyed
-    ``service`` in jobs/s.  Series absent on either side are skipped, so
-    older artifacts compare cleanly.
+    Functional-simulator series are keyed by workload name, with the
+    REPRO_FAST_MODE plane (when present) as ``<workload>.fast``; the
+    service scheduler's campaign throughput (PR 4, ``service_throughput``)
+    is keyed ``service`` in jobs/s.  Series absent on either side are
+    skipped, so older artifacts compare cleanly.
     """
     functional = artifact.get("functional_sim") or {}
     per_class = functional.get("per_class")
@@ -40,6 +41,10 @@ def throughputs(artifact: dict) -> Dict[str, float]:
             for workload, entry in per_class.items()
             if entry.get("accesses_per_s")
         }
+        for workload, entry in per_class.items():
+            fast = entry.get("fast_mode") or {}
+            if fast.get("accesses_per_s"):
+                series[f"{workload}.fast"] = float(fast["accesses_per_s"])
     else:
         value = functional.get("accesses_per_s")
         workload = functional.get("workload", "db2")

@@ -8,8 +8,15 @@ from measurements instead of ad-hoc scripts.
 Usage::
 
     PYTHONPATH=src python benchmarks/profile_hotpath.py db2
+    PYTHONPATH=src python benchmarks/profile_hotpath.py db2 --mode fast
+    PYTHONPATH=src python benchmarks/profile_hotpath.py db2 --mode both --top 12
     PYTHONPATH=src python benchmarks/profile_hotpath.py apache --accesses 160000 --top 30
     PYTHONPATH=src python benchmarks/profile_hotpath.py em3d --sort tottime
+
+``--mode fast`` profiles the REPRO_FAST_MODE batched plane instead of the
+exact pipeline; ``--mode both`` profiles each plane once and prints a
+side-by-side top-N table (ranked by the fast plane's self time), so the
+residual fast-mode bottleneck is visible at a glance.
 
 Note that ``cProfile`` charges ~0.5µs per function call, which inflates
 call-heavy code relative to slice/``memcmp``-heavy code — confirm any
@@ -25,6 +32,63 @@ import pstats
 import time
 
 
+def _run_once(trace, config, mode: str) -> float:
+    """One uncached replay; returns wall-clock seconds."""
+    from repro.common.config import DEFAULT_WARMUP_FRACTION
+    from repro.tse.simulator import run_tse_on_trace
+
+    start = time.perf_counter()
+    run_tse_on_trace(
+        trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION, mode=mode
+    )
+    return time.perf_counter() - start
+
+
+def _profile_once(trace, config, mode: str) -> pstats.Stats:
+    from repro.common.config import DEFAULT_WARMUP_FRACTION
+    from repro.tse.simulator import run_tse_on_trace
+
+    profile = cProfile.Profile()
+    profile.enable()
+    run_tse_on_trace(
+        trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION, mode=mode
+    )
+    profile.disable()
+    return pstats.Stats(profile)
+
+
+def _self_time_rows(stats: pstats.Stats):
+    """(label, calls, self seconds) per function, self-time descending."""
+    rows = []
+    for (filename, line, name), (cc, nc, tt, ct, callers) in stats.stats.items():
+        label = f"{filename.rsplit('/', 1)[-1]}:{line}({name})"
+        rows.append((label, nc, tt))
+    rows.sort(key=lambda row: row[2], reverse=True)
+    return rows
+
+
+def _side_by_side(exact_stats, fast_stats, top: int) -> str:
+    """Top-N self-time table: fast-plane ranking with the exact column
+    matched by function label (functions the other plane never calls show
+    a dash)."""
+    exact_rows = {label: (calls, tt) for label, calls, tt in _self_time_rows(exact_stats)}
+    fast_rows = _self_time_rows(fast_stats)
+    width = max([len(label) for label, _, _ in fast_rows[:top]] + [30])
+    lines = [
+        f"{'function (fast-plane ranking)':<{width}}  "
+        f"{'fast self s':>11}  {'fast calls':>10}  {'exact self s':>12}  {'exact calls':>11}",
+        "-" * (width + 52),
+    ]
+    for label, calls, tt in fast_rows[:top]:
+        exact = exact_rows.get(label)
+        exact_tt = f"{exact[1]:12.3f}" if exact else f"{'—':>12}"
+        exact_calls = f"{exact[0]:11d}" if exact else f"{'—':>11}"
+        lines.append(
+            f"{label:<{width}}  {tt:11.3f}  {calls:10d}  {exact_tt}  {exact_calls}"
+        )
+    return "\n".join(lines)
+
+
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument("workload", help="workload name (e.g. db2, apache, em3d)")
@@ -35,6 +99,10 @@ def main() -> int:
     parser.add_argument("--lookahead", type=int, default=None,
                         help="stream lookahead (default: the paper's value "
                         "for the workload)")
+    parser.add_argument("--mode", choices=("exact", "fast", "both"),
+                        default="exact",
+                        help="replay pipeline to profile; 'both' prints a "
+                        "side-by-side top-N self-time table")
     parser.add_argument("--top", type=int, default=20,
                         help="number of functions to print (default 20)")
     parser.add_argument("--sort", choices=("cumulative", "tottime"),
@@ -42,13 +110,8 @@ def main() -> int:
                         help="ranking order (default cumulative)")
     args = parser.parse_args()
 
-    from repro.common.config import (
-        DEFAULT_WARMUP_FRACTION,
-        PAPER_LOOKAHEAD,
-        TSEConfig,
-    )
+    from repro.common.config import PAPER_LOOKAHEAD, TSEConfig
     from repro.experiments.runner import trace_for
-    from repro.tse.simulator import run_tse_on_trace
 
     lookahead = (
         args.lookahead if args.lookahead is not None
@@ -57,21 +120,31 @@ def main() -> int:
     config = TSEConfig.paper_default(lookahead=lookahead)
     trace = trace_for(args.workload, args.accesses, args.seed, args.nodes)
 
-    # One unprofiled run first: wall clock without instrumentation overhead.
-    start = time.perf_counter()
-    run_tse_on_trace(trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION)
-    elapsed = time.perf_counter() - start
-    print(
-        f"{args.workload}: {args.accesses} accesses in {elapsed:.3f}s "
-        f"({args.accesses / elapsed:,.0f} accesses/s, lookahead {lookahead})\n"
-    )
+    modes = ("exact", "fast") if args.mode == "both" else (args.mode,)
+    # One unprofiled run per mode first: wall clock without instrumentation
+    # overhead (and a throughput comparison when profiling both planes).
+    elapsed = {}
+    for mode in modes:
+        elapsed[mode] = _run_once(trace, config, mode)
+        print(
+            f"{args.workload} [{mode}]: {args.accesses} accesses in "
+            f"{elapsed[mode]:.3f}s ({args.accesses / elapsed[mode]:,.0f} "
+            f"accesses/s, lookahead {lookahead})"
+        )
+    if len(modes) == 2:
+        print(f"fast/exact speedup: {elapsed['exact'] / elapsed['fast']:.2f}x")
+    print()
 
-    profile = cProfile.Profile()
-    profile.enable()
-    run_tse_on_trace(trace, config, warmup_fraction=DEFAULT_WARMUP_FRACTION)
-    profile.disable()
+    if args.mode == "both":
+        exact_stats = _profile_once(trace, config, "exact")
+        fast_stats = _profile_once(trace, config, "fast")
+        print(_side_by_side(exact_stats, fast_stats, args.top))
+        return 0
+
+    stats = _profile_once(trace, config, args.mode)
     out = io.StringIO()
-    pstats.Stats(profile, stream=out).sort_stats(args.sort).print_stats(args.top)
+    stats.stream = out
+    stats.sort_stats(args.sort).print_stats(args.top)
     print(out.getvalue())
     return 0
 

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 import os
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional
+from typing import Dict, Optional, Union
 
 #: Fallback chunk size when ``REPRO_STREAM_CHUNK`` is unset: large enough to
 #: amortize the replay loop's per-segment local binding, small enough that a
@@ -46,6 +47,127 @@ def stream_chunk_size() -> int:
         if value > 0:
             return value
     return DEFAULT_STREAM_CHUNK
+
+
+# --------------------------------------------------------------------- modes
+#: The bit-exact replay pipeline (the default; every reference artifact and
+#: the timing model run here).
+MODE_EXACT = "exact"
+#: The batched-orchestration replay pipeline: statistically validated
+#: against tolerance bands, never bit-identical to exact.
+MODE_FAST = "fast"
+
+#: Every valid simulation mode, in preference order.
+SIM_MODES = (MODE_EXACT, MODE_FAST)
+
+#: Default deep-window amortization factor of the fast engine: candidate
+#: streams and refills read ``queue_depth * factor`` addresses per CMOB
+#: window, trading address-stream volume for ~4-8x fewer refill events.
+#: Traffic-accounting runs ignore it (they use ``queue_depth`` windows so
+#: the modelled address-stream bytes stay inside the declared ±5% band).
+DEFAULT_FAST_REFILL_FACTOR = 4
+
+
+def fast_refill_factor() -> int:
+    """Deep-window factor for the fast engine (``REPRO_FAST_REFILL_FACTOR``).
+
+    Invalid or non-positive values fall back to
+    :data:`DEFAULT_FAST_REFILL_FACTOR`.
+    """
+    env = os.environ.get("REPRO_FAST_REFILL_FACTOR")
+    if env:
+        try:
+            value = int(env)
+        except ValueError:
+            return DEFAULT_FAST_REFILL_FACTOR
+        if value > 0:
+            return value
+    return DEFAULT_FAST_REFILL_FACTOR
+
+
+def _env_mode() -> str:
+    """Mode selected by the ``REPRO_FAST_MODE`` environment variable."""
+    env = os.environ.get("REPRO_FAST_MODE", "").strip().lower()
+    return MODE_FAST if env in ("1", "true", "yes", "on", "fast") else MODE_EXACT
+
+
+#: Process-ambient mode override (set by :func:`set_sim_mode` /
+#: :func:`sim_mode_context`); ``None`` defers to the environment.
+_AMBIENT_MODE: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Run-level simulation knobs that are not part of the modelled system.
+
+    ``TSEConfig``/``SystemConfig`` describe the *hardware*; ``SimConfig``
+    describes *how* the simulator executes it.  Currently one knob: the
+    replay pipeline (:data:`MODE_EXACT` vs :data:`MODE_FAST`).
+    """
+
+    fast_mode: bool = False
+
+    @property
+    def mode(self) -> str:
+        return MODE_FAST if self.fast_mode else MODE_EXACT
+
+    @classmethod
+    def from_env(cls) -> "SimConfig":
+        return cls(fast_mode=_env_mode() == MODE_FAST)
+
+
+def _validate_mode(mode: str) -> str:
+    if mode not in SIM_MODES:
+        raise ValueError(f"unknown simulation mode {mode!r}; valid: {SIM_MODES}")
+    return mode
+
+
+def resolve_mode(mode: Union[str, SimConfig, None] = None) -> str:
+    """Resolve an explicit, ambient, or environment-selected simulation mode.
+
+    Precedence: an explicit ``mode`` argument (a mode string or a
+    :class:`SimConfig`), then the process-ambient mode installed by
+    :func:`set_sim_mode` / :func:`sim_mode_context` (the service layer wraps
+    job execution in it), then ``REPRO_FAST_MODE``.  Every keyed consumer
+    (result cache, service store, snapshots) resolves the mode *before*
+    building its key, so fast and exact results can never collide.
+    """
+    if mode is not None:
+        if isinstance(mode, SimConfig):
+            return mode.mode
+        return _validate_mode(mode)
+    if _AMBIENT_MODE is not None:
+        return _AMBIENT_MODE
+    return _env_mode()
+
+
+def set_sim_mode(mode: Union[str, SimConfig, None]) -> None:
+    """Install (or with ``None`` clear) the process-ambient simulation mode."""
+    global _AMBIENT_MODE
+    if mode is None:
+        _AMBIENT_MODE = None
+    elif isinstance(mode, SimConfig):
+        _AMBIENT_MODE = mode.mode
+    else:
+        _AMBIENT_MODE = _validate_mode(mode)
+
+
+@contextmanager
+def sim_mode_context(mode: Union[str, SimConfig, None]):
+    """Scoped :func:`set_sim_mode`: restores the previous ambient mode on exit.
+
+    This is how the mode reaches experiment point functions without
+    signature changes: ``Job.execute`` wraps the point call, and
+    ``cached_tse_run`` / ``run_tse_on_trace`` resolve the ambient mode when
+    no explicit one is passed.
+    """
+    global _AMBIENT_MODE
+    previous = _AMBIENT_MODE
+    set_sim_mode(mode)
+    try:
+        yield resolve_mode()
+    finally:
+        _AMBIENT_MODE = previous
 
 
 @dataclass(frozen=True)

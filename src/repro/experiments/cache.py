@@ -10,7 +10,13 @@ exactly once per process.
 The cache key is the full determinism domain of a run:
 
     (workload, target_accesses, seed, num_nodes, tse_config,
-     warmup_fraction, account_traffic, interconnect_config)
+     warmup_fraction, account_traffic, interconnect_config,
+     ("mode", <resolved simulation mode>))
+
+The simulation mode (exact vs ``REPRO_FAST_MODE``) is resolved *before*
+the key is built, so a fast-mode result can never be returned to an
+exact-mode caller or vice versa — the two pipelines are deliberately not
+bit-identical (see :mod:`repro.tse.fast_engine`).
 
 Traces are deterministic in the first four components (see
 :func:`repro.experiments.runner.trace_for`) and the simulator is
@@ -33,6 +39,7 @@ from repro.common.config import (
     DEFAULT_WARMUP_FRACTION,
     InterconnectConfig,
     TSEConfig,
+    resolve_mode,
 )
 from repro.experiments.runner import trace_for
 from repro.tse.simulator import TSEStats, run_tse_on_trace
@@ -90,6 +97,7 @@ def determinism_key(
     warmup_fraction: float,
     account_traffic: bool = False,
     interconnect_config: Optional[InterconnectConfig] = None,
+    mode: Optional[str] = None,
 ) -> Tuple:
     """The full determinism domain of one functional run, as a tuple.
 
@@ -98,10 +106,16 @@ def determinism_key(
     point (experiment, workload, config cell, trace size, seed, nodes,
     shared kwargs) rather than one functional run — but both are rendered
     to persistent text through the same :func:`key_text` canonicalization.
+
+    ``mode`` is resolved here (explicit > ambient > environment), so keys
+    built while a :func:`repro.common.config.sim_mode_context` is active
+    name the mode that will actually simulate — fast- and exact-mode
+    results occupy disjoint key spaces by construction.
     """
     config = tse_config if tse_config is not None else TSEConfig.paper_default()
     return (workload, target_accesses, seed, num_nodes, config,
-            warmup_fraction, account_traffic, interconnect_config)
+            warmup_fraction, account_traffic, interconnect_config,
+            ("mode", resolve_mode(mode)))
 
 
 def key_text(key: Tuple) -> str:
@@ -124,16 +138,23 @@ def cached_tse_run(
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
     account_traffic: bool = False,
     interconnect_config: Optional[InterconnectConfig] = None,
+    mode: Optional[str] = None,
 ) -> TSEStats:
     """Run (or reuse) the functional TSE simulation for one sweep point.
 
     Returns the same :class:`TSEStats` the uncached
     :func:`~repro.tse.simulator.run_tse_on_trace` would produce for these
     parameters.  The result object is shared — treat it as read-only.
+
+    The simulation mode is resolved *once*, before the key is built, and
+    the resolved mode is what actually runs — an ambient-mode change
+    between the key probe and the simulation cannot desynchronize them.
     """
     config = tse_config if tse_config is not None else TSEConfig.paper_default()
+    resolved_mode = resolve_mode(mode)
     key = determinism_key(workload, target_accesses, seed, num_nodes, config,
-                          warmup_fraction, account_traffic, interconnect_config)
+                          warmup_fraction, account_traffic, interconnect_config,
+                          mode=resolved_mode)
     stats = _CACHE.get(key)
     if stats is None:
         trace = trace_for(workload, target_accesses, seed, num_nodes)
@@ -143,6 +164,7 @@ def cached_tse_run(
             account_traffic=account_traffic,
             interconnect_config=interconnect_config,
             warmup_fraction=warmup_fraction,
+            mode=resolved_mode,
         )
         _CACHE.put(key, stats)
     return stats

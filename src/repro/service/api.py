@@ -153,6 +153,7 @@ def _campaign_from_body(body: Dict[str, Any]) -> Campaign:
         target_accesses=body.get("target_accesses"),
         seed=int(body.get("seed", 42)),
         priority=int(body.get("priority", 0)),
+        mode=str(body.get("mode", "exact")),
     )
 
 

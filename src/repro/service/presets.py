@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Any, Dict, Optional, Sequence, Tuple
 
+from repro.common.config import MODE_EXACT
 from repro.experiments.runner import DEFAULT_TARGET_ACCESSES, WORKLOADS
 from repro.service.spec import DEFAULT_SEED, Campaign
 
@@ -42,8 +43,14 @@ def campaign(
     seed: int = DEFAULT_SEED,
     priority: int = 0,
     shared: Tuple[Tuple[str, Any], ...] = (),
+    mode: str = MODE_EXACT,
 ) -> Campaign:
-    """Build the campaign for a named preset, with optional overrides."""
+    """Build the campaign for a named preset, with optional overrides.
+
+    ``mode="fast"`` submits the whole preset under ``REPRO_FAST_MODE`` —
+    every job key carries the mode, so a fast sweep never collides with
+    (or reuses) the exact sweep's persisted rows.
+    """
     if preset not in _PRESETS:
         raise KeyError(
             f"unknown preset {preset!r}; available: {', '.join(preset_names())}"
@@ -68,4 +75,5 @@ def campaign(
         ),
         shared=tuple(sorted(merged_shared.items())),
         priority=priority,
+        mode=mode,
     )

@@ -26,7 +26,13 @@ import importlib
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, List, Optional, Tuple
 
-from repro.common.config import DEFAULT_WARMUP_FRACTION, TSEConfig
+from repro.common.config import (
+    DEFAULT_WARMUP_FRACTION,
+    MODE_EXACT,
+    SIM_MODES,
+    TSEConfig,
+    sim_mode_context,
+)
 from repro.experiments.cache import key_text
 from repro.experiments.runner import DEFAULT_TARGET_ACCESSES, SweepSpec
 
@@ -99,6 +105,7 @@ class Job:
     num_nodes: int = 16
     shared: Tuple[Tuple[str, Any], ...] = ()
     context: Tuple[Tuple[str, Any], ...] = ()
+    mode: str = MODE_EXACT
 
     @property
     def key(self) -> str:
@@ -107,12 +114,15 @@ class Job:
         The shared warm-up fraction is included explicitly: the point
         functions bake it in implicitly via ``DEFAULT_WARMUP_FRACTION``, and
         persisted results must not survive a change to it as false cache
-        hits.
+        hits.  The simulation mode is likewise explicit — fast- and
+        exact-mode campaigns over the same grid persist disjoint store
+        rows, never sharing (or clobbering) each other's results.
         """
         return key_text((
             self.experiment, self.workload, self.config, self.target_accesses,
             self.seed, self.num_nodes, self.shared,
             ("warmup", DEFAULT_WARMUP_FRACTION),
+            ("mode", self.mode),
         ))
 
     @property
@@ -121,7 +131,13 @@ class Job:
         return hashlib.sha256(self.key.encode()).hexdigest()[:16]
 
     def execute(self) -> List[Dict[str, object]]:
-        """Run this point through its experiment's ``SPEC.point`` function."""
+        """Run this point through its experiment's ``SPEC.point`` function.
+
+        The job's simulation mode is installed as the process-ambient mode
+        for the duration of the point call, so every ``cached_tse_run`` /
+        ``run_tse_on_trace`` the experiment performs resolves to — and is
+        keyed under — exactly the mode this job's key declares.
+        """
         import inspect
 
         spec = spec_for(self.experiment)
@@ -132,11 +148,12 @@ class Job:
                 name: value for name, value in dict(self.context).items()
                 if name in accepted and name not in kwargs
             })
-        result = spec.point(
-            self.workload, self.config,
-            target_accesses=self.target_accesses, seed=self.seed,
-            **kwargs,
-        )
+        with sim_mode_context(self.mode):
+            result = spec.point(
+                self.workload, self.config,
+                target_accesses=self.target_accesses, seed=self.seed,
+                **kwargs,
+            )
         return result if isinstance(result, list) else [result]
 
 
@@ -155,6 +172,10 @@ class Campaign:
         num_nodes: Machine size (the experiments are calibrated for 16).
         shared: Extra fixed point kwargs, overriding the spec's defaults.
         priority: Scheduler priority; higher runs first.
+        mode: Simulation mode for every job — ``"exact"`` (default,
+            bit-reproducible) or ``"fast"`` (the batched
+            ``REPRO_FAST_MODE`` plane, validated against tolerance bands).
+            Part of every job key, so the two modes never share store rows.
     """
 
     name: str
@@ -166,6 +187,7 @@ class Campaign:
     num_nodes: int = 16
     shared: Tuple[Tuple[str, Any], ...] = ()
     priority: int = 0
+    mode: str = MODE_EXACT
 
     def __post_init__(self) -> None:
         # Normalize to the canonical hashable forms at construction, so a
@@ -195,6 +217,10 @@ class Campaign:
             )
         if not self.seeds or not self.trace_sizes:
             raise ValueError("campaign needs at least one seed and trace size")
+        if self.mode not in SIM_MODES:
+            raise ValueError(
+                f"unknown campaign mode {self.mode!r}; valid: {SIM_MODES}"
+            )
         if self.num_nodes != 16:
             # The experiment point functions run the paper's 16-node machine
             # unconditionally; accepting another value here would persist
@@ -230,6 +256,7 @@ class Campaign:
                 seed=seed,
                 num_nodes=self.num_nodes,
                 shared=shared,
+                mode=self.mode,
             )
             for target_accesses in self.trace_sizes
             for seed in self.seeds
@@ -248,6 +275,7 @@ class Campaign:
             "num_nodes": self.num_nodes,
             "shared": _thaw([list(pair) for pair in self.shared]),
             "priority": self.priority,
+            "mode": self.mode,
         }
 
     @classmethod
@@ -270,6 +298,7 @@ class Campaign:
                 for name, value in data.get("shared", ())
             ),
             priority=int(data.get("priority", 0)),
+            mode=str(data.get("mode", MODE_EXACT)),
         )
 
     def finalize_rows(self, rows: List[Dict[str, object]]) -> List[Dict[str, object]]:

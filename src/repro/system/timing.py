@@ -154,8 +154,14 @@ class TimingSimulator:
         key = (config, len(trace))
         cached = cache.get(key)
         if cached is None:
+            # Outcome labeling needs per-access fill times, which only the
+            # exact plane records: pin mode explicitly so an ambient
+            # REPRO_FAST_MODE never reaches the timing model.  (Fast-mode
+            # sweeps still speed up their functional runs; timing
+            # comparisons are exact by construction.)
             simulator = TSESimulator(
-                trace.num_nodes, tse_config=config, record_outcomes=True
+                trace.num_nodes, tse_config=config, record_outcomes=True,
+                mode="exact",
             )
             stats = simulator.run(trace, warmup_fraction=0.0)
             cached = (stats, simulator.outcome_codes, simulator.outcome_leads)

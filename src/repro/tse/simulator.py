@@ -41,8 +41,11 @@ import enum
 from repro.common.chunk import ChunkedTrace, TraceChunk, stream_chunk_size
 from repro.common.config import (
     DEFAULT_WARMUP_FRACTION,
+    MODE_EXACT,
+    MODE_FAST,
     InterconnectConfig,
     TSEConfig,
+    resolve_mode,
 )
 from repro.common.stats import Histogram, ratio
 from repro.common.types import (
@@ -59,9 +62,11 @@ from repro.coherence.protocol import (
     READ_CODE_OF_MISS,
     READ_SPIN_COHERENT,
     CoherenceProtocol,
+    _BlockState,
 )
 from repro.interconnect.network import TrafficAccountant
 from repro.tse.engine import TemporalStreamingSystem
+from repro.tse.fast_engine import FastTemporalStreamingSystem
 
 
 class Outcome(enum.IntEnum):
@@ -157,8 +162,19 @@ class TSESimulator:
         account_traffic: bool = False,
         interconnect_config: Optional[InterconnectConfig] = None,
         record_outcomes: bool = False,
+        mode: Optional[str] = None,
     ) -> None:
         self.num_nodes = num_nodes
+        #: Resolved replay pipeline: :data:`~repro.common.config.MODE_EXACT`
+        #: (bit-exact, the default) or :data:`~repro.common.config.MODE_FAST`
+        #: (batched orchestration, tolerance-band validated).  ``None``
+        #: resolves through the ambient mode / ``REPRO_FAST_MODE``.
+        self.mode = resolve_mode(mode)
+        if self.mode == MODE_FAST and record_outcomes:
+            raise ValueError(
+                "record_outcomes requires exact mode: the fast plane fuses "
+                "fetch and delivery and keeps no per-access fill times"
+            )
         #: When enabled, one (Outcome, lead) pair per access is recorded into
         #: the parallel ``outcome_codes`` / ``outcome_leads`` arrays for the
         #: timing model; lead is meaningful only for SVB hits and counts the
@@ -184,9 +200,19 @@ class TSESimulator:
             )
             self.traffic = TrafficAccountant(icfg)
             sink = self.traffic.record
-        self.tse = TemporalStreamingSystem(
-            num_nodes, self.tse_config, self.protocol.directory, message_sink=sink
-        )
+        #: Exactly one replay plane is built; ``tse`` is the exact plane,
+        #: ``fast`` the batched one (the unused plane is None).
+        self.tse: Optional[TemporalStreamingSystem] = None
+        self.fast: Optional[FastTemporalStreamingSystem] = None
+        if self.mode == MODE_FAST:
+            self.fast = FastTemporalStreamingSystem(
+                num_nodes, self.tse_config, self.protocol.directory,
+                message_sink=sink, blocks_map=self.protocol._blocks,
+            )
+        else:
+            self.tse = TemporalStreamingSystem(
+                num_nodes, self.tse_config, self.protocol.directory, message_sink=sink
+            )
         self.stats = TSEStats()
 
     @property
@@ -416,6 +442,18 @@ class TSESimulator:
         return read_ints, write_ints
 
     def _replay_chunk(self, chunk: TraceChunk) -> None:
+        """Replay one packed chunk through the mode's replay plane.
+
+        One dispatch per chunk (16k accesses by default): the exact loop
+        (:meth:`_replay_chunk_exact`, bit-reproducible) or the fast loop
+        (:meth:`_replay_chunk_fast`, batched orchestration).
+        """
+        if self.fast is not None:
+            self._replay_chunk_fast(chunk)
+        else:
+            self._replay_chunk_exact(chunk)
+
+    def _replay_chunk_exact(self, chunk: TraceChunk) -> None:
         """Replay one packed chunk; the hot loop of the whole repository.
 
         Operates on the raw columns — int node / block / type-code per
@@ -604,14 +642,326 @@ class TSESimulator:
         if n_inline_hits:
             protocol._n_read_hits += n_inline_hits
 
+    def _replay_chunk_fast(self, chunk: TraceChunk) -> None:
+        """Fast-plane replay of one packed chunk (``REPRO_FAST_MODE``).
+
+        Same column decoding as :meth:`_replay_chunk_exact`, but every TSE
+        event goes through the fast engine's fused handlers — delivery
+        happens inside the event, so there is no fetch-batch plumbing and
+        no outcome recording (rejected at construction).  On the dominant
+        configuration (infinite cache model, no message emission) the
+        coherence protocol itself is inlined as a slim shadow: miss
+        classification in this model depends only on each block's
+        ``version`` / ``last_writer`` / ``held_version``, so the
+        directory-entry occupancy bookkeeping (sharers sets, entry states,
+        owner fields) that nothing downstream reads is skipped entirely and
+        the classification probe shares one dict lookup with the read-hit
+        shortcut.  Classification counters are synced into the protocol at
+        chunk end, so ``protocol.stats`` stays truthful.
+        """
+        nodes_col = chunk.nodes
+        n = len(nodes_col)
+        if n == 0:
+            return
+        protocol = self.protocol
+        if protocol._caches is None and not protocol.emit_messages:
+            self._replay_chunk_fast_slim(chunk)
+            return
+        nodes_col = nodes_col.tolist()
+        blocks_col = chunk.blocks.tolist()
+        types_col = chunk.types.tolist()
+
+        fast = self.fast
+        if protocol.emit_messages:
+            read_ints, write_ints = self._message_adapters()
+        else:
+            read_ints = protocol.read_ints
+            write_ints = protocol.write_ints
+        consume = fast.consume
+        hit = fast.hit
+        invalidate = fast.invalidate
+        capacity_miss = fast.offchip_miss
+        residency = fast._svb_residency
+        svbs = fast._svbs
+        clocks = fast._clocks
+        install_copy = (
+            protocol.install_copy_ints if protocol._caches is None
+            else protocol.install_copy
+        )
+        blocks_map = protocol._blocks
+        inline_hits = protocol._caches is None
+
+        is_write_table = TYPE_IS_WRITE
+        spin_code = TYPE_SPIN_READ
+        read_coherent = READ_COHERENT
+        read_spin = READ_SPIN_COHERENT
+        read_cold = READ_COLD
+        read_capacity = READ_CAPACITY
+
+        n_reads = 0
+        n_writes = 0
+        n_svb_hits = 0
+        n_consumptions = 0
+        n_spin = 0
+        n_cold = 0
+        n_capacity = 0
+        n_fetched = 0
+        n_discards = 0
+        n_inline_hits = 0
+
+        for type_code, node, address in zip(types_col, nodes_col, blocks_col):
+            if is_write_table[type_code]:
+                n_writes += 1
+                if address in residency:
+                    n_discards += invalidate(address)
+                write_ints(node, address)
+                continue
+
+            n_reads += 1
+
+            if type_code != spin_code:
+                if address in svbs[node]:
+                    n_svb_hits += 1
+                    d, x = hit(node, address)
+                    n_fetched += d
+                    n_discards += x
+                    install_copy(node, address)
+                    continue
+                if inline_hits:
+                    block_state = blocks_map.get(address)
+                    if (
+                        block_state is not None
+                        and block_state.held_version.get(node) == block_state.version
+                    ):
+                        n_inline_hits += 1
+                        continue
+                code = read_ints(node, address, False)
+            else:
+                code = read_ints(node, address, True)
+
+            if code == read_coherent:
+                n_consumptions += 1
+                d, x = consume(node, address)
+                n_fetched += d
+                n_discards += x
+            elif code == read_spin:
+                n_spin += 1
+            elif code == read_cold:
+                n_cold += 1
+                # Only the LRU time base advances (see the exact loop).
+                clocks[node] += 1
+            elif code == read_capacity:
+                n_capacity += 1
+                d, x = capacity_miss(node, address)
+                n_fetched += d
+                n_discards += x
+
+        stats = self.stats
+        stats.accesses += n
+        stats.reads += n_reads
+        stats.writes += n_writes
+        stats.svb_hits += n_svb_hits
+        stats.remaining_consumptions += n_consumptions
+        stats.spin_misses += n_spin
+        stats.cold_misses += n_cold
+        stats.capacity_misses += n_capacity
+        stats.blocks_fetched += n_fetched
+        stats.discarded_blocks += n_discards
+        if n_inline_hits:
+            protocol._n_read_hits += n_inline_hits
+
+    def _replay_chunk_fast_slim(self, chunk: TraceChunk) -> None:
+        """Fast-plane replay with the coherence protocol inlined (slim shadow).
+
+        Only reachable with the infinite cache model and message emission
+        off (the sweep-scale configuration fast mode exists for).  In that
+        model ``read_ints`` / ``write_ints`` classify purely from the
+        per-block ``(version, last_writer, held_version)`` triple; the
+        directory-entry side effects they also perform (sharers sets,
+        entry state/owner, ``ever_written``) are never read back — not by
+        classification, not by the fast TSE plane (which only follows
+        ``cmob_pointers``), not by any reported statistic.  Inlining the
+        triple updates here removes two function calls and one duplicate
+        block-map probe per access and all per-access set/enum traffic,
+        while keeping the classification sequence — and therefore every
+        tolerance-banded aggregate — identical to the generic fast loop.
+        Capacity misses cannot occur in this model (a held current version
+        is always a hit), so the capacity branch is absent.
+        """
+        nodes_col = chunk.nodes
+        n = len(nodes_col)
+        if n == 0:
+            return
+        nodes_col = nodes_col.tolist()
+        blocks_col = chunk.blocks.tolist()
+        types_col = chunk.types.tolist()
+
+        fast = self.fast
+        protocol = self.protocol
+        consume = fast.consume
+        hit = fast.hit
+        invalidate = fast.invalidate
+        residency = fast._svb_residency
+        svbs = fast._svbs
+        clocks = fast._clocks
+        blocks_map = protocol._blocks
+        blocks_get = blocks_map.get
+        block_state_cls = _BlockState
+
+        is_write_table = TYPE_IS_WRITE
+        spin_code = TYPE_SPIN_READ
+
+        n_reads = 0
+        n_writes = 0
+        n_svb_hits = 0
+        n_consumptions = 0
+        n_spin = 0
+        n_cold = 0
+        n_fetched = 0
+        n_discards = 0
+        n_inline_hits = 0
+        n_write_hits = 0
+        n_write_misses = 0
+
+        for type_code, node, address in zip(types_col, nodes_col, blocks_col):
+            if is_write_table[type_code]:
+                n_writes += 1
+                if address in residency:
+                    n_discards += invalidate(address)
+                # --- write_ints, slim: version/holder updates only ---
+                block = blocks_get(address)
+                if block is None:
+                    blocks_map[address] = block = block_state_cls()
+                held_map = block.held_version
+                version = block.version
+                if (
+                    block.last_writer == node
+                    and len(held_map) == 1
+                    and held_map.get(node) == version
+                ):
+                    # Private rewrite: only the version moves.
+                    block.version = version + 1
+                    held_map[node] = version + 1
+                    n_write_hits += 1
+                    continue
+                if held_map.get(node) == version:
+                    n_write_hits += 1
+                else:
+                    n_write_misses += 1
+                if held_map:
+                    # Invalidate every copy other than the writer's.
+                    size = len(held_map)
+                    if size == 1:
+                        if node not in held_map:
+                            held_map.clear()
+                    elif size == 2 and node in held_map:
+                        for victim in held_map:
+                            if victim != node:
+                                break
+                        del held_map[victim]
+                    else:
+                        for victim in list(held_map):
+                            if victim != node:
+                                del held_map[victim]
+                block.version = version + 1
+                block.last_writer = node
+                held_map[node] = version + 1
+                continue
+
+            n_reads += 1
+
+            if type_code != spin_code:
+                if address in svbs[node]:
+                    n_svb_hits += 1
+                    d, x = hit(node, address)
+                    n_fetched += d
+                    n_discards += x
+                    # install_copy, slim: the node now holds the version.
+                    block = blocks_get(address)
+                    if block is None:
+                        blocks_map[address] = block = block_state_cls()
+                    block.held_version[node] = block.version
+                    continue
+                # --- read_ints, slim ---
+                block = blocks_get(address)
+                if block is None:
+                    blocks_map[address] = block = block_state_cls()
+                    block.held_version[node] = 0
+                    n_cold += 1
+                    clocks[node] += 1
+                    continue
+                version = block.version
+                held_map = block.held_version
+                if held_map.get(node) == version:
+                    n_inline_hits += 1
+                    continue
+                held_map[node] = version
+                # version > 0 implies last_writer is set (only writes bump
+                # versions); a held == version copy already hit above.
+                if version > 0 and block.last_writer != node:
+                    n_consumptions += 1
+                    d, x = consume(node, address)
+                    n_fetched += d
+                    n_discards += x
+                else:
+                    n_cold += 1
+                    clocks[node] += 1
+            else:
+                # Spin read: installs a copy like any read, but a coherent
+                # miss counts as a spin miss and is never a consumption.
+                block = blocks_get(address)
+                if block is None:
+                    blocks_map[address] = block = block_state_cls()
+                    block.held_version[node] = 0
+                    n_cold += 1
+                    clocks[node] += 1
+                    continue
+                version = block.version
+                held_map = block.held_version
+                if held_map.get(node) == version:
+                    n_inline_hits += 1
+                    continue
+                held_map[node] = version
+                if version > 0 and block.last_writer != node:
+                    n_spin += 1
+                else:
+                    n_cold += 1
+                    clocks[node] += 1
+
+        stats = self.stats
+        stats.accesses += n
+        stats.reads += n_reads
+        stats.writes += n_writes
+        stats.svb_hits += n_svb_hits
+        stats.remaining_consumptions += n_consumptions
+        stats.spin_misses += n_spin
+        stats.cold_misses += n_cold
+        stats.blocks_fetched += n_fetched
+        stats.discarded_blocks += n_discards
+        # Keep the protocol's own classification counters truthful.
+        protocol._n_read_hits += n_inline_hits
+        protocol._n_coherent_read_misses += n_consumptions
+        protocol._n_spin_coherent_misses += n_spin
+        protocol._n_cold_misses += n_cold
+        protocol._n_write_hits += n_write_hits
+        protocol._n_write_misses += n_write_misses
+
     def finalize(self) -> TSEStats:
         """Account for end-of-run leftovers and collect distributions."""
-        leftovers = self.tse.drain()
-        self.stats.discarded_blocks += sum(leftovers.values())
-        for node in self.tse.nodes:
-            for length in node.engine.stream_length_samples():
-                if length > 0:
-                    self.stats.stream_length_hist.record(length, weight=length)
+        if self.fast is not None:
+            leftovers = self.fast.drain()
+            self.stats.discarded_blocks += sum(leftovers.values())
+            for node in range(self.num_nodes):
+                for length in self.fast.stream_length_samples(node):
+                    if length > 0:
+                        self.stats.stream_length_hist.record(length, weight=length)
+        else:
+            leftovers = self.tse.drain()
+            self.stats.discarded_blocks += sum(leftovers.values())
+            for node in self.tse.nodes:
+                for length in node.engine.stream_length_samples():
+                    if length > 0:
+                        self.stats.stream_length_hist.record(length, weight=length)
         if self.traffic is not None:
             self.stats.traffic = self.traffic.snapshot()
         return self.stats
@@ -623,17 +973,21 @@ def run_tse_on_trace(
     account_traffic: bool = False,
     interconnect_config: Optional[InterconnectConfig] = None,
     warmup_fraction: float = DEFAULT_WARMUP_FRACTION,
+    mode: Optional[str] = None,
 ) -> TSEStats:
     """Convenience wrapper: build a simulator for the trace and run it.
 
     Defaults to the experiment harness's shared
     :data:`~repro.common.config.DEFAULT_WARMUP_FRACTION` warm-up window; pass
-    ``warmup_fraction=0.0`` to measure from the first access.
+    ``warmup_fraction=0.0`` to measure from the first access.  ``mode``
+    selects the replay plane (``None`` resolves the ambient mode /
+    ``REPRO_FAST_MODE``, as everywhere).
     """
     simulator = TSESimulator(
         trace.num_nodes,
         tse_config=tse_config,
         account_traffic=account_traffic,
         interconnect_config=interconnect_config,
+        mode=mode,
     )
     return simulator.run(trace, warmup_fraction=warmup_fraction)

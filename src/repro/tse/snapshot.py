@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import Dict, List, MutableMapping, Optional, Tuple
 
 from repro.common.chunk import TraceChunk
-from repro.common.config import TSEConfig
+from repro.common.config import MODE_EXACT, TSEConfig, resolve_mode
 from repro.tse.simulator import TSESimulator, TSEStats
 
 __all__ = [
@@ -79,13 +79,19 @@ def capture(simulator: TSESimulator) -> bytes:
     return pickle.dumps((SNAPSHOT_FORMAT, simulator), protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def restore(snapshot: bytes) -> TSESimulator:
+def restore(snapshot: bytes, expected_mode: Optional[str] = None) -> TSESimulator:
     """Materialize an independent simulator from a :func:`capture` payload.
 
     Raises :class:`SnapshotFormatError` for payloads without a matching
     format header (e.g. a raw pre-versioning pickle, or one captured by a
     different simulator layout); callers that can recompute — like
     :func:`warm_tse_run` — treat that as a cache miss.
+
+    ``expected_mode`` makes the restore refuse a cross-mode payload: the
+    exact and fast planes produce different (deliberately non-bit-identical)
+    warm states, so resuming an exact measurement from a fast-mode ramp —
+    or vice versa — would silently blend the two pipelines.  Keys already
+    separate the modes; this guard catches payloads reached any other way.
     """
     try:
         payload = pickle.loads(snapshot)
@@ -101,7 +107,15 @@ def restore(snapshot: bytes) -> TSESimulator:
             "snapshot payload is not format "
             f"{SNAPSHOT_FORMAT} (got {type(payload).__name__})"
         )
-    return payload[1]
+    simulator = payload[1]
+    if expected_mode is not None:
+        captured = getattr(simulator, "mode", MODE_EXACT)
+        if captured != expected_mode:
+            raise SnapshotFormatError(
+                f"cross-mode restore refused: snapshot was captured in "
+                f"{captured!r} mode, caller expects {expected_mode!r}"
+            )
+    return simulator
 
 
 #: Process-wide snapshot cache: determinism-key text -> pickled simulator.
@@ -117,14 +131,18 @@ def snapshot_key(
     seed: int,
     num_nodes: int,
     config: TSEConfig,
+    mode: Optional[str] = None,
 ) -> str:
     """Canonical text key of one warm-state point (stable across processes).
 
     Includes :data:`SNAPSHOT_FORMAT`, so snapshots persisted by an older
-    simulator layout are invalidated by key — never deserialized.
+    simulator layout are invalidated by key — never deserialized — and the
+    resolved simulation mode, so exact and fast warm states occupy
+    disjoint key spaces (``restore`` additionally refuses a cross-mode
+    payload outright).
     """
     return repr((SNAPSHOT_FORMAT, workload, warm_accesses, total_accesses,
-                 seed, num_nodes, config))
+                 seed, num_nodes, config, ("mode", resolve_mode(mode))))
 
 
 class PersistentSnapshotStore(MutableMapping):
@@ -235,6 +253,7 @@ def warm_tse_run(
     num_nodes: int = 16,
     use_snapshot: bool = True,
     snapshot_store: Optional[MutableMapping] = None,
+    mode: Optional[str] = None,
 ) -> TSEStats:
     """Run ``measure_accesses`` of a workload after a ``warm_accesses`` ramp.
 
@@ -257,25 +276,27 @@ def warm_tse_run(
     from repro.experiments.runner import trace_for
 
     config = tse_config if tse_config is not None else TSEConfig.paper_default()
+    resolved_mode = resolve_mode(mode)
     trace = trace_for(workload, warm_accesses + measure_accesses, seed, num_nodes)
     warm_chunks, measure_chunks = _split_chunks(trace.chunks(), warm_accesses)
 
     store = snapshot_store if snapshot_store is not None else _SNAPSHOTS
-    key = snapshot_key(workload, warm_accesses, len(trace), seed, num_nodes, config)
+    key = snapshot_key(workload, warm_accesses, len(trace), seed, num_nodes,
+                       config, mode=resolved_mode)
     simulator: Optional[TSESimulator] = None
     if use_snapshot:
         payload = store.get(key)
         if payload is not None:
             try:
-                simulator = restore(payload)
+                simulator = restore(payload, expected_mode=resolved_mode)
                 _HITS += 1
             except SnapshotFormatError:
-                # A stale or foreign payload under the current key: fall
-                # back to the cold ramp and overwrite it below.
+                # A stale, foreign, or cross-mode payload under the current
+                # key: fall back to the cold ramp and overwrite it below.
                 simulator = None
                 store.pop(key, None)
     if simulator is None:
-        simulator = TSESimulator(num_nodes, tse_config=config)
+        simulator = TSESimulator(num_nodes, tse_config=config, mode=resolved_mode)
         for chunk in warm_chunks:
             simulator._replay_chunk(chunk)
         if use_snapshot:

@@ -1,0 +1,112 @@
+"""Tolerance-band lock for REPRO_FAST_MODE (the batched replay plane).
+
+The fast plane is contractually non-bit-identical; what it ships under is
+the set of per-metric tolerance bands declared in
+``benchmarks/validate_fast_mode.py``.  These tests import those bands (one
+source of truth) and enforce them for every registered workload, so any
+fast-engine change that drifts an aggregate out of band fails CI with the
+per-metric deltas spelled out.
+
+Trace size follows ``REPRO_BENCH_ACCESSES`` (default 20k here: large
+enough for streams to form and the aggregates to stabilise, small enough
+for the tier-1 suite).  The full-size sweep is
+``PYTHONPATH=src python benchmarks/validate_fast_mode.py``.
+"""
+
+import functools
+import importlib.util
+import os
+import pathlib
+
+import pytest
+
+from repro.workloads import available_workloads
+
+_HARNESS = (
+    pathlib.Path(__file__).resolve().parents[1]
+    / "benchmarks" / "validate_fast_mode.py"
+)
+_spec = importlib.util.spec_from_file_location("validate_fast_mode", _HARNESS)
+validate_fast_mode = importlib.util.module_from_spec(_spec)
+_spec.loader.exec_module(validate_fast_mode)
+
+BANDS = validate_fast_mode.BANDS
+check_metric = validate_fast_mode.check_metric
+
+ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "20000"))
+SEED = 42
+NODES = 16
+
+WORKLOADS = sorted(available_workloads())
+
+
+@functools.lru_cache(maxsize=None)
+def _metrics(workload: str, mode: str):
+    return validate_fast_mode._metrics(workload, ACCESSES, SEED, NODES, mode)
+
+
+class TestToleranceBands:
+    @pytest.mark.parametrize("workload", WORKLOADS)
+    def test_within_declared_bands(self, workload):
+        exact = _metrics(workload, "exact")
+        fast = _metrics(workload, "fast")
+        failures = []
+        for name, band in sorted(BANDS.items()):
+            kind, width, floor = validate_fast_mode._unpack_band(band)
+            delta, within = check_metric(kind, width, exact[name], fast[name], floor)
+            if not within:
+                failures.append(
+                    f"{name}: exact={exact[name]:.6g} fast={fast[name]:.6g} "
+                    f"delta={delta:+.6g} band=±{width}{' rel' if kind == 'rel' else ''}"
+                )
+        assert not failures, (
+            f"{workload} fast mode left its tolerance bands at "
+            f"{ACCESSES} accesses:\n" + "\n".join(failures)
+        )
+
+    def test_bands_cover_the_headline_metrics(self):
+        """The contract must at least bound coverage, discards, stream
+        length, and both traffic totals — removing one silently would
+        un-gate a paper figure."""
+        assert {
+            "coverage",
+            "discard_rate",
+            "mean_stream_length",
+            "traffic.baseline.total_bytes",
+            "traffic.overhead.total_bytes",
+        } <= set(BANDS)
+
+
+class TestFastModeDeterminism:
+    def test_fast_plane_is_bit_stable(self):
+        """Non-bit-identical to *exact* — but the fast plane must still be
+        deterministic run-to-run, or its store keys would be meaningless."""
+        first = _metrics("db2", "fast")
+        again = validate_fast_mode._metrics("db2", ACCESSES, SEED, NODES, "fast")
+        assert again == first
+
+    def test_timing_model_pins_exact_under_ambient_fast(self):
+        """The timing plane needs per-access fill times, which only the
+        exact engine records — an ambient REPRO_FAST_MODE must not reach
+        it (it pins mode='exact'), and its results must not change."""
+        from repro.common.config import SystemConfig, TSEConfig, sim_mode_context
+        from repro.experiments.runner import trace_for
+        from repro.system.timing import TimingSimulator
+
+        trace = trace_for("db2", 5_000, SEED, NODES)
+
+        def speedup():
+            sim = TimingSimulator(
+                SystemConfig.isca2005(), TSEConfig.paper_default(lookahead=8)
+            )
+            return sim.compare(trace).speedup
+
+        baseline = speedup()
+        with sim_mode_context("fast"):
+            assert speedup() == baseline
+
+    def test_check_metric_zero_exact_demands_zero_fast(self):
+        delta, within = check_metric("rel", 0.05, 0.0, 0.0)
+        assert within
+        _, within = check_metric("rel", 0.05, 0.0, 1.0)
+        assert not within

@@ -412,6 +412,35 @@ class TestSchedulerAndService:
         assert second.computed == 0 and second.cached == second.total
         assert ResultStore(tmp_path / "s.sqlite").stats()["results"] == first.total
 
+
+class TestFastModeKeySeparation:
+    """REPRO_FAST_MODE results must never collide with exact results: the
+    mode is part of every determinism key, so the two planes occupy
+    disjoint store rows and cache against themselves only."""
+
+    def test_job_keys_disjoint_across_modes(self):
+        exact_keys = {job.key for job in tiny_campaign().jobs()}
+        fast_keys = {job.key for job in tiny_campaign(mode="fast").jobs()}
+        assert len(exact_keys) == len(fast_keys)
+        assert exact_keys.isdisjoint(fast_keys)
+
+    def test_planes_store_disjoint_rows_and_cache_separately(self, tmp_path):
+        """The same campaign in both modes: the second mode computes every
+        point (no cross-mode cache hits), the store holds both result
+        sets, and resubmitting either mode recomputes zero jobs."""
+        exact, fast = tiny_campaign(), tiny_campaign(mode="fast")
+        with Service(store_path=tmp_path / "s.sqlite", max_workers=1) as service:
+            exact_run = service.submit(exact, wait=True)
+            fast_run = service.submit(fast, wait=True)
+            assert exact_run.status == fast_run.status == "done"
+            # No sharing: the fast plane found nothing cached.
+            assert fast_run.computed == fast_run.total and fast_run.cached == 0
+            assert (service.store.stats()["results"]
+                    == exact_run.total + fast_run.total)
+            # Each plane resubmits against its own rows with zero recompute.
+            assert service.submit(exact, wait=True).computed == 0
+            assert service.submit(fast, wait=True).computed == 0
+
     def test_cancelled_run_hands_in_flight_jobs_to_waiters(self, tmp_path):
         """Cancelling the owning run must not strand a concurrent waiter."""
         import asyncio
