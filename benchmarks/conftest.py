@@ -49,17 +49,19 @@ seconds of wall clock):
 """
 
 import json
-import os
 import time
 from pathlib import Path
 
 import pytest
 
+from repro.common.config import bench_accesses
+
 #: Trace size used by the benchmark runs (smaller than the experiments'
 #: default so pytest-benchmark completes quickly, but large enough that the
 #: scientific workloads run several solver iterations).  Override with the
-#: REPRO_BENCH_ACCESSES environment variable.
-BENCH_ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "80000"))
+#: REPRO_BENCH_ACCESSES environment variable (read through
+#: ``repro.common.config.bench_accesses`` — RL005).
+BENCH_ACCESSES = bench_accesses(default=80000)
 
 #: Workload subset exercised per benchmark: one scientific, one OLTP, one web
 #: server — enough to show each figure's qualitative shape quickly.  Use the

@@ -1,13 +1,12 @@
 """Benchmarks regenerating the system-level results (Figures 11, 12, 14, Table 3)."""
 
+from conftest import run_once
 from repro.experiments import (
     fig11_bandwidth,
     fig12_comparison,
     fig14_performance,
     table3_timeliness,
 )
-
-from conftest import run_once
 
 
 def test_fig11_bandwidth_overhead(benchmark, bench_workloads, bench_accesses):

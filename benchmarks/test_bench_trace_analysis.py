@@ -5,6 +5,7 @@ workload set and asserts the paper's qualitative shape, so the benchmark
 suite doubles as a regression check on the reproduced results.
 """
 
+from conftest import run_once
 from repro.experiments import (
     fig06_correlation,
     fig07_compared_streams,
@@ -13,8 +14,6 @@ from repro.experiments import (
     fig10_cmob,
     fig13_stream_length,
 )
-
-from conftest import run_once
 
 
 def test_fig06_correlation(benchmark, bench_workloads, bench_accesses):

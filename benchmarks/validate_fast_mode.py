@@ -26,10 +26,8 @@ from __future__ import annotations
 
 import argparse
 import json
-import os
 import sys
-
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 #: Declared tolerance bands: metric -> (kind, width[, floor]).  ``abs``
 #: bands bound ``|fast - exact|``; ``rel`` bands bound
@@ -157,10 +155,14 @@ def validate(
 
 
 def main() -> int:
+    # Imported here (not module top) so --help works without PYTHONPATH=src;
+    # the env read itself lives in repro.common.config (RL005).
+    from repro.common.config import bench_accesses
+
     parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
     parser.add_argument(
         "--accesses", type=int,
-        default=int(os.environ.get("REPRO_BENCH_ACCESSES", "80000")),
+        default=bench_accesses(default=80000),
         help="trace size per workload (default: REPRO_BENCH_ACCESSES or 80000)",
     )
     parser.add_argument("--seed", type=int, default=42)

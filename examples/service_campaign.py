@@ -14,7 +14,6 @@ Run with:  python examples/service_campaign.py [store.sqlite]
 
 import sys
 import tempfile
-
 from pathlib import Path
 
 from repro.service import Service

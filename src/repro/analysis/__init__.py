@@ -1,12 +1,12 @@
 """Trace analysis: temporal correlation, stream lengths, bandwidth accounting."""
 
+from repro.analysis.bandwidth import BandwidthResult, bandwidth_overhead
 from repro.analysis.correlation import (
     CorrelationResult,
     cumulative_correlation,
     temporal_correlation,
 )
 from repro.analysis.streams import stream_length_cdf
-from repro.analysis.bandwidth import BandwidthResult, bandwidth_overhead
 
 __all__ = [
     "CorrelationResult",

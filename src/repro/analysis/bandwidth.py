@@ -15,16 +15,16 @@ sufficient to express traffic volumes as bandwidths of the right magnitude.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Optional
 
-from repro.common.config import SystemConfig
-from repro.common.stats import ratio
-from repro.common.types import AccessTrace
 from repro.coherence.messages import (
     CMOB_POINTER_BYTES,
     CONTROL_PAYLOAD_BYTES,
     DATA_PAYLOAD_BYTES,
 )
+from repro.common.config import SystemConfig
+from repro.common.stats import ratio
+from repro.common.types import AccessTrace
 from repro.tse.simulator import TSEStats
 
 

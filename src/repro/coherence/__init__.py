@@ -12,8 +12,8 @@ on a 16-node DSM.  This package provides:
   miss ("consumption") and emits the message sequence each transaction needs.
 """
 
-from repro.coherence.messages import CoherenceMessage, MessageType
 from repro.coherence.directory import Directory, DirectoryEntry, DirectoryState
+from repro.coherence.messages import CoherenceMessage, MessageType
 from repro.coherence.protocol import AccessResult, CoherenceProtocol
 
 __all__ = [

@@ -9,7 +9,7 @@ its payload size.  Sizes follow the paper's accounting: 64-byte data blocks,
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from repro.common.types import BlockAddress, NodeId

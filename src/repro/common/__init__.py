@@ -6,6 +6,17 @@ deterministic random-number helpers, statistics counters and the
 discrete-event queue used by the timing simulator.
 """
 
+from repro.common.config import (
+    CacheConfig,
+    InterconnectConfig,
+    MemoryConfig,
+    ProcessorConfig,
+    SystemConfig,
+    TSEConfig,
+)
+from repro.common.events import Event, EventQueue
+from repro.common.rng import DeterministicRNG
+from repro.common.stats import Counter, Histogram, StatsRegistry
 from repro.common.types import (
     AccessType,
     Address,
@@ -15,17 +26,6 @@ from repro.common.types import (
     block_of,
     block_to_address,
 )
-from repro.common.config import (
-    CacheConfig,
-    InterconnectConfig,
-    MemoryConfig,
-    ProcessorConfig,
-    SystemConfig,
-    TSEConfig,
-)
-from repro.common.stats import Counter, Histogram, StatsRegistry
-from repro.common.events import Event, EventQueue
-from repro.common.rng import DeterministicRNG
 
 __all__ = [
     "AccessType",

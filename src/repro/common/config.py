@@ -9,15 +9,126 @@ configuration selected in Section 5 (two compared streams, 32-entry SVB,
 from __future__ import annotations
 
 import os
-
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
-from typing import Dict, Optional, Union
+from typing import Any, Dict, Iterator, Optional, Tuple, Union
 
 #: Fallback chunk size when ``REPRO_STREAM_CHUNK`` is unset: large enough to
 #: amortize the replay loop's per-segment local binding, small enough that a
 #: chunk's six packed columns stay cache-resident.
 DEFAULT_STREAM_CHUNK = 16384
+
+
+# ----------------------------------------------------------------- env knobs
+#: Registry of every ``REPRO_*`` environment knob the code base reads.
+#:
+#: This is the machine-checked source of truth for RL005 (``repro.lint``):
+#: every ``os.environ`` read of a ``REPRO_*`` variable anywhere in the tree
+#: must (a) happen inside this module, through the named accessor, and
+#: (b) appear both here and in README.md's knob table.  ``result_affecting``
+#: feeds RL001: accessors of result-affecting knobs may only be called from
+#: the result plane (``tse/``, ``workloads/``) if their value is folded into
+#: the determinism keys (see :func:`mode_key` /
+#: ``repro.experiments.cache.KEY_FIELDS``); result-neutral knobs only steer
+#: *how* a result is computed (worker counts, batching, storage paths) and
+#: are locked as such by the bit-identity tests.
+ENV_REGISTRY: Dict[str, Dict[str, Any]] = {
+    "REPRO_STREAM_CHUNK": {
+        "accessor": "stream_chunk_size",
+        "result_affecting": False,
+        "description": "accesses per packed TraceChunk (replay batching; "
+                       "bit-identical by construction)",
+    },
+    "REPRO_FAST_MODE": {
+        "accessor": "_env_mode",
+        "result_affecting": True,
+        "description": "selects the batched non-bit-identical replay plane",
+    },
+    "REPRO_FAST_REFILL_FACTOR": {
+        "accessor": "fast_refill_factor",
+        "result_affecting": True,
+        "description": "deep-window amortization factor of the fast plane",
+    },
+    "REPRO_PARALLEL_WORKERS": {
+        "accessor": "parallel_workers_override",
+        "result_affecting": False,
+        "description": "run_parallel worker-process count",
+    },
+    "REPRO_SERVICE_WORKERS": {
+        "accessor": "service_workers_override",
+        "result_affecting": False,
+        "description": "service scheduler worker slots",
+    },
+    "REPRO_SERVICE_BATCH": {
+        "accessor": "service_batch_size",
+        "result_affecting": False,
+        "description": "max jobs per service scheduler batch",
+    },
+    "REPRO_SERVICE_STORE": {
+        "accessor": "service_store_override",
+        "result_affecting": False,
+        "description": "persistent result-store path",
+    },
+    "REPRO_BENCH_ACCESSES": {
+        "accessor": "bench_accesses",
+        "result_affecting": False,
+        "description": "benchmark trace size (the size itself is keyed)",
+    },
+}
+
+
+def _env_positive_int(name: str) -> Optional[int]:
+    """Parse an optional positive-integer knob; invalid values read as unset.
+
+    ``max(1, value)`` mirrors the historical per-site parsers: explicit
+    non-positive values clamp to 1 rather than silently selecting a default
+    that may differ between call sites.
+    """
+    raw = os.environ.get(name)
+    if raw:
+        try:
+            return max(1, int(raw))
+        except ValueError:
+            return None
+    return None
+
+
+def parallel_workers_override() -> Optional[int]:
+    """``REPRO_PARALLEL_WORKERS``: worker count for ``run_parallel``.
+
+    ``None`` (unset or unparsable) lets the caller fall back to the CPU
+    count; the knob never changes results — parallel and serial sweeps merge
+    rows in identical order (locked by ``tests/test_perf_infra.py``).
+    """
+    return _env_positive_int("REPRO_PARALLEL_WORKERS")
+
+
+def service_workers_override() -> Optional[int]:
+    """``REPRO_SERVICE_WORKERS``: scheduler worker slots (``None`` = default)."""
+    return _env_positive_int("REPRO_SERVICE_WORKERS")
+
+
+def service_batch_size(default: int = 64) -> int:
+    """``REPRO_SERVICE_BATCH``: max jobs per scheduler batch."""
+    value = _env_positive_int("REPRO_SERVICE_BATCH")
+    return value if value is not None else default
+
+
+def service_store_override() -> Optional[str]:
+    """``REPRO_SERVICE_STORE``: result-store path override (``None`` = default)."""
+    return os.environ.get("REPRO_SERVICE_STORE") or None
+
+
+def bench_accesses(default: int = 80000) -> int:
+    """``REPRO_BENCH_ACCESSES``: per-workload trace size for benchmarks/tests.
+
+    The value is part of every determinism key (it selects
+    ``target_accesses``), so the knob itself is result-neutral.  A present
+    but non-integer value raises ``ValueError`` — benchmarks should fail
+    loudly, not silently run at a different size.
+    """
+    raw = os.environ.get("REPRO_BENCH_ACCESSES")
+    return int(raw) if raw else default
 
 #: Fraction of each trace treated as warm-up (caches, CMOBs, directory
 #: pointers), mirroring the paper's warming methodology (Section 4).  This is
@@ -152,8 +263,27 @@ def set_sim_mode(mode: Union[str, SimConfig, None]) -> None:
         _AMBIENT_MODE = _validate_mode(mode)
 
 
+def mode_key(mode: Union[str, SimConfig, None] = None) -> Tuple[Any, ...]:
+    """Determinism-key component naming the resolved simulation mode.
+
+    Exact mode renders as ``("mode", "exact")`` — byte-identical to the
+    historical key layout, so persisted exact-mode results survive.  Fast
+    mode additionally folds in every result-affecting fast-plane knob
+    (currently the ``REPRO_FAST_REFILL_FACTOR`` deep-window factor): the
+    factor changes the plane's CMOB window depth and therefore its
+    aggregates, so two fast runs under different factors must never share a
+    cache row or store key.  RL001 (``repro.lint``) verifies statically that
+    every result-affecting env accessor called from the result plane is
+    referenced by a key builder like this one.
+    """
+    resolved = resolve_mode(mode)
+    if resolved == MODE_FAST:
+        return ("mode", resolved, ("fast_refill_factor", fast_refill_factor()))
+    return ("mode", resolved)
+
+
 @contextmanager
-def sim_mode_context(mode: Union[str, SimConfig, None]):
+def sim_mode_context(mode: Union[str, SimConfig, None]) -> Iterator[str]:
     """Scoped :func:`set_sim_mode`: restores the previous ambient mode on exit.
 
     This is how the mode reaches experiment point functions without
@@ -347,7 +477,7 @@ class TSEConfig:
             stream_queues=1 << 16,
         )
 
-    def with_(self, **kwargs) -> "TSEConfig":
+    def with_(self, **kwargs: Any) -> "TSEConfig":
         """Return a copy with the given fields replaced."""
         return replace(self, **kwargs)
 

@@ -8,7 +8,7 @@ results are reproducible bit-for-bit.
 from __future__ import annotations
 
 import random
-from typing import List, Optional, Sequence, TypeVar
+from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
 

@@ -11,12 +11,17 @@ The cache key is the full determinism domain of a run:
 
     (workload, target_accesses, seed, num_nodes, tse_config,
      warmup_fraction, account_traffic, interconnect_config,
-     ("mode", <resolved simulation mode>))
+     <mode component>)
 
-The simulation mode (exact vs ``REPRO_FAST_MODE``) is resolved *before*
-the key is built, so a fast-mode result can never be returned to an
-exact-mode caller or vice versa — the two pipelines are deliberately not
-bit-identical (see :mod:`repro.tse.fast_engine`).
+(:data:`KEY_FIELDS` is the canonical list, cross-checked statically by
+``repro.lint`` rule RL001.)  The simulation mode (exact vs
+``REPRO_FAST_MODE``) is resolved *before* the key is built, so a fast-mode
+result can never be returned to an exact-mode caller or vice versa — the
+two pipelines are deliberately not bit-identical (see
+:mod:`repro.tse.fast_engine`).  The mode component
+(:func:`repro.common.config.mode_key`) also folds in the fast plane's
+result-affecting env knobs, so e.g. two ``REPRO_FAST_REFILL_FACTOR``
+settings occupy disjoint key spaces.
 
 Traces are deterministic in the first four components (see
 :func:`repro.experiments.runner.trace_for`) and the simulator is
@@ -39,10 +44,34 @@ from repro.common.config import (
     DEFAULT_WARMUP_FRACTION,
     InterconnectConfig,
     TSEConfig,
+    mode_key,
     resolve_mode,
 )
 from repro.experiments.runner import trace_for
 from repro.tse.simulator import TSEStats, run_tse_on_trace
+
+#: Canonical determinism-key field order — the full determinism domain of
+#: one functional run, exactly the parameters of :func:`determinism_key`.
+#:
+#: This tuple is the machine-checked contract RL001 (``repro.lint``)
+#: enforces: every parameter of :func:`determinism_key` must be named here
+#: (deleting an entry while the parameter still exists is a lint error, as
+#: is a stale entry with no matching parameter).  ``tse_config`` covers the
+#: whole frozen ``TSEConfig`` dataclass — its ``repr`` canonicalizes every
+#: hardware knob — and ``mode`` covers the simulation pipeline plus any
+#: result-affecting fast-plane env knobs via
+#: :func:`repro.common.config.mode_key`.
+KEY_FIELDS: Tuple[str, ...] = (
+    "workload",
+    "target_accesses",
+    "seed",
+    "num_nodes",
+    "tse_config",
+    "warmup_fraction",
+    "account_traffic",
+    "interconnect_config",
+    "mode",
+)
 
 
 class ResultCache:
@@ -115,7 +144,7 @@ def determinism_key(
     config = tse_config if tse_config is not None else TSEConfig.paper_default()
     return (workload, target_accesses, seed, num_nodes, config,
             warmup_fraction, account_traffic, interconnect_config,
-            ("mode", resolve_mode(mode)))
+            mode_key(mode))
 
 
 def key_text(key: Tuple) -> str:

@@ -11,7 +11,7 @@ from __future__ import annotations
 from typing import Dict, List, Sequence
 
 from repro.analysis.bandwidth import bandwidth_overhead
-from repro.common.config import SystemConfig, PAPER_LOOKAHEAD, TSEConfig
+from repro.common.config import PAPER_LOOKAHEAD, SystemConfig, TSEConfig
 from repro.experiments.cache import cached_tse_run
 from repro.experiments.runner import (
     DEFAULT_TARGET_ACCESSES,

@@ -12,13 +12,15 @@ determinism test in ``tests/test_perf_infra.py``).
 from __future__ import annotations
 
 import os
-
 from dataclasses import dataclass
 from functools import lru_cache
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.common.chunk import ChunkedTrace
-from repro.common.config import DEFAULT_WARMUP_FRACTION
+from repro.common.config import (
+    DEFAULT_WARMUP_FRACTION,  # noqa: F401  (re-exported; fig modules import it here)
+    parallel_workers_override,
+)
 from repro.workloads import ALL_WORKLOADS, get_workload
 from repro.workloads.base import WorkloadParams
 
@@ -31,8 +33,8 @@ WORKLOADS: Sequence[str] = ALL_WORKLOADS
 DEFAULT_TARGET_ACCESSES = 150_000
 
 # DEFAULT_WARMUP_FRACTION is defined in repro.common.config (the single
-# source) and re-exported here because every fig module historically imported
-# it from the runner.
+# source) and re-exported above because every fig module historically
+# imported it from the runner.
 
 
 #: Packed trace payloads delivered to worker processes by the parallel
@@ -80,16 +82,15 @@ def _seed_preloaded_traces(payloads: Dict[Tuple[str, int, int, int], object]) ->
 def default_parallel_workers() -> int:
     """Worker count for :func:`run_parallel`.
 
-    Controlled by the ``REPRO_PARALLEL_WORKERS`` environment variable;
-    defaults to the machine's CPU count.  A value of 1 (e.g. on a
-    single-core container) selects the serial path with zero overhead.
+    Controlled by the ``REPRO_PARALLEL_WORKERS`` environment variable (read
+    through :func:`repro.common.config.parallel_workers_override` — RL005
+    keeps every ``REPRO_*`` read inside ``common/config.py``); defaults to
+    the machine's CPU count.  A value of 1 (e.g. on a single-core
+    container) selects the serial path with zero overhead.
     """
-    env = os.environ.get("REPRO_PARALLEL_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
+    override = parallel_workers_override()
+    if override is not None:
+        return override
     return os.cpu_count() or 1
 
 

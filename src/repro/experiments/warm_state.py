@@ -33,8 +33,8 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.common.config import DEFAULT_WARMUP_FRACTION, PAPER_LOOKAHEAD, TSEConfig
 from repro.experiments.runner import SweepSpec, run_sweep, sweep_main
-from repro.tse.snapshot import warm_tse_run
 from repro.tse.simulator import TSESimulator
+from repro.tse.snapshot import warm_tse_run
 from repro.workloads.base import SCIENTIFIC_WORKLOADS
 
 #: Default measurement window: the benchmark suite's trace size.

@@ -1,6 +1,6 @@
 """2D torus interconnect model: topology, routing, latency and bandwidth."""
 
-from repro.interconnect.torus import TorusTopology
 from repro.interconnect.network import Network, TrafficAccountant
+from repro.interconnect.torus import TorusTopology
 
 __all__ = ["TorusTopology", "Network", "TrafficAccountant"]

@@ -9,11 +9,11 @@ results (Figure 11 and the Section 5.4 pin-bandwidth discussion).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, Optional
 
+from repro.coherence.messages import CoherenceMessage, MessageType
 from repro.common.config import InterconnectConfig
 from repro.common.stats import StatsRegistry
-from repro.coherence.messages import CoherenceMessage, MessageType
 from repro.common.types import NodeId
 from repro.interconnect.torus import TorusTopology
 

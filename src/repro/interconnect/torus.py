@@ -9,7 +9,7 @@ does its route cross the bisection (needed for Figure 11).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, List, Tuple
+from typing import Iterator, List
 
 from repro.common.config import InterconnectConfig
 from repro.common.types import NodeId

@@ -1,0 +1,7 @@
+"""``python -m repro.lint`` dispatch."""
+
+import sys
+
+from repro.lint.cli import main
+
+sys.exit(main())

@@ -1,0 +1,203 @@
+"""Analyzer core: findings, parsed sources, suppressions, the runner.
+
+The engine is deliberately small: a :class:`SourceFile` wraps one parsed
+module (with its per-line suppression table), a rule is an object with
+``check_file`` / ``check_project`` hooks (see :mod:`repro.lint.rules`),
+and :func:`run_lint` walks a path list, applies every in-scope rule, and
+returns deterministically ordered findings.  All cross-file knowledge
+lives in :class:`repro.lint.project.ProjectModel`, which parses the
+contract declarations (``ENV_REGISTRY``, ``KEY_FIELDS``, ...) once per
+run.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from repro.lint.project import ProjectModel
+
+#: ``# repro-lint: disable=RL001`` or ``disable=RL001,RL003``.
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Z0-9_,\s]+)")
+
+#: Matches a line that is only a comment (suppressions there also cover
+#: the next line, pylint-style).
+_COMMENT_ONLY_RE = re.compile(r"^\s*#")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+@dataclass
+class LintResult:
+    """Outcome of one analyzer run."""
+
+    findings: List[Finding]
+    files_checked: int
+    rule_ids: Tuple[str, ...]
+    parse_errors: List[Finding] = field(default_factory=list)
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.parse_errors
+
+
+class SourceFile:
+    """One parsed Python source with its suppression table.
+
+    ``path`` is the repository-relative POSIX path the rules scope on
+    (``src/repro/tse/engine.py``); fixture tests may pass any virtual
+    path, so scoping is by path *parts*, never by filesystem lookups.
+    """
+
+    def __init__(self, path: str, text: str) -> None:
+        self.path = path
+        self.text = text
+        self.error: Optional[str] = None
+        try:
+            self.tree: Optional[ast.Module] = ast.parse(text)
+        except SyntaxError as exc:
+            self.tree = None
+            self.error = f"syntax error: {exc.msg} (line {exc.lineno})"
+        self._suppressions = _suppression_table(text)
+        parts = Path(path).parts
+        # Rules scope on the dotted-package view of the path, so
+        # ``src/repro/tse/x.py`` and a fixture at ``tests/fixtures/lint/
+        # tse/x.py`` are both "in the TSE plane".
+        self.parts: FrozenSet[str] = frozenset(parts[:-1])
+        self.name = parts[-1] if parts else path
+
+    def suppressed(self, rule_id: str, line: int) -> bool:
+        return rule_id in self._suppressions.get(line, ())
+
+    def in_package(self, *segments: str) -> bool:
+        """True when any of ``segments`` is a directory on the path."""
+        return any(segment in self.parts for segment in segments)
+
+    def is_module(self, *tail: str) -> bool:
+        """True when the path ends with the given segments."""
+        parts = Path(self.path).parts
+        return parts[-len(tail):] == tail
+
+
+def _suppression_table(text: str) -> Dict[int, FrozenSet[str]]:
+    table: Dict[int, set] = {}
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        match = _SUPPRESS_RE.search(line)
+        if not match:
+            continue
+        rules = frozenset(
+            token.strip() for token in match.group(1).split(",") if token.strip()
+        )
+        table.setdefault(lineno, set()).update(rules)
+        if _COMMENT_ONLY_RE.match(line):
+            table.setdefault(lineno + 1, set()).update(rules)
+    return {line: frozenset(rules) for line, rules in table.items()}
+
+
+def iter_python_files(paths: Sequence[Path]) -> Iterable[Path]:
+    """Yield every ``.py`` under ``paths`` (files or directories), sorted."""
+    seen = set()
+    for path in paths:
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                yield candidate
+
+
+def run_lint(
+    root: Path,
+    paths: Sequence[Path],
+    rules: Optional[Sequence] = None,
+    overrides: Optional[Dict[str, str]] = None,
+) -> LintResult:
+    """Lint every Python file under ``paths`` against ``rules``.
+
+    ``root`` is the repository root (contract files like
+    ``src/repro/common/config.py`` are resolved against it);
+    ``overrides`` maps repo-relative paths to replacement text, letting
+    mutation tests lint a hypothetical tree without copying it.  Files
+    named both on disk and in ``overrides`` are linted with the override
+    text.
+    """
+    from repro.lint.rules import ALL_RULES
+
+    active = list(rules) if rules is not None else [cls() for cls in ALL_RULES]
+    overrides = overrides or {}
+    project = ProjectModel(root, overrides=overrides)
+
+    findings: List[Finding] = []
+    parse_errors: List[Finding] = []
+    sources: Dict[str, SourceFile] = {}
+    files_checked = 0
+
+    for file_path in iter_python_files([Path(p) for p in paths]):
+        rel = _relpath(file_path, root)
+        text = overrides.get(rel)
+        if text is None:
+            try:
+                text = file_path.read_text()
+            except OSError as exc:
+                parse_errors.append(Finding(rel, 1, 0, "RL000", f"unreadable: {exc}"))
+                continue
+        source = SourceFile(rel, text)
+        sources[rel] = source
+        files_checked += 1
+        if source.tree is None:
+            parse_errors.append(Finding(rel, 1, 0, "RL000", source.error or "parse error"))
+            continue
+        for rule in active:
+            for finding in rule.check_file(source, project):
+                if not source.suppressed(finding.rule, finding.line):
+                    findings.append(finding)
+
+    # Cross-file contract checks run once, anchored at the declaration
+    # sites; suppressions in those files still apply.
+    for rule in active:
+        for finding in rule.check_project(project):
+            source = sources.get(finding.path)
+            if source is None:
+                text = project.text(finding.path)
+                if text is not None:
+                    source = SourceFile(finding.path, text)
+            if source is not None and source.suppressed(finding.rule, finding.line):
+                continue
+            findings.append(finding)
+
+    findings.sort(key=Finding.sort_key)
+    parse_errors.sort(key=Finding.sort_key)
+    return LintResult(
+        findings=findings,
+        files_checked=files_checked,
+        rule_ids=tuple(rule.id for rule in active),
+        parse_errors=parse_errors,
+    )
+
+
+def _relpath(path: Path, root: Path) -> str:
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()

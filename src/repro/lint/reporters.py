@@ -1,0 +1,61 @@
+"""Finding reporters: human text and machine JSON.
+
+Both renderings are deterministic (findings pre-sorted by the engine,
+JSON key-sorted, no timestamps) so CI artifacts diff clean between runs
+of the same tree.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List
+
+from repro.lint.core import LintResult
+
+
+def render_text(result: LintResult) -> str:
+    lines: List[str] = []
+    for finding in result.parse_errors + result.findings:
+        lines.append(finding.render())
+    total = len(result.findings) + len(result.parse_errors)
+    noun = "finding" if total == 1 else "findings"
+    lines.append(
+        f"{total} {noun} in {result.files_checked} files "
+        f"(rules: {', '.join(result.rule_ids)})"
+    )
+    return "\n".join(lines) + "\n"
+
+
+def render_json(result: LintResult) -> str:
+    counts: Dict[str, int] = {}
+    for finding in result.findings:
+        counts[finding.rule] = counts.get(finding.rule, 0) + 1
+    payload = {
+        "clean": result.clean,
+        "files_checked": result.files_checked,
+        "rules": list(result.rule_ids),
+        "counts": counts,
+        "findings": [
+            {
+                "path": f.path,
+                "line": f.line,
+                "col": f.col,
+                "rule": f.rule,
+                "message": f.message,
+            }
+            for f in result.findings
+        ],
+        "parse_errors": [
+            {"path": f.path, "line": f.line, "message": f.message}
+            for f in result.parse_errors
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def render(result: LintResult, fmt: str) -> str:
+    if fmt == "json":
+        return render_json(result)
+    if fmt == "text":
+        return render_text(result)
+    raise ValueError(f"unknown format {fmt!r}")

@@ -1,9 +1,9 @@
 """Cache hierarchy substrate: set-associative caches, MSHRs, main memory."""
 
-from repro.memory.replacement import LRUPolicy, RandomPolicy, ReplacementPolicy
 from repro.memory.cache import Cache, CacheLine, LineState
-from repro.memory.mshr import MSHR, MSHRFile
 from repro.memory.main_memory import MainMemory
+from repro.memory.mshr import MSHR, MSHRFile
+from repro.memory.replacement import LRUPolicy, RandomPolicy, ReplacementPolicy
 
 __all__ = [
     "ReplacementPolicy",

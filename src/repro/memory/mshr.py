@@ -8,7 +8,7 @@ available L2 MSHRs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.common.stats import StatsRegistry

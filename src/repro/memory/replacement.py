@@ -7,7 +7,7 @@ Policies operate on per-set way indices so the cache stays policy-agnostic.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.common.rng import DeterministicRNG
 

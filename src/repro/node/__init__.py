@@ -1,6 +1,6 @@
 """Processor and DSM-node models used by the timing simulator."""
 
-from repro.node.processor import ProcessorModel, NodeTimingResult
 from repro.node.latency import LatencyModel
+from repro.node.processor import NodeTimingResult, ProcessorModel
 
 __all__ = ["ProcessorModel", "NodeTimingResult", "LatencyModel"]

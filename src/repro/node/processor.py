@@ -19,7 +19,7 @@ read misses when at least one is outstanding), reported in Table 3.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 from repro.common.config import SystemConfig

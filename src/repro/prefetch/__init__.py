@@ -14,10 +14,10 @@ consumptions (coherent read misses), and prefetched blocks are stored in a
 small buffer identical in size to TSE's SVB.
 """
 
-from repro.prefetch.base import Prefetcher, PrefetchBuffer
-from repro.prefetch.stride import StridePrefetcher
+from repro.prefetch.base import PrefetchBuffer, Prefetcher
 from repro.prefetch.ghb import GHBPrefetcher
 from repro.prefetch.harness import PrefetcherStats, evaluate_prefetcher
+from repro.prefetch.stride import StridePrefetcher
 
 __all__ = [
     "Prefetcher",

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import List, Optional
+from typing import List
 
 from repro.common.stats import StatsRegistry
 from repro.common.types import BlockAddress

@@ -10,12 +10,12 @@ comparable.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict
 
+from repro.coherence.protocol import CoherenceProtocol
 from repro.common.config import DEFAULT_WARMUP_FRACTION
 from repro.common.stats import ratio
 from repro.common.types import AccessTrace, MissClass
-from repro.coherence.protocol import CoherenceProtocol
 from repro.prefetch.base import PrefetchBuffer, Prefetcher
 
 

@@ -22,10 +22,10 @@ Every paper figure is available as a campaign preset
 to the fig modules' direct CLI output (locked in by ``tests/test_service.py``).
 """
 
-from repro.service.spec import Campaign, Job
-from repro.service.store import ResultStore, default_store_path
 from repro.service.scheduler import CampaignRun, Scheduler
 from repro.service.service import Service
+from repro.service.spec import Campaign, Job
+from repro.service.store import ResultStore, default_store_path
 
 __all__ = [
     "Campaign",

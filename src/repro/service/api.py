@@ -23,7 +23,6 @@ submit does not stall other requests.
 from __future__ import annotations
 
 import json
-
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse

@@ -22,7 +22,6 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-
 from typing import Any, Dict, List, Optional
 
 from repro.service import presets

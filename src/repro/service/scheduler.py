@@ -26,7 +26,6 @@ from __future__ import annotations
 
 import asyncio
 import json
-
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 

@@ -14,9 +14,9 @@ import asyncio
 import json
 import os
 import threading
-
 from typing import Any, Dict, List, Optional
 
+from repro.common.config import service_batch_size, service_workers_override
 from repro.service.scheduler import CampaignRun, Scheduler
 from repro.service.spec import Campaign
 from repro.service.store import ResultStore
@@ -25,12 +25,9 @@ from repro.service.store import ResultStore
 def default_service_workers() -> int:
     """Scheduler worker count: ``REPRO_SERVICE_WORKERS``, else the parallel
     runner's default (``REPRO_PARALLEL_WORKERS`` / CPU count)."""
-    env = os.environ.get("REPRO_SERVICE_WORKERS")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
+    override = service_workers_override()
+    if override is not None:
+        return override
     from repro.experiments.runner import default_parallel_workers
 
     return default_parallel_workers()
@@ -38,13 +35,7 @@ def default_service_workers() -> int:
 
 def default_batch_size() -> int:
     """Jobs per scheduler batch: ``REPRO_SERVICE_BATCH`` (default 64)."""
-    env = os.environ.get("REPRO_SERVICE_BATCH")
-    if env:
-        try:
-            return max(1, int(env))
-        except ValueError:
-            pass
-    return 64
+    return service_batch_size(default=64)
 
 
 def render_stored_campaign(store: ResultStore, campaign_id: int) -> str:

@@ -22,7 +22,6 @@ from __future__ import annotations
 
 import hashlib
 import importlib
-
 from dataclasses import asdict, dataclass, fields
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -31,6 +30,7 @@ from repro.common.config import (
     MODE_EXACT,
     SIM_MODES,
     TSEConfig,
+    mode_key,
     sim_mode_context,
 )
 from repro.experiments.cache import key_text
@@ -38,6 +38,27 @@ from repro.experiments.runner import DEFAULT_TARGET_ACCESSES, SweepSpec
 
 #: Default seed every experiment module uses.
 DEFAULT_SEED = 42
+
+#: :class:`Job` fields canonicalized into :attr:`Job.key`, in key order.
+#: RL001 (``repro.lint``) checks that every Job dataclass field appears in
+#: exactly one of this tuple and :data:`JOB_NON_KEY_FIELDS`, and that every
+#: name listed here is actually read inside the ``key`` property — deleting
+#: a field from the key body without delisting it here (or vice versa) is a
+#: lint error, not a silent cache-poisoning bug.
+JOB_KEY_FIELDS: Tuple[str, ...] = (
+    "experiment",
+    "workload",
+    "config",
+    "target_accesses",
+    "seed",
+    "num_nodes",
+    "shared",
+    "mode",
+)
+
+#: Job fields deliberately *excluded* from the key: runtime-only execution
+#: context (e.g. ``snapshot_store_path``) that must never affect results.
+JOB_NON_KEY_FIELDS: Tuple[str, ...] = ("context",)
 
 
 def _freeze(value: Any) -> Any:
@@ -122,7 +143,7 @@ class Job:
             self.experiment, self.workload, self.config, self.target_accesses,
             self.seed, self.num_nodes, self.shared,
             ("warmup", DEFAULT_WARMUP_FRACTION),
-            ("mode", self.mode),
+            mode_key(self.mode),
         ))
 
     @property

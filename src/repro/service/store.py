@@ -25,9 +25,10 @@ import json
 import os
 import sqlite3
 import time
-
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Sequence, Set
+
+from repro.common.config import service_store_override
 
 #: Environment variable naming the default store location.
 STORE_ENV = "REPRO_SERVICE_STORE"
@@ -64,8 +65,12 @@ CREATE TABLE IF NOT EXISTS campaign_jobs (
 
 
 def default_store_path() -> Path:
-    """Store location: ``REPRO_SERVICE_STORE`` or ``.repro/service.sqlite``."""
-    return Path(os.environ.get(STORE_ENV) or DEFAULT_STORE)
+    """Store location: ``REPRO_SERVICE_STORE`` or ``.repro/service.sqlite``.
+
+    The env read lives in :func:`repro.common.config.service_store_override`
+    (RL005: all ``REPRO_*`` reads go through ``common/config.py``).
+    """
+    return Path(service_store_override() or DEFAULT_STORE)
 
 
 class ResultStore:

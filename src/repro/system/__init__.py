@@ -1,6 +1,6 @@
 """System-level simulators: the DSM facade and the timing model."""
 
-from repro.system.timing import TimingResult, TimingSimulator
 from repro.system.dsm import DSMSystem, SystemComparison
+from repro.system.timing import TimingResult, TimingSimulator
 
 __all__ = ["TimingSimulator", "TimingResult", "DSMSystem", "SystemComparison"]

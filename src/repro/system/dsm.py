@@ -9,16 +9,16 @@ on top of it.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro.common.chunk import ChunkedTrace
 from repro.common.config import (
     DEFAULT_WARMUP_FRACTION,
     PAPER_LOOKAHEAD,
     SystemConfig,
     TSEConfig,
 )
-from repro.common.chunk import ChunkedTrace
 from repro.common.types import AccessTrace
 from repro.system.timing import TimingComparison, TimingSimulator
 from repro.tse.simulator import TSESimulator, TSEStats

@@ -20,13 +20,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.common.chunk import ChunkedTrace
 from repro.common.config import SystemConfig, TSEConfig
 from repro.common.stats import ratio
-from repro.common.chunk import ChunkedTrace
 from repro.common.types import AccessTrace
 from repro.node.latency import LatencyModel
 from repro.node.processor import NodeTimingResult, ProcessorModel
-from repro.tse.simulator import Outcome, TSESimulator, TSEStats
+from repro.tse.simulator import TSESimulator, TSEStats
 
 
 @dataclass

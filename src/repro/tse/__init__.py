@@ -22,12 +22,12 @@ Components (Section 3 of the paper):
 """
 
 from repro.tse.cmob import CMOB
-from repro.tse.svb import StreamedValueBuffer, SVBEntry
-from repro.tse.stream_queue import StreamQueue, QueueState
-from repro.tse.stream_engine import StreamEngine
 from repro.tse.engine import NodeTSE, TemporalStreamingSystem
 from repro.tse.simulator import TSESimulator, TSEStats
 from repro.tse.snapshot import warm_tse_run
+from repro.tse.stream_engine import StreamEngine
+from repro.tse.stream_queue import QueueState, StreamQueue
+from repro.tse.svb import StreamedValueBuffer, SVBEntry
 
 __all__ = [
     "CMOB",

@@ -43,26 +43,37 @@ accumulated in plain integer attributes and published into the
 
 from __future__ import annotations
 
-import sys
 from array import array
-from typing import Optional
+from typing import Iterable, Optional, Union
 
 from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
+from repro.tse.layout import (
+    NEEDS_BYTESWAP,
+    SLOT_BYTEORDER,
+    SLOT_BYTES,
+    SLOT_CODE,
+    SLOT_SHIFT,
+)
 
 #: Typecode of the unpacked view of CMOB windows: unsigned 64-bit addresses.
-CMOB_TYPECODE = "Q"
+#: (Alias of the shared slot layout in :mod:`repro.tse.layout`.)
+CMOB_TYPECODE = SLOT_CODE
 
-#: Bytes per packed CMOB entry.
-ENTRY_WIDTH = 8
+#: Bytes per packed CMOB entry (alias of the shared slot layout).
+ENTRY_WIDTH = SLOT_BYTES
 
-#: The packed layout is explicitly little-endian (appends, window unpackers
-#: and miss probes all use ``'<Q'`` / ``to_bytes(..., "little")``), so the
-#: ``array``-based pack/unpack helpers byteswap on big-endian hosts.
-_NEEDS_SWAP = sys.byteorder != "little"
+# Short aliases used on the hot paths below.
+_SLOT = SLOT_BYTES
+_SHIFT = SLOT_SHIFT
+_ORDER = SLOT_BYTEORDER
+
+#: The packed layout is explicitly little-endian, so the ``array``-based
+#: pack/unpack helpers byteswap on big-endian hosts (see layout module).
+_NEEDS_SWAP = NEEDS_BYTESWAP
 
 
-def pack_window(addresses) -> bytearray:
+def pack_window(addresses: Iterable[int]) -> bytearray:
     """Pack an iterable of block addresses into the FIFO byte layout."""
     packed = array(CMOB_TYPECODE, addresses)
     if _NEEDS_SWAP:
@@ -70,7 +81,7 @@ def pack_window(addresses) -> bytearray:
     return bytearray(packed.tobytes())
 
 
-def unpack_window(window) -> array:
+def unpack_window(window: "Union[bytes, bytearray, memoryview]") -> "array[int]":
     """Unpack a byte window back into an ``array('Q')`` of addresses."""
     unpacked = array(CMOB_TYPECODE)
     unpacked.frombytes(bytes(window))
@@ -102,7 +113,7 @@ class CMOB:
         self._stats = StatsRegistry(prefix=f"cmob.n{node_id}")
         #: Physical storage, grown lazily up to ``capacity`` packed entries:
         #: slot ``offset % capacity`` is appended exactly when the buffer
-        #: first reaches it, so ``len(_data) == 8 * min(appended, capacity)``
+        #: first reaches it, so ``len(_data) == SLOT_BYTES * min(appended, capacity)``
         #: always holds and huge "near-infinite" CMOBs cost only what they
         #: use.
         self._data = bytearray()
@@ -131,11 +142,11 @@ class CMOB:
         """
         offset = self._appended
         data = self._data
-        slot = (offset % self.capacity) << 3
+        slot = (offset % self.capacity) << _SHIFT
         if slot == len(data):
-            data += address.to_bytes(8, "little")
+            data += address.to_bytes(_SLOT, _ORDER)
         else:
-            data[slot:slot + 8] = address.to_bytes(8, "little")
+            data[slot:slot + _SLOT] = address.to_bytes(_SLOT, _ORDER)
         self._appended = offset + 1
         return offset
 
@@ -162,8 +173,8 @@ class CMOB:
         """Read the entry at a monotonic offset; None if stale or out of range."""
         if not self.is_valid_offset(offset):
             return None
-        slot = (offset % self.capacity) << 3
-        return int.from_bytes(self._data[slot:slot + 8], "little")
+        slot = (offset % self.capacity) << _SHIFT
+        return int.from_bytes(self._data[slot:slot + _SLOT], _ORDER)
 
     def read_stream(self, start_offset: int, count: int) -> array:
         """Read up to ``count`` addresses starting at ``start_offset``.
@@ -187,10 +198,10 @@ class CMOB:
         stop = start_offset + count
         if stop > end:
             stop = end
-        lo = (start_offset % capacity) << 3
-        hi = lo + ((stop - start_offset) << 3)
+        lo = (start_offset % capacity) << _SHIFT
+        hi = lo + ((stop - start_offset) << _SHIFT)
         data = self._data
-        cap8 = capacity << 3
+        cap8 = capacity << _SHIFT
         if hi <= cap8:
             window.frombytes(bytes(data[lo:hi]))
         else:
@@ -220,10 +231,10 @@ class CMOB:
         if stop > end:
             stop = end
         n = stop - start_offset
-        lo = (start_offset % capacity) << 3
-        hi = lo + (n << 3)
+        lo = (start_offset % capacity) << _SHIFT
+        hi = lo + (n << _SHIFT)
         data = self._data
-        cap8 = capacity << 3
+        cap8 = capacity << _SHIFT
         if hi <= cap8:
             dest += data[lo:hi]
         else:

@@ -34,14 +34,20 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.coherence.directory import Directory, DirectoryEntry
+from repro.coherence.messages import CoherenceMessage, MessageType
 from repro.common.config import TSEConfig
 from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
-from repro.coherence.directory import Directory, DirectoryEntry
-from repro.coherence.messages import CoherenceMessage, MessageType
 from repro.tse.cmob import CMOB
+from repro.tse.layout import SLOT_BYTEORDER, SLOT_BYTES, SLOT_SHIFT
 from repro.tse.stream_engine import CandidateStream, FetchBatch, StreamEngine
 from repro.tse.stream_queue import _COMPACT_THRESHOLD, StreamQueue
+
+# Short aliases of the shared slot layout (repro.tse.layout; RL004).
+_SLOT = SLOT_BYTES
+_SHIFT = SLOT_SHIFT
+_ORDER = SLOT_BYTEORDER
 
 #: What :meth:`TemporalStreamingSystem.on_consumption` returns: the id of the
 #: stream queue allocated for the consumption (-1 when no stream was found)
@@ -157,11 +163,11 @@ class TemporalStreamingSystem:
         cmob = self._cmobs[node_id]
         offset = cmob._appended
         data = cmob._data
-        slot = (offset % cmob.capacity) << 3
+        slot = (offset % cmob.capacity) << _SHIFT
         if slot == len(data):
-            data += address.to_bytes(8, "little")
+            data += address.to_bytes(_SLOT, _ORDER)
         else:
-            data[slot:slot + 8] = address.to_bytes(8, "little")
+            data[slot:slot + _SLOT] = address.to_bytes(_SLOT, _ORDER)
         cmob._appended = offset + 1
         entries = directory._entries
         entry = entries.get(address)
@@ -305,7 +311,7 @@ class TemporalStreamingSystem:
                 queue.state_code = 0  # STATE_ACTIVE
             elif n_streams == 2:
                 queue.state_code = (
-                    0 if fifo_data[0][:8] == fifo_data[1][:8] else 1  # ACTIVE/STALLED
+                    0 if fifo_data[0][:_SLOT] == fifo_data[1][:_SLOT] else 1  # ACTIVE/STALLED
                 )
             else:
                 queue._recompute_state()
@@ -335,11 +341,11 @@ class TemporalStreamingSystem:
         cmob = cmobs[node_id]
         offset = cmob._appended
         data = cmob._data
-        slot = (offset % cmob.capacity) << 3
+        slot = (offset % cmob.capacity) << _SHIFT
         if slot == len(data):
-            data += address.to_bytes(8, "little")
+            data += address.to_bytes(_SLOT, _ORDER)
         else:
-            data[slot:slot + 8] = address.to_bytes(8, "little")
+            data[slot:slot + _SLOT] = address.to_bytes(_SLOT, _ORDER)
         cmob._appended = offset + 1
         if dir_entry is None:
             dir_entry = DirectoryEntry()
@@ -418,11 +424,11 @@ class TemporalStreamingSystem:
         cmob = self._cmobs[node_id]
         offset = cmob._appended
         data = cmob._data
-        slot = (offset % cmob.capacity) << 3
+        slot = (offset % cmob.capacity) << _SHIFT
         if slot == len(data):
-            data += address.to_bytes(8, "little")
+            data += address.to_bytes(_SLOT, _ORDER)
         else:
-            data[slot:slot + 8] = address.to_bytes(8, "little")
+            data[slot:slot + _SLOT] = address.to_bytes(_SLOT, _ORDER)
         cmob._appended = offset + 1
         dir_entries = directory._entries
         dir_entry = dir_entries.get(address)
@@ -500,7 +506,7 @@ class TemporalStreamingSystem:
         cmobs = self._cmobs
         config = self.config
         threshold = config.refill_threshold
-        threshold8 = threshold << 3
+        threshold8 = threshold << _SHIFT
         depth = config.queue_depth
         queues = engine._queues
         if len(dirty) == 1:

@@ -48,13 +48,20 @@ from __future__ import annotations
 
 from typing import Callable, Dict, List, Optional, Tuple
 
-from repro.common.config import TSEConfig, fast_refill_factor
-from repro.common.types import BlockAddress, NodeId
 from repro.coherence.directory import Directory, DirectoryEntry
 from repro.coherence.messages import CoherenceMessage, MessageType
+from repro.common.config import TSEConfig, fast_refill_factor
+from repro.common.types import BlockAddress, NodeId
 from repro.tse.cmob import CMOB
+from repro.tse.layout import SLOT_BYTEORDER, SLOT_BYTES, SLOT_SHIFT
 from repro.tse.stream_engine import _lcp, _window_unpacker
 from repro.tse.stream_queue import _COMPACT_THRESHOLD, StreamQueue
+
+# Short aliases of the shared slot layout (repro.tse.layout; RL004).
+_SLOT = SLOT_BYTES
+_SHIFT = SLOT_SHIFT
+_ORDER = SLOT_BYTEORDER
+_MASK = SLOT_BYTES - 1
 
 __all__ = ["FastTemporalStreamingSystem"]
 
@@ -121,7 +128,7 @@ class FastTemporalStreamingSystem:
         self._ptr_cap2 = directory.cmob_pointers_per_block == 2
         #: Realignment probe window (the lookahead), in packed bytes —
         #: mirrors ``StreamQueue.skip_address``'s search bound.
-        self._probe_window8 = max(config.stream_lookahead, 1) << 3
+        self._probe_window8 = max(config.stream_lookahead, 1) << _SHIFT
         #: CMOB window depth per stream read: deep on the message-free path,
         #: the exact plane's ``queue_depth`` when traffic is accounted.
         if message_sink is None:
@@ -130,7 +137,7 @@ class FastTemporalStreamingSystem:
             self._depth = config.queue_depth
         #: Exact-plane refill threshold in packed bytes, used only by the
         #: traffic-accounting top-up pass (:meth:`_topup_refills`).
-        self._refill_threshold8 = config.refill_threshold << 3
+        self._refill_threshold8 = config.refill_threshold << _SHIFT
         #: Hit-side pump batching: a hit frees one lookahead credit, but the
         #: pump only runs once the full lookahead budget has accumulated, so
         #: the delivery machinery is set up once per ``lookahead`` hits and
@@ -273,8 +280,8 @@ class FastTemporalStreamingSystem:
             n1 = len(d1)
             diverged = False
             while budget > 0:
-                k = (n0 - p0) >> 3
-                k1 = (n1 - p1) >> 3
+                k = (n0 - p0) >> _SHIFT
+                k1 = (n1 - p1) >> _SHIFT
                 if k1 < k:
                     k = k1
                 if k <= 0:
@@ -294,7 +301,7 @@ class FastTemporalStreamingSystem:
                         break
                     continue
                 m = k if k < budget else budget
-                m8 = m << 3
+                m8 = m << _SHIFT
                 if d0[p0:p0 + m8] == d1[p1:p1 + m8]:
                     agreed = m
                 else:
@@ -303,7 +310,7 @@ class FastTemporalStreamingSystem:
                         diverged = True
                         break
                 window = _window_unpacker(agreed)(d0, p0)
-                agreed8 = agreed << 3
+                agreed8 = agreed << _SHIFT
                 p0 += agreed8
                 p1 += agreed8
                 popped += agreed
@@ -326,11 +333,11 @@ class FastTemporalStreamingSystem:
                 p = p0 if i == 0 else p1
                 size = n0 if i == 0 else n1
                 while budget > 0 and p < size:
-                    take = (size - p) >> 3
+                    take = (size - p) >> _SHIFT
                     if take > budget:
                         take = budget
                     window = _window_unpacker(take)(d, p)
-                    p += take << 3
+                    p += take << _SHIFT
                     popped += take
                     for address in window:
                         if address in svb:
@@ -356,7 +363,7 @@ class FastTemporalStreamingSystem:
                     # multiple of the lookahead, so that alignment is the
                     # common case, not a corner).
                     queue.state_code = 2 if self._followed_exhausted(queue) else 0
-                elif p0 >= n0 or p1 >= n1 or d0[p0:p0 + 8] == d1[p1:p1 + 8]:
+                elif p0 >= n0 or p1 >= n1 or d0[p0:p0 + _SLOT] == d1[p1:p1 + _SLOT]:
                     queue.state_code = 0
                 else:
                     queue.state_code = 1
@@ -375,7 +382,7 @@ class FastTemporalStreamingSystem:
             p = pos[i]
             size = len(fifo)
             while budget > 0:
-                take = (size - p) >> 3
+                take = (size - p) >> _SHIFT
                 if take <= 0:
                     pos[i] = p
                     revived = self._refill_one(node, queue, i)
@@ -388,7 +395,7 @@ class FastTemporalStreamingSystem:
                 if take > budget:
                     take = budget
                 window = _window_unpacker(take)(fifo, p)
-                p += take << 3
+                p += take << _SHIFT
                 popped += take
                 for address in window:
                     if address in svb:
@@ -425,20 +432,20 @@ class FastTemporalStreamingSystem:
             i0 = live[0]
             d0 = data[i0]
             p0 = pos[i0]
-            k = min((len(data[i]) - pos[i]) >> 3 for i in live)
+            k = min((len(data[i]) - pos[i]) >> _SHIFT for i in live)
             m = k if k < budget else budget
             agreed = m
             for i in live[1:]:
                 di = data[i]
                 pi = pos[i]
-                a8 = agreed << 3
+                a8 = agreed << _SHIFT
                 if d0[p0:p0 + a8] != di[pi:pi + a8]:
                     agreed = _lcp(d0, p0, di, pi, agreed)
                     if agreed == 0:
                         break
             if agreed:
                 window = _window_unpacker(agreed)(d0, p0)
-                agreed8 = agreed << 3
+                agreed8 = agreed << _SHIFT
                 for i in live:
                     pos[i] += agreed8
                 popped += agreed
@@ -556,7 +563,7 @@ class FastTemporalStreamingSystem:
                 # advance) resumes out-of-phase streams whose windows the
                 # consumer already passed, flooding the SVB with discards.
                 if packed is None:
-                    packed = address.to_bytes(8, "little")
+                    packed = address.to_bytes(_SLOT, _ORDER)
                 src_nodes = queue._src_nodes
                 sel = queue._selected
                 indices = (
@@ -571,8 +578,8 @@ class FastTemporalStreamingSystem:
                     cmob = cmobs[src]
                     if nxt >= cmob._appended:
                         continue
-                    slot = (nxt % cmob.capacity) << 3
-                    if cmob._data[slot:slot + 8] != packed:
+                    slot = (nxt % cmob.capacity) << _SHIFT
+                    if cmob._data[slot:slot + _SLOT] != packed:
                         continue
                     # The processor already has this block: resume past it.
                     queue._src_next[i] = nxt + 1
@@ -594,7 +601,7 @@ class FastTemporalStreamingSystem:
                 # are cached on the queue — the pre-check is one tuple
                 # containment test, no slicing.
                 if packed is None:
-                    packed = address.to_bytes(8, "little")
+                    packed = address.to_bytes(_SLOT, _ORDER)
                 heads = queue._stall_heads
                 if heads is None:
                     data = queue._fifo_data
@@ -603,12 +610,12 @@ class FastTemporalStreamingSystem:
                         p0 = pos[0]
                         p1 = pos[1]
                         heads = (
-                            bytes(data[0][p0:p0 + 8]),
-                            bytes(data[1][p1:p1 + 8]),
+                            bytes(data[0][p0:p0 + _SLOT]),
+                            bytes(data[1][p1:p1 + _SLOT]),
                         )
                     else:
                         heads = tuple(
-                            [bytes(data[i][pos[i]:pos[i] + 8])
+                            [bytes(data[i][pos[i]:pos[i] + _SLOT])
                              for i in range(len(data))]
                         )
                     queue._stall_heads = heads
@@ -617,7 +624,7 @@ class FastTemporalStreamingSystem:
                     data = queue._fifo_data
                     pos = queue._fifo_pos
                     fifo = data[i]
-                    p = pos[i] + 8
+                    p = pos[i] + _SLOT
                     pos[i] = p  # the processor already has this block
                     queue._selected = i
                     queue.state_code = 0 if p < len(fifo) else 2
@@ -634,7 +641,7 @@ class FastTemporalStreamingSystem:
                 # aligned ``find`` of ``skip_address``, inlined so the
                 # packed key is built once per scan, not once per queue.
                 if packed is None:
-                    packed = address.to_bytes(8, "little")
+                    packed = address.to_bytes(_SLOT, _ORDER)
                 data = queue._fifo_data
                 pos = queue._fifo_pos
                 sel = queue._selected
@@ -645,20 +652,20 @@ class FastTemporalStreamingSystem:
                         p = pos[i]
                         stop = p + probe8
                         at = fifo.find(packed, p, stop)
-                        while at >= 0 and (at - p) & 7:
+                        while at >= 0 and (at - p) & _MASK:
                             at = fifo.find(packed, at + 1, stop)
                         if at >= 0:
-                            del fifo[at:at + 8]
+                            del fifo[at:at + _SLOT]
                             found = True
                 else:
                     fifo = data[sel]
                     p = pos[sel]
                     stop = p + probe8
                     at = fifo.find(packed, p, stop)
-                    while at >= 0 and (at - p) & 7:
+                    while at >= 0 and (at - p) & _MASK:
                         at = fifo.find(packed, at + 1, stop)
                     if at >= 0:
-                        del fifo[at:at + 8]
+                        del fifo[at:at + _SLOT]
                         found = True
                 if found:
                     queue._recompute_state()
@@ -789,7 +796,7 @@ class FastTemporalStreamingSystem:
             if n_streams == 1:
                 queue.state_code = 0
             elif n_streams == 2:
-                queue.state_code = 0 if fifo_data[0][:8] == fifo_data[1][:8] else 1
+                queue.state_code = 0 if fifo_data[0][:_SLOT] == fifo_data[1][:_SLOT] else 1
             else:
                 queue._recompute_state()
             d, x = self._pump(node, queue, svb)
@@ -803,11 +810,11 @@ class FastTemporalStreamingSystem:
         cmob = self.cmobs[node]
         offset = cmob._appended
         data = cmob._data
-        slot = (offset % cmob.capacity) << 3
+        slot = (offset % cmob.capacity) << _SHIFT
         if slot == len(data):
-            data += address.to_bytes(8, "little")
+            data += address.to_bytes(_SLOT, _ORDER)
         else:
-            data[slot:slot + 8] = address.to_bytes(8, "little")
+            data[slot:slot + _SLOT] = address.to_bytes(_SLOT, _ORDER)
         cmob._appended = offset + 1
         if entry is None:
             entry = DirectoryEntry()
@@ -883,11 +890,11 @@ class FastTemporalStreamingSystem:
         cmob = self.cmobs[node]
         offset = cmob._appended
         data = cmob._data
-        slot = (offset % cmob.capacity) << 3
+        slot = (offset % cmob.capacity) << _SHIFT
         if slot == len(data):
-            data += address.to_bytes(8, "little")
+            data += address.to_bytes(_SLOT, _ORDER)
         else:
-            data[slot:slot + 8] = address.to_bytes(8, "little")
+            data[slot:slot + _SLOT] = address.to_bytes(_SLOT, _ORDER)
         cmob._appended = offset + 1
         entries = directory._entries
         entry = entries.get(address)

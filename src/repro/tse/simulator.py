@@ -31,13 +31,21 @@ bit-identical.
 
 from __future__ import annotations
 
+import enum
 from array import array
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-import enum
-
+from repro.coherence.protocol import (
+    READ_CAPACITY,
+    READ_CODE_OF_MISS,
+    READ_COHERENT,
+    READ_COLD,
+    READ_SPIN_COHERENT,
+    CoherenceProtocol,
+    _BlockState,
+)
 from repro.common.chunk import ChunkedTrace, TraceChunk, stream_chunk_size
 from repro.common.config import (
     DEFAULT_WARMUP_FRACTION,
@@ -54,15 +62,6 @@ from repro.common.types import (
     AccessTrace,
     AccessType,
     MemoryAccess,
-)
-from repro.coherence.protocol import (
-    READ_CAPACITY,
-    READ_COHERENT,
-    READ_COLD,
-    READ_CODE_OF_MISS,
-    READ_SPIN_COHERENT,
-    CoherenceProtocol,
-    _BlockState,
 )
 from repro.interconnect.network import TrafficAccountant
 from repro.tse.engine import TemporalStreamingSystem
@@ -182,7 +181,9 @@ class TSESimulator:
         #: use (the timing model converts that to wall clock).
         self.record_outcomes = record_outcomes
         self.outcome_codes = array("B")
-        self.outcome_leads = array("q")
+        # Signed per-access lead counts for the timing model — not the
+        # packed-slot plane, so the slot-layout rule does not apply here.
+        self.outcome_leads = array("q")  # repro-lint: disable=RL004
         self._node_access_counts = [0] * num_nodes
         self.tse_config = tse_config if tse_config is not None else TSEConfig.paper_default()
         self.protocol = CoherenceProtocol(

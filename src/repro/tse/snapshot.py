@@ -36,7 +36,7 @@ from pathlib import Path
 from typing import Dict, List, MutableMapping, Optional, Tuple
 
 from repro.common.chunk import TraceChunk
-from repro.common.config import MODE_EXACT, TSEConfig, resolve_mode
+from repro.common.config import MODE_EXACT, TSEConfig, mode_key, resolve_mode
 from repro.tse.simulator import TSESimulator, TSEStats
 
 __all__ = [
@@ -137,12 +137,13 @@ def snapshot_key(
 
     Includes :data:`SNAPSHOT_FORMAT`, so snapshots persisted by an older
     simulator layout are invalidated by key — never deserialized — and the
-    resolved simulation mode, so exact and fast warm states occupy
-    disjoint key spaces (``restore`` additionally refuses a cross-mode
-    payload outright).
+    resolved simulation mode (with the fast plane's result-affecting env
+    knobs, via :func:`repro.common.config.mode_key`), so exact and fast
+    warm states occupy disjoint key spaces (``restore`` additionally
+    refuses a cross-mode payload outright).
     """
     return repr((SNAPSHOT_FORMAT, workload, warm_accesses, total_accesses,
-                 seed, num_nodes, config, ("mode", resolve_mode(mode))))
+                 seed, num_nodes, config, mode_key(mode)))
 
 
 class PersistentSnapshotStore(MutableMapping):
@@ -185,7 +186,9 @@ class PersistentSnapshotStore(MutableMapping):
             conn.execute(
                 "INSERT OR IGNORE INTO snapshots (key, payload, created) "
                 "VALUES (?, ?, ?)",
-                (key, sqlite3.Binary(payload), time.time()),
+                # Row-creation metadata for store GC — never read back into
+                # results, so the wall-clock ban does not apply.
+                (key, sqlite3.Binary(payload), time.time()),  # repro-lint: disable=RL003
             )
 
     def __delitem__(self, key: str) -> None:

@@ -45,6 +45,13 @@ from typing import Dict, List, Optional, Tuple
 from repro.common.config import TSEConfig
 from repro.common.stats import StatsRegistry, publish_counters
 from repro.common.types import BlockAddress, NodeId
+from repro.tse.layout import (
+    SLOT_BYTEORDER,
+    SLOT_BYTES,
+    SLOT_FORMAT,
+    SLOT_SHIFT,
+    window_format,
+)
 from repro.tse.stream_queue import (
     STATE_ACTIVE,
     STATE_DRAINED,
@@ -54,6 +61,12 @@ from repro.tse.stream_queue import (
     _as_fifo,
 )
 from repro.tse.svb import StreamedValueBuffer, SVBEntry
+
+# Short aliases of the shared slot layout (repro.tse.layout; RL004): byte
+# width of one packed address, its log2 for slot<->byte shifts, byte order.
+_SLOT = SLOT_BYTES
+_SHIFT = SLOT_SHIFT
+_ORDER = SLOT_BYTEORDER
 
 _ACTIVE = QueueState.ACTIVE
 _STALLED = QueueState.STALLED
@@ -71,7 +84,7 @@ FetchBatch = Tuple[int, List[BlockAddress]]
 CandidateStream = Tuple[NodeId, int, object]
 
 #: Single-address unpack for the take==1 fast path (a freed lookahead slot).
-_U1 = struct.Struct("<Q").unpack_from
+_U1 = struct.Struct(SLOT_FORMAT).unpack_from
 
 #: Lazily built ``n``-address unpackers for boxing a whole agreed window in
 #: one C call.
@@ -81,7 +94,7 @@ _UNPACKERS: Dict[int, object] = {}
 def _window_unpacker(n: int):
     unpacker = _UNPACKERS.get(n)
     if unpacker is None:
-        unpacker = _UNPACKERS[n] = struct.Struct("<%dQ" % n).unpack_from
+        unpacker = _UNPACKERS[n] = struct.Struct(window_format(n)).unpack_from
     return unpacker
 
 
@@ -93,12 +106,12 @@ def _lcp(d0: bytearray, p0: int, d1: bytearray, p1: int, limit: int) -> int:
     search over ``memcmp``-class slice comparisons — O(log limit) compares
     instead of a Python loop over elements.
     """
-    if d0[p0:p0 + 8] != d1[p1:p1 + 8]:
+    if d0[p0:p0 + _SLOT] != d1[p1:p1 + _SLOT]:
         return 0
     lo, hi = 1, limit - 1
     while lo < hi:
         mid = (lo + hi + 1) >> 1
-        m8 = mid << 3
+        m8 = mid << _SHIFT
         if d0[p0:p0 + m8] == d1[p1:p1 + m8]:
             lo = mid
         else:
@@ -127,7 +140,7 @@ class StreamEngine:
         self._refill_threshold = config.refill_threshold
         #: Refill threshold in packed bytes (8 per address), for the inline
         #: eligibility checks against byte cursors.
-        self._refill_threshold8 = config.refill_threshold << 3
+        self._refill_threshold8 = config.refill_threshold << _SHIFT
         self._next_queue_id = 0
         self._activity_clock = 0
         #: Hit counts of queues that have been reclaimed, kept so the
@@ -288,8 +301,8 @@ class StreamEngine:
             n0 = len(d0)
             n1 = len(d1)
             while budget > 0:
-                k = (n0 - p0) >> 3
-                k1 = (n1 - p1) >> 3
+                k = (n0 - p0) >> _SHIFT
+                k1 = (n1 - p1) >> _SHIFT
                 if k1 < k:
                     k = k1
                 if k <= 0:
@@ -297,17 +310,17 @@ class StreamEngine:
                 m = k if k < budget else budget
                 if m == 1:
                     # Post-hit shape: a single freed lookahead slot.
-                    if d0[p0:p0 + 8] != d1[p1:p1 + 8]:
+                    if d0[p0:p0 + _SLOT] != d1[p1:p1 + _SLOT]:
                         break  # heads diverged: stall (derived below)
                     address = _U1(d0, p0)[0]
-                    p0 += 8
-                    p1 += 8
+                    p0 += _SLOT
+                    p1 += _SLOT
                     popped += 1
                     if address not in svb_entries:
                         append(address)
                         budget -= 1
                     continue
-                m8 = m << 3
+                m8 = m << _SHIFT
                 if d0[p0:p0 + m8] == d1[p1:p1 + m8]:
                     agreed = m
                 else:
@@ -315,7 +328,7 @@ class StreamEngine:
                     if agreed == 0:
                         break  # heads diverged: stall (derived below)
                 window = _window_unpacker(agreed)(d0, p0)
-                agreed8 = agreed << 3
+                agreed8 = agreed << _SHIFT
                 p0 += agreed8
                 p1 += agreed8
                 popped += agreed
@@ -333,19 +346,19 @@ class StreamEngine:
                 else:
                     d, p, size = d1, p1, n1
                 while budget > 0 and p < size:
-                    take = (size - p) >> 3
+                    take = (size - p) >> _SHIFT
                     if take > budget:
                         take = budget
                     if take == 1:
                         address = _U1(d, p)[0]
-                        p += 8
+                        p += _SLOT
                         popped += 1
                         if address not in svb_entries:
                             append(address)
                             budget -= 1
                         continue
                     window = _window_unpacker(take)(d, p)
-                    p += take << 3
+                    p += take << _SHIFT
                     popped += take
                     for address in window:
                         if address not in svb_entries:
@@ -360,7 +373,7 @@ class StreamEngine:
             if popped:
                 if p0 >= n0 and p1 >= n1:
                     queue.state_code = STATE_DRAINED
-                elif p0 >= n0 or p1 >= n1 or d0[p0:p0 + 8] == d1[p1:p1 + 8]:
+                elif p0 >= n0 or p1 >= n1 or d0[p0:p0 + _SLOT] == d1[p1:p1 + _SLOT]:
                     queue.state_code = STATE_ACTIVE
                 else:
                     queue.state_code = STATE_STALLED
@@ -387,19 +400,19 @@ class StreamEngine:
             p = pos[i]
             size = len(fifo)
             while budget > 0 and p < size:
-                take = (size - p) >> 3
+                take = (size - p) >> _SHIFT
                 if take > budget:
                     take = budget
                 if take == 1:
                     address = _U1(fifo, p)[0]
-                    p += 8
+                    p += _SLOT
                     popped += 1
                     if address not in svb_entries:
                         append(address)
                         budget -= 1
                     continue
                 window = _window_unpacker(take)(fifo, p)
-                p += take << 3
+                p += take << _SHIFT
                 popped += take
                 for address in window:
                     if address not in svb_entries:
@@ -436,11 +449,11 @@ class StreamEngine:
                 p = pos[i]
                 size = len(fifo)
                 while budget > 0 and p < size:
-                    take = (size - p) >> 3
+                    take = (size - p) >> _SHIFT
                     if take > budget:
                         take = budget
                     window = _window_unpacker(take)(fifo, p)
-                    p += take << 3
+                    p += take << _SHIFT
                     popped += take
                     for address in window:
                         if address not in svb_entries:
@@ -451,20 +464,20 @@ class StreamEngine:
             i0 = live[0]
             d0 = data[i0]
             p0 = pos[i0]
-            k = min((len(data[i]) - pos[i]) >> 3 for i in live)
+            k = min((len(data[i]) - pos[i]) >> _SHIFT for i in live)
             m = k if k < budget else budget
             agreed = m
             for i in live[1:]:
                 di = data[i]
                 pi = pos[i]
-                a8 = agreed << 3
+                a8 = agreed << _SHIFT
                 if d0[p0:p0 + a8] != di[pi:pi + a8]:
                     agreed = _lcp(d0, p0, di, pi, agreed)
                     if agreed == 0:
                         break
             if agreed:
                 window = _window_unpacker(agreed)(d0, p0)
-                agreed8 = agreed << 3
+                agreed8 = agreed << _SHIFT
                 for i in live:
                     pos[i] += agreed8
                 popped += agreed
@@ -568,7 +581,7 @@ class StreamEngine:
                 # FIFOs stay short by compaction, so the probe is a few
                 # cache lines and never boxes an address.
                 if packed is None:
-                    packed = address.to_bytes(8, "little")
+                    packed = address.to_bytes(_SLOT, _ORDER)
                 data = queue._fifo_data
                 selected = queue._selected
                 if selected is not None:

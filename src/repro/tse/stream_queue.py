@@ -38,10 +38,20 @@ Public methods keep *address-count* semantics (``pending``, ``lookahead``,
 from __future__ import annotations
 
 import enum
-from typing import Iterable, List, Optional, Tuple
+from typing import Iterable, List, Optional, Tuple, Union
 
 from repro.common.types import BlockAddress, NodeId
 from repro.tse.cmob import pack_window
+from repro.tse.layout import SLOT_BYTEORDER, SLOT_BYTES, SLOT_SHIFT
+
+# Short aliases of the shared slot-layout constants (repro.tse.layout, the
+# single source RL004 enforces): byte width of one packed address, its log2
+# (slot-count <-> byte-offset shifts) and alignment mask, and the packed
+# byte order.
+_SLOT = SLOT_BYTES
+_SHIFT = SLOT_SHIFT
+_MASK = SLOT_BYTES - 1
+_ORDER = SLOT_BYTEORDER
 
 
 class QueueState(enum.Enum):
@@ -73,7 +83,7 @@ RefillRequest = Tuple[int, int, NodeId, int, int]
 _COMPACT_THRESHOLD = 512
 
 
-def _as_fifo(addresses) -> bytearray:
+def _as_fifo(addresses: "Union[bytearray, Iterable[int]]") -> bytearray:
     """Coerce a candidate stream into packed FIFO storage."""
     if type(addresses) is bytearray:
         return addresses
@@ -219,7 +229,7 @@ class StreamQueue:
             return 0
         if fifo_index is None:
             fifo_index = self._selected if self._selected is not None else 0
-        return (len(self._fifo_data[fifo_index]) - self._fifo_pos[fifo_index]) >> 3
+        return (len(self._fifo_data[fifo_index]) - self._fifo_pos[fifo_index]) >> _SHIFT
 
     def _recompute_state(self) -> None:
         """Refresh :attr:`state_code` after a FIFO mutation (single pass)."""
@@ -239,7 +249,7 @@ class StreamQueue:
             fifo = data[i]
             p = pos[i]
             if p < len(fifo):
-                head = fifo[p:p + 8]
+                head = fifo[p:p + _SLOT]
                 if non_empty == 0:
                     first_head = head
                 elif head != first_head:
@@ -264,10 +274,10 @@ class StreamQueue:
             i = self._selected
             if pos[i] < len(data[i]):
                 p = pos[i]
-                return [int.from_bytes(data[i][p:p + 8], "little")]
+                return [int.from_bytes(data[i][p:p + _SLOT], _ORDER)]
             return []
         return [
-            int.from_bytes(data[i][pos[i]:pos[i] + 8], "little")
+            int.from_bytes(data[i][pos[i]:pos[i] + _SLOT], _ORDER)
             for i in range(len(data))
             if pos[i] < len(data[i])
         ]
@@ -282,11 +292,11 @@ class StreamQueue:
         if self._selected is not None:
             i = self._selected
             p = pos[i]
-            return int.from_bytes(data[i][p:p + 8], "little")
+            return int.from_bytes(data[i][p:p + _SLOT], _ORDER)
         for i in range(len(data)):
             p = pos[i]
             if p < len(data[i]):
-                return int.from_bytes(data[i][p:p + 8], "little")
+                return int.from_bytes(data[i][p:p + _SLOT], _ORDER)
         return None
 
     def can_fetch(self) -> bool:
@@ -309,8 +319,8 @@ class StreamQueue:
         if selected is not None:
             fifo = data[selected]
             p = pos[selected]
-            address = int.from_bytes(fifo[p:p + 8], "little")
-            p += 8
+            address = int.from_bytes(fifo[p:p + _SLOT], _ORDER)
+            p += _SLOT
             pos[selected] = p
             if p == len(fifo):
                 self.state_code = STATE_DRAINED
@@ -329,15 +339,15 @@ class StreamQueue:
                 p = pos[i]
                 size = len(fifo)
                 if p < size:
-                    head = fifo[p:p + 8]
+                    head = fifo[p:p + _SLOT]
                     if packed is None:
                         packed = head
                     if head == packed:
-                        p += 8
+                        p += _SLOT
                         pos[i] = p
                         if p == size:
                             continue
-                        head = fifo[p:p + 8]
+                        head = fifo[p:p + _SLOT]
                     if non_empty == 0:
                         first_head = head
                     elif head != first_head:
@@ -345,7 +355,7 @@ class StreamQueue:
                     non_empty += 1
             if packed is None:
                 return None
-            address = int.from_bytes(packed, "little")
+            address = int.from_bytes(packed, _ORDER)
             if stalled:
                 self.state_code = STATE_STALLED
             else:
@@ -385,13 +395,13 @@ class StreamQueue:
         # STALLED implies no FIFO is selected yet: scan all of them.
         data = self._fifo_data
         pos = self._fifo_pos
-        packed = miss_address.to_bytes(8, "little")
+        packed = miss_address.to_bytes(_SLOT, _ORDER)
         for i in range(len(data)):
             fifo = data[i]
             p = pos[i]
-            if p < len(fifo) and fifo[p:p + 8] == packed:
+            if p < len(fifo) and fifo[p:p + _SLOT] == packed:
                 self._selected = i
-                p += 8
+                p += _SLOT
                 pos[i] = p  # the processor already has this block
                 self.state_code = STATE_ACTIVE if p < len(fifo) else STATE_DRAINED
                 self._stall_heads = None
@@ -413,7 +423,7 @@ class StreamQueue:
         data = self._fifo_data
         pos = self._fifo_pos
         window_limit = self.lookahead if self.lookahead > 1 else 1
-        packed = address.to_bytes(8, "little")
+        packed = address.to_bytes(_SLOT, _ORDER)
         if self._selected is not None:
             indices: Tuple[int, ...] = (self._selected,)
         else:
@@ -422,14 +432,14 @@ class StreamQueue:
             fifo = data[i]
             p = pos[i]
             live = len(fifo) - p
-            window = live if live < (window_limit << 3) else (window_limit << 3)
+            window = live if live < (window_limit << _SHIFT) else (window_limit << _SHIFT)
             stop = p + window
             at = fifo.find(packed, p, stop)
-            while at >= 0 and (at - p) & 7:
+            while at >= 0 and (at - p) & _MASK:
                 # Unaligned substring match: resume at the next byte.
                 at = fifo.find(packed, at + 1, stop)
             if at >= 0:
-                del fifo[at:at + 8]
+                del fifo[at:at + _SLOT]
                 found = True
         if found:
             self._recompute_state()
@@ -455,7 +465,7 @@ class StreamQueue:
         pos = self._fifo_pos
         pending = self._refill_pending
         src_nodes = self._src_nodes
-        threshold8 = threshold << 3
+        threshold8 = threshold << _SHIFT
         for i in indices:
             if (
                 not pending[i]
@@ -478,7 +488,7 @@ class StreamQueue:
         data = self._fifo_data
         pos = self._fifo_pos
         queue_id = self.queue_id
-        threshold8 = threshold << 3
+        threshold8 = threshold << _SHIFT
         for i in indices:
             if pending[i]:
                 continue

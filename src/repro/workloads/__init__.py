@@ -31,16 +31,16 @@ the traces matches the paper's characterisation:
 """
 
 from repro.workloads.base import (
+    ALL_WORKLOADS,
+    COMMERCIAL_WORKLOADS,
+    SCIENTIFIC_WORKLOADS,
     Workload,
     WorkloadParams,
     available_workloads,
     get_workload,
-    COMMERCIAL_WORKLOADS,
-    SCIENTIFIC_WORKLOADS,
-    ALL_WORKLOADS,
 )
-from repro.workloads.engine import MixtureWorkload, PhasedWorkload, RequestWorkload
 from repro.workloads.em3d import Em3dWorkload
+from repro.workloads.engine import MixtureWorkload, PhasedWorkload, RequestWorkload
 from repro.workloads.jbb import JBBWorkload
 from repro.workloads.moldyn import MoldynWorkload
 from repro.workloads.ocean import OceanWorkload

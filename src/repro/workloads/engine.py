@@ -30,7 +30,6 @@ from typing import Iterator, List, Optional
 
 from repro.common.chunk import ChunkedTrace, TraceChunk, stream_chunk_size
 from repro.common.types import ACCESS_TYPE_FROM_CODE, AccessTrace, MemoryAccess
-
 from repro.workloads.base import Workload, WorkloadParams, interleave
 
 __all__ = [

@@ -57,8 +57,8 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence
 
-from repro.common.rng import DeterministicRNG
 from repro.common.chunk import PackedAccess
+from repro.common.rng import DeterministicRNG
 from repro.workloads.base import AddressSpace
 
 

@@ -1,0 +1,21 @@
+"""RL002 fixture: determinism keys built without resolving the mode.
+
+Linted by ``tests/test_lint.py``; never imported.  Line numbers matter —
+append only.
+"""
+
+
+def key_text(key: tuple) -> str:
+    return repr(key)
+
+
+def determinism_key(workload: str, seed: int, mode: str) -> tuple:  # line 12: RL002
+    return (workload, seed, mode)
+
+
+def snapshot_key(workload: str, mode: str) -> str:  # line 16: RL002
+    return repr((workload, mode))
+
+
+def persist(workload: str, seed: int) -> str:
+    return key_text((workload, seed, "exact"))  # line 21: RL002

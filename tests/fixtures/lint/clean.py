@@ -1,0 +1,8 @@
+"""Negative fixture: idiomatic code no rule should flag."""
+
+from typing import Dict, List
+
+
+def summarize(values: List[int]) -> Dict[str, int]:
+    ordered = sorted(set(values))
+    return {"count": len(ordered), "total": sum(ordered)}

@@ -1,0 +1,28 @@
+"""RL003 fixture: nondeterminism sources in the result plane.
+
+Linted by ``tests/test_lint.py``; never imported.  Line numbers matter —
+append only.
+"""
+
+import random  # line 7: bare random import
+import time
+
+
+def draw() -> float:
+    return random.random()  # line 12: unseeded global generator
+
+
+def stamp() -> float:
+    return time.time()  # line 16: wall clock in the result plane
+
+
+def keyed(obj: object, table: dict) -> object:
+    table[id(obj)] = obj  # line 20: id()-keyed container
+    return {id(obj): 1}  # line 21: id()-keyed dict literal
+
+
+def iterate(values: list) -> list:
+    out = []
+    for item in set(values):  # line 26: set-order iteration
+        out.append(item)
+    return [v for v in {1, 2, 3}]  # line 28: set-order comprehension

@@ -1,0 +1,36 @@
+"""RL004 fixture: every way to spell a magic slot width in the TSE plane.
+
+Linted by ``tests/test_lint.py`` with an expected-findings table; never
+imported.  Line numbers matter — append only.
+"""
+
+import struct
+
+
+def slice_width(buffer: bytearray, cursor: int) -> bytes:
+    return buffer[cursor:cursor + 8]  # line 11: slice arithmetic
+
+
+def cursor_advance(cursor: int) -> int:
+    cursor += 8  # line 15: cursor arithmetic
+    return cursor
+
+
+def shifts(count: int, offset: int) -> int:
+    byte_offset = count << 3  # line 20: shift left
+    slots = offset >> 3  # line 21: shift right
+    return byte_offset + slots
+
+
+def mask(position: int) -> int:
+    return position & 7  # line 26: alignment mask
+
+
+def conversions(address: int) -> bytes:
+    return address.to_bytes(8, "little")  # line 30: width + byte order
+
+
+def formats(count: int) -> object:
+    one = struct.Struct("<Q")  # line 34: inline format
+    window = struct.Struct("<%dQ" % count)  # line 35: inline template
+    return one, window

@@ -5,7 +5,6 @@ import pytest
 from repro.analysis.bandwidth import bandwidth_overhead, estimate_elapsed_ns
 from repro.analysis.correlation import cumulative_correlation, temporal_correlation
 from repro.analysis.streams import fraction_of_hits_from_short_streams, stream_length_cdf
-from repro.coherence.protocol import CoherenceProtocol, extract_consumptions
 from repro.common.config import SystemConfig, TSEConfig
 from repro.common.stats import Histogram
 from repro.common.types import AccessTrace, AccessType, Consumption, MemoryAccess

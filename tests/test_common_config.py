@@ -3,9 +3,9 @@
 import pytest
 
 from repro.common.config import (
+    PAPER_LOOKAHEAD,
     CacheConfig,
     InterconnectConfig,
-    PAPER_LOOKAHEAD,
     SystemConfig,
     TSEConfig,
 )

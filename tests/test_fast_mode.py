@@ -15,11 +15,11 @@ for the tier-1 suite).  The full-size sweep is
 
 import functools
 import importlib.util
-import os
 import pathlib
 
 import pytest
 
+from repro.common.config import bench_accesses
 from repro.workloads import available_workloads
 
 _HARNESS = (
@@ -33,7 +33,7 @@ _spec.loader.exec_module(validate_fast_mode)
 BANDS = validate_fast_mode.BANDS
 check_metric = validate_fast_mode.check_metric
 
-ACCESSES = int(os.environ.get("REPRO_BENCH_ACCESSES", "20000"))
+ACCESSES = bench_accesses(default=20000)
 SEED = 42
 NODES = 16
 

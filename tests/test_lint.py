@@ -1,0 +1,371 @@
+"""repro.lint: rule-by-rule fixtures, mutation locks, and the live-tree gate.
+
+Three layers:
+
+* **Fixture corpus** (``tests/fixtures/lint/``): each rule has a file of
+  deliberate violations with a pinned expected-findings table, plus a
+  suppression fixture and a clean fixture.
+* **Mutation locks**: the analyzer is re-run over *hypothetical* trees
+  (via ``ProjectModel`` overrides) in which one determinism contract has
+  been broken — a key field deleted, an env knob unregistered, a bare
+  ``random`` call added — and must flag each one.  These are the tests
+  that make the contracts load-bearing.
+* **Live-tree gate** (tier 1): ``run_lint`` over ``src/`` must be clean,
+  which is the same check CI's lint job enforces via
+  ``python -m repro.lint src/``.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.common.config import (
+    MODE_EXACT,
+    MODE_FAST,
+    bench_accesses,
+    mode_key,
+    parallel_workers_override,
+    service_batch_size,
+    service_store_override,
+    service_workers_override,
+)
+from repro.lint import ProjectModel, run_lint
+from repro.lint.cli import main as lint_main
+from repro.lint.reporters import render_json
+from repro.lint.rules import rules_by_id
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+FIXTURES = REPO_ROOT / "tests" / "fixtures" / "lint"
+
+CONFIG = "src/repro/common/config.py"
+CACHE = "src/repro/experiments/cache.py"
+SPEC = "src/repro/service/spec.py"
+
+
+def findings_for(path, overrides=None, rules=None):
+    result = run_lint(REPO_ROOT, [path], overrides=overrides, rules=rules)
+    assert not result.parse_errors, result.parse_errors
+    return result.findings
+
+
+def lines_and_rules(findings):
+    return sorted((f.line, f.rule) for f in findings)
+
+
+class TestFixtureCorpus:
+    def test_rl002_key_constructors(self):
+        found = findings_for(FIXTURES / "bad_keys.py")
+        assert lines_and_rules(found) == [
+            (12, "RL002"),  # determinism_key without resolve_mode
+            (16, "RL002"),  # snapshot_key without resolve_mode
+            (21, "RL002"),  # hand-rolled key_text(tuple)
+        ]
+
+    def test_rl002_rl005_env_reads(self):
+        found = findings_for(FIXTURES / "bad_env.py")
+        assert lines_and_rules(found) == [
+            (11, "RL005"),  # unregistered REPRO_* read
+            (15, "RL005"),  # non-REPRO ambient read
+            (19, "RL002"),  # REPRO_FAST_MODE sniffed outside config
+            (19, "RL005"),
+        ]
+
+    def test_rl003_nondeterminism_sources(self):
+        found = findings_for(FIXTURES / "tse" / "bad_nondeterminism.py")
+        assert lines_and_rules(found) == [
+            (7, "RL003"),   # import random
+            (12, "RL003"),  # random.random()
+            (16, "RL003"),  # time.time() in the result plane
+            (20, "RL003"),  # id()-keyed container
+            (21, "RL003"),  # id()-keyed dict literal
+            (26, "RL003"),  # for ... in set(...)
+            (28, "RL003"),  # comprehension over a set literal
+        ]
+
+    def test_rl004_magic_widths(self):
+        found = findings_for(FIXTURES / "tse" / "bad_widths.py")
+        assert lines_and_rules(found) == [
+            (11, "RL004"),  # slice arithmetic + 8
+            (15, "RL004"),  # cursor += 8
+            (20, "RL004"),  # << 3
+            (21, "RL004"),  # >> 3
+            (26, "RL004"),  # & 7
+            (30, "RL004"),  # to_bytes(8, ...)
+            (30, "RL004"),  # ... , "little")
+            (34, "RL004"),  # struct.Struct("<Q")
+            (35, "RL004"),  # struct.Struct("<%dQ" % n)
+        ]
+
+    def test_suppressions_silence_findings(self):
+        assert findings_for(FIXTURES / "suppressed.py") == []
+
+    def test_clean_fixture_is_clean(self):
+        assert findings_for(FIXTURES / "clean.py") == []
+
+    def test_rule_subset_restricts_output(self):
+        found = findings_for(
+            FIXTURES / "bad_env.py", rules=rules_by_id(["RL002"])
+        )
+        assert {f.rule for f in found} == {"RL002"}
+
+    def test_unknown_rule_id_rejected(self):
+        with pytest.raises(ValueError):
+            rules_by_id(["RL999"])
+
+
+class TestLiveTreeGate:
+    def test_src_tree_is_clean(self):
+        """Tier-1 lock: the shipped tree has zero findings — identical to
+        CI's ``python -m repro.lint src/`` gate."""
+        result = run_lint(REPO_ROOT, [REPO_ROOT / "src"])
+        assert result.parse_errors == []
+        assert result.findings == [], "\n".join(
+            f.render() for f in result.findings
+        )
+        assert result.files_checked > 50
+
+    def test_contract_files_parse(self):
+        project = ProjectModel(REPO_ROOT)
+        assert project.problems == []
+        assert project.key_fields is not None
+        assert project.job_key_fields is not None
+        assert project.env_registry
+        assert project.readme_knobs
+
+
+class TestMutationLocks:
+    """Break one contract per test; the analyzer must notice."""
+
+    def _text(self, rel):
+        return (REPO_ROOT / rel).read_text()
+
+    def test_deleting_key_field_trips_rl001(self):
+        original = self._text(CACHE)
+        broken = '    "tse_config",\n'
+        assert original.count(broken) == 1
+        mutated = original.replace(broken, "")
+        found = findings_for(
+            REPO_ROOT / CACHE, overrides={CACHE: mutated}
+        )
+        assert any(
+            f.rule == "RL001" and "tse_config" in f.message for f in found
+        )
+
+    def test_unkeyed_mode_constructor_trips_rl002(self):
+        original = self._text(CACHE)
+        assert "mode_key(mode))" in original
+        mutated = original.replace("mode_key(mode))", "mode)")
+        found = findings_for(
+            REPO_ROOT / CACHE, overrides={CACHE: mutated}
+        )
+        assert any(
+            f.rule == "RL002" and "determinism_key" in f.message for f in found
+        )
+
+    def test_unseeded_random_in_tse_trips_rl003(self):
+        target = "src/repro/tse/stream_queue.py"
+        mutated = self._text(target) + (
+            "\nimport random\n\n\ndef _jitter():\n    return random.random()\n"
+        )
+        found = findings_for(
+            REPO_ROOT / target, overrides={target: mutated}
+        )
+        assert sum(1 for f in found if f.rule == "RL003") == 2
+
+    def test_magic_width_in_tse_trips_rl004(self):
+        target = "src/repro/tse/cmob.py"
+        mutated = self._text(target) + (
+            "\n\ndef _raw(buffer, cursor):\n    return buffer[cursor:cursor + 8]\n"
+        )
+        found = findings_for(
+            REPO_ROOT / target, overrides={target: mutated}
+        )
+        assert any(f.rule == "RL004" for f in found)
+
+    def test_unregistered_env_read_trips_rl005(self):
+        target = "src/repro/tse/simulator.py"
+        mutated = self._text(target) + (
+            '\nimport os\n\n_TURBO = os.environ.get("REPRO_TURBO")\n'
+        )
+        found = findings_for(
+            REPO_ROOT / target, overrides={target: mutated}
+        )
+        assert any(
+            f.rule == "RL005" and "REPRO_TURBO" in f.message for f in found
+        )
+
+    def test_unwired_result_affecting_accessor_trips_rl001(self):
+        original = self._text(CONFIG)
+        wired = '("fast_refill_factor", fast_refill_factor())'
+        assert wired in original
+        mutated = original.replace(wired, '("fast_refill_factor", 4)')
+        found = findings_for(
+            REPO_ROOT / CONFIG, overrides={CONFIG: mutated}
+        )
+        assert any(
+            f.rule == "RL001" and "fast_refill_factor" in f.message
+            for f in found
+        )
+
+    def test_undocumented_registry_entry_trips_rl005(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        row = "| `REPRO_FAST_REFILL_FACTOR`"
+        assert row in readme
+        start = readme.index(row)
+        end = readme.index("\n", start) + 1
+        mutated = readme[:start] + readme[end:]
+        found = findings_for(
+            REPO_ROOT / CONFIG, overrides={"README.md": mutated}
+        )
+        assert any(
+            f.rule == "RL005"
+            and "REPRO_FAST_REFILL_FACTOR" in f.message
+            and "README" in f.message
+            for f in found
+        )
+
+    def test_job_field_outside_contract_trips_rl001(self):
+        original = self._text(SPEC)
+        anchor = "    mode: str = MODE_EXACT"
+        assert anchor in original
+        mutated = original.replace(
+            anchor, anchor + "\n    flavor: str = \"plain\""
+        )
+        found = findings_for(
+            REPO_ROOT / SPEC, overrides={SPEC: mutated}
+        )
+        assert any(
+            f.rule == "RL001" and "flavor" in f.message for f in found
+        )
+
+
+class TestEnvAccessors:
+    """Behavior locks for the config accessors the RL005 sweep introduced
+    (they replaced direct os.environ reads; semantics must be identical)."""
+
+    def test_parallel_workers_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_PARALLEL_WORKERS", raising=False)
+        assert parallel_workers_override() is None
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "3")
+        assert parallel_workers_override() == 3
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "0")
+        assert parallel_workers_override() == 1
+        monkeypatch.setenv("REPRO_PARALLEL_WORKERS", "not-a-number")
+        assert parallel_workers_override() is None
+
+    def test_service_worker_and_batch_knobs(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_WORKERS", raising=False)
+        monkeypatch.delenv("REPRO_SERVICE_BATCH", raising=False)
+        assert service_workers_override() is None
+        assert service_batch_size(default=64) == 64
+        monkeypatch.setenv("REPRO_SERVICE_WORKERS", "2")
+        monkeypatch.setenv("REPRO_SERVICE_BATCH", "17")
+        assert service_workers_override() == 2
+        assert service_batch_size(default=64) == 17
+
+    def test_service_store_override(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SERVICE_STORE", raising=False)
+        assert service_store_override() is None
+        monkeypatch.setenv("REPRO_SERVICE_STORE", "")
+        assert service_store_override() is None
+        monkeypatch.setenv("REPRO_SERVICE_STORE", "/tmp/alt.sqlite")
+        assert service_store_override() == "/tmp/alt.sqlite"
+
+    def test_bench_accesses(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_ACCESSES", raising=False)
+        assert bench_accesses(default=1234) == 1234
+        monkeypatch.setenv("REPRO_BENCH_ACCESSES", "5000")
+        assert bench_accesses(default=1234) == 5000
+
+
+class TestModeKeying:
+    """Regression lock for the RL001 true positive this PR fixed: the
+    fast plane's REPRO_FAST_REFILL_FACTOR changes results, so it must be
+    part of fast-mode determinism keys — and must NOT perturb exact-mode
+    keys (persisted exact results stay valid)."""
+
+    def test_exact_mode_key_is_factor_free(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST_REFILL_FACTOR", raising=False)
+        baseline = mode_key(MODE_EXACT)
+        assert baseline == ("mode", "exact")
+        monkeypatch.setenv("REPRO_FAST_REFILL_FACTOR", "9")
+        assert mode_key(MODE_EXACT) == baseline
+
+    def test_fast_mode_key_folds_in_the_factor(self, monkeypatch):
+        monkeypatch.delenv("REPRO_FAST_REFILL_FACTOR", raising=False)
+        default_key = mode_key(MODE_FAST)
+        assert default_key[0:2] == ("mode", "fast")
+        assert ("fast_refill_factor", 4) in default_key
+        monkeypatch.setenv("REPRO_FAST_REFILL_FACTOR", "9")
+        assert mode_key(MODE_FAST) != default_key
+        assert ("fast_refill_factor", 9) in mode_key(MODE_FAST)
+
+    def test_determinism_key_separates_factor_spaces(self, monkeypatch):
+        from repro.experiments.cache import determinism_key, key_text
+
+        def key():
+            return key_text(determinism_key(
+                "db2", 1000, 42, 16, None, 0.5, mode="fast"
+            ))
+
+        monkeypatch.delenv("REPRO_FAST_REFILL_FACTOR", raising=False)
+        first = key()
+        monkeypatch.setenv("REPRO_FAST_REFILL_FACTOR", "9")
+        assert key() != first
+        exact = key_text(determinism_key(
+            "db2", 1000, 42, 16, None, 0.5, mode="exact"
+        ))
+        monkeypatch.delenv("REPRO_FAST_REFILL_FACTOR", raising=False)
+        assert key_text(determinism_key(
+            "db2", 1000, 42, 16, None, 0.5, mode="exact"
+        )) == exact
+
+    def test_job_key_separates_factor_spaces(self, monkeypatch):
+        from repro.service.spec import Job
+
+        job = Job("repro.experiments.baseline", "db2", None, 1000, 42, mode="fast")
+        monkeypatch.delenv("REPRO_FAST_REFILL_FACTOR", raising=False)
+        first = job.key
+        monkeypatch.setenv("REPRO_FAST_REFILL_FACTOR", "9")
+        assert job.key != first
+        exact_job = Job("repro.experiments.baseline", "db2", None, 1000, 42)
+        exact_key = exact_job.key
+        monkeypatch.delenv("REPRO_FAST_REFILL_FACTOR", raising=False)
+        assert exact_job.key == exact_key
+
+
+class TestCLI:
+    def test_clean_path_exits_zero(self, capsys):
+        status = lint_main([str(FIXTURES / "clean.py"), "--root", str(REPO_ROOT)])
+        captured = capsys.readouterr()
+        assert status == 0
+        assert "0 findings" in captured.out
+
+    def test_findings_exit_one_and_json_shape(self, capsys, tmp_path):
+        out = tmp_path / "report.json"
+        status = lint_main([
+            str(FIXTURES / "bad_env.py"), "--root", str(REPO_ROOT),
+            "--format", "json", "--out", str(out),
+        ])
+        assert status == 1
+        payload = json.loads(out.read_text())
+        assert payload["clean"] is False
+        assert payload["counts"]["RL005"] == 3
+        assert payload["counts"]["RL002"] == 1
+        assert {f["rule"] for f in payload["findings"]} == {"RL002", "RL005"}
+
+    def test_usage_errors_exit_two(self, capsys):
+        assert lint_main(["--rules", "RL999", "src"]) == 2
+        assert lint_main([str(REPO_ROOT / "no-such-dir")]) == 2
+
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005"):
+            assert rule_id in out
+
+    def test_json_report_is_deterministic(self):
+        first = run_lint(REPO_ROOT, [FIXTURES])
+        second = run_lint(REPO_ROOT, [FIXTURES])
+        assert render_json(first) == render_json(second)

@@ -2,11 +2,11 @@
 
 from hypothesis import given, settings, strategies as st
 
+from repro.common.config import CacheConfig
 from repro.common.stats import Histogram
 from repro.common.types import block_of, block_to_address
 from repro.interconnect.torus import TorusTopology
 from repro.memory import Cache, LineState
-from repro.common.config import CacheConfig
 from repro.tse.cmob import CMOB
 from repro.tse.svb import StreamedValueBuffer
 
