@@ -1,0 +1,236 @@
+"""Chaos battery: exact-recovery invariants for the fault-tolerant fleet.
+
+Runs one small campaign through a remote-only service + loopback HTTP API +
+two lease-protocol workers (threads) under a battery of seeded
+:class:`~repro.service.faults.FaultPlan`\\ s — worker killed mid-batch,
+results post dropped, leases expired early, a poison job that fails every
+attempt — and asserts *exact* invariants, not statistical ones::
+
+    PYTHONPATH=src python benchmarks/chaos_battery.py [--out chaos.json]
+
+Invariants checked per scenario (the battery exits 1 if any fails):
+
+* the campaign completes (degraded for the poison scenario, done otherwise)
+  with two workers and injected faults;
+* every completed job's stored rows are **bit-identical** (canonical JSON)
+  to a no-fault baseline run of the same campaign;
+* resubmitting the campaign afterwards recomputes **zero** completed jobs;
+* the poison job is quarantined after exactly its retry budget, with the
+  failure's traceback captured in the store.
+
+The JSON artifact records each scenario's outcome plus the deterministic
+fired-fault log, so CI uploads show exactly which faults fired and when.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import threading
+import time
+
+from repro.service import faults
+from repro.service.api import make_server
+from repro.service.faults import Fault, FaultPlan, WorkerKilled
+from repro.service.presets import campaign as preset_campaign
+from repro.service.service import Service
+from repro.service.store import ResultStore
+from repro.service.worker import Worker
+
+ACCESSES = 5_000
+
+
+def battery_campaign():
+    return preset_campaign("fig09", workloads=("db2",),
+                           target_accesses=ACCESSES)
+
+
+def canonical(rows):
+    """Canonical JSON for bit-identity comparison of result rows."""
+    return json.dumps(rows, sort_keys=True)
+
+
+class Fleet:
+    """Remote-only service + loopback API + two worker threads."""
+
+    def __init__(self, store_path, lease_ttl=1.0, max_attempts=3,
+                 start_delays=None):
+        self.store_path = store_path
+        self.start_delays = start_delays or {}
+        self.service = Service(
+            store_path=store_path, max_workers=1, local_compute=False,
+            lease_ttl_s=lease_ttl, max_attempts=max_attempts, batch_size=1,
+        )
+        self.server = make_server(self.service, port=0)
+        host, port = self.server.server_address[:2]
+        self.url = f"http://{host}:{port}"
+        threading.Thread(target=self.server.serve_forever, daemon=True).start()
+        self.exit_codes = {}
+        self._threads = []
+        for worker_id in ("w1", "w2"):
+            thread = threading.Thread(
+                target=self._run_worker, args=(worker_id,), daemon=True
+            )
+            self._threads.append(thread)
+            thread.start()
+
+    def _run_worker(self, worker_id):
+        time.sleep(self.start_delays.get(worker_id, 0.0))
+        worker = Worker(self.url, worker_id=worker_id, poll_interval=0.05,
+                        max_idle_polls=1_000_000, job_timeout_s=None)
+        try:
+            self.exit_codes[worker_id] = worker.run()
+        except WorkerKilled:
+            self.exit_codes[worker_id] = 17
+        finally:
+            worker.close()
+
+    def close(self):
+        self.server.shutdown()
+        self.server.server_close()
+        self.service.close()
+        for thread in self._threads:
+            thread.join(timeout=5)
+
+
+def run_scenario(name, tmp_dir, baseline, plan=None, expect_status="done",
+                 max_attempts=3, lease_ttl=1.0, start_delays=None):
+    """One campaign through the fleet under ``plan``; returns the report."""
+    store_path = tmp_dir / f"{name}.sqlite"
+    faults.install(plan)
+    fleet = Fleet(store_path, lease_ttl=lease_ttl, max_attempts=max_attempts,
+                  start_delays=start_delays)
+    started = time.time()
+    try:
+        run = fleet.service.submit(battery_campaign(), wait=True, timeout=300)
+    finally:
+        faults.install(None)
+        fleet.close()
+    elapsed = time.time() - started
+
+    store = ResultStore(store_path)
+    mismatched, missing = [], []
+    for job in run.jobs:
+        rows = store.get_result(job.key)
+        if rows is None:
+            missing.append(job.key)
+        elif canonical(rows) != baseline[job.key]:
+            mismatched.append(job.key)
+    # Read the quarantine record BEFORE resubmitting: a fresh submission
+    # deliberately resets the attempt budget (quarantine is per-submission).
+    poison_record = store.attempt_record(POISON_KEY)
+    # Completed jobs must never be recomputed: resubmit (faults cleared,
+    # local compute) and count what actually runs.
+    with Service(store_path=store_path, max_workers=1) as local:
+        rerun = local.submit(battery_campaign(), wait=True, timeout=300)
+    completed = run.total - run.quarantined
+    report = {
+        "scenario": name,
+        "status": run.status,
+        "elapsed_s": round(elapsed, 3),
+        "total": run.total,
+        "computed": run.computed,
+        "quarantined": run.quarantined,
+        "rows_bit_identical": not mismatched,
+        "completed_jobs": completed,
+        "lost_results": len(missing) - run.quarantined,
+        "recomputed_on_resubmit": rerun.computed,
+        "worker_exit_codes": fleet.exit_codes,
+        "fired_faults": list(plan.fired) if plan is not None else [],
+        "ok": (
+            run.status == expect_status
+            and not mismatched
+            and len(missing) == run.quarantined  # only poison rows missing
+            # Resubmission (faults cleared) recomputes exactly the
+            # quarantined jobs — zero completed jobs recomputed.
+            and rerun.computed == run.quarantined
+        ),
+    }
+    if name == "poison_quarantine":
+        record = poison_record
+        report["poison_attempts"] = record["attempts"] if record else 0
+        report["poison_has_traceback"] = bool(record and record["traceback"])
+        report["ok"] = report["ok"] and bool(
+            record and record["quarantined"]
+            and record["attempts"] == max_attempts
+        )
+    return report
+
+
+POISON_KEY = battery_campaign().jobs()[0].key
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the JSON report here")
+    args = parser.parse_args(argv)
+
+    import tempfile
+    from pathlib import Path
+
+    tmp_dir = Path(tempfile.mkdtemp(prefix="chaos-battery-"))
+
+    # No-fault baseline: the bit-identity reference for every scenario.
+    baseline_store = tmp_dir / "baseline.sqlite"
+    with Service(store_path=baseline_store, max_workers=1) as service:
+        base_run = service.submit(battery_campaign(), wait=True, timeout=300)
+    assert base_run.status == "done", "baseline run must succeed"
+    store = ResultStore(baseline_store)
+    baseline = {job.key: canonical(store.get_result(job.key))
+                for job in base_run.jobs}
+
+    scenarios = [
+        ("no_fault", dict(plan=None)),
+        ("worker_killed_mid_batch", dict(
+            plan=FaultPlan([Fault(site="worker.job", action="kill",
+                                  match="w1:")], seed=1),
+            start_delays={"w2": 0.5},
+        )),
+        ("dropped_results_post", dict(
+            plan=FaultPlan([Fault(site="worker.post_results",
+                                  action="drop")], seed=2),
+        )),
+        ("early_lease_expiry", dict(
+            plan=FaultPlan([Fault(site="scheduler.sweep", action="expire",
+                                  count=2)], seed=3),
+            lease_ttl=30.0,
+        )),
+        ("poison_quarantine", dict(
+            plan=FaultPlan([Fault(site="worker.job", action="raise",
+                                  match=POISON_KEY, count=0)], seed=4),
+            expect_status="failed", max_attempts=2,
+        )),
+    ]
+
+    reports = []
+    for name, kwargs in scenarios:
+        report = run_scenario(name, tmp_dir, baseline, **kwargs)
+        reports.append(report)
+        flag = "ok" if report["ok"] else "FAILED"
+        print(f"[{flag:>6}] {name}: status={report['status']} "
+              f"bit_identical={report['rows_bit_identical']} "
+              f"lost={report['lost_results']} "
+              f"recomputed_on_resubmit={report['recomputed_on_resubmit']} "
+              f"({report['elapsed_s']}s)")
+
+    payload = {
+        "campaign_jobs": base_run.total,
+        "scenarios": reports,
+        "ok": all(report["ok"] for report in reports),
+    }
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"report -> {args.out}")
+    if not payload["ok"]:
+        print("chaos battery FAILED", file=sys.stderr)
+        return 1
+    print(f"chaos battery ok: {len(reports)} scenarios, "
+          f"{base_run.total} jobs each, zero lost results")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -69,6 +69,30 @@ ENV_REGISTRY: Dict[str, Dict[str, Any]] = {
         "result_affecting": False,
         "description": "persistent result-store path",
     },
+    "REPRO_JOB_TIMEOUT": {
+        "accessor": "job_timeout",
+        "result_affecting": False,
+        "description": "per-job execution timeout in seconds (unset = no "
+                       "timeout); timed-out jobs count as failed attempts",
+    },
+    "REPRO_JOB_RETRIES": {
+        "accessor": "job_retries",
+        "result_affecting": False,
+        "description": "attempts per job before poison-quarantine (failed "
+                       "with captured traceback; campaign completes degraded)",
+    },
+    "REPRO_LEASE_TTL": {
+        "accessor": "lease_ttl",
+        "result_affecting": False,
+        "description": "worker lease time-to-live in seconds; expired "
+                       "leases requeue their jobs",
+    },
+    "REPRO_WORKER_ID": {
+        "accessor": "worker_id_override",
+        "result_affecting": False,
+        "description": "stable identity a fleet worker registers leases "
+                       "under (default: host-pid derived)",
+    },
     "REPRO_BENCH_ACCESSES": {
         "accessor": "bench_accesses",
         "result_affecting": False,
@@ -117,6 +141,56 @@ def service_batch_size(default: int = 64) -> int:
 def service_store_override() -> Optional[str]:
     """``REPRO_SERVICE_STORE``: result-store path override (``None`` = default)."""
     return os.environ.get("REPRO_SERVICE_STORE") or None
+
+
+def job_timeout() -> Optional[float]:
+    """``REPRO_JOB_TIMEOUT``: per-job execution timeout in seconds.
+
+    ``None`` (unset, unparsable, or non-positive) disables the timeout.
+    The knob never changes results — a timed-out job is retried or
+    quarantined, never recorded with partial rows.
+    """
+    raw = os.environ.get("REPRO_JOB_TIMEOUT")
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            return None
+        if value > 0:
+            return value
+    return None
+
+
+def job_retries(default: int = 3) -> int:
+    """``REPRO_JOB_RETRIES``: attempts per job before poison-quarantine.
+
+    A job that fails this many times is marked ``failed`` with its captured
+    traceback and the campaign completes degraded instead of hanging.
+    """
+    value = _env_positive_int("REPRO_JOB_RETRIES")
+    return value if value is not None else default
+
+
+def lease_ttl(default: float = 60.0) -> float:
+    """``REPRO_LEASE_TTL``: worker lease time-to-live in seconds.
+
+    A worker that neither heartbeats nor posts results within the TTL is
+    presumed dead; the expiry sweeper requeues its leased jobs.
+    """
+    raw = os.environ.get("REPRO_LEASE_TTL")
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            return default
+        if value > 0:
+            return value
+    return default
+
+
+def worker_id_override() -> Optional[str]:
+    """``REPRO_WORKER_ID``: stable fleet-worker identity (``None`` = derived)."""
+    return os.environ.get("REPRO_WORKER_ID") or None
 
 
 def bench_accesses(default: int = 80000) -> int:

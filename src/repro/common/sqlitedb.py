@@ -22,3 +22,10 @@ def connect(path, row_factory=None) -> sqlite3.Connection:
     conn.execute("PRAGMA journal_mode=WAL")
     conn.execute("PRAGMA synchronous=NORMAL")
     return conn
+
+
+def locked_error(exc: sqlite3.OperationalError) -> bool:
+    """Whether an ``OperationalError`` is lock contention (retryable) rather
+    than a real fault like a corrupt file or a missing table."""
+    message = str(exc).lower()
+    return "database is locked" in message or "database is busy" in message

@@ -12,20 +12,30 @@ makes them *durable and submittable*.  Four parts:
   nothing;
 * :mod:`repro.service.scheduler` — an ``asyncio`` scheduler over the
   existing process pool with priority queues, per-trace job batching,
-  progress, cancellation, and crash-resume from the store;
+  progress, cancellation, crash-resume from the store, per-job
+  retry/backoff with poison-job quarantine, and the server side of the
+  remote-worker lease protocol (TTL leases + expiry sweeper);
+* :mod:`repro.service.worker` — the fleet side: ``python -m repro.service
+  work --url ...`` lease-protocol workers that can be killed at any
+  instruction without losing completed results;
+* :mod:`repro.service.faults` — deterministic fault injection
+  (seeded :class:`~repro.service.faults.FaultPlan` schedules fired at
+  named sites) driving the chaos suite and ``benchmarks/chaos_battery.py``;
 * :mod:`repro.service.api` / :mod:`repro.service.cli` — a stdlib
   ``http.server`` JSON API and the ``python -m repro.service`` command line
-  (``submit`` / ``status`` / ``results`` / ``serve``).
+  (``submit`` / ``status`` / ``results`` / ``serve`` / ``work``).
 
 Every paper figure is available as a campaign preset
 (:mod:`repro.service.presets`); the rendered preset tables are bit-identical
 to the fig modules' direct CLI output (locked in by ``tests/test_service.py``).
 """
 
+from repro.service.faults import Fault, FaultPlan
 from repro.service.scheduler import CampaignRun, Scheduler
 from repro.service.service import Service
 from repro.service.spec import Campaign, Job
 from repro.service.store import ResultStore, default_store_path
+from repro.service.worker import Worker
 
 __all__ = [
     "Campaign",
@@ -35,4 +45,7 @@ __all__ = [
     "CampaignRun",
     "Scheduler",
     "Service",
+    "Worker",
+    "Fault",
+    "FaultPlan",
 ]

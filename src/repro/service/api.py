@@ -15,6 +15,28 @@ Routes (all JSON):
 * ``GET  /jobs/<id>``                — one job by short id (status + rows).
 * ``GET  /results?experiment=&workload=&limit=`` — filterable results.
 
+Fleet routes (the remote-worker lease protocol, driven by
+``python -m repro.service work``):
+
+* ``POST /leases``                   — ``{"worker": id, "max_jobs": n}``;
+  leases the next queued batch.  Replies ``{"lease_id", "ttl", "jobs"}``
+  or ``{"lease_id": null}`` when the queue is empty (poll again).
+* ``POST /leases/<id>/heartbeat``    — extend the TTL; **410** once the
+  lease expired (the worker must abandon the batch — its jobs are
+  already requeued).
+* ``POST /leases/<id>/results``      — ``{"outcomes": [...]}``; per-job
+  results/errors.  Always accepted: outcomes for an expired or unknown
+  lease are still written to the store (results are deterministic, so a
+  late write is first-write-wins-identical) and flagged ``duplicate``.
+* ``GET  /workers``                  — per-worker lease statistics.
+
+Error contract: every non-2xx reply is a JSON body with an ``"error"``
+message (plus ``"type"`` for unexpected 500s).  Client mistakes —
+malformed JSON, unknown paths/presets, bad specs — are 4xx; unexpected
+server-side exceptions are 500 with the traceback logged via the
+``repro.service.api`` logger, never leaked to the client and never a
+silently dropped socket.
+
 Built on ``http.server.ThreadingHTTPServer``: handler threads block on the
 thread-safe :class:`~repro.service.service.Service` facade, so a waiting
 submit does not stall other requests.
@@ -23,6 +45,7 @@ submit does not stall other requests.
 from __future__ import annotations
 
 import json
+import logging
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
@@ -30,6 +53,16 @@ from urllib.parse import parse_qs, urlparse
 from repro.service import presets
 from repro.service.service import Service
 from repro.service.spec import Campaign
+
+logger = logging.getLogger("repro.service.api")
+
+
+class _HTTPError(Exception):
+    """A deliberate client/contract error carrying its HTTP status."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
 
 
 class ServiceHTTPServer(ThreadingHTTPServer):
@@ -50,7 +83,18 @@ class _Handler(BaseHTTPRequestHandler):
         pass  # keep test/CI output clean; use an access-logging proxy if needed
 
     def _reply(self, status: int, payload: Any) -> None:
-        body = json.dumps(payload, default=str).encode()
+        # Strict JSON: a non-serializable payload is a server bug and must
+        # surface as a logged 500, not be silently stringified by a
+        # ``default=`` hook into something a client can't round-trip.
+        try:
+            body = json.dumps(payload).encode()
+        except (TypeError, ValueError):
+            logger.exception("unserializable reply payload for %s", self.path)
+            status = 500
+            body = json.dumps(
+                {"error": "internal error: unserializable reply",
+                 "type": "TypeError"}
+            ).encode()
         self.send_response(status)
         self.send_header("Content-Type", "application/json")
         self.send_header("Content-Length", str(len(body)))
@@ -60,17 +104,44 @@ class _Handler(BaseHTTPRequestHandler):
     def _error(self, status: int, message: str) -> None:
         self._reply(status, {"error": message})
 
-    def _read_body(self) -> Optional[Dict[str, Any]]:
+    def _read_body(self) -> Dict[str, Any]:
         length = int(self.headers.get("Content-Length") or 0)
         if length == 0:
             return {}
         try:
-            return json.loads(self.rfile.read(length))
-        except json.JSONDecodeError:
-            return None
+            body = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise _HTTPError(400, f"invalid JSON body: {exc}") from exc
+        if not isinstance(body, dict):
+            raise _HTTPError(400, "JSON body must be an object")
+        return body
+
+    def _dispatch(self, handler) -> None:
+        """Run a route handler under the error contract: ``_HTTPError`` is
+        the intended 4xx/410 reply; anything else is a logged 500."""
+        try:
+            handler()
+        except _HTTPError as exc:
+            self._error(exc.status, str(exc))
+        except BrokenPipeError:
+            pass  # client went away mid-reply; nothing to answer
+        except Exception as exc:
+            logger.exception("unhandled error serving %s %s",
+                             self.command, self.path)
+            self._reply(
+                500,
+                {"error": f"{type(exc).__name__}: {exc}",
+                 "type": type(exc).__name__},
+            )
 
     # --------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(self._get)
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        self._dispatch(self._post)
+
+    def _get(self) -> None:
         service = self.server.service
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
@@ -81,15 +152,17 @@ class _Handler(BaseHTTPRequestHandler):
             return self._reply(200, {"presets": list(presets.preset_names())})
         if url.path == "/campaigns":
             return self._reply(200, {"campaigns": service.store.campaigns()})
+        if url.path == "/workers":
+            return self._reply(200, {"workers": service.workers()})
         if len(parts) == 2 and parts[0] == "campaigns":
             progress = service.progress(_int_or(-1, parts[1]))
             if progress is None:
-                return self._error(404, f"no campaign {parts[1]}")
+                raise _HTTPError(404, f"no campaign {parts[1]}")
             return self._reply(200, progress)
         if len(parts) == 2 and parts[0] == "jobs":
             job = service.store.get_job(parts[1])
             if job is None:
-                return self._error(404, f"no job {parts[1]}")
+                raise _HTTPError(404, f"no job {parts[1]}")
             return self._reply(200, job)
         if url.path == "/results":
             records = service.store.query_results(
@@ -98,35 +171,60 @@ class _Handler(BaseHTTPRequestHandler):
                 limit=_int_or(1000, _first(query, "limit")),
             )
             return self._reply(200, {"results": records})
-        return self._error(404, f"unknown path {url.path}")
+        raise _HTTPError(404, f"unknown path {url.path}")
 
-    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+    def _post(self) -> None:
         service = self.server.service
         url = urlparse(self.path)
         parts = [part for part in url.path.split("/") if part]
         body = self._read_body()
-        if body is None:
-            return self._error(400, "invalid JSON body")
         if url.path == "/campaigns":
-            try:
-                campaign = _campaign_from_body(body)
-                campaign.jobs()  # compile eagerly: bad specs become a 400 here
-            except (KeyError, ValueError, TypeError) as exc:
-                return self._error(400, str(exc))
-            wait = bool(body.get("wait"))
-            try:
-                run = service.submit(campaign, wait=wait)
-                payload = run.progress()
-                if wait:
-                    payload["rows"], payload["table"] = service.rows_and_table(run)
-            except Exception as exc:  # never drop the socket without a reply
-                return self._error(500, f"{type(exc).__name__}: {exc}")
-            return self._reply(200, payload)
+            return self._post_campaign(service, body)
         if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "cancel":
             if service.cancel(_int_or(-1, parts[1])):
                 return self._reply(200, {"cancelled": True})
-            return self._error(404, f"no live campaign {parts[1]}")
-        return self._error(404, f"unknown path {url.path}")
+            raise _HTTPError(404, f"no live campaign {parts[1]}")
+        if url.path == "/leases":
+            worker = str(body.get("worker") or "").strip()
+            if not worker:
+                raise _HTTPError(400, "lease request needs a 'worker' id")
+            max_jobs = body.get("max_jobs")
+            lease = service.lease_next(
+                worker, max_jobs=int(max_jobs) if max_jobs else None
+            )
+            if lease is None:
+                return self._reply(200, {"lease_id": None})
+            return self._reply(200, lease)
+        if len(parts) == 3 and parts[0] == "leases":
+            lease_id = _int_or(-1, parts[1])
+            if parts[2] == "heartbeat":
+                expires = service.heartbeat(lease_id)
+                if expires is None:
+                    raise _HTTPError(
+                        410, f"lease {lease_id} expired; abandon the batch"
+                    )
+                return self._reply(200, {"lease_id": lease_id, "expires": expires})
+            if parts[2] == "results":
+                outcomes = body.get("outcomes")
+                if not isinstance(outcomes, list):
+                    raise _HTTPError(400, "results post needs 'outcomes' list")
+                return self._reply(
+                    200, service.complete_lease(lease_id, outcomes)
+                )
+        raise _HTTPError(404, f"unknown path {url.path}")
+
+    def _post_campaign(self, service: Service, body: Dict[str, Any]) -> None:
+        try:
+            campaign = _campaign_from_body(body)
+            campaign.jobs()  # compile eagerly: bad specs become a 400 here
+        except (KeyError, ValueError, TypeError) as exc:
+            raise _HTTPError(400, str(exc)) from exc
+        wait = bool(body.get("wait"))
+        run = service.submit(campaign, wait=wait)
+        payload = run.progress()
+        if wait:
+            payload["rows"], payload["table"] = service.rows_and_table(run)
+        return self._reply(200, payload)
 
 
 def _first(query: Dict[str, list], name: str) -> Optional[str]:

@@ -6,7 +6,9 @@ Subcommands::
                     before exit (use serve + --url for fire-and-forget queueing)
     status [ID]     campaign listing / one campaign's progress
     results ID      re-render a stored campaign's table (no recompute)
-    serve           run the HTTP JSON API
+    serve           run the HTTP JSON API (``--remote-only`` parks all
+                    compute until workers lease it)
+    work            run one lease-protocol worker against a serve instance
     presets         list available presets
 
 ``submit`` / ``status`` run against the local store by default; pass
@@ -76,6 +78,34 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=None)
     serve.add_argument("--no-resume", action="store_true",
                        help="do not resume unfinished campaigns on startup")
+    serve.add_argument("--remote-only", action="store_true",
+                       help="disable local compute: queued batches wait for "
+                       "remote workers (the 'work' subcommand) to lease them")
+    serve.add_argument("--lease-ttl", type=float, default=None,
+                       help="worker lease TTL seconds (default: "
+                       "REPRO_LEASE_TTL or 60)")
+
+    work = commands.add_parser(
+        "work", help="run one lease-protocol worker against a serve instance"
+    )
+    work.add_argument("--url", required=True,
+                      help="base URL of the serve instance to lease from")
+    work.add_argument("--id", default=None,
+                      help="worker id (default: REPRO_WORKER_ID or "
+                      "<hostname>-<pid>)")
+    work.add_argument("--max-jobs", type=int, default=None,
+                      help="cap jobs per lease (server splits bigger batches)")
+    work.add_argument("--poll-interval", type=float, default=1.0,
+                      help="seconds between polls when the queue is empty")
+    work.add_argument("--job-timeout", type=float, default=None,
+                      help="per-job execution timeout seconds (default: "
+                      "REPRO_JOB_TIMEOUT, unset = none)")
+    work.add_argument("--max-idle-polls", type=int, default=None,
+                      help="exit 0 after N consecutive empty polls "
+                      "(drain-and-stop mode for CI); default: poll forever")
+    work.add_argument("--fault-plan", default=None, metavar="PATH",
+                      help="install a JSON FaultPlan before starting "
+                      "(chaos testing only)")
 
     commands.add_parser("presets", help="list available campaign presets")
     return parser
@@ -180,12 +210,28 @@ def _cmd_results(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_work(args: argparse.Namespace) -> int:
+    from repro.service.worker import run_worker
+
+    return run_worker(
+        args.url,
+        worker_id=args.id,
+        max_jobs=args.max_jobs,
+        poll_interval=args.poll_interval,
+        job_timeout_s=args.job_timeout,
+        max_idle_polls=args.max_idle_polls,
+        fault_plan_path=args.fault_plan,
+    )
+
+
 def _cmd_serve(args: argparse.Namespace) -> int:
     from repro.service.api import make_server
 
     with Service(
         store_path=args.store, max_workers=args.workers,
         resume=not args.no_resume,
+        local_compute=not args.remote_only,
+        lease_ttl_s=args.lease_ttl,
     ) as service:
         server = make_server(service, host=args.host, port=args.port)
         host, port = server.server_address[:2]
@@ -211,5 +257,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         "status": _cmd_status,
         "results": _cmd_results,
         "serve": _cmd_serve,
+        "work": _cmd_work,
     }[args.command]
     return handler(args)

@@ -1,62 +1,116 @@
-"""Async campaign scheduler over the existing process pool.
+"""Async campaign scheduler: local pool plus a fault-tolerant worker fleet.
 
 The scheduler is an ``asyncio`` front-end: campaigns are compiled to job
 lists, jobs already present in the persistent store are skipped outright
 (resubmission is near-free), and the remaining jobs are **batched by trace
 identity** — every job that replays the same ``(workload, target_accesses,
-seed, num_nodes)`` trace is grouped into one batch so a worker process
-generates (or inherits) that packed trace once and sweeps every
-configuration over it, exactly like ``run_parallel``'s preloading.  Batches
-flow through a priority queue (campaign priority first, submission order
-second) to a pool of worker tasks, each of which drives one
-``ProcessPoolExecutor`` slot; with ``max_workers <= 1`` batches execute
-inline in-process, which is also the automatic fallback when no process
-pool can be created.
+seed, num_nodes)`` trace is grouped into one batch so a worker generates
+(or inherits) that packed trace once and sweeps every configuration over
+it, exactly like ``run_parallel``'s preloading.
 
-Results are written to the store the moment a batch completes, so a crash
-loses at most the in-flight batches: on restart, :meth:`Scheduler.resume`
-re-submits every campaign that never reached a terminal status, and only
-the missing points run (locked in by ``tests/test_service.py``).  Failures
-are isolated per job; a campaign with failed points finishes ``failed``
-(terminal — never auto-retried), and because its successful points are
-already stored, resubmitting it recomputes only the failures.
+Batches flow through one priority queue (campaign priority first,
+submission order second) to **two competing execution planes**:
+
+* the *local pool* — worker tasks driving ``ProcessPoolExecutor`` slots
+  (inline thread fallback at ``max_workers <= 1``), exactly as in PR 4;
+* the *fleet* — remote workers that lease queued batches over the HTTP API
+  (:meth:`Scheduler.lease_next`), heartbeat to stay alive, and post
+  per-job outcomes back (:meth:`Scheduler.complete_lease`).  Leases carry
+  TTLs persisted in the store; the expiry sweeper requeues a dead worker's
+  jobs, so a crashed worker costs one TTL, never a stranded campaign.
+
+Graceful degradation falls out of the shared queue: with no workers
+registered the local pool drains everything (``local_compute=False`` —
+``serve --remote-only`` — parks batches until a worker leases them), and
+the store-backed read API keeps answering while compute is down.
+
+Failure handling is per job, with persistent accounting:
+
+* every failed attempt (raised error, batch-level pool death, per-job
+  timeout, lease expiry) bumps the job's row in the store's
+  ``job_attempts`` table;
+* a failed job is requeued after a deterministic exponential backoff with
+  jitter (:func:`backoff_delay`, seeded via :mod:`repro.common.rng` from
+  the job key — schedules are reproducible under test);
+* after ``job_retries`` attempts the job is **quarantined**: marked
+  ``failed`` with its captured traceback, and the campaign completes
+  degraded instead of hanging.  A fresh submission resets the attempt
+  budget, so quarantine is per-submission, never a permanent ban.
+
+Results are written to the store the moment they exist, so a crash loses
+at most in-flight work: on restart, :meth:`Scheduler.resume` re-submits
+every campaign that never reached a terminal status, and only the missing
+points run (locked in by ``tests/test_service.py``).
 """
 
 from __future__ import annotations
 
 import asyncio
+import hashlib
 import json
+import time
+import traceback as traceback_module
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from repro.common.config import job_retries, job_timeout, lease_ttl
+from repro.common.rng import DeterministicRNG
 from repro.experiments.runner import default_parallel_workers
+from repro.service import faults
 from repro.service.spec import Campaign, Job
-from repro.service.store import ResultStore
+from repro.service.store import LEASE_EXPIRED, ResultStore
+
+#: One job outcome: (key, job_id, workload, rows, error, traceback).
+Outcome = Tuple[
+    str, str, str, Optional[List[Dict[str, object]]], Optional[str], Optional[str]
+]
 
 
-def execute_batch(
-    jobs: Sequence[Job],
-) -> List[Tuple[str, str, str, Optional[List[Dict[str, object]]], Optional[str]]]:
-    """Run one batch of jobs (in a worker process or inline).
+def execute_batch(jobs: Sequence[Job]) -> List[Outcome]:
+    """Run one batch of jobs (in a pool process, a thread, or a worker).
 
     Jobs in a batch share a trace identity, so the first job generates the
     packed trace and the rest sweep their configurations over the cached
     copy (``trace_for``'s lru_cache / the shared result cache).
 
-    Failures are isolated per job: each outcome tuple carries either the
-    job's rows or an error string, so one bad point never discards its
-    batchmates' completed work.
+    Failures are isolated per job: each outcome carries either the job's
+    rows or an error string plus the captured traceback, so one bad point
+    never discards its batchmates' completed work.
     """
-    outcomes = []
+    outcomes: List[Outcome] = []
     for job in jobs:
         try:
-            outcomes.append((job.key, job.job_id, job.workload, job.execute(), None))
+            outcomes.append(
+                (job.key, job.job_id, job.workload, job.execute(), None, None)
+            )
         except Exception as exc:
             outcomes.append((
                 job.key, job.job_id, job.workload, None,
-                f"{type(exc).__name__}: {exc}",
+                f"{type(exc).__name__}: {exc}", traceback_module.format_exc(),
             ))
     return outcomes
+
+
+def backoff_delay(
+    key: str, attempt: int, base: float = 0.5, cap: float = 30.0,
+) -> float:
+    """Deterministic exponential backoff with jitter for one retry.
+
+    The jitter is drawn from a :class:`~repro.common.rng.DeterministicRNG`
+    seeded by the job key and forked by the attempt number, so the full
+    retry schedule of any job is a pure function of ``(key, attempt)`` —
+    reproducible in the chaos suite, yet decorrelated across jobs (two
+    poison jobs never retry in lockstep).
+    """
+    if attempt < 1:
+        return 0.0
+    salt = int(hashlib.sha256(key.encode()).hexdigest()[:8], 16)
+    rng = DeterministicRNG(salt).fork(attempt)
+    return min(cap, base * (2 ** (attempt - 1))) * (0.5 + 0.5 * rng.random())
+
+
+class JobTimeout(Exception):
+    """A batch exceeded its per-job execution-time budget."""
 
 
 @dataclass
@@ -69,6 +123,7 @@ class CampaignRun:
     cached: int = 0
     computed: int = 0
     failed: int = 0
+    quarantined: int = 0
     remaining: int = 0
     cancelled: bool = False
     error: Optional[str] = None
@@ -90,8 +145,8 @@ class CampaignRun:
         """Progress JSON.  ``campaign_id``/``name``/``status``/``total``/
         ``stored``/``remaining`` form the stable core every front-end can
         rely on (a store-only view after a restart reports the same keys);
-        the cached/computed/failed split exists only while the run is live
-        in this process."""
+        the cached/computed/failed/quarantined split exists only while the
+        run is live in this process."""
         return {
             "campaign_id": self.id,
             "name": self.campaign.name,
@@ -102,9 +157,21 @@ class CampaignRun:
             "cached": self.cached,
             "computed": self.computed,
             "failed": self.failed,
+            "quarantined": self.quarantined,
             "remaining": self.remaining,
             "error": self.error,
         }
+
+
+@dataclass
+class Lease:
+    """One live remote lease: the scheduler-side view of a leased batch."""
+
+    id: int
+    worker: str
+    run: CampaignRun
+    jobs: List[Job]
+    expires: float
 
 
 def _batch_jobs(jobs: Sequence[Job], batch_size: int) -> List[List[Job]]:
@@ -121,27 +188,55 @@ def _batch_jobs(jobs: Sequence[Job], batch_size: int) -> List[List[Job]]:
 
 
 class Scheduler:
-    """Priority-queued async scheduler with store-backed memoization."""
+    """Priority-queued async scheduler with store-backed memoization,
+    per-job retry/quarantine, and a leased remote-worker plane."""
 
     def __init__(
         self,
         store: ResultStore,
         max_workers: Optional[int] = None,
         batch_size: int = 64,
+        local_compute: bool = True,
+        job_timeout_s: Optional[float] = None,
+        max_attempts: Optional[int] = None,
+        retry_base: float = 0.5,
+        lease_ttl_s: Optional[float] = None,
+        sweep_interval: Optional[float] = None,
     ) -> None:
         self.store = store
         self.max_workers = (
             max_workers if max_workers is not None else default_parallel_workers()
         )
         self.batch_size = max(1, batch_size)
+        #: ``False`` = fleet-only: batches wait for remote leases
+        #: (``serve --remote-only``); reads and submissions still work.
+        self.local_compute = local_compute
+        self.job_timeout_s = (
+            job_timeout_s if job_timeout_s is not None else job_timeout()
+        )
+        self.max_attempts = (
+            max_attempts if max_attempts is not None else job_retries()
+        )
+        self.retry_base = retry_base
+        self.lease_ttl_s = lease_ttl_s if lease_ttl_s is not None else lease_ttl()
+        self.sweep_interval = (
+            sweep_interval
+            if sweep_interval is not None
+            else max(0.25, min(self.lease_ttl_s / 4.0, 5.0))
+        )
         self.runs: Dict[int, CampaignRun] = {}
         self._queue: "asyncio.PriorityQueue[Tuple[int, int, CampaignRun, List[Job]]]" = (
             asyncio.PriorityQueue()
         )
         self._seq = 0
         self._workers: List[asyncio.Task] = []
+        self._sweeper: Optional[asyncio.Task] = None
+        self._retry_timers: Dict[int, asyncio.TimerHandle] = {}
+        self._timer_seq = 0
         self._executor = None
         self._executor_broken = False
+        #: lease id -> live lease (jobs + owning run for settlement).
+        self.leases: Dict[int, Lease] = {}
         #: key -> run whose queued batch will compute it (compute dedupe).
         self._inflight: Dict[str, CampaignRun] = {}
         #: key -> runs waiting on another run's in-flight computation.
@@ -182,9 +277,11 @@ class Scheduler:
         if run.remaining == 0:
             self._finish(run)
             return run
+        # A fresh submission grants a fresh retry budget: quarantine is a
+        # per-submission verdict, not a permanent ban on the key.
+        self.store.reset_attempts([job.key for job in pending])
         for batch in _batch_jobs(pending, self.batch_size):
-            self._seq += 1
-            self._queue.put_nowait((-campaign.priority, self._seq, run, batch))
+            self._enqueue(run, batch)
         self._ensure_workers()
         return run
 
@@ -212,13 +309,20 @@ class Scheduler:
             resumed.append(run)
         return resumed
 
+    def _enqueue(self, run: CampaignRun, batch: List[Job]) -> None:
+        self._seq += 1
+        self._queue.put_nowait((-run.campaign.priority, self._seq, run, batch))
+
     # ------------------------------------------------------------ execution
     def _ensure_workers(self) -> None:
-        alive = [task for task in self._workers if not task.done()]
-        want = max(1, self.max_workers)
-        while len(alive) < want:
-            alive.append(asyncio.create_task(self._worker()))
-        self._workers = alive
+        if self.local_compute:
+            alive = [task for task in self._workers if not task.done()]
+            want = max(1, self.max_workers)
+            while len(alive) < want:
+                alive.append(asyncio.create_task(self._worker()))
+            self._workers = alive
+        if self._sweeper is None or self._sweeper.done():
+            self._sweeper = asyncio.create_task(self._sweep_leases())
 
     def _pool(self):
         if self._executor is None and not self._executor_broken:
@@ -249,53 +353,124 @@ class Scheduler:
             self._executor_broken = True
             return await loop.run_in_executor(None, execute_batch, batch)
 
+    async def _execute_with_timeout(self, batch: List[Job]):
+        """Batch execution under the per-job timeout budget.
+
+        The budget is ``job_timeout * len(batch)`` — coarse on purpose: a
+        pool slot cannot be interrupted between a batch's jobs, so the
+        enforceable unit is the batch, and the budget scales with its
+        share of per-job allowances.  On expiry the underlying future is
+        abandoned (its eventual result is discarded) and every unresolved
+        job goes through the failure path, counting one attempt each.
+        """
+        if self.job_timeout_s is None:
+            return await self._execute(batch)
+        budget = self.job_timeout_s * len(batch)
+        try:
+            return await asyncio.wait_for(self._execute(batch), timeout=budget)
+        except asyncio.TimeoutError:
+            raise JobTimeout(
+                f"JobTimeout: batch of {len(batch)} exceeded "
+                f"{budget:.1f}s ({self.job_timeout_s:.1f}s/job)"
+            )
+
     async def _worker(self) -> None:
         while True:
             try:
                 _, _, run, batch = await self._queue.get()
             except asyncio.CancelledError:
                 return
-            resolved = 0
             aborted = False
             try:
                 if run.cancelled:
                     self._hand_over_cancelled_batch(run, batch)
                     continue
-                outcomes = await self._execute(batch)
-                for key, job_id, workload, rows, error in outcomes:
-                    self._inflight.pop(key, None)
-                    if error is not None:
-                        run.failed += 1
-                        run.error = error
-                        self._settle_waiters(key, error=error)
+                # Jobs whose results landed while this batch waited (a late
+                # fleet post after a lease expired and was requeued) are
+                # settled from the store — completed work is never redone.
+                present = self.store.present_keys([job.key for job in batch])
+                todo: List[Job] = []
+                for job in batch:
+                    if job.key in present:
+                        self._settle_success(run, job.key)
                     else:
-                        self.store.put_result(
-                            key, job_id, run.campaign.experiment, workload, rows
-                        )
-                        run.computed += 1
-                        self._settle_waiters(key)
-                    resolved += 1
-            except asyncio.CancelledError:
-                # close() aborted this batch mid-flight: the campaign is NOT
-                # complete — leave its store status non-terminal so a later
-                # resume() picks it up, and let the cancellation propagate.
-                aborted = True
-                raise
-            except Exception as exc:
-                # Batch-level failure (pool death, store write error): only
-                # the jobs not already resolved above count as failed.
-                message = f"{type(exc).__name__}: {exc}"
-                run.failed += len(batch) - resolved
-                run.error = message
-                for job in batch[resolved:]:
-                    self._inflight.pop(job.key, None)
-                    self._settle_waiters(job.key, error=message)
+                        todo.append(job)
+                if not todo:
+                    continue
+                resolved = 0
+                try:
+                    outcomes = await self._execute_with_timeout(todo)
+                    for key, job_id, workload, rows, error, tb in outcomes:
+                        if error is not None:
+                            self._handle_failure(run, todo[resolved], error, tb)
+                        else:
+                            faults.fire("scheduler.store_result", context=key)
+                            self.store.put_result(
+                                key, job_id, run.campaign.experiment, workload,
+                                rows,
+                            )
+                            self._settle_success(run, key)
+                        resolved += 1
+                except asyncio.CancelledError:
+                    # close() aborted this batch mid-flight: the campaign is
+                    # NOT complete — leave its store status non-terminal so
+                    # a later resume() picks it up, and let the cancellation
+                    # propagate.
+                    aborted = True
+                    raise
+                except Exception as exc:
+                    # Batch-level failure (pool death, store write error,
+                    # timeout budget): every job not already resolved above
+                    # counts one failed attempt.
+                    message = f"{type(exc).__name__}: {exc}"
+                    for job in todo[resolved:]:
+                        self._handle_failure(run, job, message, None)
             finally:
-                if not aborted and not run.done.is_set():
-                    run.remaining -= len(batch)
-                    if run.remaining <= 0:
-                        self._finish(run)
                 self._queue.task_done()
+
+    # ------------------------------------------------------------ settlement
+    def _settle_success(self, run: CampaignRun, key: str) -> None:
+        """One job's rows are in the store: credit the owner and waiters."""
+        self._inflight.pop(key, None)
+        run.computed += 1
+        self._settle_waiters(key)
+        self._account(run, 1)
+
+    def _handle_failure(
+        self,
+        run: CampaignRun,
+        job: Job,
+        error: str,
+        traceback_text: Optional[str],
+    ) -> None:
+        """One failed attempt: retry with backoff, or quarantine."""
+        attempts = self.store.record_attempt(job.key, error, traceback_text)
+        if attempts < self.max_attempts and not run.cancelled:
+            delay = backoff_delay(job.key, attempts, base=self.retry_base)
+            loop = asyncio.get_running_loop()
+            self._timer_seq += 1
+            timer_id = self._timer_seq
+
+            def requeue() -> None:
+                self._retry_timers.pop(timer_id, None)
+                self._enqueue(run, [job])
+                self._ensure_workers()
+
+            self._retry_timers[timer_id] = loop.call_later(delay, requeue)
+            return
+        self.store.quarantine(job.key)
+        self._inflight.pop(job.key, None)
+        run.failed += 1
+        run.quarantined += 1
+        run.error = error
+        self._settle_waiters(job.key, error=error)
+        self._account(run, 1)
+
+    def _account(self, run: CampaignRun, settled: int) -> None:
+        if not run.done.is_set():
+            run.remaining -= settled
+            if run.remaining <= 0:
+                self._finish(run)
 
     def _settle_waiters(self, key: str, error: Optional[str] = None) -> None:
         """Credit (or fail) every run waiting on another run's in-flight job."""
@@ -317,20 +492,153 @@ class Scheduler:
         for job in batch:
             self._inflight.pop(job.key, None)
             waiters = self._waiters.pop(job.key, None)
-            if not waiters:
-                continue
-            new_owner, *rest = waiters
-            if rest:
-                self._waiters[job.key] = rest
-            self._inflight[job.key] = new_owner
-            self._seq += 1
-            self._queue.put_nowait(
-                (-new_owner.campaign.priority, self._seq, new_owner, [job])
-            )
+            if waiters:
+                new_owner, *rest = waiters
+                if rest:
+                    self._waiters[job.key] = rest
+                self._inflight[job.key] = new_owner
+                self._enqueue(new_owner, [job])
+        # The dropped jobs still settle the cancelled run's own accounting,
+        # so wait()ers on it unblock with status "cancelled".
+        self._account(run, len(batch))
 
     def _finish(self, run: CampaignRun) -> None:
         run.done.set()
         self.store.set_campaign_status(run.id, run.status)
+
+    # ----------------------------------------------------------- fleet plane
+    def lease_next(
+        self, worker: str, max_jobs: Optional[int] = None,
+    ) -> Optional[Lease]:
+        """Grant the next queued batch to a remote worker, or ``None``.
+
+        The fleet competes with the local pool for the same priority
+        queue; a granted batch is tracked in memory *and* as a TTL'd row
+        in the store, so the sweeper can requeue it if the worker dies.
+        """
+        while True:
+            try:
+                _, _, run, batch = self._queue.get_nowait()
+            except asyncio.QueueEmpty:
+                return None
+            self._queue.task_done()
+            if run.cancelled:
+                self._hand_over_cancelled_batch(run, batch)
+                continue
+            if max_jobs is not None and len(batch) > max_jobs > 0:
+                head, tail = batch[:max_jobs], batch[max_jobs:]
+                self._enqueue(run, tail)
+                batch = head
+            lease_id = self.store.create_lease(
+                worker, [job.key for job in batch], self.lease_ttl_s
+            )
+            lease = Lease(
+                id=lease_id, worker=worker, run=run, jobs=batch,
+                expires=time.time() + self.lease_ttl_s,
+            )
+            self.leases[lease_id] = lease
+            self._ensure_workers()  # the sweeper must be alive from now on
+            return lease
+
+    def heartbeat(self, lease_id: int) -> Optional[float]:
+        """Extend a live lease's TTL; ``None`` if it is gone (expired)."""
+        lease = self.leases.get(lease_id)
+        if lease is None:
+            return None
+        expires = self.store.heartbeat_lease(lease_id, self.lease_ttl_s)
+        if expires is None:
+            return None
+        lease.expires = expires
+        return expires
+
+    def complete_lease(
+        self, lease_id: int, outcomes: Sequence[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        """Settle a worker's posted outcomes.
+
+        Idempotent and loss-proof by construction: results for a lease
+        that already expired (the sweeper requeued its jobs) or for an
+        unknown lease (the scheduler restarted) are still written to the
+        store — ``put_result`` is first-write-wins over deterministic
+        rows, so a duplicated, late, or orphaned post can never corrupt or
+        lose a result.  Only a *live* lease settles run accounting.
+        """
+        lease = self.leases.pop(lease_id, None)
+        stored = 0
+        for outcome in outcomes:
+            if outcome.get("error") is None and outcome.get("rows") is not None:
+                self.store.put_result(
+                    str(outcome["key"]), str(outcome["job_id"]),
+                    lease.run.campaign.experiment if lease is not None
+                    else str(outcome.get("experiment", "unknown")),
+                    str(outcome["workload"]), outcome["rows"],
+                )
+                stored += 1
+        if lease is None:
+            return {"ok": True, "stored": stored, "duplicate": True}
+        self.store.finish_lease(lease_id)
+        jobs_by_key = {job.key: job for job in lease.jobs}
+        for outcome in outcomes:
+            key = str(outcome["key"])
+            job = jobs_by_key.pop(key, None)
+            if job is None:
+                continue  # not part of this lease; stored above if valid
+            if outcome.get("error") is None and outcome.get("rows") is not None:
+                self._settle_success(lease.run, key)
+            else:
+                self._handle_failure(
+                    lease.run, job,
+                    str(outcome.get("error") or "worker reported no rows"),
+                    outcome.get("traceback"),
+                )
+        # Jobs the worker never reported (it abandoned the tail of the
+        # batch): requeue them right away instead of waiting out the TTL.
+        for job in jobs_by_key.values():
+            self._handle_failure(
+                lease.run, job,
+                f"LeaseIncomplete: worker {lease.worker!r} returned no "
+                f"outcome for this job", None,
+            )
+        return {"ok": True, "stored": stored, "duplicate": False}
+
+    async def _sweep_leases(self) -> None:
+        """Expire dead workers' leases and requeue their jobs.
+
+        Each expired lease counts one failed attempt per job (a job that
+        reliably kills its worker is still poison and must quarantine
+        eventually); jobs whose results arrived late are settled from the
+        store instead of re-running — completed work is never recomputed.
+        """
+        try:
+            while True:
+                await asyncio.sleep(self.sweep_interval)
+                now = time.time()
+                for lease_id in list(self.leases):
+                    lease = self.leases.get(lease_id)
+                    if lease is None:
+                        continue
+                    directive = faults.fire(
+                        "scheduler.sweep", context=str(lease_id)
+                    )
+                    if lease.expires > now and directive != "expire":
+                        continue
+                    self.leases.pop(lease_id, None)
+                    self.store.finish_lease(lease_id, status=LEASE_EXPIRED)
+                    present = self.store.present_keys(
+                        [job.key for job in lease.jobs]
+                    )
+                    for job in lease.jobs:
+                        if job.key in present:
+                            self._settle_success(lease.run, job.key)
+                        else:
+                            self._handle_failure(
+                                lease.run, job,
+                                f"LeaseExpired: worker {lease.worker!r} "
+                                f"missed its TTL ({self.lease_ttl_s:.1f}s)",
+                                None,
+                            )
+        except asyncio.CancelledError:
+            return
 
     # ------------------------------------------------------------- control
     async def wait(self, run: CampaignRun) -> CampaignRun:
@@ -351,12 +659,24 @@ class Scheduler:
         return merged
 
     async def close(self) -> None:
-        for task in self._workers:
+        for timer in self._retry_timers.values():
+            timer.cancel()
+        self._retry_timers.clear()
+        tasks = list(self._workers)
+        if self._sweeper is not None:
+            tasks.append(self._sweeper)
+            self._sweeper = None
+        for task in tasks:
             task.cancel()
-        for task in self._workers:
+        for task in tasks:
             try:
                 await task
             except asyncio.CancelledError:
+                pass
+            except BaseException:
+                # A worker task that already died of an exception (e.g. an
+                # injected WorkerKilled crash) re-raises it here; shutdown
+                # must bury the corpse, not re-throw it.
                 pass
         self._workers = []
         if self._executor is not None:

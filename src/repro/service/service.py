@@ -64,6 +64,10 @@ class Service:
         max_workers: Optional[int] = None,
         batch_size: Optional[int] = None,
         resume: bool = False,
+        local_compute: bool = True,
+        lease_ttl_s: Optional[float] = None,
+        job_timeout_s: Optional[float] = None,
+        max_attempts: Optional[int] = None,
     ) -> None:
         self.store = ResultStore(store_path)
         self.scheduler = Scheduler(
@@ -72,6 +76,10 @@ class Service:
                 max_workers if max_workers is not None else default_service_workers()
             ),
             batch_size=batch_size if batch_size is not None else default_batch_size(),
+            local_compute=local_compute,
+            lease_ttl_s=lease_ttl_s,
+            job_timeout_s=job_timeout_s,
+            max_attempts=max_attempts,
         )
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -134,6 +142,47 @@ class Service:
             "stored": stored,
             "remaining": len(keys) - stored,
         }
+
+    # ---------------------------------------------------------- fleet plane
+    def lease_next(
+        self, worker: str, max_jobs: Optional[int] = None
+    ) -> Optional[Dict[str, Any]]:
+        """Grant the next queued batch to a remote worker as a wire payload
+        (``None`` when the queue is empty — the worker polls again)."""
+
+        async def grant():
+            return self.scheduler.lease_next(worker, max_jobs=max_jobs)
+
+        lease = self._call(grant())
+        if lease is None:
+            return None
+        return {
+            "lease_id": lease.id,
+            "ttl": self.scheduler.lease_ttl_s,
+            "jobs": [job.to_wire() for job in lease.jobs],
+        }
+
+    def heartbeat(self, lease_id: int) -> Optional[float]:
+        """Extend a live lease's TTL; ``None`` when the lease is gone."""
+
+        async def beat():
+            return self.scheduler.heartbeat(lease_id)
+
+        return self._call(beat())
+
+    def complete_lease(
+        self, lease_id: int, outcomes: List[Dict[str, Any]]
+    ) -> Dict[str, Any]:
+        """Settle a worker's posted outcomes (idempotent, loss-proof)."""
+
+        async def settle():
+            return self.scheduler.complete_lease(lease_id, outcomes)
+
+        return self._call(settle())
+
+    def workers(self) -> List[Dict[str, Any]]:
+        """Per-worker lease statistics from the store."""
+        return self.store.workers()
 
     def results(self, run: CampaignRun) -> List[Dict[str, object]]:
         """Merged rows in job order, with the spec's finalize hook applied —

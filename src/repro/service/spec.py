@@ -151,6 +151,45 @@ class Job:
         """Short stable id for URLs and logs (prefix of the key's SHA-256)."""
         return hashlib.sha256(self.key.encode()).hexdigest()[:16]
 
+    def to_wire(self) -> Dict[str, Any]:
+        """JSON-serializable form for the worker lease protocol.
+
+        ``context`` is deliberately stripped: its entries are server-local
+        runtime hints (e.g. ``snapshot_store_path`` names a file on the
+        scheduler's disk) that a remote worker can neither reach nor needs
+        — context never affects results, so the executed point is
+        identical either way.
+        """
+        return {
+            "experiment": self.experiment,
+            "workload": self.workload,
+            "config": _thaw(self.config),
+            "target_accesses": self.target_accesses,
+            "seed": self.seed,
+            "num_nodes": self.num_nodes,
+            "shared": _thaw([list(pair) for pair in self.shared]),
+            "mode": self.mode,
+        }
+
+    @classmethod
+    def from_wire(cls, data: Dict[str, Any]) -> "Job":
+        """Rebuild a leased job; compiles a byte-identical :attr:`key` to
+        the scheduler's copy (the `_freeze` normalization both sides
+        share), which is what lets the worker's results post land on the
+        right store row."""
+        return cls(
+            experiment=str(data["experiment"]),
+            workload=str(data["workload"]),
+            config=_freeze(data["config"]),
+            target_accesses=int(data["target_accesses"]),
+            seed=int(data["seed"]),
+            num_nodes=int(data["num_nodes"]),
+            shared=tuple(
+                (str(name), _freeze(value)) for name, value in data["shared"]
+            ),
+            mode=str(data.get("mode", MODE_EXACT)),
+        )
+
     def execute(self) -> List[Dict[str, object]]:
         """Run this point through its experiment's ``SPEC.point`` function.
 

@@ -10,7 +10,18 @@ campaign's table can always be reassembled row-for-row.
 Connections are opened per operation (cheap for this workload) which makes
 the store trivially safe to use from the scheduler's event-loop thread, the
 HTTP server's handler threads, and pool worker processes at the same time;
-WAL journaling plus a busy timeout handles the cross-process writes.
+WAL journaling plus a busy timeout handles the cross-process writes, and
+every mutation runs through :meth:`ResultStore._write` — a retrying
+``BEGIN IMMEDIATE`` transaction — so two fleet workers posting results at
+the same instant never surface a raw ``sqlite3.OperationalError: database
+is locked`` to an HTTP client.
+
+The fleet layer (PR 8) adds two tables: ``leases`` (worker batch leases
+with TTLs, so the expiry sweeper can requeue a dead worker's jobs) and
+``job_attempts`` (per-key failure counts and captured tracebacks backing
+retry/backoff and poison-job quarantine).  Both are created by the same
+``CREATE TABLE IF NOT EXISTS`` schema script, which doubles as the
+migration for stores created before PR 8.
 
 Garbage collection is routed through the cache-management entry point:
 ``python -m repro.experiments.cache --clear [--store PATH]`` wipes
@@ -61,7 +72,32 @@ CREATE TABLE IF NOT EXISTS campaign_jobs (
     key         TEXT NOT NULL,
     PRIMARY KEY (campaign_id, position)
 );
+CREATE TABLE IF NOT EXISTS leases (
+    id         INTEGER PRIMARY KEY AUTOINCREMENT,
+    worker     TEXT NOT NULL,
+    status     TEXT NOT NULL,
+    created    REAL NOT NULL,
+    expires    REAL NOT NULL,
+    heartbeats INTEGER NOT NULL DEFAULT 0,
+    keys_json  TEXT NOT NULL
+);
+CREATE INDEX IF NOT EXISTS idx_leases_status ON leases(status);
+CREATE TABLE IF NOT EXISTS job_attempts (
+    key         TEXT PRIMARY KEY,
+    attempts    INTEGER NOT NULL DEFAULT 0,
+    quarantined INTEGER NOT NULL DEFAULT 0,
+    last_error  TEXT,
+    traceback   TEXT,
+    updated     REAL NOT NULL
+);
 """
+
+#: Lease lifecycle states. ``active`` leases are the only ones the expiry
+#: sweeper looks at; every terminal transition is recorded for ``GET
+#: /workers`` fleet introspection.
+LEASE_ACTIVE = "active"
+LEASE_DONE = "done"
+LEASE_EXPIRED = "expired"
 
 
 def default_store_path() -> Path:
@@ -97,20 +133,49 @@ class ResultStore:
 
         return connect(self.path, row_factory=sqlite3.Row)
 
+    def _write(self, mutate, attempts: int = 6):
+        """Run ``mutate(conn)`` inside a retrying ``BEGIN IMMEDIATE``
+        transaction.
+
+        Immediate transactions take the write lock up front, so concurrent
+        writers (two fleet workers posting results, the sweeper expiring a
+        lease while a heartbeat lands) queue instead of failing mid-
+        transaction; the retry loop absorbs the residual ``database is
+        locked`` / ``database is busy`` errors a saturated WAL can still
+        surface, with linear backoff.  The final attempt propagates, so a
+        genuinely wedged store is loud, not silent.
+        """
+        from repro.common.sqlitedb import locked_error
+
+        for attempt in range(attempts):
+            try:
+                with self._connect() as conn:
+                    conn.execute("BEGIN IMMEDIATE")
+                    return mutate(conn)
+            except sqlite3.OperationalError as exc:
+                if attempt + 1 >= attempts or not locked_error(exc):
+                    raise
+                time.sleep(0.05 * (attempt + 1))
+        raise AssertionError("unreachable")  # pragma: no cover
+
     # ------------------------------------------------------------- results
     def put_result(
         self, key: str, job_id: str, experiment: str, workload: str,
         rows: List[Dict[str, object]],
     ) -> None:
         """Store one job's rows.  Idempotent: a key is written at most once
-        (results are deterministic, so first-write-wins loses nothing)."""
-        with self._connect() as conn:
-            conn.execute(
-                "INSERT OR IGNORE INTO results "
-                "(key, job_id, experiment, workload, rows_json, created) "
-                "VALUES (?, ?, ?, ?, ?, ?)",
-                (key, job_id, experiment, workload, json.dumps(rows), time.time()),
-            )
+        (results are deterministic, so first-write-wins loses nothing —
+        which is also why a duplicated or late fleet results post is
+        harmless)."""
+        from repro.service import faults
+
+        faults.fire("store.put_result", context=key)
+        self._write(lambda conn: conn.execute(
+            "INSERT OR IGNORE INTO results "
+            "(key, job_id, experiment, workload, rows_json, created) "
+            "VALUES (?, ?, ?, ?, ?, ?)",
+            (key, job_id, experiment, workload, json.dumps(rows), time.time()),
+        ))
 
     def get_result(self, key: str) -> Optional[List[Dict[str, object]]]:
         with self._connect() as conn:
@@ -178,7 +243,7 @@ class ResultStore:
 
     # ----------------------------------------------------------- campaigns
     def create_campaign(self, spec_json: str, name: str, keys: Sequence[str]) -> int:
-        with self._connect() as conn:
+        def mutate(conn: sqlite3.Connection) -> int:
             cursor = conn.execute(
                 "INSERT INTO campaigns (name, spec_json, status, created) "
                 "VALUES (?, ?, 'running', ?)",
@@ -190,15 +255,16 @@ class ResultStore:
                 "VALUES (?, ?, ?)",
                 [(campaign_id, position, key) for position, key in enumerate(keys)],
             )
-        return campaign_id
+            return campaign_id
+
+        return self._write(mutate)
 
     def set_campaign_status(self, campaign_id: int, status: str) -> None:
         finished = time.time() if status in ("done", "failed", "cancelled") else None
-        with self._connect() as conn:
-            conn.execute(
-                "UPDATE campaigns SET status = ?, finished = ? WHERE id = ?",
-                (status, finished, campaign_id),
-            )
+        self._write(lambda conn: conn.execute(
+            "UPDATE campaigns SET status = ?, finished = ? WHERE id = ?",
+            (status, finished, campaign_id),
+        ))
 
     def campaigns(self) -> List[Dict[str, Any]]:
         with self._connect() as conn:
@@ -255,30 +321,161 @@ class ResultStore:
             ).fetchall()
         return [dict(row) for row in rows]
 
+    # -------------------------------------------------------------- leases
+    def create_lease(self, worker: str, keys: Sequence[str], ttl: float) -> int:
+        """Record a new active lease of ``keys`` held by ``worker``."""
+        now = time.time()
+
+        def mutate(conn: sqlite3.Connection) -> int:
+            cursor = conn.execute(
+                "INSERT INTO leases (worker, status, created, expires, "
+                "heartbeats, keys_json) VALUES (?, ?, ?, ?, 0, ?)",
+                (worker, LEASE_ACTIVE, now, now + ttl, json.dumps(list(keys))),
+            )
+            return int(cursor.lastrowid)
+
+        return self._write(mutate)
+
+    def heartbeat_lease(self, lease_id: int, ttl: float) -> Optional[float]:
+        """Extend an active lease's expiry; ``None`` if it is not active."""
+        expires = time.time() + ttl
+
+        def mutate(conn: sqlite3.Connection) -> Optional[float]:
+            updated = conn.execute(
+                "UPDATE leases SET expires = ?, heartbeats = heartbeats + 1 "
+                "WHERE id = ? AND status = ?",
+                (expires, lease_id, LEASE_ACTIVE),
+            ).rowcount
+            return expires if updated else None
+
+        return self._write(mutate)
+
+    def finish_lease(self, lease_id: int, status: str = LEASE_DONE) -> bool:
+        """Terminal transition; ``False`` if the lease was not active (the
+        caller lost a race with the sweeper or posted a duplicate)."""
+
+        def mutate(conn: sqlite3.Connection) -> bool:
+            return bool(conn.execute(
+                "UPDATE leases SET status = ? WHERE id = ? AND status = ?",
+                (status, lease_id, LEASE_ACTIVE),
+            ).rowcount)
+
+        return self._write(mutate)
+
+    def lease(self, lease_id: int) -> Optional[Dict[str, Any]]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT id, worker, status, created, expires, heartbeats, "
+                "keys_json FROM leases WHERE id = ?", (lease_id,)
+            ).fetchone()
+        if row is None:
+            return None
+        record = dict(row)
+        record["keys"] = json.loads(record.pop("keys_json"))
+        return record
+
+    def workers(self) -> List[Dict[str, Any]]:
+        """Fleet view: per-worker lease counts and last activity
+        (``GET /workers``)."""
+        with self._connect() as conn:
+            rows = conn.execute(
+                "SELECT worker, "
+                "       COUNT(*) AS leases, "
+                "       SUM(status = 'active')  AS active, "
+                "       SUM(status = 'done')    AS done, "
+                "       SUM(status = 'expired') AS expired, "
+                "       MAX(created) AS last_lease "
+                "FROM leases GROUP BY worker ORDER BY worker"
+            ).fetchall()
+        return [dict(row) for row in rows]
+
+    # ------------------------------------------------------------- attempts
+    def record_attempt(
+        self, key: str, error: str, traceback_text: Optional[str] = None,
+    ) -> int:
+        """Count one failed attempt of ``key``; returns the new total."""
+
+        def mutate(conn: sqlite3.Connection) -> int:
+            conn.execute(
+                "INSERT INTO job_attempts (key, attempts, last_error, "
+                "traceback, updated) VALUES (?, 1, ?, ?, ?) "
+                "ON CONFLICT(key) DO UPDATE SET "
+                "attempts = attempts + 1, last_error = excluded.last_error, "
+                "traceback = excluded.traceback, updated = excluded.updated",
+                (key, error, traceback_text, time.time()),
+            )
+            row = conn.execute(
+                "SELECT attempts FROM job_attempts WHERE key = ?", (key,)
+            ).fetchone()
+            return int(row["attempts"])
+
+        return self._write(mutate)
+
+    def quarantine(self, key: str) -> None:
+        """Mark ``key`` poison: no further retries until attempts reset."""
+        self._write(lambda conn: conn.execute(
+            "UPDATE job_attempts SET quarantined = 1, updated = ? "
+            "WHERE key = ?", (time.time(), key),
+        ))
+
+    def attempt_record(self, key: str) -> Optional[Dict[str, Any]]:
+        with self._connect() as conn:
+            row = conn.execute(
+                "SELECT key, attempts, quarantined, last_error, traceback, "
+                "updated FROM job_attempts WHERE key = ?", (key,)
+            ).fetchone()
+        return None if row is None else dict(row)
+
+    def reset_attempts(self, keys: Sequence[str]) -> None:
+        """Clear failure history for ``keys`` (a fresh submission grants a
+        fresh retry budget, so quarantine never becomes a permanent ban)."""
+        if not keys:
+            return
+
+        def mutate(conn: sqlite3.Connection) -> None:
+            chunk = 500
+            for start in range(0, len(keys), chunk):
+                part = list(keys[start:start + chunk])
+                marks = ",".join("?" * len(part))
+                conn.execute(
+                    f"DELETE FROM job_attempts WHERE key IN ({marks})", part
+                )
+
+        self._write(mutate)
+
     # ----------------------------------------------------------- lifecycle
     def stats(self) -> Dict[str, Any]:
         with self._connect() as conn:
             results = conn.execute("SELECT COUNT(*) AS n FROM results").fetchone()["n"]
             campaigns = conn.execute("SELECT COUNT(*) AS n FROM campaigns").fetchone()["n"]
             snapshots = conn.execute("SELECT COUNT(*) AS n FROM snapshots").fetchone()["n"]
+            leases = conn.execute("SELECT COUNT(*) AS n FROM leases").fetchone()["n"]
+            quarantined = conn.execute(
+                "SELECT COUNT(*) AS n FROM job_attempts WHERE quarantined = 1"
+            ).fetchone()["n"]
         return {
             "path": str(self.path),
             "results": results,
             "campaigns": campaigns,
             "snapshots": snapshots,
+            "leases": leases,
+            "quarantined": quarantined,
             "bytes": self.path.stat().st_size if self.path.exists() else 0,
         }
 
     def clear(self) -> Dict[str, int]:
         """Drop every stored result, campaign, and snapshot (the full wipe)."""
-        with self._connect() as conn:
-            counts = {
+        def mutate(conn: sqlite3.Connection) -> Dict[str, int]:
+            return {
                 "results": conn.execute("DELETE FROM results").rowcount,
                 "campaigns": conn.execute("DELETE FROM campaigns").rowcount,
                 "campaign_jobs": conn.execute("DELETE FROM campaign_jobs").rowcount,
                 "snapshots": conn.execute("DELETE FROM snapshots").rowcount,
+                "leases": conn.execute("DELETE FROM leases").rowcount,
+                "job_attempts": conn.execute("DELETE FROM job_attempts").rowcount,
             }
-        return counts
+
+        return self._write(mutate)
 
     def gc(self, keep_days: float) -> Dict[str, int]:
         """Age-based eviction: drop result and snapshot rows older than

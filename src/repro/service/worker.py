@@ -1,0 +1,237 @@
+"""Remote lease worker: the fleet side of the distributed execution plane.
+
+``python -m repro.service work --url http://host:port`` runs one worker
+process.  The loop is deliberately simple — every hard problem (retry,
+quarantine, loss-proofing) lives server-side, so a worker can be killed at
+any instruction with no recovery protocol:
+
+1. ``POST /leases`` — lease the next queued batch of jobs (trace-identity
+   grouped, so the batch shares its packed trace).  Empty queue → sleep a
+   jittered ``poll_interval`` and poll again.
+2. For each job: heartbeat the lease (a **410** means the server already
+   expired it and requeued the jobs — abandon the batch, results would be
+   redundant), then execute the job under the per-job timeout.
+3. ``POST /leases/<id>/results`` — per-job outcomes (rows or error +
+   traceback).  The server treats results idempotently: a duplicated or
+   late post of deterministic rows is first-write-wins-identical.
+
+Crash safety: a worker that dies mid-batch simply stops heartbeating; the
+server's sweeper expires the lease after its TTL and requeues the jobs.
+Jobs completed before the crash were *not* posted (posts are per batch),
+but their recomputation is the only repeated work — everything already in
+the store stays computed exactly once.
+
+Fault-injection sites (active only when a
+:class:`~repro.service.faults.FaultPlan` is installed): ``worker.lease``
+before each poll, ``worker.job`` before each execution (context
+``"<worker_id>:<job key>"``), ``worker.post_results`` before each post
+(directives: ``drop`` = never post, ``duplicate`` = post twice).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import time
+import traceback as traceback_module
+import urllib.error
+import urllib.request
+from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
+from typing import Any, Dict, List, Optional
+
+from repro.common.config import job_timeout, worker_id_override
+from repro.common.rng import DeterministicRNG
+from repro.service import faults
+from repro.service.spec import Job
+
+
+def default_worker_id() -> str:
+    """``REPRO_WORKER_ID`` override, else ``<hostname>-<pid>``."""
+    override = worker_id_override()
+    if override is not None:
+        return override
+    return f"{socket.gethostname()}-{os.getpid()}"
+
+
+class LeaseGone(Exception):
+    """The server expired our lease (heartbeat got a 410): abandon it."""
+
+
+class Worker:
+    """One lease-protocol worker driving a remote scheduler."""
+
+    def __init__(
+        self,
+        url: str,
+        worker_id: Optional[str] = None,
+        max_jobs: Optional[int] = None,
+        poll_interval: float = 1.0,
+        job_timeout_s: Optional[float] = None,
+        max_idle_polls: Optional[int] = None,
+        http_timeout: float = 60.0,
+    ) -> None:
+        self.url = url.rstrip("/")
+        self.worker_id = worker_id or default_worker_id()
+        self.max_jobs = max_jobs
+        self.poll_interval = poll_interval
+        self.job_timeout_s = (
+            job_timeout_s if job_timeout_s is not None else job_timeout()
+        )
+        #: Exit cleanly after this many consecutive empty polls (CI / tests
+        #: drain-and-stop mode); ``None`` = poll forever.
+        self.max_idle_polls = max_idle_polls
+        self.http_timeout = http_timeout
+        # Jitter RNG seeded by the worker id: a fleet started in lockstep
+        # de-synchronizes its polls deterministically.
+        self._rng = DeterministicRNG(sum(self.worker_id.encode()) or 1)
+        self._executor: Optional[ThreadPoolExecutor] = None
+        self.leases_done = 0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+
+    # ----------------------------------------------------------------- HTTP
+    def _post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.url + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        with urllib.request.urlopen(request, timeout=self.http_timeout) as reply:
+            return json.loads(reply.read())
+
+    # ------------------------------------------------------------ execution
+    def _executor_slot(self) -> ThreadPoolExecutor:
+        if self._executor is None:
+            self._executor = ThreadPoolExecutor(max_workers=1)
+        return self._executor
+
+    def _run_job(self, job: Job) -> List[Dict[str, object]]:
+        """Execute one job under the per-job timeout.
+
+        The job runs on a single-slot thread executor so the timeout is
+        enforceable from here; on expiry the slot is abandoned (the stuck
+        thread is orphaned — daemonic, dies with the process) and a fresh
+        executor takes over for the next job.
+        """
+        if self.job_timeout_s is None:
+            return job.execute()
+        future = self._executor_slot().submit(job.execute)
+        try:
+            return future.result(timeout=self.job_timeout_s)
+        except FutureTimeout:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+            raise TimeoutError(
+                f"JobTimeout: exceeded {self.job_timeout_s:.1f}s"
+            ) from None
+
+    def _heartbeat(self, lease_id: int) -> None:
+        try:
+            self._post(f"/leases/{lease_id}/heartbeat", {})
+        except urllib.error.HTTPError as exc:
+            if exc.code == 410:
+                raise LeaseGone(f"lease {lease_id} expired") from exc
+            raise
+
+    def _process_lease(self, lease: Dict[str, Any]) -> None:
+        lease_id = int(lease["lease_id"])
+        outcomes: List[Dict[str, Any]] = []
+        for data in lease["jobs"]:
+            job = Job.from_wire(data)
+            try:
+                self._heartbeat(lease_id)
+            except LeaseGone:
+                # The server already requeued this batch; anything we
+                # computed so far is posted anyway (idempotent) so the
+                # sweeper's requeue finds it in the store.
+                break
+            outcome: Dict[str, Any] = {
+                "key": job.key, "job_id": job.job_id,
+                "workload": job.workload, "experiment": job.experiment,
+            }
+            try:
+                # Inside the per-job isolation on purpose: an injected
+                # ``raise`` is a job failure (reported, retried server-side)
+                # while ``kill`` (BaseException) still takes the worker down.
+                faults.fire("worker.job", context=f"{self.worker_id}:{job.key}")
+                outcome["rows"] = self._run_job(job)
+                outcome["error"] = None
+                self.jobs_done += 1
+            except Exception as exc:
+                outcome["rows"] = None
+                outcome["error"] = f"{type(exc).__name__}: {exc}"
+                outcome["traceback"] = traceback_module.format_exc()
+                self.jobs_failed += 1
+            outcomes.append(outcome)
+        directive = faults.fire("worker.post_results", context=self.worker_id)
+        if directive == "drop":
+            return  # simulated lost post: the TTL sweeper recovers the jobs
+        posts = 2 if directive == "duplicate" else 1
+        for _ in range(posts):
+            self._post(f"/leases/{lease_id}/results", {"outcomes": outcomes})
+        self.leases_done += 1
+
+    # ----------------------------------------------------------------- loop
+    def run(self) -> int:
+        """Poll-execute-post until idle-exit (0) or the server goes away (1)."""
+        idle = 0
+        consecutive_errors = 0
+        while True:
+            faults.fire("worker.lease", context=self.worker_id)
+            try:
+                lease = self._post(
+                    "/leases",
+                    {"worker": self.worker_id, "max_jobs": self.max_jobs},
+                )
+                consecutive_errors = 0
+            except (urllib.error.URLError, ConnectionError, TimeoutError):
+                consecutive_errors += 1
+                if consecutive_errors >= 30:
+                    return 1  # server gone for good
+                time.sleep(self.poll_interval)
+                continue
+            if lease.get("lease_id") is None:
+                idle += 1
+                if self.max_idle_polls is not None and idle >= self.max_idle_polls:
+                    return 0
+                time.sleep(
+                    self.poll_interval * (0.5 + 0.5 * self._rng.random())
+                )
+                continue
+            idle = 0
+            self._process_lease(lease)
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=False)
+            self._executor = None
+
+
+def run_worker(
+    url: str,
+    worker_id: Optional[str] = None,
+    max_jobs: Optional[int] = None,
+    poll_interval: float = 1.0,
+    job_timeout_s: Optional[float] = None,
+    max_idle_polls: Optional[int] = None,
+    fault_plan_path: Optional[str] = None,
+) -> int:
+    """CLI entry: optionally install a fault plan, then run one worker."""
+    if fault_plan_path:
+        faults.install(faults.FaultPlan.load(fault_plan_path))
+    worker = Worker(
+        url,
+        worker_id=worker_id,
+        max_jobs=max_jobs,
+        poll_interval=poll_interval,
+        job_timeout_s=job_timeout_s,
+        max_idle_polls=max_idle_polls,
+    )
+    try:
+        return worker.run()
+    except faults.WorkerKilled:
+        return 17  # soft kill: stop dead without posting, like a crash
+    finally:
+        worker.close()

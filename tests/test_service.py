@@ -370,6 +370,63 @@ class TestSchedulerAndService:
         assert store.campaign(run.id)["status"] == "superseded"
         assert store.campaign_rows(done.id).count(None) == 0
 
+    def test_scheduler_death_between_compute_and_store_write(self, tmp_path):
+        """Kill the scheduler after a batch's jobs computed but *before*
+        their result writes: the already-stored jobs survive, and resume
+        recomputes exactly the incomplete ones — never a stored one."""
+        import time as time_module
+
+        from repro.service import faults
+        from repro.service.faults import Fault, FaultPlan
+
+        camp = tiny_campaign()
+        jobs = camp.jobs()
+        store_path = tmp_path / "s.sqlite"
+        # The third store write is where the "process dies": results 1-2
+        # are durable, job 3 computed but unwritten, job 4 still queued.
+        faults.install(FaultPlan([
+            Fault(site="scheduler.store_result", action="kill", after=3),
+        ]))
+        try:
+            service = Service(store_path=store_path, max_workers=1,
+                              batch_size=1)
+            run = service.submit(camp, wait=False)
+            store = ResultStore(store_path)
+            deadline = time_module.time() + 60
+            while len(store.present_keys([j.key for j in jobs])) < 2:
+                assert time_module.time() < deadline, "first jobs never stored"
+                time_module.sleep(0.05)
+            time_module.sleep(0.5)  # let the injected death land
+            service.close()
+        finally:
+            faults.install(None)
+        assert store.campaign(run.id)["status"] == "running"  # non-terminal
+        stored = store.present_keys([j.key for j in jobs])
+        assert len(stored) == 2
+
+        import repro.service.scheduler as scheduler_module
+
+        real_execute = scheduler_module.execute_batch
+        executed = []
+
+        def counting_execute(batch):
+            executed.extend(job.key for job in batch)
+            return real_execute(batch)
+
+        try:
+            scheduler_module.execute_batch = counting_execute
+            with Service(store_path=store_path, max_workers=1) as fresh:
+                resumed = fresh.resume()
+                assert len(resumed) == 1
+                assert fresh.wait(resumed[0]).status == "done"
+        finally:
+            scheduler_module.execute_batch = real_execute
+        # Exactly the incomplete jobs ran again; zero stored jobs recomputed.
+        assert sorted(executed) == sorted(
+            job.key for job in jobs if job.key not in stored
+        )
+        assert store.campaign_rows(resumed[0].id).count(None) == 0
+
     def test_results_rows_include_finalize_columns(self, tmp_path):
         """fig10's machine-readable rows carry fraction_of_peak, matching
         the rendered table's columns."""
