@@ -30,8 +30,9 @@ def throughputs(artifact: dict) -> Dict[str, float]:
     Functional-simulator series are keyed by workload name, with the
     REPRO_FAST_MODE plane (when present) as ``<workload>.fast``; the
     service scheduler's campaign throughput (PR 4, ``service_throughput``)
-    is keyed ``service`` in jobs/s.  Series absent on either side are
-    skipped, so older artifacts compare cleanly.
+    is keyed ``service`` in jobs/s; the events-enabled submission rate
+    (PR 9, ``events_overhead``) is keyed ``service.events_on``.  Series
+    absent on either side are skipped, so older artifacts compare cleanly.
     """
     functional = artifact.get("functional_sim") or {}
     per_class = functional.get("per_class")
@@ -52,6 +53,9 @@ def throughputs(artifact: dict) -> Dict[str, float]:
     service = artifact.get("service_throughput") or {}
     if service.get("jobs_per_s"):
         series["service"] = float(service["jobs_per_s"])
+    events = artifact.get("events_overhead") or {}
+    if events.get("events_on_jobs_per_s"):
+        series["service.events_on"] = float(events["events_on_jobs_per_s"])
     return series
 
 

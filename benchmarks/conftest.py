@@ -44,6 +44,15 @@ seconds of wall clock):
         "resubmit_wallclock_s": <second submission (all jobs from store)>,
         "resubmit_jobs_per_s": <jobs / resubmit_wallclock_s>
       },
+      "events_overhead": {          # telemetry plane cost (PR 9)
+        "jobs": <n>, "accesses_per_job": <trace size>,
+        "events_on_wallclock_s": <first submission, events enabled>,
+        "events_on_jobs_per_s": <jobs / that>,
+        "events_off_wallclock_s": <same campaign, fresh store, events off>,
+        "events_off_jobs_per_s": <jobs / that>,
+        "events_published": <log rows written by the events-on run>,
+        "overhead_fraction": <(on - off) / off wallclock, negative = noise>
+      },
       "pr1_reference": {... seed vs. PR 1 wall-clock numbers ...}
     }
 """
@@ -86,6 +95,10 @@ _skipped_nodeids = set()
 #: Populated by benchmarks/test_bench_service.py: campaign jobs/s through
 #: the service scheduler + persistent store (see the schema docstring).
 _service_metrics = {}
+
+#: Populated by benchmarks/test_bench_service.py: the same campaign timed
+#: with the telemetry event plane on vs. off (see the schema docstring).
+_events_metrics = {}
 
 
 @pytest.fixture(scope="session")
@@ -216,6 +229,7 @@ def pytest_sessionfinish(session, exitstatus):
         "benchmarks": dict(sorted(_durations.items())),
         "functional_sim": _functional_throughput(),
         "service_throughput": dict(_service_metrics) or None,
+        "events_overhead": dict(_events_metrics) or None,
         "pr1_reference": PR1_REFERENCE,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_core.json"

@@ -98,6 +98,18 @@ ENV_REGISTRY: Dict[str, Dict[str, Any]] = {
         "result_affecting": False,
         "description": "benchmark trace size (the size itself is keyed)",
     },
+    "REPRO_EVENTS_ENABLED": {
+        "accessor": "events_enabled",
+        "result_affecting": False,
+        "description": "campaign telemetry event emission (observational "
+                       "only; results are byte-identical either way)",
+    },
+    "REPRO_EVENTS_POLL": {
+        "accessor": "events_poll_interval",
+        "result_affecting": False,
+        "description": "SSE tail poll-fallback/keepalive interval in "
+                       "seconds (liveness of the stream, never its content)",
+    },
 }
 
 
@@ -191,6 +203,41 @@ def lease_ttl(default: float = 60.0) -> float:
 def worker_id_override() -> Optional[str]:
     """``REPRO_WORKER_ID``: stable fleet-worker identity (``None`` = derived)."""
     return os.environ.get("REPRO_WORKER_ID") or None
+
+
+def events_enabled(default: bool = True) -> bool:
+    """``REPRO_EVENTS_ENABLED``: campaign telemetry event emission.
+
+    Events are observational — they never enter a determinism key and the
+    stored result rows are byte-identical with emission on or off (the
+    ``events_overhead`` benchmark series measures exactly that).  Any of
+    ``0/false/no/off`` disables emission; everything else (including unset)
+    leaves it on.
+    """
+    raw = os.environ.get("REPRO_EVENTS_ENABLED")
+    if raw is None:
+        return default
+    return raw.strip().lower() not in ("0", "false", "no", "off")
+
+
+def events_poll_interval(default: float = 2.0) -> float:
+    """``REPRO_EVENTS_POLL``: SSE tail poll-fallback interval in seconds.
+
+    A server-sent-events tail wakes on the in-process hub's notifications
+    and additionally polls the durable log at this interval, so a dropped
+    or delayed notification (including an injected ``events.notify`` fault)
+    delays the stream by at most this long and never loses an event.
+    Invalid or non-positive values fall back to the default.
+    """
+    raw = os.environ.get("REPRO_EVENTS_POLL")
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            return default
+        if value > 0:
+            return value
+    return default
 
 
 def bench_accesses(default: int = 80000) -> int:

@@ -21,16 +21,25 @@ makes them *durable and submittable*.  Four parts:
 * :mod:`repro.service.faults` — deterministic fault injection
   (seeded :class:`~repro.service.faults.FaultPlan` schedules fired at
   named sites) driving the chaos suite and ``benchmarks/chaos_battery.py``;
+* :mod:`repro.service.events` / :mod:`repro.service.metrics` /
+  :mod:`repro.service.dashboard` — the telemetry plane (PR 9): a durable
+  per-campaign event log with SSE streaming and ``Last-Event-ID`` resume,
+  a ``GET /metrics`` registry, and the single-page live dashboard with
+  incremental figure tables.  Observational only — results stay
+  byte-identical with events on or off;
 * :mod:`repro.service.api` / :mod:`repro.service.cli` — a stdlib
   ``http.server`` JSON API and the ``python -m repro.service`` command line
-  (``submit`` / ``status`` / ``results`` / ``serve`` / ``work``).
+  (``submit`` / ``status`` / ``results`` / ``serve`` / ``work`` /
+  ``watch`` / ``presets``).
 
 Every paper figure is available as a campaign preset
 (:mod:`repro.service.presets`); the rendered preset tables are bit-identical
 to the fig modules' direct CLI output (locked in by ``tests/test_service.py``).
 """
 
+from repro.service.events import Event, EventBus, EventLog
 from repro.service.faults import Fault, FaultPlan
+from repro.service.metrics import MetricsRegistry
 from repro.service.scheduler import CampaignRun, Scheduler
 from repro.service.service import Service
 from repro.service.spec import Campaign, Job
@@ -48,4 +57,8 @@ __all__ = [
     "Worker",
     "Fault",
     "FaultPlan",
+    "Event",
+    "EventBus",
+    "EventLog",
+    "MetricsRegistry",
 ]

@@ -15,6 +15,19 @@ Routes (all JSON):
 * ``GET  /jobs/<id>``                — one job by short id (status + rows).
 * ``GET  /results?experiment=&workload=&limit=`` — filterable results.
 
+Telemetry routes (PR 9, observational only):
+
+* ``GET  /campaigns/<id>/events``    — server-sent events stream of the
+  campaign's telemetry.  Resumes from the ``Last-Event-ID`` header (or
+  ``?after=SEQ``) so a reconnect replays exactly the missed events;
+  ``?follow=0`` replays the log and closes without tailing.  The stream
+  ends itself after ``campaign.finished``.
+* ``GET  /metrics``                  — Prometheus text exposition
+  (``?format=json`` for the dashboard's JSON form).
+* ``GET  /campaigns/<id>/table``     — the campaign's figure table
+  rendered from partial results, with its completeness fraction.
+* ``GET  /dashboard``                — the single-page live dashboard.
+
 Fleet routes (the remote-worker lease protocol, driven by
 ``python -m repro.service work``):
 
@@ -46,11 +59,14 @@ from __future__ import annotations
 
 import json
 import logging
+import queue
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, Optional, Tuple
 from urllib.parse import parse_qs, urlparse
 
-from repro.service import presets
+from repro.common.config import events_poll_interval
+from repro.service import dashboard, presets
+from repro.service import events as events_module
 from repro.service.service import Service
 from repro.service.spec import Campaign
 
@@ -123,7 +139,7 @@ class _Handler(BaseHTTPRequestHandler):
             handler()
         except _HTTPError as exc:
             self._error(exc.status, str(exc))
-        except BrokenPipeError:
+        except (BrokenPipeError, ConnectionResetError):
             pass  # client went away mid-reply; nothing to answer
         except Exception as exc:
             logger.exception("unhandled error serving %s %s",
@@ -153,7 +169,21 @@ class _Handler(BaseHTTPRequestHandler):
         if url.path == "/campaigns":
             return self._reply(200, {"campaigns": service.store.campaigns()})
         if url.path == "/workers":
-            return self._reply(200, {"workers": service.workers()})
+            return self._reply(200, {"workers": service.worker_liveness()})
+        if url.path == "/metrics":
+            return self._reply_metrics(service, _first(query, "format"))
+        if url.path == "/dashboard":
+            return self._reply_html(dashboard.DASHBOARD_HTML)
+        if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "events":
+            return self._stream_events(service, _int_or(-1, parts[1]), query)
+        if len(parts) == 3 and parts[0] == "campaigns" and parts[2] == "table":
+            try:
+                payload = dashboard.partial_table(
+                    service.store, _int_or(-1, parts[1])
+                )
+            except KeyError as exc:
+                raise _HTTPError(404, str(exc)) from exc
+            return self._reply(200, payload)
         if len(parts) == 2 and parts[0] == "campaigns":
             progress = service.progress(_int_or(-1, parts[1]))
             if progress is None:
@@ -225,6 +255,96 @@ class _Handler(BaseHTTPRequestHandler):
         if wait:
             payload["rows"], payload["table"] = service.rows_and_table(run)
         return self._reply(200, payload)
+
+    # ------------------------------------------------------------- telemetry
+    def _reply_metrics(self, service: Service, format: Optional[str]) -> None:
+        if format == "json":
+            return self._reply(200, service.metrics_snapshot("json"))
+        body = service.metrics_snapshot("text").encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/plain; version=0.0.4")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _reply_html(self, html: str) -> None:
+        body = html.encode()
+        self.send_response(200)
+        self.send_header("Content-Type", "text/html; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _stream_events(
+        self, service: Service, campaign_id: int, query: Dict[str, list],
+    ) -> None:
+        """``GET /campaigns/<id>/events``: replay-then-tail SSE.
+
+        The handler never trusts bus notifications for *content* — every
+        frame it writes comes from its own :class:`EventLog` cursor, so
+        dropped/duplicated/delayed notifications (the ``events.notify``
+        fault site) cost at most one poll interval of latency and can
+        never lose or duplicate a frame.  The stream terminates after
+        ``campaign.finished`` (or immediately once the log is drained for
+        a campaign that is already terminal in the store), and on
+        ``?follow=0`` as soon as the replay is done.
+        """
+        if service.store.campaign(campaign_id) is None:
+            raise _HTTPError(404, f"no campaign {campaign_id}")
+        cursor = _int_or(0, self.headers.get("Last-Event-ID"))
+        cursor = _int_or(cursor, _first(query, "after"))
+        follow = _first(query, "follow") != "0"
+        log = service.store.event_log
+        bus = service.events
+        poll = events_poll_interval()
+        self.close_connection = True  # no Content-Length: EOF ends the stream
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-cache")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        subscription = bus.subscribe(campaign_id)
+        terminal_grace = False
+        try:
+            while True:
+                finished = False
+                while True:
+                    batch = log.after(campaign_id, cursor, limit=500)
+                    for event in batch:
+                        self.wfile.write(event.to_sse().encode())
+                        cursor = event.seq
+                        if event.type == events_module.CAMPAIGN_FINISHED:
+                            finished = True
+                    if len(batch) < 500:
+                        break
+                self.wfile.flush()
+                if finished or not follow:
+                    return
+                record = service.store.campaign(campaign_id)
+                if record is not None and record["status"] in (
+                    "done", "failed", "cancelled", "superseded"
+                ):
+                    # The scheduler writes the terminal status *before*
+                    # publishing campaign.finished, so give the in-flight
+                    # append one poll interval to land before concluding
+                    # the log will never carry it (pre-events store, or
+                    # events disabled — then nothing more ever arrives).
+                    if terminal_grace or not bus.enabled:
+                        return
+                    terminal_grace = True
+                    try:
+                        subscription.get(timeout=poll)
+                    except queue.Empty:
+                        pass
+                    continue
+                try:
+                    subscription.get(timeout=poll)
+                except queue.Empty:
+                    # Poll fallback doubles as the keepalive heartbeat.
+                    self.wfile.write(b": keepalive\n\n")
+                    self.wfile.flush()
+        finally:
+            bus.unsubscribe(campaign_id, subscription)
 
 
 def _first(query: Dict[str, list], name: str) -> Optional[str]:

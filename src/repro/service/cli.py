@@ -4,11 +4,14 @@ Subcommands::
 
     submit PRESET   submit a campaign; in-process runs always complete
                     before exit (use serve + --url for fire-and-forget queueing)
-    status [ID]     campaign listing / one campaign's progress
+    status [ID]     campaign listing / one campaign's progress;
+                    ``--follow`` tails the campaign's SSE event stream
+                    (one line per event, resumable with ``--after``)
     results ID      re-render a stored campaign's table (no recompute)
     serve           run the HTTP JSON API (``--remote-only`` parks all
                     compute until workers lease it)
     work            run one lease-protocol worker against a serve instance
+    watch ID        print the live dashboard URL for a campaign
     presets         list available presets
 
 ``submit`` / ``status`` run against the local store by default; pass
@@ -68,6 +71,20 @@ def _build_parser() -> argparse.ArgumentParser:
     status = commands.add_parser("status", help="campaign progress")
     status.add_argument("campaign", nargs="?", type=int, default=None)
     status.add_argument("--url", default=None)
+    status.add_argument("--follow", action="store_true",
+                        help="tail the campaign's SSE event stream, one "
+                        "line per event, until it finishes (needs --url "
+                        "and a campaign id)")
+    status.add_argument("--after", type=int, default=0,
+                        help="with --follow: resume from this event "
+                        "sequence number (Last-Event-ID)")
+
+    watch = commands.add_parser(
+        "watch", help="print the live dashboard URL for a campaign"
+    )
+    watch.add_argument("campaign", nargs="?", type=int, default=None)
+    watch.add_argument("--url", required=True,
+                       help="base URL of the serve instance")
 
     results = commands.add_parser("results", help="render a stored campaign")
     results.add_argument("campaign", type=int)
@@ -173,7 +190,36 @@ def _open_store_readonly(path) -> Optional[ResultStore]:
     return ResultStore(path)
 
 
+def format_event_line(event: Dict[str, Any]) -> str:
+    """One-line rendering of a followed SSE event (stable enough to grep)."""
+    data = event.get("data") or {}
+    parts = [f"[{event.get('id', '?'):>5}]", f"{event['event']:<18}"]
+    for field in ("workload", "plane", "worker", "lease_id", "attempt",
+                  "status", "total", "cached", "computed", "failed"):
+        if field in data and data[field] is not None:
+            parts.append(f"{field}={data[field]}")
+    if "job_id" in data:
+        parts.append(f"job={data['job_id']}")
+    if "error" in data and data["error"]:
+        parts.append(f"error={str(data['error'])[:80]}")
+    return " ".join(parts)
+
+
 def _cmd_status(args: argparse.Namespace) -> int:
+    if args.follow:
+        if not args.url or args.campaign is None:
+            print("status --follow needs --url and a campaign id",
+                  file=sys.stderr)
+            return 2
+        from repro.service.events import follow_campaign
+
+        failed = False
+        for event in follow_campaign(args.url, args.campaign,
+                                     last_event_id=args.after):
+            print(format_event_line(event), flush=True)
+            if event["event"] == "campaign.finished":
+                failed = (event.get("data") or {}).get("status") != "done"
+        return 1 if failed else 0
     if args.url:
         path = "/campaigns" if args.campaign is None else f"/campaigns/{args.campaign}"
         print(json.dumps(_http(args.url, path), indent=2))
@@ -207,6 +253,16 @@ def _cmd_results(args: argparse.Namespace) -> int:
     except KeyError as exc:
         print(str(exc), file=sys.stderr)
         return 1
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    """Print the live dashboard URL (open it in any browser)."""
+    base = args.url.rstrip("/")
+    if args.campaign is not None:
+        print(f"{base}/dashboard?campaign={args.campaign}")
+    else:
+        print(f"{base}/dashboard")
     return 0
 
 
@@ -258,5 +314,6 @@ def main(argv: Optional[List[str]] = None) -> int:
         "results": _cmd_results,
         "serve": _cmd_serve,
         "work": _cmd_work,
+        "watch": _cmd_watch,
     }[args.command]
     return handler(args)

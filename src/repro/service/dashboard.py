@@ -1,0 +1,296 @@
+"""Incremental figure tables and the single-page live dashboard.
+
+:func:`partial_table` renders a campaign's paper table (fig06–fig14 /
+table3 presets included) from whatever results the store holds *right
+now*, with an explicit completeness fraction — so a submitter can eyeball
+a converging figure long before the last job lands.  Finalize hooks are
+idempotent over partial row sets (they recompute derived columns from the
+base columns), so a partial render is exactly the prefix of the final
+table restricted to completed points.
+
+``DASHBOARD_HTML`` is the stdlib single page behind ``GET /dashboard``:
+no dependencies, vanilla ``EventSource`` live tail (the browser replays
+``Last-Event-ID`` on reconnect automatically), periodic JSON polls for
+the per-state breakdown, worker liveness, metrics tiles, and the partial
+table.  Colors follow the repository dataviz palette: one accent series
+hue for the progress bar, reserved status colors that never appear
+without their text label, and text in ink tokens — with a dark scheme
+selected via ``prefers-color-scheme``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.service.spec import Campaign
+from repro.service.store import ResultStore
+
+
+def partial_table(store: ResultStore, campaign_id: int) -> Dict[str, Any]:
+    """Render a campaign's table from the results stored so far.
+
+    Read-only and scheduler-free (works on a store-only view after a
+    restart).  Returns the rendered table plus ``stored``/``total`` and
+    the ``completeness`` fraction front-ends must surface alongside it —
+    a partial figure without its fraction is indistinguishable from a
+    finished one.
+    """
+    record = store.campaign(campaign_id)
+    if record is None:
+        raise KeyError(f"no campaign {campaign_id}")
+    campaign = Campaign.from_dict(json.loads(record["spec_json"]))
+    job_rows = store.campaign_rows(campaign_id)
+    merged = []
+    stored = 0
+    for rows in job_rows:
+        if rows is not None:
+            stored += 1
+            merged.extend(rows)
+    total = len(job_rows)
+    return {
+        "campaign_id": campaign_id,
+        "name": record["name"],
+        "experiment": campaign.experiment,
+        "status": record["status"],
+        "total": total,
+        "stored": stored,
+        "completeness": (stored / total) if total else 1.0,
+        "table": campaign.render(merged),
+    }
+
+
+#: Per-state chip styling: reserved status colors (never color alone — the
+#: chip always carries the state name and count as text).
+DASHBOARD_HTML = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<meta name="viewport" content="width=device-width, initial-scale=1">
+<title>repro service dashboard</title>
+<style>
+  :root {
+    color-scheme: light;
+    --surface-1: #fcfcfb; --page: #f9f9f7;
+    --text-primary: #0b0b0b; --text-secondary: #52514e; --muted: #898781;
+    --grid: #e1e0d9; --border: rgba(11,11,11,0.10);
+    --series-1: #2a78d6;
+    --good: #0ca30c; --warning: #fab219; --serious: #ec835a;
+    --critical: #d03b3b;
+  }
+  @media (prefers-color-scheme: dark) {
+    :root {
+      color-scheme: dark;
+      --surface-1: #1a1a19; --page: #0d0d0d;
+      --text-primary: #ffffff; --text-secondary: #c3c2b7; --muted: #898781;
+      --grid: #2c2c2a; --border: rgba(255,255,255,0.10);
+      --series-1: #3987e5;
+    }
+  }
+  * { box-sizing: border-box; }
+  body {
+    margin: 0; padding: 16px; background: var(--page);
+    color: var(--text-primary);
+    font: 14px/1.45 system-ui, -apple-system, "Segoe UI", sans-serif;
+  }
+  h1 { font-size: 18px; margin: 0 0 4px; }
+  h2 { font-size: 13px; margin: 0 0 8px; color: var(--text-secondary);
+       font-weight: 600; text-transform: uppercase; letter-spacing: .04em; }
+  .sub { color: var(--text-secondary); margin: 0 0 16px; }
+  .grid { display: grid; gap: 16px;
+          grid-template-columns: repeat(auto-fit, minmax(340px, 1fr)); }
+  .card { background: var(--surface-1); border: 1px solid var(--border);
+          border-radius: 8px; padding: 14px 16px; }
+  .wide { grid-column: 1 / -1; }
+  select { font: inherit; color: inherit; background: var(--surface-1);
+           border: 1px solid var(--grid); border-radius: 6px;
+           padding: 4px 8px; }
+  .bar { height: 10px; border-radius: 5px; background: var(--grid);
+         overflow: hidden; margin: 8px 0 4px; }
+  .bar > div { height: 100%; background: var(--series-1); width: 0;
+               transition: width .4s; }
+  .chips { display: flex; flex-wrap: wrap; gap: 8px; margin-top: 10px; }
+  .chip { border: 1px solid var(--grid); border-radius: 999px;
+          padding: 2px 10px; color: var(--text-secondary); }
+  .chip b { color: var(--text-primary); font-variant-numeric: tabular-nums; }
+  .chip .dot { display: inline-block; width: 8px; height: 8px;
+               border-radius: 50%; margin-right: 6px; background: var(--muted); }
+  .chip.completed .dot { background: var(--good); }
+  .chip.running .dot, .chip.leased .dot { background: var(--series-1); }
+  .chip.retrying .dot { background: var(--warning); }
+  .chip.quarantined .dot { background: var(--critical); }
+  table { border-collapse: collapse; width: 100%; }
+  th, td { text-align: left; padding: 4px 10px 4px 0;
+           border-bottom: 1px solid var(--grid);
+           font-variant-numeric: tabular-nums; }
+  th { color: var(--text-secondary); font-weight: 600; }
+  .tiles { display: grid; gap: 10px;
+           grid-template-columns: repeat(auto-fit, minmax(120px, 1fr)); }
+  .tile { border: 1px solid var(--grid); border-radius: 6px;
+          padding: 8px 10px; }
+  .tile .v { font-size: 20px; font-weight: 650; }
+  .tile .k { color: var(--text-secondary); font-size: 12px; }
+  pre { margin: 0; overflow-x: auto; font: 12px/1.4 ui-monospace, monospace;
+        color: var(--text-primary); }
+  #events { max-height: 320px; overflow-y: auto;
+            font: 12px/1.5 ui-monospace, monospace; }
+  #events div { border-bottom: 1px solid var(--grid); padding: 1px 0;
+                white-space: nowrap; }
+  #events .t { color: var(--muted); margin-right: 8px; }
+  #events .e { color: var(--series-1); margin-right: 8px; }
+  .ok { color: var(--good); } .dead { color: var(--critical); }
+  .fraction { color: var(--text-secondary); }
+</style>
+</head>
+<body>
+<h1>repro service</h1>
+<p class="sub">live campaign telemetry —
+  <span id="store"></span> · campaign
+  <select id="picker"></select>
+</p>
+<div class="grid">
+  <div class="card">
+    <h2>Progress</h2>
+    <div id="headline">—</div>
+    <div class="bar"><div id="bar"></div></div>
+    <div class="fraction"><span id="fraction">0 / 0</span> jobs stored</div>
+    <div class="chips" id="states"></div>
+  </div>
+  <div class="card">
+    <h2>Workers</h2>
+    <table>
+      <thead><tr><th>worker</th><th>liveness</th><th>active</th>
+        <th>done</th><th>expired</th></tr></thead>
+      <tbody id="workers"><tr><td colspan="5">no workers yet</td></tr></tbody>
+    </table>
+  </div>
+  <div class="card wide">
+    <h2>Metrics</h2>
+    <div class="tiles" id="tiles"></div>
+  </div>
+  <div class="card wide">
+    <h2>Live events</h2>
+    <div id="events"></div>
+  </div>
+  <div class="card wide">
+    <h2>Figure table (<span id="completeness">0%</span> complete)</h2>
+    <pre id="table">no results yet</pre>
+  </div>
+</div>
+<script>
+"use strict";
+const qs = new URLSearchParams(location.search);
+let campaignId = qs.get("campaign");
+let source = null;
+const fetchJSON = (path) => fetch(path).then(r => {
+  if (!r.ok) throw new Error(path + ": " + r.status);
+  return r.json();
+});
+function setText(id, text) { document.getElementById(id).textContent = text; }
+function renderStates(states) {
+  const order = ["queued", "leased", "running", "completed",
+                 "retrying", "quarantined"];
+  document.getElementById("states").innerHTML = order.map(name =>
+    `<span class="chip ${name}"><span class="dot"></span>${name}` +
+    ` <b>${(states && states[name]) || 0}</b></span>`).join("");
+}
+function renderProgress(p) {
+  setText("headline", `#${p.campaign_id} ${p.name} — ${p.status}`);
+  const stored = p.stored || 0, total = p.total || 0;
+  document.getElementById("bar").style.width =
+    total ? (100 * stored / total) + "%" : "0";
+  setText("fraction", `${stored} / ${total}`);
+  renderStates(p.states);
+  const rows = (p.workers || []).map(w =>
+    `<tr><td>${w.worker}</td>` +
+    `<td class="${w.alive ? "ok" : "dead"}">` +
+    `${w.alive ? "\\u25cf alive" : "\\u25cb idle/dead"}</td>` +
+    `<td>${w.active || 0}</td><td>${w.done || 0}</td>` +
+    `<td>${w.expired || 0}</td></tr>`);
+  document.getElementById("workers").innerHTML =
+    rows.length ? rows.join("") : '<tr><td colspan="5">no workers yet</td></tr>';
+}
+function counterTotal(metrics, name) {
+  const m = metrics[name];
+  if (!m) return 0;
+  return Object.values(m.values).reduce((a, b) => a + b, 0);
+}
+function renderMetrics(metrics) {
+  const tiles = [
+    ["jobs done", counterTotal(metrics, "repro_jobs_completed_total")],
+    ["jobs/s", counterTotal(metrics, "repro_jobs_per_second")],
+    ["queue depth", counterTotal(metrics, "repro_queue_depth")],
+    ["active leases", counterTotal(metrics, "repro_leases_active")],
+    ["retries", counterTotal(metrics, "repro_jobs_retried_total")],
+    ["quarantined", counterTotal(metrics, "repro_jobs_quarantined_total")],
+    ["leases expired", counterTotal(metrics, "repro_leases_expired_total")],
+    ["events", counterTotal(metrics, "repro_events_published_total")],
+  ];
+  document.getElementById("tiles").innerHTML = tiles.map(([k, v]) =>
+    `<div class="tile"><div class="v">${(+v).toLocaleString(undefined,
+      {maximumFractionDigits: 2})}</div><div class="k">${k}</div></div>`
+  ).join("");
+}
+function appendEvent(ev) {
+  const box = document.getElementById("events");
+  const line = document.createElement("div");
+  const data = ev.data || {};
+  const extra = data.key ? ` key=${String(data.key).slice(0, 60)}…`
+    : data.worker ? ` worker=${data.worker}` : "";
+  line.innerHTML = `<span class="t">${ev.seq}</span>` +
+    `<span class="e">${ev.type}</span>` +
+    `${(data.workload || "")}${extra}`;
+  box.prepend(line);
+  while (box.childElementCount > 200) box.removeChild(box.lastChild);
+}
+function tail(id) {
+  if (source) source.close();
+  document.getElementById("events").innerHTML = "";
+  source = new EventSource(`/campaigns/${id}/events`);
+  const types = ["campaign.submitted", "campaign.finished", "job.queued",
+    "job.cached", "job.leased", "job.started", "job.completed",
+    "job.retried", "job.quarantined", "lease.granted", "lease.heartbeat",
+    "lease.done", "lease.expired", "worker.registered", "worker.dead"];
+  for (const type of types) {
+    source.addEventListener(type, (ev) => appendEvent(
+      {seq: ev.lastEventId, type, data: JSON.parse(ev.data)}));
+  }
+}
+async function refresh() {
+  try {
+    const listing = await fetchJSON("/campaigns");
+    const campaigns = listing.campaigns || [];
+    const picker = document.getElementById("picker");
+    picker.innerHTML = campaigns.map(c =>
+      `<option value="${c.id}">#${c.id} ${c.name} (${c.status})</option>`
+    ).join("");
+    if (!campaignId && campaigns.length)
+      campaignId = String(campaigns[campaigns.length - 1].id);
+    if (!campaignId) return;
+    picker.value = campaignId;
+    if (!source) tail(campaignId);
+    const [progress, metrics, table] = await Promise.all([
+      fetchJSON(`/campaigns/${campaignId}`),
+      fetchJSON("/metrics?format=json"),
+      fetchJSON(`/campaigns/${campaignId}/table`).catch(() => null),
+    ]);
+    renderProgress(progress);
+    renderMetrics(metrics);
+    if (table) {
+      setText("completeness", Math.round(100 * table.completeness) + "%");
+      setText("table", table.table);
+    }
+  } catch (err) { /* server restarting; next tick retries */ }
+}
+document.getElementById("picker").addEventListener("change", (ev) => {
+  campaignId = ev.target.value;
+  tail(campaignId);
+  refresh();
+});
+fetchJSON("/healthz").then(h => setText("store", h.store)).catch(() => {});
+refresh();
+setInterval(refresh, 3000);
+</script>
+</body>
+</html>
+"""

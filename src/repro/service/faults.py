@@ -33,7 +33,10 @@ Actions:
 
 Named sites currently wired: ``worker.lease``, ``worker.job``,
 ``worker.post_results`` (worker loop), ``scheduler.sweep``,
-``scheduler.store_result`` (scheduler), ``store.put_result`` (store).
+``scheduler.store_result`` (scheduler), ``store.put_result`` (store),
+``events.notify`` (event bus — fires *after* the durable append, on the
+subscriber wakeup only, so drop/duplicate/delay there can never corrupt
+the log or a resumed SSE stream).
 """
 
 from __future__ import annotations

@@ -56,14 +56,24 @@ from typing import Any, Dict, List, Optional, Sequence, Tuple
 from repro.common.config import job_retries, job_timeout, lease_ttl
 from repro.common.rng import DeterministicRNG
 from repro.experiments.runner import default_parallel_workers
+from repro.service import events as events_module
 from repro.service import faults
+from repro.service.events import EventBus
+from repro.service.metrics import MetricsRegistry
 from repro.service.spec import Campaign, Job
 from repro.service.store import LEASE_EXPIRED, ResultStore
 
-#: One job outcome: (key, job_id, workload, rows, error, traceback).
+#: One job outcome:
+#: (key, job_id, workload, rows, error, traceback, duration_s).
 Outcome = Tuple[
-    str, str, str, Optional[List[Dict[str, object]]], Optional[str], Optional[str]
+    str, str, str, Optional[List[Dict[str, object]]], Optional[str],
+    Optional[str], float,
 ]
+
+#: Per-job states the breakdown in ``GET /campaigns/<id>`` reports.
+JOB_STATES: Tuple[str, ...] = (
+    "queued", "leased", "running", "completed", "retrying", "quarantined",
+)
 
 
 def execute_batch(jobs: Sequence[Job]) -> List[Outcome]:
@@ -75,18 +85,24 @@ def execute_batch(jobs: Sequence[Job]) -> List[Outcome]:
 
     Failures are isolated per job: each outcome carries either the job's
     rows or an error string plus the captured traceback, so one bad point
-    never discards its batchmates' completed work.
+    never discards its batchmates' completed work.  Each outcome also
+    times its job (telemetry only — the duration feeds the latency
+    histogram and completion events, never a result row).
     """
     outcomes: List[Outcome] = []
     for job in jobs:
+        started = time.time()
         try:
-            outcomes.append(
-                (job.key, job.job_id, job.workload, job.execute(), None, None)
-            )
+            rows = job.execute()
+            outcomes.append((
+                job.key, job.job_id, job.workload, rows, None, None,
+                time.time() - started,
+            ))
         except Exception as exc:
             outcomes.append((
                 job.key, job.job_id, job.workload, None,
                 f"{type(exc).__name__}: {exc}", traceback_module.format_exc(),
+                time.time() - started,
             ))
     return outcomes
 
@@ -128,10 +144,20 @@ class CampaignRun:
     cancelled: bool = False
     error: Optional[str] = None
     done: asyncio.Event = field(default_factory=asyncio.Event)
+    #: key -> one of :data:`JOB_STATES` (telemetry only; accounting above
+    #: stays authoritative for completion).
+    states: Dict[str, str] = field(default_factory=dict)
 
     @property
     def total(self) -> int:
         return len(self.jobs)
+
+    def state_counts(self) -> Dict[str, int]:
+        """Zero-filled per-state job breakdown for progress payloads."""
+        counts = {state: 0 for state in JOB_STATES}
+        for state in self.states.values():
+            counts[state] = counts.get(state, 0) + 1
+        return counts
 
     @property
     def status(self) -> str:
@@ -145,8 +171,9 @@ class CampaignRun:
         """Progress JSON.  ``campaign_id``/``name``/``status``/``total``/
         ``stored``/``remaining`` form the stable core every front-end can
         rely on (a store-only view after a restart reports the same keys);
-        the cached/computed/failed/quarantined split exists only while the
-        run is live in this process."""
+        the cached/computed/failed/quarantined split and the per-state
+        ``states`` breakdown exist only while the run is live in this
+        process."""
         return {
             "campaign_id": self.id,
             "name": self.campaign.name,
@@ -159,6 +186,7 @@ class CampaignRun:
             "failed": self.failed,
             "quarantined": self.quarantined,
             "remaining": self.remaining,
+            "states": self.state_counts(),
             "error": self.error,
         }
 
@@ -202,8 +230,45 @@ class Scheduler:
         retry_base: float = 0.5,
         lease_ttl_s: Optional[float] = None,
         sweep_interval: Optional[float] = None,
+        events: Optional[EventBus] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.store = store
+        #: Telemetry plane: a disabled bus when none is injected (direct
+        #: Scheduler construction in tests); Service wires the real one.
+        self.events = events if events is not None else EventBus(enabled=False)
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self._m_completed = self.metrics.counter(
+            "repro_jobs_completed_total",
+            "jobs completed, by execution plane and workload",
+        )
+        self._m_retried = self.metrics.counter(
+            "repro_jobs_retried_total", "failed attempts scheduled for retry"
+        )
+        self._m_quarantined = self.metrics.counter(
+            "repro_jobs_quarantined_total", "jobs quarantined as poison"
+        )
+        self._m_leases_granted = self.metrics.counter(
+            "repro_leases_granted_total", "fleet leases granted, by worker"
+        )
+        self._m_leases_done = self.metrics.counter(
+            "repro_leases_completed_total", "fleet leases settled by a post"
+        )
+        self._m_leases_expired = self.metrics.counter(
+            "repro_leases_expired_total", "fleet leases expired by the sweeper"
+        )
+        self._m_heartbeats = self.metrics.counter(
+            "repro_lease_heartbeats_total", "lease heartbeats received"
+        )
+        self._m_job_seconds = self.metrics.histogram(
+            "repro_job_seconds", "per-job execution latency, by plane"
+        )
+        self._m_accesses = self.metrics.counter(
+            "repro_accesses_total",
+            "trace accesses replayed by completed jobs, by workload",
+        )
+        #: Worker ids already announced via a worker.registered event.
+        self._seen_workers: set = set()
         self.max_workers = (
             max_workers if max_workers is not None else default_parallel_workers()
         )
@@ -263,17 +328,35 @@ class Scheduler:
         )
         run = CampaignRun(id=campaign_id, campaign=campaign, jobs=jobs)
         pending = []
+        job_events: List[Tuple[str, Dict[str, Any]]] = [(
+            events_module.CAMPAIGN_SUBMITTED,
+            {"name": campaign.name, "experiment": campaign.experiment,
+             "total": len(jobs), "cached": len(present)},
+        )]
         for job in jobs:
             if job.key in present:
                 run.cached += 1
+                run.states[job.key] = "completed"
+                job_events.append(
+                    (events_module.JOB_CACHED, job.summary())
+                )
             elif job.key in self._inflight:
                 self._waiters.setdefault(job.key, []).append(run)
                 run.remaining += 1
+                run.states[job.key] = "queued"
+                job_events.append(
+                    (events_module.JOB_QUEUED, job.summary())
+                )
             else:
                 self._inflight[job.key] = run
                 pending.append(replace(job, context=context))
                 run.remaining += 1
+                run.states[job.key] = "queued"
+                job_events.append(
+                    (events_module.JOB_QUEUED, job.summary())
+                )
         self.runs[campaign_id] = run
+        self.events.publish_many(campaign_id, job_events)
         if run.remaining == 0:
             self._finish(run)
             return run
@@ -392,15 +475,22 @@ class Scheduler:
                 todo: List[Job] = []
                 for job in batch:
                     if job.key in present:
-                        self._settle_success(run, job.key)
+                        self._settle_success(run, job, plane="store")
                     else:
                         todo.append(job)
                 if not todo:
                     continue
+                for job in todo:
+                    run.states[job.key] = "running"
+                self.events.publish_many(run.id, [
+                    (events_module.JOB_STARTED,
+                     {**job.summary(), "plane": "local"})
+                    for job in todo
+                ])
                 resolved = 0
                 try:
                     outcomes = await self._execute_with_timeout(todo)
-                    for key, job_id, workload, rows, error, tb in outcomes:
+                    for key, job_id, workload, rows, error, tb, took in outcomes:
                         if error is not None:
                             self._handle_failure(run, todo[resolved], error, tb)
                         else:
@@ -409,7 +499,10 @@ class Scheduler:
                                 key, job_id, run.campaign.experiment, workload,
                                 rows,
                             )
-                            self._settle_success(run, key)
+                            self._settle_success(
+                                run, todo[resolved], plane="local",
+                                duration_s=took, rows=rows,
+                            )
                         resolved += 1
                 except asyncio.CancelledError:
                     # close() aborted this batch mid-flight: the campaign is
@@ -429,11 +522,40 @@ class Scheduler:
                 self._queue.task_done()
 
     # ------------------------------------------------------------ settlement
-    def _settle_success(self, run: CampaignRun, key: str) -> None:
-        """One job's rows are in the store: credit the owner and waiters."""
-        self._inflight.pop(key, None)
+    def _settle_success(
+        self,
+        run: CampaignRun,
+        job: Job,
+        plane: str = "local",
+        duration_s: Optional[float] = None,
+        rows: Optional[List[Dict[str, object]]] = None,
+    ) -> None:
+        """One job's rows are in the store: credit the owner and waiters.
+
+        Emits exactly one ``job.completed`` event per (run, key) — the
+        accounting guarantees each key settles through exactly one path
+        (local outcome, fleet post, store settle after a requeue), and a
+        duplicated fleet post never reaches here (its lease is already
+        popped, so it takes the store-only path in
+        :meth:`complete_lease`).  The event carries the stored rows, so
+        the CI events-smoke job can assert streamed completions match
+        store rows bit-for-bit.
+        """
+        self._inflight.pop(job.key, None)
         run.computed += 1
-        self._settle_waiters(key)
+        run.states[job.key] = "completed"
+        self._m_completed.inc(plane=plane, workload=job.workload)
+        self._m_accesses.inc(float(job.target_accesses), workload=job.workload)
+        if duration_s is not None:
+            self._m_job_seconds.observe(duration_s, plane=plane)
+        if self.events.enabled:
+            if rows is None:
+                rows = self.store.get_result(job.key)
+            self.events.publish(run.id, events_module.JOB_COMPLETED, {
+                **job.summary(), "plane": plane,
+                "duration_s": duration_s, "rows": rows,
+            })
+        self._settle_waiters(job.key)
         self._account(run, 1)
 
     def _handle_failure(
@@ -447,12 +569,19 @@ class Scheduler:
         attempts = self.store.record_attempt(job.key, error, traceback_text)
         if attempts < self.max_attempts and not run.cancelled:
             delay = backoff_delay(job.key, attempts, base=self.retry_base)
+            run.states[job.key] = "retrying"
+            self._m_retried.inc()
+            self.events.publish(run.id, events_module.JOB_RETRIED, {
+                **job.summary(), "attempt": attempts,
+                "delay_s": round(delay, 3), "error": error,
+            })
             loop = asyncio.get_running_loop()
             self._timer_seq += 1
             timer_id = self._timer_seq
 
             def requeue() -> None:
                 self._retry_timers.pop(timer_id, None)
+                run.states[job.key] = "queued"
                 self._enqueue(run, [job])
                 self._ensure_workers()
 
@@ -463,6 +592,11 @@ class Scheduler:
         run.failed += 1
         run.quarantined += 1
         run.error = error
+        run.states[job.key] = "quarantined"
+        self._m_quarantined.inc()
+        self.events.publish(run.id, events_module.JOB_QUARANTINED, {
+            **job.summary(), "attempts": attempts, "error": error,
+        })
         self._settle_waiters(job.key, error=error)
         self._account(run, 1)
 
@@ -473,13 +607,21 @@ class Scheduler:
                 self._finish(run)
 
     def _settle_waiters(self, key: str, error: Optional[str] = None) -> None:
-        """Credit (or fail) every run waiting on another run's in-flight job."""
+        """Credit (or fail) every run waiting on another run's in-flight job.
+
+        Waiter runs update their per-state breakdown but emit no per-job
+        event of their own — the point was computed (and announced) under
+        the owning campaign's stream; waiters announce only their own
+        ``campaign.finished``.
+        """
         for waiter in self._waiters.pop(key, []):
             if error is None:
                 waiter.cached += 1
+                waiter.states[key] = "completed"
             else:
                 waiter.failed += 1
                 waiter.error = error
+                waiter.states[key] = "quarantined"
             if not waiter.done.is_set():
                 waiter.remaining -= 1
                 if waiter.remaining <= 0:
@@ -505,6 +647,13 @@ class Scheduler:
     def _finish(self, run: CampaignRun) -> None:
         run.done.set()
         self.store.set_campaign_status(run.id, run.status)
+        # The terminal event, published after the status write: a stream
+        # that has seen campaign.finished can trust the stored status.
+        self.events.publish(run.id, events_module.CAMPAIGN_FINISHED, {
+            "status": run.status, "total": run.total, "cached": run.cached,
+            "computed": run.computed, "failed": run.failed,
+            "quarantined": run.quarantined,
+        })
 
     # ----------------------------------------------------------- fleet plane
     def lease_next(
@@ -537,6 +686,23 @@ class Scheduler:
                 expires=time.time() + self.lease_ttl_s,
             )
             self.leases[lease_id] = lease
+            self._m_leases_granted.inc(worker=worker)
+            lease_events: List[Tuple[str, Dict[str, Any]]] = []
+            if worker not in self._seen_workers:
+                self._seen_workers.add(worker)
+                lease_events.append(
+                    (events_module.WORKER_REGISTERED, {"worker": worker})
+                )
+            lease_events.append((events_module.LEASE_GRANTED, {
+                "lease_id": lease_id, "worker": worker,
+                "jobs": len(batch), "ttl_s": self.lease_ttl_s,
+            }))
+            for job in batch:
+                run.states[job.key] = "leased"
+                lease_events.append((events_module.JOB_LEASED, {
+                    **job.summary(), "lease_id": lease_id, "worker": worker,
+                }))
+            self.events.publish_many(run.id, lease_events)
             self._ensure_workers()  # the sweeper must be alive from now on
             return lease
 
@@ -549,6 +715,10 @@ class Scheduler:
         if expires is None:
             return None
         lease.expires = expires
+        self._m_heartbeats.inc()
+        self.events.publish(lease.run.id, events_module.LEASE_HEARTBEAT, {
+            "lease_id": lease_id, "worker": lease.worker, "expires": expires,
+        })
         return expires
 
     def complete_lease(
@@ -577,6 +747,11 @@ class Scheduler:
         if lease is None:
             return {"ok": True, "stored": stored, "duplicate": True}
         self.store.finish_lease(lease_id)
+        self._m_leases_done.inc(worker=lease.worker)
+        self.events.publish(lease.run.id, events_module.LEASE_DONE, {
+            "lease_id": lease_id, "worker": lease.worker,
+            "outcomes": len(outcomes), "stored": stored,
+        })
         jobs_by_key = {job.key: job for job in lease.jobs}
         for outcome in outcomes:
             key = str(outcome["key"])
@@ -584,7 +759,12 @@ class Scheduler:
             if job is None:
                 continue  # not part of this lease; stored above if valid
             if outcome.get("error") is None and outcome.get("rows") is not None:
-                self._settle_success(lease.run, key)
+                duration = outcome.get("duration_s")
+                self._settle_success(
+                    lease.run, job, plane="fleet",
+                    duration_s=float(duration) if duration is not None else None,
+                    rows=outcome["rows"],
+                )
             else:
                 self._handle_failure(
                     lease.run, job,
@@ -624,12 +804,24 @@ class Scheduler:
                         continue
                     self.leases.pop(lease_id, None)
                     self.store.finish_lease(lease_id, status=LEASE_EXPIRED)
+                    self._m_leases_expired.inc(worker=lease.worker)
+                    # A dead worker that comes back re-registers.
+                    self._seen_workers.discard(lease.worker)
+                    self.events.publish_many(lease.run.id, [
+                        (events_module.LEASE_EXPIRED, {
+                            "lease_id": lease_id, "worker": lease.worker,
+                            "jobs": len(lease.jobs),
+                        }),
+                        (events_module.WORKER_DEAD, {
+                            "worker": lease.worker, "lease_id": lease_id,
+                        }),
+                    ])
                     present = self.store.present_keys(
                         [job.key for job in lease.jobs]
                     )
                     for job in lease.jobs:
                         if job.key in present:
-                            self._settle_success(lease.run, job.key)
+                            self._settle_success(lease.run, job, plane="store")
                         else:
                             self._handle_failure(
                                 lease.run, job,

@@ -14,9 +14,16 @@ import asyncio
 import json
 import os
 import threading
+import time
 from typing import Any, Dict, List, Optional
 
-from repro.common.config import service_batch_size, service_workers_override
+from repro.common.config import (
+    events_enabled as events_enabled_default,
+    service_batch_size,
+    service_workers_override,
+)
+from repro.service.events import EventBus
+from repro.service.metrics import MetricsRegistry
 from repro.service.scheduler import CampaignRun, Scheduler
 from repro.service.spec import Campaign
 from repro.service.store import ResultStore
@@ -68,8 +75,17 @@ class Service:
         lease_ttl_s: Optional[float] = None,
         job_timeout_s: Optional[float] = None,
         max_attempts: Optional[int] = None,
+        events_enabled: Optional[bool] = None,
     ) -> None:
         self.store = ResultStore(store_path)
+        self._started = time.time()
+        if events_enabled is None:
+            events_enabled = events_enabled_default()
+        #: Telemetry plane: durable event log + fan-out bus + metrics.
+        #: Observational only — results are byte-identical either way.
+        self.events = EventBus(self.store.event_log, enabled=events_enabled)
+        self.metrics = MetricsRegistry()
+        self.metrics.add_collect_hook(self._refresh_gauges)
         self.scheduler = Scheduler(
             self.store,
             max_workers=(
@@ -80,6 +96,8 @@ class Service:
             lease_ttl_s=lease_ttl_s,
             job_timeout_s=job_timeout_s,
             max_attempts=max_attempts,
+            events=self.events,
+            metrics=self.metrics,
         )
         self._loop = asyncio.new_event_loop()
         self._thread = threading.Thread(
@@ -123,17 +141,27 @@ class Service:
         """Live progress when the campaign runs here, else the stored record.
 
         Both views share the stable core keys ``campaign_id`` / ``name`` /
-        ``status`` / ``total`` / ``stored`` / ``remaining``; the live view
-        adds the cached/computed/failed split (unknowable after a restart).
+        ``status`` / ``total`` / ``stored`` / ``remaining`` and carry a
+        per-state ``states`` breakdown plus the ``workers`` liveness
+        listing; the live view adds the cached/computed/failed split
+        (unknowable after a restart), while the store-only view derives
+        its breakdown from stored rows alone (completed vs. queued).
         """
         run = self.scheduler.runs.get(campaign_id)
         if run is not None:
-            return run.progress()
+            payload = run.progress()
+            payload["workers"] = self.worker_liveness()
+            return payload
         record = self.store.campaign(campaign_id)
         if record is None:
             return None
         keys = self.store.campaign_keys(campaign_id)
         stored = len(self.store.present_keys(keys))
+        from repro.service.scheduler import JOB_STATES
+
+        states = {state: 0 for state in JOB_STATES}
+        states["completed"] = stored
+        states["queued"] = len(keys) - stored
         return {
             "campaign_id": record["id"],
             "name": record["name"],
@@ -141,6 +169,8 @@ class Service:
             "total": len(keys),
             "stored": stored,
             "remaining": len(keys) - stored,
+            "states": states,
+            "workers": self.worker_liveness(),
         }
 
     # ---------------------------------------------------------- fleet plane
@@ -183,6 +213,71 @@ class Service:
     def workers(self) -> List[Dict[str, Any]]:
         """Per-worker lease statistics from the store."""
         return self.store.workers()
+
+    def worker_liveness(self) -> List[Dict[str, Any]]:
+        """Store-backed per-worker statistics plus *live* liveness: a
+        worker is alive while it holds an unexpired lease in this
+        scheduler (heartbeats keep extending it)."""
+
+        async def snap() -> Dict[str, float]:
+            return {
+                lease.worker: lease.expires
+                for lease in self.scheduler.leases.values()
+            }
+
+        active = self._call(snap())
+        now = time.time()
+        rows = self.store.workers()
+        for row in rows:
+            expires = active.get(row["worker"])
+            row["alive"] = bool(expires is not None and expires > now)
+            row["lease_expires"] = expires
+        return rows
+
+    # ------------------------------------------------------------- telemetry
+    def _refresh_gauges(self, registry: MetricsRegistry) -> None:
+        """Render-time collect hook: live-state gauges and derived rates."""
+        uptime = max(time.time() - self._started, 1e-9)
+        registry.gauge(
+            "repro_uptime_seconds", "seconds since this service started"
+        ).set(uptime)
+        registry.gauge(
+            "repro_queue_depth", "batches waiting in the scheduler queue"
+        ).set(float(self.scheduler._queue.qsize()))
+        registry.gauge(
+            "repro_leases_active", "live fleet leases"
+        ).set(float(len(self.scheduler.leases)))
+        registry.gauge(
+            "repro_campaigns_live", "campaigns resident in this scheduler"
+        ).set(float(len(self.scheduler.runs)))
+        registry.gauge(
+            "repro_events_published_total", "events appended to the log"
+        ).set(
+            float(self.store.event_log.count()) if self.events.enabled else 0.0
+        )
+        completed = registry.counter("repro_jobs_completed_total")
+        jobs_rate = registry.gauge(
+            "repro_jobs_per_second", "completed jobs per second, by plane"
+        )
+        for plane in ("local", "fleet", "store"):
+            jobs_rate.set(
+                completed.sum_where(plane=plane) / uptime, plane=plane
+            )
+        accesses = registry.counter("repro_accesses_total")
+        acc_rate = registry.gauge(
+            "repro_accesses_per_second",
+            "trace accesses replayed per second, by workload",
+        )
+        for labels, value in accesses.items():
+            workload = labels.get("workload")
+            if workload:
+                acc_rate.set(value / uptime, workload=workload)
+
+    def metrics_snapshot(self, format: str = "text") -> Any:
+        """The ``GET /metrics`` payload (gauges refreshed at call time)."""
+        if format == "json":
+            return self.metrics.render_json()
+        return self.metrics.render_text()
 
     def results(self, run: CampaignRun) -> List[Dict[str, object]]:
         """Merged rows in job order, with the spec's finalize hook applied —

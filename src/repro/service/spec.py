@@ -151,6 +151,19 @@ class Job:
         """Short stable id for URLs and logs (prefix of the key's SHA-256)."""
         return hashlib.sha256(self.key.encode()).hexdigest()[:16]
 
+    def summary(self) -> Dict[str, str]:
+        """Small wire-safe identity payload for telemetry events.
+
+        Deliberately tiny (key, short id, workload): event payloads are
+        observational and must stay cheap to append per job — anything
+        else a consumer needs, it looks up by key or ``job_id``.
+        """
+        return {
+            "key": self.key,
+            "job_id": self.job_id,
+            "workload": self.workload,
+        }
+
     def to_wire(self) -> Dict[str, Any]:
         """JSON-serializable form for the worker lease protocol.
 

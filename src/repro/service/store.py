@@ -21,7 +21,10 @@ with TTLs, so the expiry sweeper can requeue a dead worker's jobs) and
 ``job_attempts`` (per-key failure counts and captured tracebacks backing
 retry/backoff and poison-job quarantine).  Both are created by the same
 ``CREATE TABLE IF NOT EXISTS`` schema script, which doubles as the
-migration for stores created before PR 8.
+migration for stores created before PR 8.  The telemetry plane (PR 9)
+adds the append-only ``events`` table, owned by
+:class:`repro.service.events.EventLog` exactly as the ``snapshots`` table
+is owned by ``PersistentSnapshotStore``.
 
 Garbage collection is routed through the cache-management entry point:
 ``python -m repro.experiments.cache --clear [--store PATH]`` wipes
@@ -113,15 +116,18 @@ class ResultStore:
     """Durable campaign/result storage over one sqlite file."""
 
     def __init__(self, path: Optional[os.PathLike] = None) -> None:
+        from repro.service.events import EventLog
         from repro.tse.snapshot import PersistentSnapshotStore
 
         self.path = Path(path) if path is not None else default_store_path()
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self._connect() as conn:
             conn.executescript(_SCHEMA)
-        # The snapshots table shares this file but its DDL has exactly one
-        # owner: PersistentSnapshotStore (warm-state snapshot persistence).
+        # The snapshots and events tables share this file but each table's
+        # DDL has exactly one owner: PersistentSnapshotStore (warm-state
+        # snapshot persistence) and EventLog (campaign telemetry).
         PersistentSnapshotStore(self.path)
+        self.event_log = EventLog(self.path)
 
     @staticmethod
     def exists(path: Optional[os.PathLike] = None) -> bool:
@@ -453,6 +459,7 @@ class ResultStore:
             quarantined = conn.execute(
                 "SELECT COUNT(*) AS n FROM job_attempts WHERE quarantined = 1"
             ).fetchone()["n"]
+            events = conn.execute("SELECT COUNT(*) AS n FROM events").fetchone()["n"]
         return {
             "path": str(self.path),
             "results": results,
@@ -460,6 +467,7 @@ class ResultStore:
             "snapshots": snapshots,
             "leases": leases,
             "quarantined": quarantined,
+            "events": events,
             "bytes": self.path.stat().st_size if self.path.exists() else 0,
         }
 
@@ -473,6 +481,7 @@ class ResultStore:
                 "snapshots": conn.execute("DELETE FROM snapshots").rowcount,
                 "leases": conn.execute("DELETE FROM leases").rowcount,
                 "job_attempts": conn.execute("DELETE FROM job_attempts").rowcount,
+                "events": conn.execute("DELETE FROM events").rowcount,
             }
 
         return self._write(mutate)
@@ -497,6 +506,9 @@ class ResultStore:
                 ).rowcount,
                 "snapshots": conn.execute(
                     "DELETE FROM snapshots WHERE created < ?", (cutoff,)
+                ).rowcount,
+                "events": conn.execute(
+                    "DELETE FROM events WHERE created < ?", (cutoff,)
                 ).rowcount,
             }
         return counts

@@ -15,6 +15,12 @@ any instruction with no recovery protocol:
    traceback).  The server treats results idempotently: a duplicated or
    late post of deterministic rows is first-write-wins-identical.
 
+Workers never publish telemetry events themselves: the server turns their
+existing protocol traffic (lease grants, heartbeats, results posts) into
+events on its own durable log, so a worker crash can never half-write the
+event plane.  The only worker-side telemetry is a per-job ``duration_s``
+riding along in each outcome.
+
 Crash safety: a worker that dies mid-batch simply stops heartbeating; the
 server's sweeper expires the lease after its TTL and requeues the jobs.
 Jobs completed before the crash were *not* posted (posts are per batch),
@@ -151,6 +157,7 @@ class Worker:
                 "key": job.key, "job_id": job.job_id,
                 "workload": job.workload, "experiment": job.experiment,
             }
+            started = time.time()
             try:
                 # Inside the per-job isolation on purpose: an injected
                 # ``raise`` is a job failure (reported, retried server-side)
@@ -164,6 +171,9 @@ class Worker:
                 outcome["error"] = f"{type(exc).__name__}: {exc}"
                 outcome["traceback"] = traceback_module.format_exc()
                 self.jobs_failed += 1
+            # Telemetry only: the server's latency histogram and completion
+            # events attribute this duration to the fleet plane.
+            outcome["duration_s"] = time.time() - started
             outcomes.append(outcome)
         directive = faults.fire("worker.post_results", context=self.worker_id)
         if directive == "drop":

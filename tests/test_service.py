@@ -91,7 +91,7 @@ class TestStoreGC:
         store.create_campaign("{}", "camp", ["old", "new"])
         _backdate(store, ["old"])
         counts = store.gc(keep_days=7)
-        assert counts == {"results": 1, "snapshots": 0}
+        assert counts == {"results": 1, "snapshots": 0, "events": 0}
         assert store.get_result("old") is None
         assert store.get_result("new") == [{"row": "new"}]
         # Campaign membership is never evicted: the table can still be
@@ -117,7 +117,7 @@ class TestStoreGC:
                 (_time.time() - 30 * 86400.0,),
             )
         counts = store.gc(keep_days=7)
-        assert counts == {"results": 0, "snapshots": 1}
+        assert counts == {"results": 0, "snapshots": 1, "events": 0}
         assert "snap-old" not in snaps and "snap-new" in snaps
 
     def test_resubmission_recomputes_exactly_the_evicted_points(self, tmp_path):
@@ -152,7 +152,7 @@ class TestStoreGC:
         assert cache_main(["--gc", "--keep-days", "7",
                            "--store", str(store.path)]) == 0
         out = json.loads(capsys.readouterr().out)
-        assert out["gc"]["evicted"] == {"results": 1, "snapshots": 0}
+        assert out["gc"]["evicted"] == {"results": 1, "snapshots": 0, "events": 0}
         assert store.stats()["results"] == 1
 
     def test_cache_cli_gc_requires_keep_days(self, tmp_path):
