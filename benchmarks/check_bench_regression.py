@@ -31,8 +31,10 @@ def throughputs(artifact: dict) -> Dict[str, float]:
     REPRO_FAST_MODE plane (when present) as ``<workload>.fast``; the
     service scheduler's campaign throughput (PR 4, ``service_throughput``)
     is keyed ``service`` in jobs/s; the events-enabled submission rate
-    (PR 9, ``events_overhead``) is keyed ``service.events_on``.  Series
-    absent on either side are skipped, so older artifacts compare cleanly.
+    (PR 9, ``events_overhead``) is keyed ``service.events_on``; the
+    checksummed-store submission rate (PR 10, ``store_integrity``) is
+    keyed ``service.checksums_on``.  Series absent on either side are
+    skipped, so older artifacts compare cleanly.
     """
     functional = artifact.get("functional_sim") or {}
     per_class = functional.get("per_class")
@@ -56,6 +58,11 @@ def throughputs(artifact: dict) -> Dict[str, float]:
     events = artifact.get("events_overhead") or {}
     if events.get("events_on_jobs_per_s"):
         series["service.events_on"] = float(events["events_on_jobs_per_s"])
+    integrity = artifact.get("store_integrity") or {}
+    if integrity.get("checksums_on_jobs_per_s"):
+        series["service.checksums_on"] = float(
+            integrity["checksums_on_jobs_per_s"]
+        )
     return series
 
 

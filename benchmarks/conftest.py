@@ -53,6 +53,14 @@ seconds of wall clock):
         "events_published": <log rows written by the events-on run>,
         "overhead_fraction": <(on - off) / off wallclock, negative = noise>
       },
+      "store_integrity": {          # durability layer cost (PR 10)
+        "jobs": <n>, "accesses_per_job": <trace size>,
+        "checksums_on_wallclock_s": <first submission, row checksums on>,
+        "checksums_on_jobs_per_s": <jobs / that>,
+        "checksums_off_wallclock_s": <same campaign, fresh store, off>,
+        "checksums_off_jobs_per_s": <jobs / that>,
+        "overhead_fraction": <(on - off) / off wallclock, negative = noise>
+      },
       "pr1_reference": {... seed vs. PR 1 wall-clock numbers ...}
     }
 """
@@ -99,6 +107,10 @@ _service_metrics = {}
 #: Populated by benchmarks/test_bench_service.py: the same campaign timed
 #: with the telemetry event plane on vs. off (see the schema docstring).
 _events_metrics = {}
+
+#: Populated by benchmarks/test_bench_service.py: the same campaign timed
+#: with per-row payload checksums on vs. off (see the schema docstring).
+_integrity_metrics = {}
 
 
 @pytest.fixture(scope="session")
@@ -230,6 +242,7 @@ def pytest_sessionfinish(session, exitstatus):
         "functional_sim": _functional_throughput(),
         "service_throughput": dict(_service_metrics) or None,
         "events_overhead": dict(_events_metrics) or None,
+        "store_integrity": dict(_integrity_metrics) or None,
         "pr1_reference": PR1_REFERENCE,
     }
     out_path = Path(__file__).resolve().parent.parent / "BENCH_core.json"

@@ -10,7 +10,12 @@ checked by ``benchmarks/check_bench_regression.py``.
 
 import time
 
-from conftest import _events_metrics, _service_metrics, run_once
+from conftest import (
+    _events_metrics,
+    _integrity_metrics,
+    _service_metrics,
+    run_once,
+)
 
 
 def _campaign_round_trip(tmp_path, workloads, accesses):
@@ -56,7 +61,8 @@ def test_service_campaign_throughput(benchmark, tmp_path, bench_workloads,
     })
 
 
-def _timed_submission(store_path, workloads, accesses, events_enabled, seed):
+def _timed_submission(store_path, workloads, accesses, events_enabled, seed,
+                      checksums=True):
     """First submission of a fresh campaign with the event plane on or off.
 
     Fresh store per call, and the in-process experiment cache cleared
@@ -75,7 +81,8 @@ def _timed_submission(store_path, workloads, accesses, events_enabled, seed):
     )
     clear_cache()
     with Service(store_path=store_path, max_workers=1,
-                 events_enabled=events_enabled) as service:
+                 events_enabled=events_enabled,
+                 checksums=checksums) as service:
         start = time.perf_counter()
         run = service.submit(spec, wait=True)
         elapsed = time.perf_counter() - start
@@ -132,4 +139,50 @@ def test_service_events_overhead(benchmark, tmp_path, bench_accesses):
     })
     assert overhead < 0.30, (
         f"event plane overhead {overhead:.1%} is far beyond noise"
+    )
+
+
+def test_store_integrity_overhead(benchmark, tmp_path, bench_accesses):
+    """Durability layer cost (PR 10): per-row SHA-256 payload checksums on
+    vs. off on the *same* first submission.
+
+    Same paired-arm protocol as the events benchmark: identical seed,
+    interleaved on/off/on/off with the experiment cache cleared before
+    each run, best-of-two per arm.  The checksums-on rate is tracked as
+    ``service.checksums_on`` by ``check_bench_regression.py``; a SHA-256
+    over a few KB of JSON per job is noise next to the simulation, and
+    the loose assertion here only guards against that ever changing.
+    """
+    workloads = ["db2"]
+    accesses = min(bench_accesses, 40_000)
+
+    def all_arms():
+        timings = {True: [], False: []}
+        rows = {}
+        jobs = 0
+        for repetition in range(2):
+            for checksums in (True, False):
+                tag = f"chk-{repetition}-{'on' if checksums else 'off'}"
+                jobs, elapsed, _, arm_rows = _timed_submission(
+                    tmp_path / f"{tag}.sqlite", workloads, accesses,
+                    events_enabled=False, seed=1102, checksums=checksums,
+                )
+                timings[checksums].append(elapsed)
+                rows[checksums] = arm_rows
+        return jobs, min(timings[True]), min(timings[False]), rows
+
+    jobs, on_s, off_s, rows = run_once(benchmark, all_arms)
+    assert rows[True] == rows[False], "checksum plane changed results"
+    overhead = (on_s - off_s) / off_s if off_s > 0 else 0.0
+    _integrity_metrics.update({
+        "jobs": jobs,
+        "accesses_per_job": accesses,
+        "checksums_on_wallclock_s": round(on_s, 3),
+        "checksums_on_jobs_per_s": round(jobs / on_s, 3) if on_s > 0 else 0,
+        "checksums_off_wallclock_s": round(off_s, 3),
+        "checksums_off_jobs_per_s": round(jobs / off_s, 3) if off_s > 0 else 0,
+        "overhead_fraction": round(overhead, 4),
+    })
+    assert overhead < 0.30, (
+        f"checksum overhead {overhead:.1%} is far beyond noise"
     )

@@ -93,6 +93,18 @@ ENV_REGISTRY: Dict[str, Dict[str, Any]] = {
         "description": "stable identity a fleet worker registers leases "
                        "under (default: host-pid derived)",
     },
+    "REPRO_HTTP_TIMEOUT": {
+        "accessor": "http_timeout",
+        "result_affecting": False,
+        "description": "per-attempt HTTP timeout in seconds for CLI/worker "
+                       "calls through the retrying transport",
+    },
+    "REPRO_HTTP_RETRIES": {
+        "accessor": "http_retries",
+        "result_affecting": False,
+        "description": "attempts per HTTP call before the transport gives "
+                       "up (retryable faults only; 4xx never retries)",
+    },
     "REPRO_BENCH_ACCESSES": {
         "accessor": "bench_accesses",
         "result_affecting": False,
@@ -203,6 +215,39 @@ def lease_ttl(default: float = 60.0) -> float:
 def worker_id_override() -> Optional[str]:
     """``REPRO_WORKER_ID``: stable fleet-worker identity (``None`` = derived)."""
     return os.environ.get("REPRO_WORKER_ID") or None
+
+
+def http_timeout(default: float = 600.0) -> float:
+    """``REPRO_HTTP_TIMEOUT``: per-attempt HTTP timeout in seconds.
+
+    Applies to every CLI/worker call routed through
+    :class:`repro.service.transport.HttpTransport`.  The default matches
+    the historical CLI timeout (``submit --wait`` blocks server-side until
+    the campaign settles, so the budget must cover whole-campaign
+    latency); workers pass a tighter explicit value.
+    """
+    raw = os.environ.get("REPRO_HTTP_TIMEOUT")
+    if raw:
+        try:
+            value = float(raw)
+        except ValueError:
+            return default
+        if value > 0:
+            return value
+    return default
+
+
+def http_retries(default: int = 5) -> int:
+    """``REPRO_HTTP_RETRIES``: attempts per HTTP call before giving up.
+
+    Only retryable transport faults (connection refused/reset, mid-body
+    disconnect, 502/503/504) consume the budget; terminal HTTP statuses
+    (other 4xx, 410 lease-gone) fail immediately.  Exhausting the budget
+    raises ``TransportError`` so a dead server fails workers cleanly
+    instead of hanging them.
+    """
+    value = _env_positive_int("REPRO_HTTP_RETRIES")
+    return value if value is not None else default
 
 
 def events_enabled(default: bool = True) -> bool:

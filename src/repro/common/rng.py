@@ -7,10 +7,32 @@ results are reproducible bit-for-bit.
 
 from __future__ import annotations
 
+import hashlib
 import random
 from typing import List, Sequence, TypeVar
 
 T = TypeVar("T")
+
+
+def backoff_delay(
+    key: str, attempt: int, base: float = 0.5, cap: float = 30.0,
+) -> float:
+    """Deterministic exponential backoff with jitter for one retry.
+
+    The jitter is drawn from a :class:`DeterministicRNG` seeded by ``key``
+    and forked by the attempt number, so the full retry schedule of any
+    actor is a pure function of ``(key, attempt)`` — reproducible in the
+    chaos suite, yet decorrelated across keys (two poison jobs, or two
+    workers hammering a restarting server, never retry in lockstep).
+
+    Shared by the scheduler's job-retry plane (PR 8) and the HTTP
+    transport's reconnect plane (:mod:`repro.service.transport`).
+    """
+    if attempt < 1:
+        return 0.0
+    salt = int(hashlib.sha256(key.encode()).hexdigest()[:8], 16)
+    rng = DeterministicRNG(salt).fork(attempt)
+    return min(cap, base * (2 ** (attempt - 1))) * (0.5 + 0.5 * rng.random())
 
 
 class DeterministicRNG:

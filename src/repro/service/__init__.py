@@ -27,10 +27,19 @@ makes them *durable and submittable*.  Four parts:
   a ``GET /metrics`` registry, and the single-page live dashboard with
   incremental figure tables.  Observational only — results stay
   byte-identical with events on or off;
+* :mod:`repro.service.transport` — the resilient HTTP client (PR 10)
+  every worker and CLI call rides: per-attempt timeouts, deterministic
+  seeded retry/backoff distinguishing retryable transport faults from
+  terminal HTTP statuses, and a give-up circuit — a server restart
+  mid-campaign costs the fleet nothing but the wait;
 * :mod:`repro.service.api` / :mod:`repro.service.cli` — a stdlib
   ``http.server`` JSON API and the ``python -m repro.service`` command line
   (``submit`` / ``status`` / ``results`` / ``serve`` / ``work`` /
-  ``watch`` / ``presets``).
+  ``watch`` / ``presets``, plus the durability verbs ``fsck`` /
+  ``backup`` / ``restore`` / ``export`` / ``import``).  The store schema
+  is versioned (``PRAGMA user_version``) with in-place migrations,
+  per-row SHA-256 payload checksums, and online backup via sqlite's
+  backup API; ``serve`` drains gracefully on SIGTERM.
 
 Every paper figure is available as a campaign preset
 (:mod:`repro.service.presets`); the rendered preset tables are bit-identical
@@ -44,6 +53,7 @@ from repro.service.scheduler import CampaignRun, Scheduler
 from repro.service.service import Service
 from repro.service.spec import Campaign, Job
 from repro.service.store import ResultStore, default_store_path
+from repro.service.transport import HttpTransport, StatusError, TransportError
 from repro.service.worker import Worker
 
 __all__ = [
@@ -61,4 +71,7 @@ __all__ = [
     "EventBus",
     "EventLog",
     "MetricsRegistry",
+    "HttpTransport",
+    "StatusError",
+    "TransportError",
 ]

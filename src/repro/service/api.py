@@ -163,7 +163,11 @@ class _Handler(BaseHTTPRequestHandler):
         parts = [part for part in url.path.split("/") if part]
         query = parse_qs(url.query)
         if url.path == "/healthz":
-            return self._reply(200, {"ok": True, "store": str(service.store.path)})
+            return self._reply(200, {
+                "ok": True,
+                "store": str(service.store.path),
+                "draining": service.scheduler.draining,
+            })
         if url.path == "/presets":
             return self._reply(200, {"presets": list(presets.preset_names())})
         if url.path == "/campaigns":

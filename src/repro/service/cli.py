@@ -9,13 +9,26 @@ Subcommands::
                     (one line per event, resumable with ``--after``)
     results ID      re-render a stored campaign's table (no recompute)
     serve           run the HTTP JSON API (``--remote-only`` parks all
-                    compute until workers lease it)
+                    compute until workers lease it); SIGTERM drains
+                    gracefully: stop granting leases, settle in-flight
+                    batches under ``--drain-deadline``, checkpoint, exit
     work            run one lease-protocol worker against a serve instance
+                    (SIGTERM: finish the current job, post, exit 0)
     watch ID        print the live dashboard URL for a campaign
     presets         list available presets
+    fsck            verify store integrity (checksums + payload JSON +
+                    sqlite integrity_check); ``--repair`` deletes exactly
+                    the corrupt rows so resubmission recomputes them
+    backup DEST     online store backup via sqlite's backup API
+    restore SRC     validate a backup and install it as the store
+    export ID       write one campaign as a portable checksummed archive
+    import PATH     install an exported campaign archive into the store
 
 ``submit`` / ``status`` run against the local store by default; pass
 ``--url http://host:port`` to drive a running ``serve`` instance instead.
+Remote calls go through the retrying transport
+(:mod:`repro.service.transport`): per-attempt timeouts and retry budget
+come from ``REPRO_HTTP_TIMEOUT`` / ``REPRO_HTTP_RETRIES``.
 A preset submitted with ``--wait`` (the default) prints a table
 bit-identical to the experiment module's own CLI — e.g. ``submit fig12``
 matches ``python -m repro.experiments.fig12_comparison`` — while completed
@@ -101,6 +114,10 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--lease-ttl", type=float, default=None,
                        help="worker lease TTL seconds (default: "
                        "REPRO_LEASE_TTL or 60)")
+    serve.add_argument("--drain-deadline", type=float, default=30.0,
+                       help="SIGTERM graceful-drain deadline seconds: stop "
+                       "granting leases, wait this long for in-flight "
+                       "batches to settle, checkpoint, exit")
 
     work = commands.add_parser(
         "work", help="run one lease-protocol worker against a serve instance"
@@ -125,20 +142,59 @@ def _build_parser() -> argparse.ArgumentParser:
                       "(chaos testing only)")
 
     commands.add_parser("presets", help="list available campaign presets")
+
+    fsck = commands.add_parser(
+        "fsck", help="verify store integrity (checksums, payload JSON, "
+        "sqlite integrity_check)"
+    )
+    fsck.add_argument("--repair", action="store_true",
+                      help="delete exactly the corrupt result rows; campaign "
+                      "membership survives, so resubmission recomputes "
+                      "exactly the damaged points")
+
+    backup = commands.add_parser(
+        "backup", help="online store backup (sqlite backup API; safe while "
+        "a serve instance is writing)"
+    )
+    backup.add_argument("dest", metavar="DEST", help="backup file to write")
+
+    restore = commands.add_parser(
+        "restore", help="validate a backup and install it as the store "
+        "(run offline — not against a live serve)"
+    )
+    restore.add_argument("backup", metavar="SRC", help="backup file to restore")
+
+    export = commands.add_parser(
+        "export", help="write one campaign (spec, key order, checksummed "
+        "results) as a portable JSON archive"
+    )
+    export.add_argument("campaign", type=int)
+    export.add_argument("--out", default=None, metavar="PATH",
+                        help="archive file (default: stdout)")
+
+    imp = commands.add_parser(
+        "import", help="install an exported campaign archive (checksum-"
+        "verified before anything is written)"
+    )
+    imp.add_argument("archive", metavar="PATH", help="archive file to import")
     return parser
 
 
 def _http(url: str, path: str, payload: Optional[Dict[str, Any]] = None) -> Dict[str, Any]:
-    import urllib.request
+    """One CLI call through the retrying transport.
 
-    request = urllib.request.Request(
-        url.rstrip("/") + path,
-        data=None if payload is None else json.dumps(payload).encode(),
-        headers={"Content-Type": "application/json"},
-        method="GET" if payload is None else "POST",
-    )
-    with urllib.request.urlopen(request, timeout=600) as response:
-        return json.loads(response.read())
+    Timeout and retry budget come from ``REPRO_HTTP_TIMEOUT`` /
+    ``REPRO_HTTP_RETRIES`` (the transport reads them via the typed
+    ``config.py`` accessors), replacing the old hardcoded one-shot
+    ``timeout=600`` — a server restart mid-call now retries instead of
+    killing the command.
+    """
+    from repro.service.transport import HttpTransport
+
+    transport = HttpTransport(url)
+    if payload is None:
+        return transport.get(path)
+    return transport.post(path, payload)
 
 
 def _cmd_submit(args: argparse.Namespace) -> int:
@@ -281,6 +337,9 @@ def _cmd_work(args: argparse.Namespace) -> int:
 
 
 def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
     from repro.service.api import make_server
 
     with Service(
@@ -293,6 +352,23 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host, port = server.server_address[:2]
         print(f"repro service on http://{host}:{port} "
               f"(store: {service.store.path})", file=sys.stderr)
+
+        def _drain_and_stop() -> None:
+            # Flag first: lease grants stop the instant the signal lands,
+            # then in-flight work gets the deadline to settle before the
+            # WAL checkpoint and server shutdown.
+            service.scheduler.draining = True
+            report = service.drain(deadline_s=args.drain_deadline)
+            print(f"drained: {json.dumps(report)}", file=sys.stderr)
+            server.shutdown()
+
+        def _on_sigterm(signum, frame) -> None:
+            # serve_forever blocks the main thread; drain on a helper so
+            # the signal handler returns immediately.
+            threading.Thread(target=_drain_and_stop, daemon=True).start()
+
+        if threading.current_thread() is threading.main_thread():
+            signal.signal(signal.SIGTERM, _on_sigterm)
         try:
             server.serve_forever()
         except KeyboardInterrupt:
@@ -300,6 +376,75 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         finally:
             server.shutdown()
             server.server_close()
+    return 0
+
+
+def _cmd_fsck(args: argparse.Namespace) -> int:
+    store = _open_store_readonly(args.store)
+    if store is None:
+        return 1
+    report = store.fsck(repair=args.repair)
+    print(json.dumps(report, indent=2))
+    if args.repair:
+        # After a repair the remaining state is clean unless sqlite itself
+        # is damaged beyond row deletion.
+        return 0 if report["integrity_check"] == "ok" else 1
+    return 0 if report["ok"] else 1
+
+
+def _cmd_backup(args: argparse.Namespace) -> int:
+    store = _open_store_readonly(args.store)
+    if store is None:
+        return 1
+    print(json.dumps(store.backup(args.dest), indent=2))
+    return 0
+
+
+def _cmd_restore(args: argparse.Namespace) -> int:
+    from repro.service.store import StoreIntegrityError, StoreSchemaError
+
+    target = args.store if args.store is not None else default_store_path()
+    try:
+        store = ResultStore.restore(args.backup, target)
+    except (FileNotFoundError, StoreIntegrityError, StoreSchemaError) as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    print(json.dumps(store.stats(), indent=2))
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    store = _open_store_readonly(args.store)
+    if store is None:
+        return 1
+    try:
+        archive = store.export_campaign(args.campaign)
+    except KeyError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(archive, handle)
+        print(f"exported campaign {args.campaign} "
+              f"({len(archive['results'])}/{len(archive['keys'])} results) "
+              f"to {args.out}", file=sys.stderr)
+    else:
+        json.dump(archive, sys.stdout)
+        print()
+    return 0
+
+
+def _cmd_import(args: argparse.Namespace) -> int:
+    from repro.service.store import StoreIntegrityError
+
+    with open(args.archive, encoding="utf-8") as handle:
+        archive = json.load(handle)
+    store = ResultStore(args.store)
+    try:
+        print(json.dumps(store.import_campaign(archive), indent=2))
+    except StoreIntegrityError as exc:
+        print(str(exc), file=sys.stderr)
+        return 1
     return 0
 
 
@@ -315,5 +460,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "serve": _cmd_serve,
         "work": _cmd_work,
         "watch": _cmd_watch,
+        "fsck": _cmd_fsck,
+        "backup": _cmd_backup,
+        "restore": _cmd_restore,
+        "export": _cmd_export,
+        "import": _cmd_import,
     }[args.command]
     return handler(args)

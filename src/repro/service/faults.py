@@ -36,7 +36,12 @@ Named sites currently wired: ``worker.lease``, ``worker.job``,
 ``scheduler.store_result`` (scheduler), ``store.put_result`` (store),
 ``events.notify`` (event bus — fires *after* the durable append, on the
 subscriber wakeup only, so drop/duplicate/delay there can never corrupt
-the log or a resumed SSE stream).
+the log or a resumed SSE stream), and the HTTP transport pair
+``transport.connect`` / ``transport.read``
+(:mod:`repro.service.transport` — a ``drop`` at ``transport.connect``
+becomes a refused connection before the request is sent; a ``drop`` at
+``transport.read`` becomes a truncated body after the status line, so
+chaos tests can prove both legs retry).
 """
 
 from __future__ import annotations

@@ -46,7 +46,6 @@ points run (locked in by ``tests/test_service.py``).
 from __future__ import annotations
 
 import asyncio
-import hashlib
 import json
 import time
 import traceback as traceback_module
@@ -54,7 +53,7 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.common.config import job_retries, job_timeout, lease_ttl
-from repro.common.rng import DeterministicRNG
+from repro.common.rng import backoff_delay
 from repro.experiments.runner import default_parallel_workers
 from repro.service import events as events_module
 from repro.service import faults
@@ -107,22 +106,9 @@ def execute_batch(jobs: Sequence[Job]) -> List[Outcome]:
     return outcomes
 
 
-def backoff_delay(
-    key: str, attempt: int, base: float = 0.5, cap: float = 30.0,
-) -> float:
-    """Deterministic exponential backoff with jitter for one retry.
-
-    The jitter is drawn from a :class:`~repro.common.rng.DeterministicRNG`
-    seeded by the job key and forked by the attempt number, so the full
-    retry schedule of any job is a pure function of ``(key, attempt)`` —
-    reproducible in the chaos suite, yet decorrelated across jobs (two
-    poison jobs never retry in lockstep).
-    """
-    if attempt < 1:
-        return 0.0
-    salt = int(hashlib.sha256(key.encode()).hexdigest()[:8], 16)
-    rng = DeterministicRNG(salt).fork(attempt)
-    return min(cap, base * (2 ** (attempt - 1))) * (0.5 + 0.5 * rng.random())
+# backoff_delay lives in repro.common.rng (shared with the HTTP transport's
+# reconnect plane since PR 10) and is re-exported here via the import above,
+# so `from repro.service.scheduler import backoff_delay` keeps working.
 
 
 class JobTimeout(Exception):
@@ -306,6 +292,16 @@ class Scheduler:
         self._inflight: Dict[str, CampaignRun] = {}
         #: key -> runs waiting on another run's in-flight computation.
         self._waiters: Dict[str, List[CampaignRun]] = {}
+        #: Graceful drain (SIGTERM on ``serve``): no new leases are
+        #: granted, local workers stop starting batches, in-flight work
+        #: settles under :meth:`drain`'s deadline.
+        self.draining = False
+        #: Local batches currently executing (drain waits for zero).
+        self._active_batches = 0
+        #: Batches dequeued while draining: parked, never executed.  Their
+        #: campaigns keep a non-terminal store status, so the next serve's
+        #: ``resume()`` recomputes exactly the unfinished points.
+        self._parked: List[Tuple[CampaignRun, List[Job]]] = []
 
     # ----------------------------------------------------------- submission
     async def submit(self, campaign: Campaign) -> CampaignRun:
@@ -463,7 +459,15 @@ class Scheduler:
                 _, _, run, batch = await self._queue.get()
             except asyncio.CancelledError:
                 return
+            if self.draining:
+                # Park instead of executing (or re-queueing, which would
+                # spin): the campaign stays non-terminal in the store and
+                # the next process's resume() picks the work back up.
+                self._parked.append((run, batch))
+                self._queue.task_done()
+                continue
             aborted = False
+            self._active_batches += 1
             try:
                 if run.cancelled:
                     self._hand_over_cancelled_batch(run, batch)
@@ -519,6 +523,7 @@ class Scheduler:
                     for job in todo[resolved:]:
                         self._handle_failure(run, job, message, None)
             finally:
+                self._active_batches -= 1
                 self._queue.task_done()
 
     # ------------------------------------------------------------ settlement
@@ -664,7 +669,12 @@ class Scheduler:
         The fleet competes with the local pool for the same priority
         queue; a granted batch is tracked in memory *and* as a TTL'd row
         in the store, so the sweeper can requeue it if the worker dies.
+
+        A draining scheduler grants nothing: workers see an empty queue
+        (``lease_id: null``), finish what they hold, and idle out.
         """
+        if self.draining:
+            return None
         while True:
             try:
                 _, _, run, batch = self._queue.get_nowait()
@@ -849,6 +859,29 @@ class Scheduler:
             if rows:
                 merged.extend(rows)
         return merged
+
+    async def drain(self, deadline_s: float = 30.0) -> Dict[str, Any]:
+        """Graceful drain: stop granting leases and starting batches, then
+        wait (bounded by ``deadline_s``) for in-flight work to settle.
+
+        "Settled" means no local batch is mid-execution and no remote
+        lease is live — a worker holding a lease gets the deadline to
+        finish and post; one that cannot simply loses the lease to the
+        TTL sweeper on the *next* serve (jobs requeue, nothing is lost).
+        Queued-but-unstarted batches stay parked with their campaigns
+        non-terminal in the store, which is exactly what ``resume()``
+        recomputes.  Returns a settlement report for the serve log.
+        """
+        self.draining = True
+        deadline = time.time() + deadline_s
+        while (self._active_batches or self.leases) and time.time() < deadline:
+            await asyncio.sleep(0.05)
+        return {
+            "settled": not self._active_batches and not self.leases,
+            "active_batches": self._active_batches,
+            "live_leases": len(self.leases),
+            "parked_batches": len(self._parked),
+        }
 
     async def close(self) -> None:
         for timer in self._retry_timers.values():

@@ -76,8 +76,9 @@ class Service:
         job_timeout_s: Optional[float] = None,
         max_attempts: Optional[int] = None,
         events_enabled: Optional[bool] = None,
+        checksums: bool = True,
     ) -> None:
-        self.store = ResultStore(store_path)
+        self.store = ResultStore(store_path, checksums=checksums)
         self._started = time.time()
         if events_enabled is None:
             events_enabled = events_enabled_default()
@@ -303,6 +304,21 @@ class Service:
     def render_campaign(self, campaign_id: int) -> str:
         """Render a stored campaign (possibly from an earlier process)."""
         return render_stored_campaign(self.store, campaign_id)
+
+    def drain(self, deadline_s: float = 30.0) -> Dict[str, Any]:
+        """Graceful drain (the serve SIGTERM path): stop granting leases,
+        let in-flight batches settle under ``deadline_s``, then checkpoint
+        the store's WAL so the file is self-contained on exit.  Call
+        :meth:`close` afterwards."""
+        report = self._call(
+            self.scheduler.drain(deadline_s), timeout=deadline_s + 10
+        )
+        report["checkpoint"] = self.store.checkpoint()
+        return report
+
+    def fsck(self, repair: bool = False) -> Dict[str, Any]:
+        """Store integrity report (see :meth:`ResultStore.fsck`)."""
+        return self.store.fsck(repair=repair)
 
     def close(self) -> None:
         try:

@@ -19,12 +19,26 @@ is locked`` to an HTTP client.
 The fleet layer (PR 8) adds two tables: ``leases`` (worker batch leases
 with TTLs, so the expiry sweeper can requeue a dead worker's jobs) and
 ``job_attempts`` (per-key failure counts and captured tracebacks backing
-retry/backoff and poison-job quarantine).  Both are created by the same
-``CREATE TABLE IF NOT EXISTS`` schema script, which doubles as the
-migration for stores created before PR 8.  The telemetry plane (PR 9)
+retry/backoff and poison-job quarantine).  The telemetry plane (PR 9)
 adds the append-only ``events`` table, owned by
 :class:`repro.service.events.EventLog` exactly as the ``snapshots`` table
 is owned by ``PersistentSnapshotStore``.
+
+Durability layer (PR 10).  The schema is **versioned** via ``PRAGMA
+user_version`` with an ordered in-place migration framework
+(:data:`SCHEMA_VERSION`, applied on open): stores written by older builds
+upgrade transparently on open, legacy pre-versioning stores are detected
+from their table set, and a store written by a *newer* build refuses to
+open with :exc:`StoreSchemaError` instead of silently misreading it.
+Result rows carry a **SHA-256 payload checksum** (v3), verified by
+:meth:`ResultStore.fsck`, which — with ``repair=True`` — deletes exactly
+the corrupt rows so resubmission recomputes exactly the damaged points
+(the same contract as ``gc``).  :meth:`ResultStore.backup` takes an
+online snapshot through sqlite's backup API (safe under concurrent
+writers), :meth:`ResultStore.restore` validates and installs one, and
+:meth:`ResultStore.export_campaign` / :meth:`ResultStore.import_campaign`
+move single campaigns between stores as portable checksummed JSON
+archives.
 
 Garbage collection is routed through the cache-management entry point:
 ``python -m repro.experiments.cache --clear [--store PATH]`` wipes
@@ -35,6 +49,7 @@ recomputes exactly the evicted points).
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import sqlite3
@@ -50,14 +65,27 @@ STORE_ENV = "REPRO_SERVICE_STORE"
 #: Default store path when ``REPRO_SERVICE_STORE`` is unset.
 DEFAULT_STORE = ".repro/service.sqlite"
 
-_SCHEMA = """
+#: ``PRAGMA user_version`` this build reads and writes.
+#: v1 = PR 4 base tables (results/campaigns/campaign_jobs);
+#: v2 = PR 8 fleet tables (leases/job_attempts);
+#: v3 = PR 10 per-row payload checksums (``results.checksum``).
+SCHEMA_VERSION = 3
+
+#: Version tag of the campaign export archive format.
+EXPORT_FORMAT = 1
+
+# v1 tables (PR 4).  Fresh stores are created straight at
+# SCHEMA_VERSION, so ``results`` here already carries the v3 ``checksum``
+# column; pre-versioning stores gain it through the v3 migration instead.
+_BASE_TABLES = """
 CREATE TABLE IF NOT EXISTS results (
     key        TEXT PRIMARY KEY,
     job_id     TEXT NOT NULL,
     experiment TEXT NOT NULL,
     workload   TEXT NOT NULL,
     rows_json  TEXT NOT NULL,
-    created    REAL NOT NULL
+    created    REAL NOT NULL,
+    checksum   TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_results_job_id ON results(job_id);
 CREATE INDEX IF NOT EXISTS idx_results_workload ON results(workload);
@@ -75,6 +103,10 @@ CREATE TABLE IF NOT EXISTS campaign_jobs (
     key         TEXT NOT NULL,
     PRIMARY KEY (campaign_id, position)
 );
+"""
+
+# v2 tables (PR 8): the fleet's lease protocol and retry accounting.
+_FLEET_TABLES = """
 CREATE TABLE IF NOT EXISTS leases (
     id         INTEGER PRIMARY KEY AUTOINCREMENT,
     worker     TEXT NOT NULL,
@@ -95,6 +127,83 @@ CREATE TABLE IF NOT EXISTS job_attempts (
 );
 """
 
+_SCHEMA = _BASE_TABLES + _FLEET_TABLES
+
+
+class StoreSchemaError(RuntimeError):
+    """The store's schema version is ahead of this build: refuse to open
+    (silently misreading a newer layout is the one unrecoverable move)."""
+
+
+class StoreIntegrityError(RuntimeError):
+    """A backup/archive failed validation and was not installed."""
+
+
+def row_checksum(rows_json: str) -> str:
+    """Integrity checksum of one result row's payload text.
+
+    The ``sha256:`` prefix names the algorithm so the format can evolve
+    without a schema bump.  Computed over the exact stored ``rows_json``
+    text — byte identity of the payload is the invariant ``fsck``
+    verifies, matching the determinism contract everywhere else.
+    """
+    return "sha256:" + hashlib.sha256(rows_json.encode("utf-8")).hexdigest()
+
+
+def _tables(conn: sqlite3.Connection) -> Set[str]:
+    rows = conn.execute(
+        "SELECT name FROM sqlite_master WHERE type = 'table'"
+    ).fetchall()
+    return {row[0] for row in rows}
+
+
+def _detect_version(conn: sqlite3.Connection) -> int:
+    """Effective schema version of an open store.
+
+    Stores written before PR 10 never set ``user_version`` (it reads 0),
+    so a zero is disambiguated by the table set: no ``results`` table
+    means a brand-new file, a ``results`` table without ``leases`` is a
+    PR 4-era v1 store, with ``leases`` a PR 8/9-era v2 store.
+    """
+    version = int(conn.execute("PRAGMA user_version").fetchone()[0])
+    if version:
+        return version
+    present = _tables(conn)
+    if "results" not in present:
+        return 0
+    return 2 if "leases" in present else 1
+
+
+def _migrate_to_2(conn: sqlite3.Connection) -> None:
+    conn.executescript(_FLEET_TABLES)
+
+
+def _migrate_to_3(conn: sqlite3.Connection) -> None:
+    columns = {row[1] for row in conn.execute("PRAGMA table_info(results)")}
+    if "checksum" not in columns:
+        try:
+            conn.execute("ALTER TABLE results ADD COLUMN checksum TEXT")
+        except sqlite3.OperationalError as exc:
+            # Two processes migrating the same legacy store can race the
+            # ALTER; losing that race means the column exists — fine.
+            if "duplicate column" not in str(exc):
+                raise
+    rows = conn.execute(
+        "SELECT key, rows_json FROM results WHERE checksum IS NULL"
+    ).fetchall()
+    for row in rows:
+        conn.execute(
+            "UPDATE results SET checksum = ? WHERE key = ?",
+            (row_checksum(row["rows_json"]), row["key"]),
+        )
+
+
+#: Ordered migrations: ``_MIGRATIONS[v]`` upgrades a store from ``v - 1``
+#: to ``v``.  Each step runs in its own transaction and stamps
+#: ``user_version`` on success, so a crash mid-migration re-runs only the
+#: interrupted step (every step is written to be re-runnable).
+_MIGRATIONS = {2: _migrate_to_2, 3: _migrate_to_3}
+
 #: Lease lifecycle states. ``active`` leases are the only ones the expiry
 #: sweeper looks at; every terminal transition is recorded for ``GET
 #: /workers`` fleet introspection.
@@ -113,21 +222,63 @@ def default_store_path() -> Path:
 
 
 class ResultStore:
-    """Durable campaign/result storage over one sqlite file."""
+    """Durable campaign/result storage over one sqlite file.
 
-    def __init__(self, path: Optional[os.PathLike] = None) -> None:
+    ``checksums=False`` skips writing per-row payload checksums (rows
+    read back as legacy/unverifiable to ``fsck``); it exists for the
+    ``store_integrity`` benchmark arm and should stay on everywhere else.
+    """
+
+    def __init__(self, path: Optional[os.PathLike] = None,
+                 checksums: bool = True) -> None:
         from repro.service.events import EventLog
         from repro.tse.snapshot import PersistentSnapshotStore
 
         self.path = Path(path) if path is not None else default_store_path()
         self.path.parent.mkdir(parents=True, exist_ok=True)
-        with self._connect() as conn:
-            conn.executescript(_SCHEMA)
+        self.checksums = checksums
+        self._ensure_schema()
         # The snapshots and events tables share this file but each table's
         # DDL has exactly one owner: PersistentSnapshotStore (warm-state
         # snapshot persistence) and EventLog (campaign telemetry).
         PersistentSnapshotStore(self.path)
         self.event_log = EventLog(self.path)
+
+    # ------------------------------------------------------ schema versioning
+    def _ensure_schema(self) -> None:
+        """Create or migrate the store to :data:`SCHEMA_VERSION` in place.
+
+        Refuses (``StoreSchemaError``) when the file was written by a
+        newer build.  Migration steps run one at a time, each stamping
+        ``user_version`` in its own transaction.
+        """
+        with self._connect() as conn:
+            version = _detect_version(conn)
+        if version > SCHEMA_VERSION:
+            raise StoreSchemaError(
+                f"store {self.path} has schema version {version}, newer than "
+                f"this build's {SCHEMA_VERSION}; upgrade the code (or restore "
+                f"an older backup) instead of opening it"
+            )
+        if version == 0:
+            def create(conn: sqlite3.Connection) -> None:
+                conn.executescript(_SCHEMA)
+                conn.execute(f"PRAGMA user_version = {SCHEMA_VERSION}")
+
+            self._write(create)
+            return
+        for target in range(version + 1, SCHEMA_VERSION + 1):
+            step = _MIGRATIONS[target]
+
+            def apply(conn: sqlite3.Connection, _step=step, _target=target) -> None:
+                _step(conn)
+                conn.execute(f"PRAGMA user_version = {_target}")
+
+            self._write(apply)
+
+    def schema_version(self) -> int:
+        with self._connect() as conn:
+            return int(conn.execute("PRAGMA user_version").fetchone()[0])
 
     @staticmethod
     def exists(path: Optional[os.PathLike] = None) -> bool:
@@ -176,11 +327,13 @@ class ResultStore:
         from repro.service import faults
 
         faults.fire("store.put_result", context=key)
+        rows_json = json.dumps(rows)
+        checksum = row_checksum(rows_json) if self.checksums else None
         self._write(lambda conn: conn.execute(
             "INSERT OR IGNORE INTO results "
-            "(key, job_id, experiment, workload, rows_json, created) "
-            "VALUES (?, ?, ?, ?, ?, ?)",
-            (key, job_id, experiment, workload, json.dumps(rows), time.time()),
+            "(key, job_id, experiment, workload, rows_json, created, checksum) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (key, job_id, experiment, workload, rows_json, time.time(), checksum),
         ))
 
     def get_result(self, key: str) -> Optional[List[Dict[str, object]]]:
@@ -449,6 +602,249 @@ class ResultStore:
 
         self._write(mutate)
 
+    # ------------------------------------------- integrity & disaster recovery
+    def fsck(self, repair: bool = False) -> Dict[str, Any]:
+        """Verify store integrity; with ``repair=True`` delete exactly the
+        corrupt result rows.
+
+        Three layers of checking: sqlite's own ``PRAGMA integrity_check``
+        (page/b-tree damage), JSON validity of every payload (truncated
+        writes), and the per-row SHA-256 checksum (silent bit corruption).
+        Rows written with ``checksums=False`` (or by a pre-v3 build whose
+        backfill was bypassed) have no checksum and are only JSON-checked;
+        their count is reported as ``unverifiable``.
+
+        Repair deletes *only* the corrupt rows — campaign membership
+        survives, so resubmitting the affected campaigns recomputes
+        exactly the damaged points and reuses every intact one.
+        """
+        corrupt: List[Dict[str, str]] = []
+        total = 0
+        unverifiable = 0
+        with self._connect() as conn:
+            integrity = conn.execute("PRAGMA integrity_check").fetchone()[0]
+            for row in conn.execute(
+                "SELECT key, rows_json, checksum FROM results ORDER BY key"
+            ):
+                total += 1
+                problem = None
+                try:
+                    payload = json.loads(row["rows_json"])
+                    if not isinstance(payload, list):
+                        problem = "payload is not a row list"
+                except (json.JSONDecodeError, TypeError):
+                    problem = "payload is not valid JSON"
+                if problem is None and row["checksum"] is not None \
+                        and row["checksum"] != row_checksum(row["rows_json"]):
+                    problem = "checksum mismatch"
+                if row["checksum"] is None:
+                    unverifiable += 1
+                if problem is not None:
+                    corrupt.append({"key": row["key"], "reason": problem})
+        report: Dict[str, Any] = {
+            "path": str(self.path),
+            "schema_version": self.schema_version(),
+            "results": total,
+            "integrity_check": integrity,
+            "corrupt": corrupt,
+            "unverifiable": unverifiable,
+            "ok": integrity == "ok" and not corrupt,
+        }
+        if repair and corrupt:
+            keys = [entry["key"] for entry in corrupt]
+
+            def mutate(conn: sqlite3.Connection) -> int:
+                deleted = 0
+                chunk = 500
+                for start in range(0, len(keys), chunk):
+                    part = keys[start:start + chunk]
+                    marks = ",".join("?" * len(part))
+                    deleted += conn.execute(
+                        f"DELETE FROM results WHERE key IN ({marks})", part
+                    ).rowcount
+                return deleted
+
+            report["repaired"] = self._write(mutate)
+        elif repair:
+            report["repaired"] = 0
+        return report
+
+    def checkpoint(self) -> Dict[str, Any]:
+        """Flush the WAL into the main database file (graceful-drain exit
+        step: the store is then a single self-contained file)."""
+        with self._connect() as conn:
+            row = conn.execute("PRAGMA wal_checkpoint(TRUNCATE)").fetchone()
+        return {"busy": row[0], "wal_pages": row[1], "checkpointed": row[2]}
+
+    def backup(self, dest: os.PathLike) -> Dict[str, Any]:
+        """Online backup to ``dest`` via sqlite's backup API.
+
+        Safe under concurrent writers: the backup API snapshots a
+        consistent point-in-time image (WAL included) without blocking
+        the fleet — rows landing after the snapshot simply miss the
+        backup and recompute on a restored store.
+        """
+        dest_path = Path(dest)
+        dest_path.parent.mkdir(parents=True, exist_ok=True)
+        with self._connect() as source:
+            out = sqlite3.connect(dest_path)
+            try:
+                source.backup(out)
+            finally:
+                out.close()
+        with sqlite3.connect(dest_path) as check:
+            results = check.execute("SELECT COUNT(*) FROM results").fetchone()[0]
+        check.close()
+        return {
+            "path": str(dest_path),
+            "bytes": dest_path.stat().st_size,
+            "results": int(results),
+            "schema_version": self.schema_version(),
+        }
+
+    @classmethod
+    def restore(cls, backup_path: os.PathLike,
+                store_path: os.PathLike) -> "ResultStore":
+        """Validate ``backup_path`` and install it at ``store_path``.
+
+        The backup must open, pass ``PRAGMA integrity_check``, and not
+        come from a newer build; otherwise nothing is written.  Run this
+        offline — restoring under a live service on the same path is a
+        concurrent-writer corruption hazard by sqlite's own rules.
+        Returns the opened (and, if needed, migrated) store.
+        """
+        source_path = Path(backup_path)
+        if not source_path.is_file():
+            raise FileNotFoundError(f"backup not found: {source_path}")
+        source = sqlite3.connect(source_path)
+        try:
+            integrity = source.execute("PRAGMA integrity_check").fetchone()[0]
+            if integrity != "ok":
+                raise StoreIntegrityError(
+                    f"backup {source_path} fails integrity_check: {integrity}"
+                )
+            version = int(source.execute("PRAGMA user_version").fetchone()[0])
+            if version > SCHEMA_VERSION:
+                raise StoreSchemaError(
+                    f"backup {source_path} has schema version {version}, newer "
+                    f"than this build's {SCHEMA_VERSION}"
+                )
+            target = Path(store_path)
+            target.parent.mkdir(parents=True, exist_ok=True)
+            out = sqlite3.connect(target)
+            try:
+                source.backup(out)
+            finally:
+                out.close()
+            # A stale WAL/SHM pair from the store's previous life must not
+            # replay over the restored image.
+            for suffix in ("-wal", "-shm"):
+                sidecar = Path(str(target) + suffix)
+                if sidecar.exists():
+                    sidecar.unlink()
+        finally:
+            source.close()
+        return cls(store_path)
+
+    def export_campaign(self, campaign_id: int) -> Dict[str, Any]:
+        """Portable archive of one campaign: spec, key order, and every
+        stored (checksummed) result row.  Pending keys export as keys
+        only — importing them recomputes on resubmission."""
+        record = self.campaign(campaign_id)
+        if record is None:
+            raise KeyError(f"campaign {campaign_id} not found")
+        keys = self.campaign_keys(campaign_id)
+        results: List[Dict[str, Any]] = []
+        with self._connect() as conn:
+            chunk = 500
+            for start in range(0, len(keys), chunk):
+                part = keys[start:start + chunk]
+                marks = ",".join("?" * len(part))
+                for row in conn.execute(
+                    "SELECT key, job_id, experiment, workload, rows_json, "
+                    f"checksum FROM results WHERE key IN ({marks})", part,
+                ):
+                    results.append(dict(row))
+        order = {key: position for position, key in enumerate(keys)}
+        results.sort(key=lambda entry: order[entry["key"]])
+        return {
+            "format": EXPORT_FORMAT,
+            "schema_version": SCHEMA_VERSION,
+            "campaign": {
+                "name": record["name"],
+                "spec_json": record["spec_json"],
+                "status": record["status"],
+            },
+            "keys": keys,
+            "results": results,
+        }
+
+    def import_campaign(self, archive: Dict[str, Any]) -> Dict[str, Any]:
+        """Install an exported campaign archive into this store.
+
+        Every archived row is checksum-verified *before* anything is
+        written — a tampered or truncated archive is rejected whole.
+        Result inserts are first-write-wins (``INSERT OR IGNORE``), so
+        importing into a store that already holds some of the keys is
+        idempotent, exactly like a duplicated fleet post.
+        """
+        if archive.get("format") != EXPORT_FORMAT:
+            raise StoreIntegrityError(
+                f"unsupported archive format {archive.get('format')!r} "
+                f"(this build reads format {EXPORT_FORMAT})"
+            )
+        keys = list(archive.get("keys", ()))
+        results = list(archive.get("results", ()))
+        known = set(keys)
+        for entry in results:
+            if entry["key"] not in known:
+                raise StoreIntegrityError(
+                    f"archive result {entry['key']!r} is not in the "
+                    f"campaign's key list"
+                )
+            checksum = entry.get("checksum")
+            if checksum is not None and checksum != row_checksum(entry["rows_json"]):
+                raise StoreIntegrityError(
+                    f"archive row {entry['key']!r} fails its checksum — "
+                    f"refusing to import a corrupt archive"
+                )
+            try:
+                payload = json.loads(entry["rows_json"])
+            except (json.JSONDecodeError, TypeError):
+                payload = None
+            if not isinstance(payload, list):
+                raise StoreIntegrityError(
+                    f"archive row {entry['key']!r} payload is not a row list"
+                )
+        spec = archive.get("campaign", {})
+        campaign_id = self.create_campaign(
+            spec.get("spec_json", "{}"), spec.get("name", "imported"), keys
+        )
+        if spec.get("status"):
+            self.set_campaign_status(campaign_id, spec["status"])
+        now = time.time()
+
+        def mutate(conn: sqlite3.Connection) -> int:
+            imported = 0
+            for entry in results:
+                imported += conn.execute(
+                    "INSERT OR IGNORE INTO results (key, job_id, experiment, "
+                    "workload, rows_json, created, checksum) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (entry["key"], entry["job_id"], entry["experiment"],
+                     entry["workload"], entry["rows_json"], now,
+                     entry.get("checksum")),
+                ).rowcount
+            return imported
+
+        imported = self._write(mutate)
+        return {
+            "campaign_id": campaign_id,
+            "keys": len(keys),
+            "results_imported": imported,
+            "results_existing": len(results) - imported,
+        }
+
     # ----------------------------------------------------------- lifecycle
     def stats(self) -> Dict[str, Any]:
         with self._connect() as conn:
@@ -462,6 +858,7 @@ class ResultStore:
             events = conn.execute("SELECT COUNT(*) AS n FROM events").fetchone()["n"]
         return {
             "path": str(self.path),
+            "schema_version": self.schema_version(),
             "results": results,
             "campaigns": campaigns,
             "snapshots": snapshots,

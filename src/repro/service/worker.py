@@ -15,6 +15,21 @@ any instruction with no recovery protocol:
    traceback).  The server treats results idempotently: a duplicated or
    late post of deterministic rows is first-write-wins-identical.
 
+Every HTTP call goes through the retrying
+:class:`~repro.service.transport.HttpTransport` (PR 10): transient
+connection resets, refused connections during a server restart, and
+mid-body disconnects are retried with deterministic backoff, so a server
+bounce mid-campaign costs a worker nothing but the wait.  Only when the
+transport's whole retry budget is spent (``TransportError``) does the
+worker treat the server as gone: a handful of consecutive give-ups on the
+poll loop exits 1, and a give-up mid-batch abandons the lease (the TTL
+sweeper requeues the jobs server-side).
+
+Graceful drain: :meth:`Worker.request_stop` (wired to SIGTERM by
+:func:`run_worker`) lets the worker finish the job it is executing, post
+what it has, and exit 0 — the lease protocol makes the unreported tail
+requeue-on-expiry, so a drained worker never strands a campaign.
+
 Workers never publish telemetry events themselves: the server turns their
 existing protocol traffic (lease grants, heartbeats, results posts) into
 events on its own durable log, so a worker crash can never half-write the
@@ -31,18 +46,18 @@ Fault-injection sites (active only when a
 :class:`~repro.service.faults.FaultPlan` is installed): ``worker.lease``
 before each poll, ``worker.job`` before each execution (context
 ``"<worker_id>:<job key>"``), ``worker.post_results`` before each post
-(directives: ``drop`` = never post, ``duplicate`` = post twice).
+(directives: ``drop`` = never post, ``duplicate`` = post twice), plus the
+transport-level ``transport.connect`` / ``transport.read`` sites.
 """
 
 from __future__ import annotations
 
-import json
 import os
+import signal
 import socket
+import threading
 import time
 import traceback as traceback_module
-import urllib.error
-import urllib.request
 from concurrent.futures import ThreadPoolExecutor, TimeoutError as FutureTimeout
 from typing import Any, Dict, List, Optional
 
@@ -50,6 +65,11 @@ from repro.common.config import job_timeout, worker_id_override
 from repro.common.rng import DeterministicRNG
 from repro.service import faults
 from repro.service.spec import Job
+from repro.service.transport import HttpTransport, StatusError, TransportError
+
+#: Consecutive poll-loop transport give-ups (each one a full retry budget)
+#: before the worker concludes the server is gone for good and exits 1.
+MAX_POLL_GIVEUPS = 5
 
 
 def default_worker_id() -> str:
@@ -76,6 +96,8 @@ class Worker:
         job_timeout_s: Optional[float] = None,
         max_idle_polls: Optional[int] = None,
         http_timeout: float = 60.0,
+        http_retries: Optional[int] = None,
+        backoff_base: float = 0.2,
     ) -> None:
         self.url = url.rstrip("/")
         self.worker_id = worker_id or default_worker_id()
@@ -87,7 +109,13 @@ class Worker:
         #: Exit cleanly after this many consecutive empty polls (CI / tests
         #: drain-and-stop mode); ``None`` = poll forever.
         self.max_idle_polls = max_idle_polls
-        self.http_timeout = http_timeout
+        self.transport = HttpTransport(
+            self.url, timeout=http_timeout, retries=http_retries,
+            backoff_base=backoff_base,
+        )
+        #: Set by :meth:`request_stop` (SIGTERM): finish the current job,
+        #: post what we have, exit 0.
+        self.stop_requested = False
         # Jitter RNG seeded by the worker id: a fleet started in lockstep
         # de-synchronizes its polls deterministically.
         self._rng = DeterministicRNG(sum(self.worker_id.encode()) or 1)
@@ -98,14 +126,7 @@ class Worker:
 
     # ----------------------------------------------------------------- HTTP
     def _post(self, path: str, payload: Dict[str, Any]) -> Dict[str, Any]:
-        request = urllib.request.Request(
-            self.url + path,
-            data=json.dumps(payload).encode(),
-            headers={"Content-Type": "application/json"},
-            method="POST",
-        )
-        with urllib.request.urlopen(request, timeout=self.http_timeout) as reply:
-            return json.loads(reply.read())
+        return self.transport.post(path, payload)
 
     # ------------------------------------------------------------ execution
     def _executor_slot(self) -> ThreadPoolExecutor:
@@ -136,15 +157,23 @@ class Worker:
     def _heartbeat(self, lease_id: int) -> None:
         try:
             self._post(f"/leases/{lease_id}/heartbeat", {})
-        except urllib.error.HTTPError as exc:
+        except StatusError as exc:
             if exc.code == 410:
                 raise LeaseGone(f"lease {lease_id} expired") from exc
             raise
+
+    def request_stop(self) -> None:
+        """Graceful drain: finish the in-flight job, post, exit 0."""
+        self.stop_requested = True
 
     def _process_lease(self, lease: Dict[str, Any]) -> None:
         lease_id = int(lease["lease_id"])
         outcomes: List[Dict[str, Any]] = []
         for data in lease["jobs"]:
+            if self.stop_requested:
+                # Drain: stop *between* jobs — what we computed is posted
+                # below, the unreported tail requeues on lease expiry.
+                break
             job = Job.from_wire(data)
             try:
                 self._heartbeat(lease_id)
@@ -153,6 +182,11 @@ class Worker:
                 # computed so far is posted anyway (idempotent) so the
                 # sweeper's requeue finds it in the store.
                 break
+            except TransportError:
+                # Server unreachable past the whole retry budget mid-batch:
+                # abandon the lease, the sweeper requeues it.  Completed
+                # outcomes are lost-but-recomputable, like a crash.
+                return
             outcome: Dict[str, Any] = {
                 "key": job.key, "job_id": job.job_id,
                 "workload": job.workload, "experiment": job.experiment,
@@ -180,25 +214,34 @@ class Worker:
             return  # simulated lost post: the TTL sweeper recovers the jobs
         posts = 2 if directive == "duplicate" else 1
         for _ in range(posts):
+            # The transport retries through restarts; the post is
+            # first-write-wins idempotent server-side, and a post to a
+            # restarted server that no longer knows the lease is still
+            # stored (the "late results" path), so nothing is lost.
             self._post(f"/leases/{lease_id}/results", {"outcomes": outcomes})
         self.leases_done += 1
 
     # ----------------------------------------------------------------- loop
     def run(self) -> int:
-        """Poll-execute-post until idle-exit (0) or the server goes away (1)."""
+        """Poll-execute-post until idle-exit or drain (0), or the server is
+        gone past every retry budget (1)."""
         idle = 0
-        consecutive_errors = 0
+        giveups = 0
         while True:
+            if self.stop_requested:
+                return 0
             faults.fire("worker.lease", context=self.worker_id)
             try:
                 lease = self._post(
                     "/leases",
                     {"worker": self.worker_id, "max_jobs": self.max_jobs},
                 )
-                consecutive_errors = 0
-            except (urllib.error.URLError, ConnectionError, TimeoutError):
-                consecutive_errors += 1
-                if consecutive_errors >= 30:
+                giveups = 0
+            except TransportError:
+                # One TransportError already burned a full retry budget
+                # with backoff inside the transport.
+                giveups += 1
+                if giveups >= MAX_POLL_GIVEUPS:
                     return 1  # server gone for good
                 time.sleep(self.poll_interval)
                 continue
@@ -211,7 +254,16 @@ class Worker:
                 )
                 continue
             idle = 0
-            self._process_lease(lease)
+            try:
+                self._process_lease(lease)
+            except TransportError:
+                # Results post failed past the retry budget: the batch is
+                # recomputable via lease expiry; count it like a poll
+                # give-up so a dead server still fails us cleanly.
+                giveups += 1
+                if giveups >= MAX_POLL_GIVEUPS:
+                    return 1
+                time.sleep(self.poll_interval)
 
     def close(self) -> None:
         if self._executor is not None:
@@ -228,7 +280,11 @@ def run_worker(
     max_idle_polls: Optional[int] = None,
     fault_plan_path: Optional[str] = None,
 ) -> int:
-    """CLI entry: optionally install a fault plan, then run one worker."""
+    """CLI entry: optionally install a fault plan, then run one worker.
+
+    SIGTERM triggers a graceful drain: the worker finishes the job it is
+    on, posts the batch's completed outcomes, and exits 0.
+    """
     if fault_plan_path:
         faults.install(faults.FaultPlan.load(fault_plan_path))
     worker = Worker(
@@ -239,6 +295,8 @@ def run_worker(
         job_timeout_s=job_timeout_s,
         max_idle_polls=max_idle_polls,
     )
+    if threading.current_thread() is threading.main_thread():
+        signal.signal(signal.SIGTERM, lambda signum, frame: worker.request_stop())
     try:
         return worker.run()
     except faults.WorkerKilled:
